@@ -1,0 +1,38 @@
+# topicscope — build/test/reproduce targets.
+
+GO ?= go
+
+.PHONY: all build test race cover bench fuzz report clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzz pass over every parser.
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/htmlx/
+	$(GO) test -fuzz=FuzzReadAllowlist -fuzztime=10s ./internal/attestation/
+	$(GO) test -fuzz=FuzzParseAttestation -fuzztime=10s ./internal/attestation/
+	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/tranco/
+
+# The canonical full-scale reproduction run (EXPERIMENTS.md).
+report:
+	$(GO) run ./cmd/topics-report -seed 1 -sites 50000 -workers 32 \
+		-out report_full.txt -json report_full.json
+
+clean:
+	rm -f report_full.txt report_full.json test_output.txt bench_output.txt

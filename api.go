@@ -1,0 +1,292 @@
+package topicscope
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/netmeasure/topicscope/internal/adcatalog"
+	"github.com/netmeasure/topicscope/internal/analysis"
+	"github.com/netmeasure/topicscope/internal/attestation"
+	"github.com/netmeasure/topicscope/internal/browser"
+	"github.com/netmeasure/topicscope/internal/classifier"
+	"github.com/netmeasure/topicscope/internal/crawler"
+	"github.com/netmeasure/topicscope/internal/dataset"
+	"github.com/netmeasure/topicscope/internal/etld"
+	"github.com/netmeasure/topicscope/internal/reident"
+	"github.com/netmeasure/topicscope/internal/taxonomy"
+	"github.com/netmeasure/topicscope/internal/topics"
+	"github.com/netmeasure/topicscope/internal/tranco"
+	"github.com/netmeasure/topicscope/internal/webserver"
+	"github.com/netmeasure/topicscope/internal/webworld"
+)
+
+// ---- Synthetic web ----
+
+// World is the generated synthetic web (see DESIGN.md, Substitutions).
+type (
+	World       = webworld.World
+	WorldConfig = webworld.Config
+	Site        = webworld.Site
+	WorldStats  = webworld.Stats
+)
+
+// GenerateWorld builds the deterministic synthetic web.
+func GenerateWorld(cfg WorldConfig) *World { return webworld.Generate(cfg) }
+
+// SaveWorld / LoadWorld persist a world spec as JSON so a crawl target
+// can be inspected or served without regenerating.
+func SaveWorld(w *World, out io.Writer) error { return w.Save(out) }
+func LoadWorld(in io.Reader) (*World, error)  { return webworld.Load(in) }
+
+// ---- Serving ----
+
+// Server virtual-hosts the synthetic web over HTTP.
+type Server = webserver.Server
+
+// NewServer builds a Server; now supplies virtual time (nil = wall
+// clock).
+func NewServer(w *World, now func() time.Time) *Server { return webserver.New(w, now) }
+
+// NewTCPClient dials every hostname to addr, for crawling a server
+// started with topics-serve.
+func NewTCPClient(w *World, addr string, timeout time.Duration) *http.Client {
+	return webserver.NewTCPClient(w, addr, timeout)
+}
+
+// CertAuthority mints per-host certificates for serving the synthetic
+// web over TLS; NewTLSClient is the HTTPS counterpart of NewTCPClient.
+type CertAuthority = webserver.CertAuthority
+
+// NewCertAuthority creates an in-memory CA anchored at notBefore (zero =
+// now).
+func NewCertAuthority(notBefore time.Time) (*CertAuthority, error) {
+	return webserver.NewCertAuthority(notBefore)
+}
+
+// NewTLSClient dials every hostname to addr over TLS with per-host SNI,
+// verified against the CA; HTTP/2 is negotiated via ALPN.
+func NewTLSClient(w *World, addr string, ca *CertAuthority, timeout time.Duration) *http.Client {
+	return webserver.NewTLSClient(w, addr, ca, timeout)
+}
+
+// NewTLSClientFromPEM is NewTLSClient for out-of-process servers: trust
+// the CA certificate PEM that topics-serve -tls wrote.
+func NewTLSClientFromPEM(w *World, addr string, caPEM []byte, timeout time.Duration) (*http.Client, error) {
+	return webserver.NewTLSClientFromPEM(w, addr, caPEM, timeout)
+}
+
+// ---- Browser & crawling ----
+
+// Browser is the instrumented emulated browser.
+type (
+	Browser       = browser.Browser
+	BrowserConfig = browser.Config
+	PageVisit     = browser.PageVisit
+)
+
+// NewBrowser builds an instrumented browser.
+func NewBrowser(cfg BrowserConfig) *Browser { return browser.New(cfg) }
+
+// Crawler runs measurement campaigns.
+type (
+	Crawler       = crawler.Crawler
+	CrawlerConfig = crawler.Config
+	CrawlStats    = crawler.Stats
+	CrawlResult   = crawler.Result
+)
+
+// NewCrawler builds a Crawler.
+func NewCrawler(cfg CrawlerConfig) *Crawler { return crawler.New(cfg) }
+
+// CallerDomains extracts the distinct calling parties of a dataset.
+func CallerDomains(d *Dataset) []string { return crawler.CallerDomains(d) }
+
+// ---- Dataset ----
+
+// Dataset records and codecs.
+type (
+	Dataset           = dataset.Dataset
+	Visit             = dataset.Visit
+	TopicsCall        = dataset.TopicsCall
+	Resource          = dataset.Resource
+	CallType          = dataset.CallType
+	Phase             = dataset.Phase
+	DatasetWriter     = dataset.Writer
+	AttestationRecord = dataset.AttestationRecord
+)
+
+// Phases and call types.
+const (
+	BeforeAccept = dataset.BeforeAccept
+	AfterAccept  = dataset.AfterAccept
+
+	CallJavaScript = dataset.CallJavaScript
+	CallFetch      = dataset.CallFetch
+	CallIframe     = dataset.CallIframe
+)
+
+// LoadDataset reads a JSONL crawl from disk.
+func LoadDataset(path string) (*Dataset, error) { return dataset.LoadFile(path) }
+
+// CompletedSites returns the sites already recorded in a JSONL crawl
+// file, for resuming an interrupted campaign.
+func CompletedSites(path string) (map[string]bool, error) { return dataset.CompletedSites(path) }
+
+// ---- Topics engine ----
+
+// Topics API engine, taxonomy and classifier.
+type (
+	Engine       = topics.Engine
+	EngineConfig = topics.Config
+	TopicResult  = topics.Result
+	Taxonomy     = taxonomy.Taxonomy
+	Topic        = taxonomy.Topic
+	Classifier   = classifier.Classifier
+)
+
+// NewTaxonomy returns the embedded Topics taxonomy (v2).
+func NewTaxonomy() *Taxonomy { return taxonomy.NewV2() }
+
+// NewClassifier builds the site-to-topics model over a taxonomy.
+func NewClassifier(tx *Taxonomy) *Classifier { return classifier.New(tx) }
+
+// NewEngine builds the browser-side Topics engine.
+func NewEngine(tx *Taxonomy, cl *Classifier, cfg EngineConfig) *Engine {
+	return topics.NewEngine(tx, cl, cfg)
+}
+
+// ---- Enrolment artifacts ----
+
+// Allow-list, attestations and the caller gate.
+type (
+	Allowlist       = attestation.Allowlist
+	AttestationFile = attestation.File
+	Gate            = attestation.Gate
+)
+
+// WellKnownPath is the attestation file's fixed URL path.
+const WellKnownPath = attestation.WellKnownPath
+
+// NewAllowlist builds an in-memory allow-list.
+func NewAllowlist(domains ...string) *Allowlist { return attestation.NewAllowlist(domains...) }
+
+// NewEnforcingGate is the healthy browser check; NewCorruptedGate is the
+// §2.3 default-allow bug configuration the paper's crawler uses.
+func NewEnforcingGate(list *Allowlist) *Gate { return attestation.NewEnforcingGate(list) }
+
+// NewCorruptedGate builds the buggy default-allow gate.
+func NewCorruptedGate() *Gate { return attestation.NewCorruptedGate() }
+
+// ---- Rank lists ----
+
+// RankList is a Tranco-style top-sites list.
+type RankList = tranco.List
+
+// LoadRankList parses a Tranco CSV from disk.
+func LoadRankList(path string) (*RankList, error) { return tranco.LoadFile(path) }
+
+// ---- Analysis ----
+
+// Analysis inputs and outputs.
+type (
+	AnalysisInput = analysis.Input
+	Report        = analysis.Report
+	Alternation   = analysis.Alternation
+)
+
+// Analyze computes every experiment over a dataset.
+func Analyze(in *AnalysisInput) *Report { return analysis.Run(in) }
+
+// AnalyzeAlternation summarises a repeated-visit ON/OFF series
+// (experiment S1).
+func AnalyzeAlternation(series []bool) Alternation { return analysis.AnalyzeAlternation(series) }
+
+// CompareEnabledRates contrasts two Figure 3 computations over the same
+// population at different times (experiment L1).
+func CompareEnabledRates(a, b *analysis.Figure3) *analysis.Longitudinal {
+	return analysis.CompareEnabledRates(a, b)
+}
+
+// ComputeFigure3 runs the Figure 3 experiment alone (used with
+// CompareEnabledRates for longitudinal snapshots).
+func ComputeFigure3(in *AnalysisInput, minPresence, topN int) *analysis.Figure3 {
+	return analysis.ComputeFigure3(in, minPresence, topN)
+}
+
+// ---- Platforms & hosts ----
+
+// AdPlatform describes one calling party of the catalog.
+type AdPlatform = adcatalog.Platform
+
+// RegistrableDomain returns the eTLD+1 of a hostname.
+func RegistrableDomain(host string) string { return etld.RegistrableDomain(host) }
+
+// ---- Persistence helpers ----
+
+// NewDatasetWriter streams visit records as JSONL.
+func NewDatasetWriter(w io.Writer) *DatasetWriter { return dataset.NewWriter(w) }
+
+// SaveAttestations / LoadAttestations persist attestation records as
+// JSONL.
+func SaveAttestations(path string, recs []AttestationRecord) error {
+	return dataset.SaveAttestations(path, recs)
+}
+
+// LoadAttestations reads attestation records from JSONL.
+func LoadAttestations(path string) ([]AttestationRecord, error) {
+	return dataset.LoadAttestations(path)
+}
+
+// AttestationIndex indexes attestation records by domain.
+func AttestationIndex(recs []AttestationRecord) map[string]AttestationRecord {
+	return dataset.AttestationIndex(recs)
+}
+
+// SaveAllowlist writes an allow-list in the browser's .dat format.
+func SaveAllowlist(path string, list *Allowlist) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("topicscope: creating %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("topicscope: closing %s: %w", path, cerr)
+		}
+	}()
+	_, err = list.WriteTo(f)
+	return err
+}
+
+// LoadAllowlist reads an allow-list .dat file; the error is an
+// *attestation.ErrCorrupted for damaged databases — feed both values to
+// attestation.NewGate to reproduce the browser's behaviour.
+func LoadAllowlist(path string) (*Allowlist, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("topicscope: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	return attestation.ReadAllowlist(f)
+}
+
+// NewGate builds the browser's caller gate from an allow-list load
+// outcome, reproducing the §2.3 corrupted-database default-allow bug.
+func NewGate(list *Allowlist, loadErr error) *Gate {
+	return attestation.NewGate(list, loadErr)
+}
+
+// ---- Re-identification extension ----
+
+// ReidentConfig / ReidentResult expose the §2.1-cited re-identification
+// attack simulation (internal/reident).
+type (
+	ReidentConfig = reident.Config
+	ReidentResult = reident.Result
+)
+
+// SimulateReident runs the cross-site re-identification attack against
+// the Topics engine and reports match rates per observation epoch.
+func SimulateReident(cfg ReidentConfig) *ReidentResult { return reident.Simulate(cfg) }

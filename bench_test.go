@@ -1,0 +1,318 @@
+package topicscope_test
+
+// The benchmark harness regenerates every table and figure of the paper
+// (see DESIGN.md's per-experiment index): each BenchmarkTable1/Figure*
+// measures recomputing that experiment over a shared crawl fixture and
+// reports the experiment's headline numbers as custom metrics, so
+// `go test -bench=. -benchmem` doubles as the reproduction run at bench
+// scale. EXPERIMENTS.md records the full 50k-site numbers.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/netmeasure/topicscope"
+	"github.com/netmeasure/topicscope/internal/analysis"
+)
+
+const benchSites = 3000
+
+var (
+	benchOnce sync.Once
+	benchIn   *topicscope.AnalysisInput
+	benchRes  *topicscope.Results
+)
+
+func benchInput(b *testing.B) (*topicscope.AnalysisInput, *topicscope.Results) {
+	b.Helper()
+	benchOnce.Do(func() {
+		res, err := topicscope.Campaign{Seed: 7, Sites: benchSites, Workers: 16}.Run(context.Background())
+		if err != nil {
+			panic(err)
+		}
+		benchRes = res
+		benchIn = &topicscope.AnalysisInput{
+			Data:         res.Data,
+			Allowlist:    topicscope.NewAllowlist(res.World.Catalog.AllowedDomains()...),
+			Attestations: topicscope.AttestationIndex(res.Attestations),
+		}
+	})
+	return benchIn, benchRes
+}
+
+// BenchmarkDatasetOverview regenerates experiment D1 (§2.4).
+func BenchmarkDatasetOverview(b *testing.B) {
+	in, _ := benchInput(b)
+	b.ResetTimer()
+	var o *analysis.Overview
+	for i := 0; i < b.N; i++ {
+		o = analysis.ComputeOverview(in)
+	}
+	b.ReportMetric(float64(o.Visited), "sites_visited")
+	b.ReportMetric(o.AcceptShare*100, "accept_pct")
+	b.ReportMetric(o.LegitCallShare*100, "legit_call_pct")
+	b.ReportMetric(float64(o.UniqueThirdParties), "third_parties")
+}
+
+// BenchmarkTable1 regenerates Table 1 (experiment T1).
+func BenchmarkTable1(b *testing.B) {
+	in, _ := benchInput(b)
+	b.ResetTimer()
+	var t1 *analysis.Table1
+	for i := 0; i < b.N; i++ {
+		t1 = analysis.ComputeTable1(in)
+	}
+	b.ReportMetric(float64(t1.Allowed), "allowed")
+	b.ReportMetric(float64(t1.AAAllowedAttested), "daa_aa_callers")
+	b.ReportMetric(float64(t1.AANotAllowed), "daa_anomalous")
+	b.ReportMetric(float64(t1.BAAllowedAttested), "dba_questionable")
+	b.ReportMetric(float64(t1.BANotAllowed), "dba_not_allowed")
+}
+
+// BenchmarkFigure2 regenerates Figure 2 (CP presence vs calls).
+func BenchmarkFigure2(b *testing.B) {
+	in, _ := benchInput(b)
+	b.ResetTimer()
+	var f *analysis.Figure2
+	for i := 0; i < b.N; i++ {
+		f = analysis.ComputeFigure2(in, 15)
+	}
+	if len(f.Rows) > 0 {
+		b.ReportMetric(float64(f.Rows[0].Present), "top_cp_presence")
+	}
+}
+
+// BenchmarkFigure3 regenerates Figure 3 (A/B enabled rates).
+func BenchmarkFigure3(b *testing.B) {
+	in, _ := benchInput(b)
+	b.ResetTimer()
+	var f *analysis.Figure3
+	for i := 0; i < b.N; i++ {
+		f = analysis.ComputeFigure3(in, 12, 15)
+	}
+	b.ReportMetric(f.ClusteredShare()*100, "clustered_pct")
+}
+
+// BenchmarkAnomaly regenerates the §4 anomalous-usage analysis (A1).
+func BenchmarkAnomaly(b *testing.B) {
+	in, _ := benchInput(b)
+	b.ResetTimer()
+	var a *analysis.Anomaly
+	for i := 0; i < b.N; i++ {
+		a = analysis.ComputeAnomaly(in)
+	}
+	b.ReportMetric(float64(a.UniqueCPs), "anomalous_cps")
+	b.ReportMetric(a.SameSecondLevelShare*100, "same_sld_pct")
+	b.ReportMetric(a.GTMShare*100, "gtm_pct")
+}
+
+// BenchmarkFigure5 regenerates Figure 5 (questionable calls).
+func BenchmarkFigure5(b *testing.B) {
+	in, _ := benchInput(b)
+	b.ResetTimer()
+	var f *analysis.Figure5
+	for i := 0; i < b.N; i++ {
+		f = analysis.ComputeFigure5(in, 15)
+	}
+	b.ReportMetric(float64(f.TotalQuestionableCPs), "questionable_cps")
+}
+
+// BenchmarkFigure6 regenerates Figure 6 (TLD geography).
+func BenchmarkFigure6(b *testing.B) {
+	in, _ := benchInput(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.ComputeFigure6(in, []string{"yandex.com", "criteo.com", "taboola.com", "openx.net"})
+	}
+}
+
+// BenchmarkFigure7 regenerates Figure 7 (CMP probabilities).
+func BenchmarkFigure7(b *testing.B) {
+	in, _ := benchInput(b)
+	b.ResetTimer()
+	var f *analysis.Figure7
+	for i := 0; i < b.N; i++ {
+		f = analysis.ComputeFigure7(in)
+	}
+	b.ReportMetric(f.OverRepresentation("HubSpot"), "hubspot_over_rep")
+	b.ReportMetric(f.AvgQuestionableRate*100, "avg_questionable_pct")
+}
+
+// BenchmarkEnrolment regenerates the §3 enrolment timeline (E1).
+func BenchmarkEnrolment(b *testing.B) {
+	in, _ := benchInput(b)
+	b.ResetTimer()
+	var e *analysis.Enrolment
+	for i := 0; i < b.N; i++ {
+		e = analysis.ComputeEnrolment(in)
+	}
+	b.ReportMetric(e.MonthlyPace(), "enrolments_per_month")
+}
+
+// BenchmarkABTestAlternation regenerates experiment S1: repeated-visit
+// ON/OFF series per (CP, site) across A/B slots.
+func BenchmarkABTestAlternation(b *testing.B) {
+	_, res := benchInput(b)
+	p, _ := res.World.Catalog.ByDomain("criteo.com")
+	start := time.Date(2024, 3, 30, 0, 0, 0, 0, time.UTC)
+	series := make([]bool, 240)
+	b.ResetTimer()
+	periodic := 0
+	for i := 0; i < b.N; i++ {
+		site := res.World.Sites[i%1000].Domain
+		for j := range series {
+			series[j] = p.EnabledOn(site, start.Add(time.Duration(j)*2*time.Hour))
+		}
+		if topicscope.AnalyzeAlternation(series).Periodic() {
+			periodic++
+		}
+	}
+	b.ReportMetric(float64(periodic)/float64(b.N)*100, "periodic_pct")
+}
+
+// BenchmarkFullCampaign measures the end-to-end study at a small scale:
+// world generation, double crawl, attestation checks and analysis.
+func BenchmarkFullCampaign(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := topicscope.Campaign{Seed: uint64(i + 1), Sites: 300, Workers: 8}.Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWorldGeneration measures the synthetic-web generator.
+func BenchmarkWorldGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		topicscope.GenerateWorld(topicscope.WorldConfig{Seed: uint64(i + 1), NumSites: 5000})
+	}
+}
+
+// BenchmarkPageLoad measures one instrumented page load through the full
+// HTTP + HTML + script pipeline.
+func BenchmarkPageLoad(b *testing.B) {
+	_, res := benchInput(b)
+	server := topicscope.NewServer(res.World, nil)
+	allow := topicscope.NewAllowlist(res.World.Catalog.AllowedDomains()...)
+	br := topicscope.NewBrowser(topicscope.BrowserConfig{
+		Client:             server.Client(),
+		Gate:               topicscope.NewCorruptedGate(),
+		ReferenceAllowlist: allow,
+	})
+	ctx := context.Background()
+	// Preselect reachable, non-redirecting sites.
+	var sites []string
+	for _, s := range res.World.Sites {
+		if s.Reachable && s.RedirectTo == "" {
+			sites = append(sites, s.Domain)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := br.LoadPage(ctx, sites[i%len(sites)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTopicsEngineCall measures a browsingTopics() answer.
+func BenchmarkTopicsEngineCall(b *testing.B) {
+	tx := topicscope.NewTaxonomy()
+	cl := topicscope.NewClassifier(tx)
+	clock := time.Date(2024, 3, 1, 0, 0, 0, 0, time.UTC)
+	eng := topicscope.NewEngine(tx, cl, topicscope.EngineConfig{
+		Seed: 1, Now: func() time.Time { return clock },
+	})
+	for w := 0; w < 3; w++ {
+		for i := 0; i < 50; i++ {
+			site := fmt.Sprintf("news-site-%d.com", i)
+			eng.RecordVisit(site)
+			eng.Observe(site, "adtech.example")
+		}
+		clock = clock.Add(7 * 24 * time.Hour)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.BrowsingTopics("adtech.example", fmt.Sprintf("pub-%d.com", i%512))
+	}
+}
+
+// BenchmarkReidentification measures the §2.1-cited re-identification
+// attack simulation (extension experiment).
+func BenchmarkReidentification(b *testing.B) {
+	var last *topicscope.ReidentResult
+	for i := 0; i < b.N; i++ {
+		last = topicscope.SimulateReident(topicscope.ReidentConfig{
+			Users: 100, Epochs: 5, Seed: uint64(i + 1),
+		})
+	}
+	b.ReportMetric(last.MatchRate[len(last.MatchRate)-1]*100, "reident_pct_5_epochs")
+}
+
+// BenchmarkClassifier measures the hostname-to-topics model.
+func BenchmarkClassifier(b *testing.B) {
+	cl := topicscope.NewClassifier(topicscope.NewTaxonomy())
+	hosts := []string{
+		"daily-news-tribune.com", "travel-hotels.fr", "zzqxv.example",
+		"shop-fashion-24.de", "games-arcade.io", "www.finance-invest.co.uk",
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cl.Classify(hosts[i%len(hosts)])
+	}
+}
+
+// BenchmarkAllowlistGate measures the caller check on a full-size list.
+func BenchmarkAllowlistGate(b *testing.B) {
+	_, res := benchInput(b)
+	gate := topicscope.NewEnforcingGate(topicscope.NewAllowlist(res.World.Catalog.AllowedDomains()...))
+	callers := []string{"criteo.com", "cdn.doubleclick.net", "unknown.example", "www.foo.it"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gate.Check(callers[i%len(callers)])
+	}
+}
+
+// BenchmarkCrawlScaling measures campaign throughput at increasing
+// world sizes (sites crawled per second, Before+After visits included).
+func BenchmarkCrawlScaling(b *testing.B) {
+	for _, sites := range []int{100, 300, 1000} {
+		b.Run(fmt.Sprintf("sites=%d", sites), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := topicscope.Campaign{
+					Seed: uint64(i + 1), Sites: sites, Workers: 16,
+				}.Run(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Stats.Attempted)/res.Stats.Elapsed.Seconds(), "sites/sec")
+			}
+		})
+	}
+}
+
+// BenchmarkDatasetIO measures JSONL encode+decode of crawl records.
+func BenchmarkDatasetIO(b *testing.B) {
+	_, res := benchInput(b)
+	data := res.Data
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		w := topicscope.NewDatasetWriter(&buf)
+		for j := range data.Visits {
+			if err := w.Write(&data.Visits[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(buf.Len())/1024/1024, "MB")
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Command topics-analyze regenerates the paper's tables and figures from
+// a crawl produced by topics-crawl.
+//
+//	topics-analyze -data crawl.jsonl -attest attest.jsonl -allowlist allow.dat -exp all
+//
+// Experiments: D1 (dataset overview), T1 (Table 1), F2/F3/F5/F6/F7
+// (figures), A1 (§4 anomalous usage), E1 (enrolment timeline), or "all".
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/netmeasure/topicscope"
+)
+
+func main() {
+	var (
+		dataPath  = flag.String("data", "crawl.jsonl", "visit dataset (JSONL)")
+		attPath   = flag.String("attest", "attest.jsonl", "attestation records (JSONL)")
+		allowPath = flag.String("allowlist", "allow.dat", "allow-list database (.dat)")
+		exp       = flag.String("exp", "all", "experiment id: D1,D2,T1,F2,F3,A1,F5,F6,F7,E1,X1 or all")
+		csvOut    = flag.String("csv", "", "also export the flattened per-call CSV here")
+		dataPath2 = flag.String("data2", "", "second crawl of the same world: print the L1 longitudinal comparison")
+	)
+	flag.Parse()
+
+	data, err := topicscope.LoadDataset(*dataPath)
+	if err != nil {
+		fatal(err)
+	}
+	recs, err := topicscope.LoadAttestations(*attPath)
+	if err != nil {
+		fatal(err)
+	}
+	allow, err := topicscope.LoadAllowlist(*allowPath)
+	if err != nil {
+		// A corrupted database is exactly what the §2.3 bug is about;
+		// the *analysis* however needs the healthy list.
+		fatal(fmt.Errorf("allow-list unusable (%w) — regenerate with topics-crawl", err))
+	}
+
+	in := &topicscope.AnalysisInput{
+		Data:         data,
+		Allowlist:    allow,
+		Attestations: topicscope.AttestationIndex(recs),
+	}
+	report := topicscope.Analyze(in)
+
+	if *csvOut != "" {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := data.WriteCallsCSV(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "calls CSV written to %s\n", *csvOut)
+	}
+
+	if *dataPath2 != "" {
+		data2, err := topicscope.LoadDataset(*dataPath2)
+		if err != nil {
+			fatal(err)
+		}
+		in2 := &topicscope.AnalysisInput{
+			Data:         data2,
+			Allowlist:    allow,
+			Attestations: topicscope.AttestationIndex(recs),
+		}
+		l := topicscope.CompareEnabledRates(
+			topicscope.ComputeFigure3(in, 50, 0),
+			topicscope.ComputeFigure3(in2, 50, 0))
+		fmt.Print(l.Render())
+		return
+	}
+
+	switch strings.ToUpper(*exp) {
+	case "ALL":
+		fmt.Print(report.Render())
+	case "D1":
+		fmt.Print(report.Overview.Render())
+	case "T1":
+		fmt.Print(report.Table1.Render())
+	case "F2":
+		fmt.Print(report.Figure2.Render())
+	case "F3":
+		fmt.Print(report.Figure3.Render())
+	case "A1":
+		fmt.Print(report.Anomaly.Render())
+	case "F5":
+		fmt.Print(report.Figure5.Render())
+	case "F6":
+		fmt.Print(report.Figure6.Render())
+	case "F7":
+		fmt.Print(report.Figure7.Render())
+	case "E1":
+		fmt.Print(report.Enrolment.Render())
+	case "X1":
+		fmt.Print(report.CallTypes.Render())
+	case "D2":
+		fmt.Print(report.Languages.Render())
+	default:
+		fatal(errors.New("unknown experiment " + *exp))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "topics-analyze:", err)
+	os.Exit(1)
+}

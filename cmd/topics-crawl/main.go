@@ -1,0 +1,143 @@
+// Command topics-crawl runs the paper's measurement campaign over the
+// synthetic web: Before-Accept and After-Accept visits of every ranked
+// site with the corrupted allow-list gate, followed by well-known
+// attestation checks. It writes the visit dataset (JSONL), the
+// attestation records (JSONL) and the healthy allow-list (.dat) that
+// topics-analyze needs.
+//
+//	topics-crawl -seed 1 -sites 50000 -out crawl.jsonl -attest attest.jsonl -allowlist allow.dat
+//	topics-crawl -connect 127.0.0.1:8080 ...   # crawl a topics-serve instance over TCP
+package main
+
+import (
+	"compress/gzip"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/netmeasure/topicscope"
+)
+
+func main() {
+	var (
+		seed       = flag.Uint64("seed", 1, "world seed (must match the serving world)")
+		sites      = flag.Int("sites", 50000, "number of ranked sites to crawl")
+		workers    = flag.Int("workers", 16, "crawl parallelism")
+		connect    = flag.String("connect", "", "crawl a topics-serve instance at this address instead of in-process")
+		connectTLS = flag.String("connect-tls", "", "crawl a topics-serve -tls instance at this address (requires -ca-cert)")
+		caCert     = flag.String("ca-cert", "topicscope-ca.pem", "CA certificate PEM written by topics-serve -tls")
+		out        = flag.String("out", "crawl.jsonl", "visit dataset output (JSONL)")
+		attest     = flag.String("attest", "attest.jsonl", "attestation records output (JSONL)")
+		allowOut   = flag.String("allowlist", "allow.dat", "healthy allow-list output (.dat)")
+		enforce    = flag.Bool("enforce", false, "run the healthy-gate ablation instead of the corrupted gate")
+		quiet      = flag.Bool("quiet", false, "suppress progress logging")
+		resume     = flag.Bool("resume", false, "skip sites already present in -out and append to it")
+		timeoutMS  = flag.Int("timeout-ms", 10000, "per-request timeout for -connect mode")
+	)
+	flag.Parse()
+
+	world := topicscope.GenerateWorld(topicscope.WorldConfig{Seed: *seed, NumSites: *sites})
+	allow := topicscope.NewAllowlist(world.Catalog.AllowedDomains()...)
+
+	var client *http.Client
+	scheme := "http"
+	switch {
+	case *connectTLS != "":
+		pem, err := os.ReadFile(*caCert)
+		if err != nil {
+			fatal(err)
+		}
+		client, err = topicscope.NewTLSClientFromPEM(world, *connectTLS, pem, time.Duration(*timeoutMS)*time.Millisecond)
+		if err != nil {
+			fatal(err)
+		}
+		scheme = "https"
+	case *connect != "":
+		client = topicscope.NewTCPClient(world, *connect, time.Duration(*timeoutMS)*time.Millisecond)
+	default:
+		client = topicscope.NewServer(world, nil).Client()
+	}
+
+	var logger *slog.Logger
+	if !*quiet {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+
+	skip := map[string]bool{}
+	flags := os.O_CREATE | os.O_WRONLY | os.O_TRUNC
+	if *resume {
+		var err error
+		if skip, err = topicscope.CompletedSites(*out); err != nil {
+			fatal(err)
+		}
+		flags = os.O_CREATE | os.O_WRONLY | os.O_APPEND
+		fmt.Printf("resume: skipping %d already-crawled sites\n", len(skip))
+		if strings.HasSuffix(*out, ".gz") {
+			// Appending concatenated gzip members is valid gzip; open raw
+			// and wrap below.
+			fmt.Println("resume: appending a new gzip member")
+		}
+	}
+	raw, err := os.OpenFile(*out, flags, 0o644)
+	if err != nil {
+		fatal(err)
+	}
+	defer raw.Close()
+	var sink io.Writer = raw
+	if strings.HasSuffix(*out, ".gz") {
+		zw := gzip.NewWriter(raw)
+		defer zw.Close()
+		sink = zw
+	}
+	writer := topicscope.NewDatasetWriter(sink)
+
+	cr := topicscope.NewCrawler(topicscope.CrawlerConfig{
+		Client:             client,
+		ReferenceAllowlist: allow,
+		Enforce:            *enforce,
+		Workers:            *workers,
+		Writer:             writer,
+		Collect:            true,
+		SkipSites:          skip,
+		Scheme:             scheme,
+		Logger:             logger,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	res, err := cr.Run(ctx, world.List())
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("crawl: %s\n", res.Stats)
+	fmt.Printf("dataset: %s (%d visit records)\n", *out, res.Data.Len())
+
+	// Attestation checks for every allow-listed domain plus every
+	// calling party the crawl observed.
+	domains := allow.Domains()
+	domains = append(domains, topicscope.CallerDomains(res.Data)...)
+	recs := cr.CheckAttestations(ctx, domains)
+	if err := topicscope.SaveAttestations(*attest, recs); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("attestations: %s (%d domains)\n", *attest, len(recs))
+
+	if err := topicscope.SaveAllowlist(*allowOut, allow); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("allow-list: %s (%d domains)\n", *allowOut, allow.Len())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "topics-crawl:", err)
+	os.Exit(1)
+}

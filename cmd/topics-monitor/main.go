@@ -1,0 +1,75 @@
+// Command topics-monitor implements the continuous monitoring §6 calls
+// for: it crawls the same synthetic web at a series of virtual dates and
+// charts how Topics adoption evolves — enrolled domains, active calling
+// parties, and the share of websites where a call is observed.
+//
+//	topics-monitor -seed 1 -sites 5000 -from 2023-07-01 -to 2024-03-30 -step 720h
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/netmeasure/topicscope"
+	"github.com/netmeasure/topicscope/internal/analysis"
+)
+
+func main() {
+	var (
+		seed    = flag.Uint64("seed", 1, "world seed")
+		sites   = flag.Int("sites", 5000, "number of ranked sites per snapshot")
+		workers = flag.Int("workers", 16, "crawl parallelism")
+		from    = flag.String("from", "2023-07-01", "first snapshot date (YYYY-MM-DD)")
+		to      = flag.String("to", "2024-03-30", "last snapshot date (YYYY-MM-DD)")
+		step    = flag.Duration("step", 60*24*time.Hour, "interval between snapshots")
+	)
+	flag.Parse()
+
+	start, err := time.Parse("2006-01-02", *from)
+	if err != nil {
+		fatal(err)
+	}
+	end, err := time.Parse("2006-01-02", *to)
+	if err != nil {
+		fatal(err)
+	}
+	if !start.Before(end) || *step <= 0 {
+		fatal(fmt.Errorf("need from < to and a positive step"))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	adoption := &analysis.Adoption{}
+	for date := start; !date.After(end); date = date.Add(*step) {
+		results, err := topicscope.Campaign{
+			Seed:    *seed,
+			Sites:   *sites,
+			Workers: *workers,
+			Start:   date,
+		}.Run(ctx)
+		if err != nil {
+			fatal(err)
+		}
+		in := &topicscope.AnalysisInput{
+			Data:         results.Data,
+			Allowlist:    topicscope.NewAllowlist(results.World.Catalog.AllowedDomains()...),
+			Attestations: topicscope.AttestationIndex(results.Attestations),
+		}
+		point := analysis.SnapshotAdoption(in, date)
+		adoption.Points = append(adoption.Points, point)
+		fmt.Fprintf(os.Stderr, "snapshot %s: %d active callers\n",
+			date.Format("2006-01-02"), point.ActiveCallers)
+	}
+	fmt.Print(adoption.Render())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "topics-monitor:", err)
+	os.Exit(1)
+}

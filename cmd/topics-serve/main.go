@@ -1,0 +1,80 @@
+// Command topics-serve exposes the synthetic web on a TCP listener:
+// every hostname of the world is virtual-hosted behind one address, so a
+// crawler (topics-crawl -connect) or a plain curl with a Host header can
+// browse it.
+//
+//	topics-serve -seed 1 -sites 50000 -addr :8080
+//	curl -H 'Host: criteo.com' http://localhost:8080/.well-known/privacy-sandbox-attestations.json
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/netmeasure/topicscope"
+)
+
+func main() {
+	var (
+		seed   = flag.Uint64("seed", 1, "world seed")
+		sites  = flag.Int("sites", 50000, "number of ranked sites")
+		addr   = flag.String("addr", "127.0.0.1:8080", "listen address")
+		useTLS = flag.Bool("tls", false, "serve HTTPS with per-host certificates from an in-memory CA")
+		caOut  = flag.String("ca-cert", "topicscope-ca.pem", "with -tls: write the CA certificate PEM here for crawlers to trust")
+	)
+	flag.Parse()
+
+	world := topicscope.GenerateWorld(topicscope.WorldConfig{Seed: *seed, NumSites: *sites})
+	server := topicscope.NewServer(world, nil)
+
+	var ln net.Listener
+	var err error
+	if *useTLS {
+		var ca *topicscope.CertAuthority
+		ln, ca, err = server.ListenTLS(*addr)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*caOut, ca.CertPEM(), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("serving %s on https://%s (CA cert: %s)\n", world.Stats(), ln.Addr(), *caOut)
+	} else {
+		ln, err = net.Listen("tcp", *addr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("serving %s on %s\n", world.Stats(), ln.Addr())
+		fmt.Printf("example: curl -H 'Host: %s' http://%s/\n", world.Sites[0].Domain, ln.Addr())
+	}
+
+	hs := &http.Server{
+		Handler:           server,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		hs.Shutdown(shutdownCtx) //nolint:errcheck // best-effort drain
+	}()
+	if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	fmt.Println(server.Metrics())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "topics-serve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,91 @@
+// Command topics-world generates the deterministic synthetic web and
+// writes its Tranco-style rank list, the browser allow-list database and
+// a summary of the world's composition.
+//
+// Usage:
+//
+//	topics-world -seed 1 -sites 50000 -list tranco.csv -allowlist privacy-sandbox-attestations.dat
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/netmeasure/topicscope"
+)
+
+func main() {
+	var (
+		seed      = flag.Uint64("seed", 1, "world seed (same seed ⇒ identical world)")
+		sites     = flag.Int("sites", 50000, "number of ranked sites")
+		listPath  = flag.String("list", "", "write the Tranco-style rank list CSV here")
+		allowPath = flag.String("allowlist", "", "write the allow-list .dat database here")
+		corrupt   = flag.Bool("corrupt", false, "corrupt the written allow-list (the paper's crawl configuration, §2.3)")
+		specPath  = flag.String("spec", "", "write the full world spec JSON here")
+	)
+	flag.Parse()
+
+	world := topicscope.GenerateWorld(topicscope.WorldConfig{Seed: *seed, NumSites: *sites})
+	fmt.Printf("world: %s\n", world.Stats())
+
+	if *listPath != "" {
+		if err := world.List().SaveFile(*listPath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("rank list: %s (%d entries)\n", *listPath, world.List().Len())
+	}
+	if *specPath != "" {
+		f, err := os.Create(*specPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := topicscope.SaveWorld(world, f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("world spec: %s\n", *specPath)
+	}
+	if *allowPath != "" {
+		if err := writeAllowlist(world, *allowPath, *corrupt); err != nil {
+			fatal(err)
+		}
+		state := "healthy"
+		if *corrupt {
+			state = "CORRUPTED (browser will default-allow every caller)"
+		}
+		fmt.Printf("allow-list: %s (%s)\n", *allowPath, state)
+	}
+}
+
+func writeAllowlist(world *topicscope.World, path string, corrupt bool) error {
+	list := topicscope.NewAllowlist(world.Catalog.AllowedDomains()...)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := list.WriteTo(f); err != nil {
+		return err
+	}
+	if corrupt {
+		// Flip one byte mid-file, as the paper did on purpose.
+		info, err := f.Stat()
+		if err != nil {
+			return err
+		}
+		buf := []byte{0xFF}
+		if _, err := f.WriteAt(buf, info.Size()/2); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "topics-world:", err)
+	os.Exit(1)
+}

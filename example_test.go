@@ -1,0 +1,74 @@
+package topicscope_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/netmeasure/topicscope"
+)
+
+// ExampleCampaign runs a small end-to-end study and prints the Table 1
+// allow-list block, which is invariant across runs because it derives
+// from the constant platform catalog.
+func ExampleCampaign() {
+	results, err := topicscope.Campaign{Seed: 1, Sites: 400, Workers: 8}.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	t1 := results.Report.Table1
+	fmt.Println("Allowed:", t1.Allowed)
+	fmt.Println("Allowed & !Attested:", t1.AllowedNotAttested)
+	fmt.Println("Allowed & Attested:", t1.AllowedAttested)
+	// Output:
+	// Allowed: 193
+	// Allowed & !Attested: 12
+	// Allowed & Attested: 181
+}
+
+// ExampleNewEngine shows the Topics engine as a standalone library: a
+// week of browsing, then a browsingTopics() call by a caller that
+// observed the user.
+func ExampleNewEngine() {
+	tx := topicscope.NewTaxonomy()
+	cl := topicscope.NewClassifier(tx)
+	clock := time.Date(2024, 3, 1, 0, 0, 0, 0, time.UTC)
+	engine := topicscope.NewEngine(tx, cl, topicscope.EngineConfig{
+		Seed:    7,
+		NoNoise: true,
+		Now:     func() time.Time { return clock },
+	})
+
+	for _, site := range []string{"chess-club.org", "daily-news.com", "travel-hotels.net", "pizza-corner.io", "poetry-press.com"} {
+		engine.RecordVisit(site)
+		engine.Observe(site, "adtech.example")
+	}
+	clock = clock.Add(7 * 24 * time.Hour) // the epoch completes
+
+	for _, r := range engine.BrowsingTopics("adtech.example", "some-publisher.com") {
+		fmt.Println(r.Topic.Path, r.TaxonomyVersion)
+	}
+	// Output:
+	// /Games/Board Games/Chess & Abstract Strategy Games chrome.2
+}
+
+// ExampleNewCorruptedGate demonstrates the §2.3 Chromium bug: with a
+// corrupted allow-list database, every caller is allowed.
+func ExampleNewCorruptedGate() {
+	gate := topicscope.NewCorruptedGate()
+	d := gate.Check("totally-unenrolled.example")
+	fmt.Println(d.Allowed, d.Reason)
+	// Output:
+	// true default-allow-corrupt-db
+}
+
+// ExampleAnalyzeAlternation detects the paper's A/B-test signature in a
+// repeated-visit ON/OFF series.
+func ExampleAnalyzeAlternation() {
+	series := []bool{true, true, true, true, false, false, true, true, true, false, false, false}
+	a := topicscope.AnalyzeAlternation(series)
+	fmt.Printf("on=%.2f transitions=%d periodic=%v\n", a.OnFraction, a.Transitions, a.Periodic())
+	// Output:
+	// on=0.58 transitions=3 periodic=true
+}

@@ -1,0 +1,86 @@
+// A/B-test detection (paper §3, experiment S1): revisit the same
+// websites repeatedly over several virtual days and watch calling
+// parties toggle their Topics integration ON and OFF in consistent
+// alternating periods — the signature of live A/B tests.
+//
+//	go run ./examples/abtest
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/netmeasure/topicscope"
+)
+
+func main() {
+	world := topicscope.GenerateWorld(topicscope.WorldConfig{Seed: 5, NumSites: 2000})
+	server := topicscope.NewServer(world, nil)
+	allow := topicscope.NewAllowlist(world.Catalog.AllowedDomains()...)
+
+	// Watch these CPs; their catalog A/B rates span the Figure 3
+	// clusters.
+	cps := []string{"criteo.com", "yandex.com", "doubleclick.net", "rubiconproject.com"}
+
+	// Pick a handful of sites where at least one watched CP is embedded.
+	var targets []*topicscope.Site
+	for _, s := range world.Sites {
+		if !s.Reachable || s.RedirectTo != "" {
+			continue
+		}
+		for _, p := range s.Platforms {
+			if p == "criteo.com" {
+				targets = append(targets, s)
+				break
+			}
+		}
+		if len(targets) == 6 {
+			break
+		}
+	}
+
+	start := time.Date(2024, 3, 30, 0, 0, 0, 0, time.UTC)
+	const (
+		step    = 2 * time.Hour
+		samples = 60 // five virtual days
+	)
+
+	fmt.Printf("revisiting %d sites every %s for %d samples\n\n", len(targets), step, samples)
+	for _, site := range targets {
+		series := map[string][]bool{}
+		for i := 0; i < samples; i++ {
+			at := start.Add(time.Duration(i) * step)
+			b := topicscope.NewBrowser(topicscope.BrowserConfig{
+				Client:             server.Client(),
+				Gate:               topicscope.NewCorruptedGate(),
+				ReferenceAllowlist: allow,
+				Now:                func() time.Time { return at },
+			})
+			b.SetConsent(site.Domain) // consented user, like a returning visitor
+			v, err := b.LoadPage(context.Background(), site.Domain)
+			if err != nil {
+				log.Fatal(err)
+			}
+			called := map[string]bool{}
+			for _, c := range v.Calls {
+				called[c.Caller] = true
+			}
+			for _, cp := range cps {
+				series[cp] = append(series[cp], called[cp])
+			}
+		}
+		fmt.Printf("site %s:\n", site.Domain)
+		for _, cp := range cps {
+			a := topicscope.AnalyzeAlternation(series[cp])
+			if a.OnFraction == 0 {
+				continue // CP not embedded or never enabled here
+			}
+			fmt.Printf("  %-20s %s", cp, a.Render())
+		}
+		fmt.Println()
+	}
+	fmt.Println("ON fractions converge to each CP's A/B rate; stable runs with")
+	fmt.Println("flips between them are the paper's \"consistent alternating periods\".")
+}

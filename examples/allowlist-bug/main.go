@@ -1,0 +1,66 @@
+// Chromium allow-list bug (paper §2.3, experiment B1): serialize the
+// enrolment allow-list to its .dat database, corrupt a single byte as
+// the paper did on purpose, reload it as the browser would — and watch
+// the gate silently default to ALLOWING every caller, enrolled or not.
+//
+//	go run ./examples/allowlist-bug
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"github.com/netmeasure/topicscope"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "topicscope-allowlist")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "privacy-sandbox-attestations.dat")
+
+	// The browser component ships the enrolled domains.
+	list := topicscope.NewAllowlist("criteo.com", "doubleclick.net", "rubiconproject.com")
+	if err := topicscope.SaveAllowlist(path, list); err != nil {
+		log.Fatal(err)
+	}
+
+	callers := []string{"criteo.com", "evil-tracker.example", "www.some-website.it"}
+
+	// Healthy database: only enrolled callers pass.
+	healthy, err := topicscope.LoadAllowlist(path)
+	gate := topicscope.NewGate(healthy, err)
+	fmt.Println("healthy database:")
+	for _, c := range callers {
+		d := gate.Check(c)
+		fmt.Printf("   %-25s allowed=%-5v reason=%s\n", c, d.Allowed, d.Reason)
+	}
+
+	// Flip one byte mid-file ("we on purpose corrupted the local
+	// allow-list of our Chromium browser").
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		log.Fatal(err)
+	}
+
+	corrupted, err := topicscope.LoadAllowlist(path)
+	fmt.Printf("\nreload after corruption: err = %v\n", err)
+	gate = topicscope.NewGate(corrupted, err)
+	fmt.Println("corrupted database (Chromium's default case):")
+	for _, c := range callers {
+		d := gate.Check(c)
+		fmt.Printf("   %-25s allowed=%-5v reason=%s\n", c, d.Allowed, d.Reason)
+	}
+
+	fmt.Println("\nEvery caller — including unenrolled trackers and plain websites —")
+	fmt.Println("may now harvest topics. The paper reported this to Google, who")
+	fmt.Println("acknowledged it and announced a fix.")
+}

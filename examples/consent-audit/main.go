@@ -1,0 +1,50 @@
+// Consent audit (paper §5, Figures 5–7): crawl a synthetic web and list
+// which Consent Management Platforms fail to prevent Topics API calls
+// before the user consents, and which calling parties ignore consent.
+//
+//	go run ./examples/consent-audit
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sort"
+
+	"github.com/netmeasure/topicscope"
+)
+
+func main() {
+	results, err := topicscope.Campaign{Seed: 11, Sites: 4000, Workers: 8}.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== CPs calling before consent (Figure 5) ==")
+	for _, row := range results.Report.Figure5.Rows {
+		fmt.Printf("  %-22s %4d sites before consent (%4d after)\n", row.CP, row.Sites, row.AfterSites)
+	}
+
+	fmt.Println("\n== CMP audit (Figure 7) ==")
+	f7 := results.Report.Figure7
+	type cmpRow struct {
+		name string
+		over float64
+		pq   float64
+	}
+	var rows []cmpRow
+	for _, r := range f7.Rows {
+		rows = append(rows, cmpRow{r.CMP, f7.OverRepresentation(r.CMP), r.PQuestionableGivenCMP})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].pq > rows[j].pq })
+	for _, r := range rows {
+		verdict := "ok"
+		if r.pq > 1.7*f7.AvgQuestionableRate {
+			verdict = "POOR TOPICS GATING"
+		}
+		fmt.Printf("  %-20s P(questionable|CMP)=%5.1f%%  over-representation=%.2fx  %s\n",
+			r.name, r.pq*100, r.over, verdict)
+	}
+	fmt.Printf("\naverage P(questionable) across sites: %.1f%%\n", f7.AvgQuestionableRate*100)
+	fmt.Println("sites relying on a flagged CMP should verify their Topics API gating.")
+}

@@ -1,0 +1,51 @@
+// Re-identification risk (paper §2.1): the paper notes that despite the
+// Topics API's privacy mechanisms, "some privacy leak may still happen",
+// citing the re-identification attack of Jha et al. (PETS 2023). This
+// example runs that attack against the library's real Topics engine: an
+// ad-tech party embedded on two publishers accumulates the topics each
+// user's browser returns and links the profiles across sites.
+//
+//	go run ./examples/reident
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/netmeasure/topicscope"
+)
+
+func main() {
+	base := topicscope.ReidentConfig{
+		Users:          300,
+		Epochs:         10,
+		ProfileSites:   6,
+		VisitsPerEpoch: 30,
+		Seed:           2024,
+	}
+
+	noisy := topicscope.SimulateReident(base)
+
+	clean := base
+	clean.NoNoise = true
+	noNoise := topicscope.SimulateReident(clean)
+
+	fmt.Printf("population: %d users, %d profile sites each, %d visits/week\n\n",
+		base.Users, base.ProfileSites, base.VisitsPerEpoch)
+	fmt.Println("cross-site re-identification rate by observation epochs:")
+	fmt.Printf("%-8s %-28s %-28s %s\n", "epochs", "with 5% noise (deployed)", "without noise (ablation)", "topics/user")
+	for k := range noisy.MatchRate {
+		fmt.Printf("%-8d %-28s %-28s %.1f\n",
+			k+1,
+			bar(noisy.MatchRate[k]),
+			bar(noNoise.MatchRate[k]),
+			noisy.TopicsPerUser[k])
+	}
+	fmt.Println("\nThe 5% plausible-deniability replacement slows but does not stop")
+	fmt.Println("profile linkage — the conclusion of the work the paper cites.")
+}
+
+func bar(rate float64) string {
+	n := int(rate * 20)
+	return fmt.Sprintf("%s%s %4.1f%%", strings.Repeat("█", n), strings.Repeat("░", 20-n), rate*100)
+}

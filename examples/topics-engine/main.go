@@ -1,0 +1,72 @@
+// Topics engine as a library (paper §2.1): simulate three weeks of
+// browsing, then query document.browsingTopics() as two different
+// callers and observe the per-caller filtering, the one-topic-per-epoch
+// rule and the 5% noise.
+//
+//	go run ./examples/topics-engine
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/netmeasure/topicscope"
+)
+
+func main() {
+	tx := topicscope.NewTaxonomy()
+	cl := topicscope.NewClassifier(tx)
+
+	clock := time.Date(2024, 3, 1, 0, 0, 0, 0, time.UTC)
+	engine := topicscope.NewEngine(tx, cl, topicscope.EngineConfig{
+		Seed: 42,
+		Now:  func() time.Time { return clock },
+	})
+
+	// Three weeks of browsing. adtech.example observes the user on every
+	// page (its tag is embedded everywhere); newcomer.example only on
+	// the cooking sites.
+	weeks := [][]string{
+		{"daily-news.com", "football-zone.com", "travel-hotels.net", "recipes-kitchen.io", "chess-club.org"},
+		{"daily-news.com", "stocks-trading.com", "travel-hotels.net", "recipes-kitchen.io", "games-arcade.net"},
+		{"football-zone.com", "stocks-trading.com", "fashion-store.com", "recipes-kitchen.io", "daily-news.com"},
+	}
+	for w, sites := range weeks {
+		for _, site := range sites {
+			engine.RecordVisit(site)
+			engine.Observe(site, "adtech.example")
+			if site == "recipes-kitchen.io" {
+				engine.Observe(site, "newcomer.example")
+			}
+		}
+		clock = clock.Add(7 * 24 * time.Hour)
+		fmt.Printf("— epoch %d complete —\n", w+1)
+		for _, ep := range engine.CompletedEpochs()[:1] {
+			for _, tt := range ep.Top {
+				topic, _ := tx.Get(tt.ID)
+				marker := ""
+				if tt.Padded {
+					marker = " (padded)"
+				}
+				fmt.Printf("   top: %-60s visits=%d%s\n", topic.Path, tt.Visits, marker)
+			}
+		}
+	}
+
+	fmt.Println("\nbrowsingTopics() as adtech.example (observed everything):")
+	for _, r := range engine.BrowsingTopics("adtech.example", "some-publisher.com") {
+		fmt.Printf("   epoch -%d: %s (taxonomy %s)\n", r.EpochIndex+1, r.Topic.Path, r.TaxonomyVersion)
+	}
+
+	fmt.Println("\nbrowsingTopics() as newcomer.example (observed only the cooking site):")
+	res := engine.BrowsingTopics("newcomer.example", "some-publisher.com")
+	if len(res) == 0 {
+		fmt.Println("   nothing — the per-caller filter withheld every topic")
+	}
+	for _, r := range res {
+		fmt.Printf("   epoch -%d: %s\n", r.EpochIndex+1, r.Topic.Path)
+	}
+
+	fmt.Println("\nSame page, same epoch ⇒ every caller sees the same topic; unobserved")
+	fmt.Println("interests are withheld per caller; 5% of answers are random noise.")
+}

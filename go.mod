@@ -1,0 +1,3 @@
+module github.com/netmeasure/topicscope
+
+go 1.23

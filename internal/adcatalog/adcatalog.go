@@ -1,0 +1,252 @@
+// Package adcatalog models the ad-tech calling parties (CPs) the paper
+// observes: who is enrolled (Allowed), who serves an attestation file
+// (Attested), how widely each platform is embedded across websites, the
+// A/B-test fraction of sites where its Topics integration is enabled
+// (Figure 3), whether it respects consent (Figure 5) and which API call
+// type its tags use.
+//
+// The catalog has two layers:
+//
+//   - the named platforms that appear in the paper's figures, with
+//     parameters transcribed from the reported results;
+//   - a deterministic synthetic fill modelling the rest of the 193
+//     Allowed domains of Table 1 — the paper notes 146 enrolled parties
+//     it never saw calling, a dozen enrolled domains missing their
+//     attestation files, and one attested-but-not-allowed party
+//     (distillery.com) observed only on its own website.
+package adcatalog
+
+import (
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"github.com/netmeasure/topicscope/internal/dataset"
+	"github.com/netmeasure/topicscope/internal/etld"
+)
+
+// CallMix weights the three Topics API call types for a platform's tags.
+type CallMix struct {
+	JS     float64
+	Fetch  float64
+	Iframe float64
+}
+
+// Platform describes one ad-tech party.
+type Platform struct {
+	// Domain is the CP's registrable domain.
+	Domain string
+	// Allowed: the domain is on the browser allow-list (enrolled).
+	Allowed bool
+	// Attested: the domain serves a valid well-known attestation file.
+	Attested bool
+	// AttestedAt is the attestation issue date (the paper reconstructs
+	// the enrolment timeline from these, §3).
+	AttestedAt time.Time
+	// HasEnrollmentSite: the attestation carries the enrollment_site
+	// field introduced on October 17th, 2024.
+	HasEnrollmentSite bool
+	// CallsTopics: the platform's tags contain a Topics API integration
+	// at all. google-analytics.com and bing.com are Allowed & Attested
+	// yet never call (§3).
+	CallsTopics bool
+	// Reach is the base probability that a website embeds this platform.
+	Reach float64
+	// RegionWeights multiplies Reach per website region; nil means 1
+	// everywhere. Yandex, for example, is concentrated on .ru sites and
+	// absent from Japan (Figure 6).
+	RegionWeights map[etld.Region]float64
+	// EnabledRate is the fraction of (site, period) slots where the
+	// platform's A/B test turns the Topics integration ON (Figure 3).
+	EnabledRate float64
+	// ConsentAware: the tag checks the consent state and never calls the
+	// API in a Before-Accept visit. doubleclick.net is the paper's
+	// positive example; the 28 CPs of Figure 5 are not consent-aware.
+	ConsentAware bool
+	// BeforeConsentRate applies to platforms that are NOT consent-aware:
+	// the fraction of sites on which their tag skips the consent check
+	// and calls in the Before-Accept visit (partial TCF integrations,
+	// per-publisher configurations). Figure 6's 20–55%% per-region
+	// Before-Accept shares pin these values.
+	BeforeConsentRate float64
+	// CallMix weights the call types used by this platform's tags.
+	CallMix CallMix
+	// SelfOnly: the platform is only ever embedded on its own website
+	// (distillery.com, §2.4 footnote: "we observe it using the Topics
+	// API on the distillery.com website only, hinting at initial
+	// testing").
+	SelfOnly bool
+}
+
+// ABPeriod is the duration of one A/B-test slot. §3: "We notice
+// consistent alternating periods: for some time ... the usage of the API
+// is ON for all visits, followed by some time when it is OFF."
+const ABPeriod = 6 * time.Hour
+
+// EnabledOn reports whether the platform's Topics integration is ON for
+// the given site at the given time. A platform cannot call before its
+// attestation date — enrolment gates the API — so crawls at earlier
+// virtual dates observe fewer active callers (the adoption growth §6
+// asks future monitoring to track). Within the active period the
+// decision is a pure hash of (platform, site, time slot), so every visit
+// to the same site within a slot agrees — reproducing the paper's
+// repeated-visit observation — and the long-run fraction of enabled
+// slots converges to EnabledRate.
+func (p *Platform) EnabledOn(site string, at time.Time) bool {
+	if !p.CallsTopics || p.EnabledRate <= 0 {
+		return false
+	}
+	if !p.AttestedAt.IsZero() && at.Before(p.AttestedAt) {
+		return false
+	}
+	if p.EnabledRate >= 1 {
+		return true
+	}
+	slot := at.Unix() / int64(ABPeriod/time.Second)
+	h := hash64(p.Domain, site, fmt.Sprintf("slot-%d", slot))
+	return float64(h%100000)/100000 < p.EnabledRate
+}
+
+// CallsBeforeConsent reports whether the platform can invoke the Topics
+// API on pages without consent (the questionable behaviour of §5).
+func (p *Platform) CallsBeforeConsent() bool {
+	return p.CallsTopics && !p.ConsentAware && p.BeforeConsentRate > 0
+}
+
+// GuardsConsentOn reports whether the platform's tag checks consent on
+// the given site before calling. Consent-aware platforms always guard;
+// the rest skip the guard on a deterministic BeforeConsentRate fraction
+// of sites.
+func (p *Platform) GuardsConsentOn(site string) bool {
+	if p.ConsentAware {
+		return true
+	}
+	if p.BeforeConsentRate >= 1 {
+		return false
+	}
+	h := hash64(p.Domain, site, "consent-guard")
+	return float64(h%100000)/100000 >= p.BeforeConsentRate
+}
+
+// CallTypeFor picks the API call type the platform's tag uses on a given
+// site, deterministically, following CallMix.
+func (p *Platform) CallTypeFor(site string) dataset.CallType {
+	total := p.CallMix.JS + p.CallMix.Fetch + p.CallMix.Iframe
+	if total <= 0 {
+		return dataset.CallJavaScript
+	}
+	h := hash64(p.Domain, site, "calltype")
+	x := float64(h%100000) / 100000 * total
+	switch {
+	case x < p.CallMix.JS:
+		return dataset.CallJavaScript
+	case x < p.CallMix.JS+p.CallMix.Fetch:
+		return dataset.CallFetch
+	default:
+		return dataset.CallIframe
+	}
+}
+
+// ReachIn returns the platform's effective embedding probability for a
+// site in the given region.
+func (p *Platform) ReachIn(region etld.Region) float64 {
+	r := p.Reach
+	if p.RegionWeights != nil {
+		r *= p.RegionWeights[region]
+	}
+	if r > 1 {
+		r = 1
+	}
+	return r
+}
+
+func hash64(parts ...string) uint64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+// Catalog is the full set of platforms.
+type Catalog struct {
+	platforms []*Platform
+	byDomain  map[string]*Platform
+}
+
+// New builds the catalog: named platforms plus the synthetic fill. The
+// catalog is fully deterministic.
+func New() *Catalog {
+	c := &Catalog{byDomain: make(map[string]*Platform)}
+	for i := range named {
+		c.add(&named[i])
+	}
+	for _, p := range syntheticFill() {
+		c.add(p)
+	}
+	return c
+}
+
+func (c *Catalog) add(p *Platform) {
+	if _, dup := c.byDomain[p.Domain]; dup {
+		panic(fmt.Sprintf("adcatalog: duplicate platform %q", p.Domain))
+	}
+	c.platforms = append(c.platforms, p)
+	c.byDomain[p.Domain] = p
+}
+
+// All returns every platform in catalog order.
+func (c *Catalog) All() []*Platform { return c.platforms }
+
+// ByDomain resolves a host to its platform by registrable domain.
+func (c *Catalog) ByDomain(host string) (*Platform, bool) {
+	p, ok := c.byDomain[etld.RegistrableDomain(host)]
+	return p, ok
+}
+
+// AllowedDomains returns the domains for the browser allow-list file
+// (Table 1 counts 193 of them).
+func (c *Catalog) AllowedDomains() []string {
+	var out []string
+	for _, p := range c.platforms {
+		if p.Allowed {
+			out = append(out, p.Domain)
+		}
+	}
+	return out
+}
+
+// Attested returns the platforms serving a valid attestation file.
+func (c *Catalog) Attested() []*Platform {
+	var out []*Platform
+	for _, p := range c.platforms {
+		if p.Attested {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Callers returns the platforms with a Topics integration and non-zero
+// reach — the CPs a crawl can observe calling.
+func (c *Catalog) Callers() []*Platform {
+	var out []*Platform
+	for _, p := range c.platforms {
+		if p.CallsTopics && p.Reach > 0 {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Embeddable returns the platforms that can appear on third-party sites.
+func (c *Catalog) Embeddable() []*Platform {
+	var out []*Platform
+	for _, p := range c.platforms {
+		if p.Reach > 0 && !p.SelfOnly {
+			out = append(out, p)
+		}
+	}
+	return out
+}

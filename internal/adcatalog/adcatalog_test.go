@@ -1,0 +1,297 @@
+package adcatalog
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/netmeasure/topicscope/internal/dataset"
+	"github.com/netmeasure/topicscope/internal/etld"
+)
+
+func TestTable1Targets(t *testing.T) {
+	c := New()
+
+	allowed := len(c.AllowedDomains())
+	if allowed != TargetAllowed {
+		t.Errorf("allowed domains = %d, Table 1 reports %d", allowed, TargetAllowed)
+	}
+
+	allowedAttested, allowedNotAttested, notAllowedAttested := 0, 0, 0
+	for _, p := range c.All() {
+		switch {
+		case p.Allowed && p.Attested:
+			allowedAttested++
+		case p.Allowed && !p.Attested:
+			allowedNotAttested++
+		case !p.Allowed && p.Attested:
+			notAllowedAttested++
+		}
+	}
+	if allowedNotAttested != TargetAllowedNotAttested {
+		t.Errorf("Allowed & !Attested = %d, paper reports %d", allowedNotAttested, TargetAllowedNotAttested)
+	}
+	if allowedAttested != TargetAllowed-TargetAllowedNotAttested {
+		t.Errorf("Allowed & Attested = %d, paper reports 181", allowedAttested)
+	}
+	if notAllowedAttested != 1 {
+		t.Errorf("!Allowed & Attested = %d, paper reports 1 (distillery.com)", notAllowedAttested)
+	}
+}
+
+func TestActiveCallerTargets(t *testing.T) {
+	c := New()
+	callers, questionable := 0, 0
+	for _, p := range c.Callers() {
+		if !p.Allowed {
+			continue
+		}
+		callers++
+		if p.CallsBeforeConsent() {
+			questionable++
+		}
+	}
+	if callers != TargetActiveCallers {
+		t.Errorf("allowed active callers = %d, paper reports %d", callers, TargetActiveCallers)
+	}
+	if questionable != TargetQuestionableCallers {
+		t.Errorf("questionable callers = %d, paper reports %d", questionable, TargetQuestionableCallers)
+	}
+}
+
+func TestNamedPlatformFacts(t *testing.T) {
+	c := New()
+
+	ga, ok := c.ByDomain("www.google-analytics.com")
+	if !ok {
+		t.Fatal("google-analytics.com missing")
+	}
+	if ga.CallsTopics {
+		t.Error("google-analytics.com must never call the Topics API (§3)")
+	}
+	if !ga.Allowed || !ga.Attested {
+		t.Error("google-analytics.com is Allowed & Attested in the paper")
+	}
+
+	dc, _ := c.ByDomain("doubleclick.net")
+	if !dc.ConsentAware {
+		t.Error("doubleclick.net performs no Before-Accept calls (Fig 5)")
+	}
+	if math.Abs(dc.EnabledRate-0.33) > 0.02 {
+		t.Errorf("doubleclick.net enabled rate %.2f, paper says about one third", dc.EnabledRate)
+	}
+
+	yx, _ := c.ByDomain("yandex.com")
+	if yx.ConsentAware {
+		t.Error("yandex.com tops the questionable-call ranking (Fig 5)")
+	}
+	if yx.RegionWeights[etld.RegionJapan] != 0 {
+		t.Error("Yandex is not present in Japan (Fig 6)")
+	}
+	if yx.RegionWeights[etld.RegionEU] >= 0.1 {
+		t.Error("Yandex is almost absent in the EU (Fig 6)")
+	}
+
+	av, _ := c.ByDomain("authorizedvault.com")
+	if av.EnabledRate < 0.95 {
+		t.Errorf("authorizedvault.com calls almost every time (Fig 3), got %.2f", av.EnabledRate)
+	}
+
+	dist, _ := c.ByDomain("distillery.com")
+	if dist.Allowed || !dist.Attested || !dist.SelfOnly {
+		t.Errorf("distillery.com flags wrong: %+v", dist)
+	}
+	if dist.AttestedAt.Year() != 2023 || dist.AttestedAt.Month() != time.November {
+		t.Errorf("distillery.com attestation should be November 2023, got %v", dist.AttestedAt)
+	}
+}
+
+func TestEnabledOnConvergesToRate(t *testing.T) {
+	c := New()
+	at := time.Date(2024, 3, 30, 10, 0, 0, 0, time.UTC)
+	for _, domain := range []string{"criteo.com", "doubleclick.net", "yandex.com"} {
+		p, _ := c.ByDomain(domain)
+		on := 0
+		const n = 20000
+		for i := 0; i < n; i++ {
+			if p.EnabledOn(siteName(i), at) {
+				on++
+			}
+		}
+		got := float64(on) / n
+		if math.Abs(got-p.EnabledRate) > 0.02 {
+			t.Errorf("%s enabled fraction %.3f, want %.3f", domain, got, p.EnabledRate)
+		}
+	}
+}
+
+func siteName(i int) string {
+	return "site" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+(i/676)%26)) + ".com"
+}
+
+func TestEnabledOnStableWithinSlot(t *testing.T) {
+	c := New()
+	p, _ := c.ByDomain("criteo.com")
+	base := time.Date(2024, 3, 30, 0, 30, 0, 0, time.UTC)
+	for i := 0; i < 50; i++ {
+		site := siteName(i)
+		a := p.EnabledOn(site, base)
+		b := p.EnabledOn(site, base.Add(ABPeriod/3))
+		if a != b {
+			t.Errorf("site %s: decision flipped within one A/B slot", site)
+		}
+	}
+}
+
+func TestEnabledOnAlternatesAcrossSlots(t *testing.T) {
+	// §3: repeated tests show alternating ON/OFF periods per CP and
+	// website. Over many slots the ON fraction approaches EnabledRate.
+	c := New()
+	p, _ := c.ByDomain("yandex.com") // 66%
+	site := "ru-news-portal.ru"
+	on, flips := 0, 0
+	prev := false
+	const slots = 2000
+	for i := 0; i < slots; i++ {
+		at := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC).Add(time.Duration(i) * ABPeriod)
+		e := p.EnabledOn(site, at)
+		if e {
+			on++
+		}
+		if i > 0 && e != prev {
+			flips++
+		}
+		prev = e
+	}
+	frac := float64(on) / slots
+	if math.Abs(frac-p.EnabledRate) > 0.05 {
+		t.Errorf("per-site ON fraction over time %.3f, want %.3f", frac, p.EnabledRate)
+	}
+	if flips == 0 {
+		t.Error("no ON/OFF alternation observed across slots")
+	}
+}
+
+func TestEnabledOnEdgeRates(t *testing.T) {
+	p := &Platform{Domain: "x.com", CallsTopics: true, EnabledRate: 1}
+	if !p.EnabledOn("a.com", time.Now()) {
+		t.Error("rate 1 must always be enabled")
+	}
+	p.EnabledRate = 0
+	if p.EnabledOn("a.com", time.Now()) {
+		t.Error("rate 0 must never be enabled")
+	}
+	p.EnabledRate = 1
+	p.CallsTopics = false
+	if p.EnabledOn("a.com", time.Now()) {
+		t.Error("platform without integration must never be enabled")
+	}
+}
+
+func TestCallTypeForDeterministicAndMixed(t *testing.T) {
+	c := New()
+	p, _ := c.ByDomain("doubleclick.net") // mixHeader: all three types
+	counts := map[dataset.CallType]int{}
+	for i := 0; i < 3000; i++ {
+		site := siteName(i)
+		ct := p.CallTypeFor(site)
+		if ct != p.CallTypeFor(site) {
+			t.Fatal("call type not deterministic per site")
+		}
+		counts[ct]++
+	}
+	for _, ct := range []dataset.CallType{dataset.CallJavaScript, dataset.CallFetch, dataset.CallIframe} {
+		if counts[ct] == 0 {
+			t.Errorf("call type %s never chosen for a mixed platform", ct)
+		}
+	}
+	zero := &Platform{Domain: "z.com"}
+	if zero.CallTypeFor("a.com") != dataset.CallJavaScript {
+		t.Error("zero mix must default to JavaScript")
+	}
+}
+
+func TestReachIn(t *testing.T) {
+	c := New()
+	yx, _ := c.ByDomain("yandex.com")
+	if got := yx.ReachIn(etld.RegionJapan); got != 0 {
+		t.Errorf("yandex reach in Japan = %f", got)
+	}
+	if got := yx.ReachIn(etld.RegionRussia); got <= yx.Reach {
+		t.Errorf("yandex reach in Russia = %f, want amplified over base %f", got, yx.Reach)
+	}
+	flat := &Platform{Reach: 0.3}
+	if flat.ReachIn(etld.RegionEU) != 0.3 {
+		t.Error("nil region weights must mean base reach everywhere")
+	}
+	huge := &Platform{Reach: 0.5, RegionWeights: map[etld.Region]float64{etld.RegionCom: 10}}
+	if huge.ReachIn(etld.RegionCom) != 1 {
+		t.Error("reach must clamp at 1")
+	}
+}
+
+func TestEnrolmentTimeline(t *testing.T) {
+	c := New()
+	first := time.Now()
+	byMonth := map[string]int{}
+	for _, p := range c.Attested() {
+		if p.AttestedAt.Before(first) {
+			first = p.AttestedAt
+		}
+		byMonth[p.AttestedAt.Format("2006-01")]++
+	}
+	want := date(2023, time.June, 16)
+	if !first.Equal(want) {
+		t.Errorf("first attestation %v, paper reports %v", first, want)
+	}
+	// "each month, approximately a dozen new services" through May 2024.
+	months := 0
+	for m, n := range byMonth {
+		if m >= "2023-06" && m <= "2024-05" {
+			months++
+			if n < 3 || n > 40 {
+				t.Errorf("month %s has %d enrolments, want a low monthly pace", m, n)
+			}
+		}
+	}
+	if months < 10 {
+		t.Errorf("enrolments cover only %d months of the Jun-2023..May-2024 window", months)
+	}
+}
+
+func TestSyntheticDomainsUnique(t *testing.T) {
+	c := New()
+	seen := map[string]bool{}
+	for _, p := range c.All() {
+		if seen[p.Domain] {
+			t.Errorf("duplicate domain %q", p.Domain)
+		}
+		seen[p.Domain] = true
+	}
+}
+
+func TestCatalogDeterministic(t *testing.T) {
+	a, b := New(), New()
+	if len(a.All()) != len(b.All()) {
+		t.Fatal("catalog size differs between constructions")
+	}
+	for i := range a.All() {
+		pa, pb := a.All()[i], b.All()[i]
+		if pa.Domain != pb.Domain || pa.EnabledRate != pb.EnabledRate ||
+			pa.Allowed != pb.Allowed || pa.Attested != pb.Attested {
+			t.Errorf("catalog entry %d differs: %+v vs %+v", i, pa, pb)
+		}
+	}
+}
+
+func TestEmbeddableExcludesSelfOnlyAndDormant(t *testing.T) {
+	c := New()
+	for _, p := range c.Embeddable() {
+		if p.SelfOnly {
+			t.Errorf("%s is SelfOnly but embeddable", p.Domain)
+		}
+		if p.Reach <= 0 {
+			t.Errorf("%s has zero reach but embeddable", p.Domain)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package adcatalog
+
+import (
+	"time"
+
+	"github.com/netmeasure/topicscope/internal/etld"
+)
+
+func date(y int, m time.Month, d int) time.Time {
+	return time.Date(y, m, d, 0, 0, 0, 0, time.UTC)
+}
+
+// mixJS is the typical tag: mostly document.browsingTopics() with some
+// fetch integrations.
+var mixJS = CallMix{JS: 0.8, Fetch: 0.2}
+
+// mixHeader is a platform preferring the Fetch/IFrame header flow.
+var mixHeader = CallMix{JS: 0.3, Fetch: 0.5, Iframe: 0.2}
+
+// named transcribes the platforms appearing in the paper's figures.
+//
+// Reach values are calibrated against Figure 2/3 presence counts over
+// the 14,719-site D_AA (e.g. doubleclick.net present on 8,293 sites
+// ≈ 56%); EnabledRate values against the Figure 3 clusters (criteo.com
+// and cpx.to 75%, yandex.com 66%, doubleclick.net "about one third",
+// authorizedvault.com "almost every time"); ConsentAware against
+// Figure 5 (doubleclick.net performs zero Before-Accept calls, yandex
+// tops the violation count); RegionWeights against Figure 6 (Yandex "is
+// not present in Japan and almost absent in the EU", Criteo "has a
+// worldwide marketplace").
+var named = []Platform{
+	{
+		Domain: "google-analytics.com", Allowed: true, Attested: true,
+		AttestedAt: date(2023, time.June, 16), HasEnrollmentSite: true,
+		CallsTopics: false, Reach: 0.68,
+	},
+	{
+		Domain: "doubleclick.net", Allowed: true, Attested: true,
+		AttestedAt: date(2023, time.June, 16), HasEnrollmentSite: true,
+		CallsTopics: true, Reach: 0.56, EnabledRate: 0.33,
+		ConsentAware: true, CallMix: mixHeader,
+	},
+	{
+		Domain: "bing.com", Allowed: true, Attested: true,
+		AttestedAt: date(2023, time.July, 5), HasEnrollmentSite: true,
+		CallsTopics: false, Reach: 0.30,
+	},
+	{
+		Domain: "rubiconproject.com", Allowed: true, Attested: true,
+		AttestedAt: date(2023, time.August, 14), HasEnrollmentSite: true,
+		CallsTopics: true, Reach: 0.17, EnabledRate: 0.50, BeforeConsentRate: 0.15, CallMix: mixJS,
+	},
+	{
+		Domain: "pubmatic.com", Allowed: true, Attested: true,
+		AttestedAt: date(2023, time.August, 29), HasEnrollmentSite: true,
+		CallsTopics: true, Reach: 0.16, EnabledRate: 0.20, BeforeConsentRate: 0.12, CallMix: mixJS,
+	},
+	{
+		Domain: "criteo.com", Allowed: true, Attested: true,
+		AttestedAt: date(2023, time.July, 12), HasEnrollmentSite: true,
+		CallsTopics: true, Reach: 0.155, EnabledRate: 0.75, BeforeConsentRate: 0.28, CallMix: mixJS,
+		RegionWeights: map[etld.Region]float64{
+			etld.RegionCom: 1, etld.RegionJapan: 1.2, etld.RegionRussia: 0.15,
+			etld.RegionEU: 0.8, etld.RegionOther: 1,
+		},
+	},
+	{
+		Domain: "casalemedia.com", Allowed: true, Attested: true,
+		AttestedAt: date(2023, time.September, 6), HasEnrollmentSite: true,
+		CallsTopics: true, Reach: 0.13, EnabledRate: 0.55, BeforeConsentRate: 0.30, CallMix: mixJS,
+	},
+	{
+		Domain: "3lift.com", Allowed: true, Attested: true,
+		AttestedAt: date(2023, time.September, 21), HasEnrollmentSite: true,
+		CallsTopics: true, Reach: 0.10, EnabledRate: 0.45, BeforeConsentRate: 0.30, CallMix: mixJS,
+	},
+	{
+		Domain: "openx.net", Allowed: true, Attested: true,
+		AttestedAt: date(2023, time.October, 3), HasEnrollmentSite: true,
+		CallsTopics: true, Reach: 0.097, EnabledRate: 0.72, BeforeConsentRate: 0.30, CallMix: mixJS,
+		RegionWeights: map[etld.Region]float64{
+			etld.RegionCom: 1, etld.RegionJapan: 0.7, etld.RegionRussia: 0.06,
+			etld.RegionEU: 0.5, etld.RegionOther: 1,
+		},
+	},
+	{
+		Domain: "teads.tv", Allowed: true, Attested: true,
+		AttestedAt: date(2023, time.October, 17), HasEnrollmentSite: true,
+		CallsTopics: true, Reach: 0.081, EnabledRate: 0.50, BeforeConsentRate: 0.35, CallMix: mixJS,
+	},
+	{
+		Domain: "taboola.com", Allowed: true, Attested: true,
+		AttestedAt: date(2023, time.July, 25), HasEnrollmentSite: true,
+		CallsTopics: true, Reach: 0.077, EnabledRate: 0.60, BeforeConsentRate: 0.40, CallMix: mixJS,
+		RegionWeights: map[etld.Region]float64{
+			etld.RegionCom: 1, etld.RegionJapan: 0.8, etld.RegionRussia: 0.12,
+			etld.RegionEU: 0.5, etld.RegionOther: 1,
+		},
+	},
+	{
+		Domain: "adform.net", Allowed: true, Attested: true,
+		AttestedAt: date(2023, time.November, 8), HasEnrollmentSite: true,
+		CallsTopics: true, Reach: 0.07, EnabledRate: 0.12,
+		ConsentAware: true, CallMix: mixJS,
+	},
+	{
+		Domain: "indexww.com", Allowed: true, Attested: true,
+		AttestedAt: date(2023, time.November, 20), HasEnrollmentSite: true,
+		CallsTopics: true, Reach: 0.065, EnabledRate: 0.10,
+		ConsentAware: true, CallMix: mixJS,
+	},
+	{
+		Domain: "quantserve.com", Allowed: true, Attested: true,
+		AttestedAt: date(2023, time.December, 4), HasEnrollmentSite: true,
+		CallsTopics: true, Reach: 0.06, EnabledRate: 0.08,
+		ConsentAware: true, CallMix: mixHeader,
+	},
+	{
+		Domain: "yahoo.com", Allowed: true, Attested: true,
+		AttestedAt: date(2023, time.December, 18), HasEnrollmentSite: true,
+		CallsTopics: true, Reach: 0.055, EnabledRate: 0.07,
+		ConsentAware: true, CallMix: mixHeader,
+	},
+	{
+		Domain: "outbrain.com", Allowed: true, Attested: true,
+		AttestedAt: date(2024, time.January, 9), HasEnrollmentSite: true,
+		CallsTopics: true, Reach: 0.055, EnabledRate: 0.30, BeforeConsentRate: 0.30, CallMix: mixJS,
+	},
+	{
+		Domain: "postrelease.com", Allowed: true, Attested: true,
+		AttestedAt: date(2024, time.January, 23), HasEnrollmentSite: true,
+		CallsTopics: true, Reach: 0.042, EnabledRate: 0.27, BeforeConsentRate: 0.25, CallMix: mixJS,
+	},
+	{
+		Domain: "creativecdn.com", Allowed: true, Attested: true,
+		AttestedAt: date(2024, time.February, 6), HasEnrollmentSite: true,
+		CallsTopics: true, Reach: 0.04, EnabledRate: 0.36, BeforeConsentRate: 0.50, CallMix: mixJS,
+	},
+	{
+		Domain: "authorizedvault.com", Allowed: true, Attested: true,
+		AttestedAt: date(2024, time.February, 20), HasEnrollmentSite: true,
+		CallsTopics: true, Reach: 0.015, EnabledRate: 0.98, BeforeConsentRate: 0.30, CallMix: mixJS,
+	},
+	{
+		Domain: "yandex.com", Allowed: true, Attested: true,
+		AttestedAt: date(2023, time.October, 30), HasEnrollmentSite: false,
+		CallsTopics: true, Reach: 0.05, EnabledRate: 0.66, BeforeConsentRate: 0.85, CallMix: mixJS,
+		RegionWeights: map[etld.Region]float64{
+			etld.RegionCom: 0.4, etld.RegionJapan: 0, etld.RegionRussia: 10,
+			etld.RegionEU: 0.03, etld.RegionOther: 0.55,
+		},
+	},
+	{
+		Domain: "yandex.ru", Allowed: true, Attested: true,
+		AttestedAt: date(2023, time.October, 30), HasEnrollmentSite: false,
+		CallsTopics: true, Reach: 0.02, EnabledRate: 0.66, BeforeConsentRate: 0.85, CallMix: mixJS,
+		RegionWeights: map[etld.Region]float64{
+			etld.RegionCom: 0.3, etld.RegionJapan: 0, etld.RegionRussia: 14,
+			etld.RegionEU: 0.02, etld.RegionOther: 0.4,
+		},
+	},
+	{
+		Domain: "unrulymedia.com", Allowed: true, Attested: true,
+		AttestedAt: date(2024, time.March, 5), HasEnrollmentSite: true,
+		CallsTopics: true, Reach: 0.013, EnabledRate: 0.40, BeforeConsentRate: 0.30, CallMix: mixJS,
+	},
+	{
+		Domain: "cpx.to", Allowed: true, Attested: true,
+		AttestedAt: date(2024, time.March, 19), HasEnrollmentSite: true,
+		CallsTopics: true, Reach: 0.008, EnabledRate: 0.75,
+		ConsentAware: true, CallMix: mixJS,
+	},
+	// distillery.com: the one attested-but-not-Allowed party of Table 1,
+	// whose attestation is "timestamped on November 2023" and which the
+	// paper sees calling only on distillery.com itself.
+	{
+		Domain: "distillery.com", Allowed: false, Attested: true,
+		AttestedAt: date(2023, time.November, 11), HasEnrollmentSite: false,
+		CallsTopics: true, Reach: 0, EnabledRate: 1,
+		ConsentAware: true, SelfOnly: true, CallMix: CallMix{JS: 1},
+	},
+}

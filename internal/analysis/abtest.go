@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/netmeasure/topicscope/internal/stats"
+)
+
+// Alternation characterises a CP's ON/OFF behaviour for one site over
+// repeated visits (experiment S1). §3: "We notice consistent alternating
+// periods: for some time, CP, and website, the usage of the API is ON
+// for all visits, followed by some time when it is OFF."
+type Alternation struct {
+	// Samples is the number of repeated observations.
+	Samples int
+	// OnFraction is the share of observations with the integration ON;
+	// over long horizons it converges to the CP's A/B enabled rate.
+	OnFraction float64
+	// Transitions counts ON↔OFF flips.
+	Transitions int
+	// LongestOnRun / LongestOffRun are the longest stable periods, in
+	// samples.
+	LongestOnRun, LongestOffRun int
+}
+
+// AnalyzeAlternation summarises a repeated-visit ON/OFF series.
+func AnalyzeAlternation(series []bool) Alternation {
+	a := Alternation{Samples: len(series)}
+	if len(series) == 0 {
+		return a
+	}
+	on := 0
+	run := 1
+	for i, s := range series {
+		if s {
+			on++
+		}
+		if i == 0 {
+			continue
+		}
+		if s == series[i-1] {
+			run++
+		} else {
+			a.Transitions++
+			a.noteRun(series[i-1], run)
+			run = 1
+		}
+	}
+	a.noteRun(series[len(series)-1], run)
+	a.OnFraction = stats.Share(on, len(series))
+	return a
+}
+
+func (a *Alternation) noteRun(state bool, length int) {
+	if state {
+		if length > a.LongestOnRun {
+			a.LongestOnRun = length
+		}
+	} else if length > a.LongestOffRun {
+		a.LongestOffRun = length
+	}
+}
+
+// Periodic reports whether the series shows the paper's A/B signature:
+// both states occur and stable runs exist (not per-visit randomness).
+func (a Alternation) Periodic() bool {
+	return a.Transitions > 0 &&
+		a.LongestOnRun >= 2 && a.LongestOffRun >= 2
+}
+
+// Render prints the summary.
+func (a Alternation) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "samples=%d on=%s transitions=%d longestOn=%d longestOff=%d periodic=%v\n",
+		a.Samples, stats.Pct(a.OnFraction), a.Transitions, a.LongestOnRun, a.LongestOffRun, a.Periodic())
+	return b.String()
+}

@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"strings"
+	"time"
+
+	"github.com/netmeasure/topicscope/internal/stats"
+)
+
+// AdoptionPoint is one monitoring snapshot (experiment A2): the state of
+// Topics deployment at a virtual date. §6: "our measurements should be
+// conducted continuously to monitor how the technology evolves".
+type AdoptionPoint struct {
+	// Date of the crawl snapshot.
+	Date time.Time
+	// ActiveCallers is the number of Allowed & Attested CPs observed
+	// calling (Table 1's headline count at that date).
+	ActiveCallers int
+	// SitesWithCall is the share of D_AA sites with a legit call.
+	SitesWithCall float64
+	// Enrolled is the number of attested domains whose issue date lies
+	// at or before the snapshot.
+	Enrolled int
+}
+
+// Adoption is a monitoring series.
+type Adoption struct {
+	Points []AdoptionPoint
+}
+
+// SnapshotAdoption condenses one crawl (already analysed) into a
+// monitoring point.
+func SnapshotAdoption(in *Input, date time.Time) AdoptionPoint {
+	t1 := ComputeTable1(in)
+	o := ComputeOverview(in)
+	enrolled := 0
+	for _, rec := range in.Attestations {
+		if rec.Attested() && !rec.IssuedAt.IsZero() && !rec.IssuedAt.After(date) {
+			enrolled++
+		}
+	}
+	return AdoptionPoint{
+		Date:          date,
+		ActiveCallers: t1.AAAllowedAttested,
+		SitesWithCall: o.LegitCallShare,
+		Enrolled:      enrolled,
+	}
+}
+
+// Growing reports whether active-caller counts are non-decreasing over
+// the series.
+func (a *Adoption) Growing() bool {
+	for i := 1; i < len(a.Points); i++ {
+		if a.Points[i].ActiveCallers < a.Points[i-1].ActiveCallers {
+			return false
+		}
+	}
+	return len(a.Points) > 0
+}
+
+// Render prints the series with a growth chart.
+func (a *Adoption) Render() string {
+	var b strings.Builder
+	t := &stats.Table{
+		Title:   "A2 — Topics adoption over time (§6 continuous monitoring)",
+		Headers: []string{"snapshot", "enrolled", "active callers", "D_AA sites with call"},
+	}
+	chart := &stats.BarChart{Title: "active Allowed & Attested callers"}
+	for _, p := range a.Points {
+		date := p.Date.Format("2006-01-02")
+		t.AddRow(date, p.Enrolled, p.ActiveCallers, stats.Pct(p.SitesWithCall))
+		chart.Add(date, float64(p.ActiveCallers), stats.Pct(p.SitesWithCall))
+	}
+	b.WriteString(t.Render())
+	b.WriteByte('\n')
+	b.WriteString(chart.Render())
+	return b.String()
+}

@@ -1,0 +1,114 @@
+// Package analysis computes every table and figure of the paper from a
+// crawl dataset: Table 1 (allow-list/attestation status), Figure 2 (CP
+// presence vs. calls), Figure 3 (A/B enabled rates), the §4 anomalous
+// usage statistics, Figure 5 (questionable Before-Accept calls),
+// Figure 6 (TLD geography), Figure 7 (CMP conditional probabilities),
+// the §2.4 dataset overview and the §3 enrolment timeline.
+//
+// The pipeline is dataset-driven: everything derives from the visit
+// records, the reference allow-list, and the well-known attestation
+// checks — never from generator internals — so it would work unchanged
+// on a dataset captured from the real web.
+package analysis
+
+import (
+	"github.com/netmeasure/topicscope/internal/attestation"
+	"github.com/netmeasure/topicscope/internal/dataset"
+	"github.com/netmeasure/topicscope/internal/etld"
+)
+
+// Input bundles what the analyses need.
+type Input struct {
+	// Data is the crawl dataset (both phases).
+	Data *dataset.Dataset
+	// Allowlist is the healthy browser allow-list (the paper's June 6th
+	// 2024 privacy-sandbox-attestations.dat).
+	Allowlist *attestation.Allowlist
+	// Attestations indexes well-known attestation checks by domain.
+	Attestations map[string]dataset.AttestationRecord
+}
+
+// allowed reports whether a caller is on the allow-list.
+func (in *Input) allowed(caller string) bool {
+	return in.Allowlist != nil && in.Allowlist.Contains(caller)
+}
+
+// attested reports whether a caller serves a valid Topics attestation.
+func (in *Input) attested(caller string) bool {
+	rec, ok := in.Attestations[etld.RegistrableDomain(caller)]
+	return ok && rec.Attested()
+}
+
+// callersIn returns the distinct callers of a phase, restricted by the
+// predicate (nil = all).
+func (in *Input) callersIn(phase dataset.Phase, keep func(caller string) bool) map[string]bool {
+	out := make(map[string]bool)
+	for i := range in.Data.Visits {
+		v := &in.Data.Visits[i]
+		if v.Phase != phase {
+			continue
+		}
+		for _, c := range v.Calls {
+			if keep == nil || keep(c.Caller) {
+				out[c.Caller] = true
+			}
+		}
+	}
+	return out
+}
+
+// presentOn reports the distinct sites (per phase) on which each
+// candidate CP domain appears among downloaded resources.
+func (in *Input) presentOn(phase dataset.Phase, candidates map[string]bool) map[string]map[string]bool {
+	out := make(map[string]map[string]bool)
+	for i := range in.Data.Visits {
+		v := &in.Data.Visits[i]
+		if v.Phase != phase || !v.Success {
+			continue
+		}
+		seen := make(map[string]bool)
+		for _, r := range v.Resources {
+			reg := etld.RegistrableDomain(r.Host)
+			if !candidates[reg] || seen[reg] {
+				continue
+			}
+			seen[reg] = true
+			set := out[reg]
+			if set == nil {
+				set = make(map[string]bool)
+				out[reg] = set
+			}
+			set[v.Site] = true
+		}
+	}
+	return out
+}
+
+// calledOn reports the distinct sites (per phase) on which each caller
+// invoked the API.
+func (in *Input) calledOn(phase dataset.Phase) map[string]map[string]bool {
+	out := make(map[string]map[string]bool)
+	for i := range in.Data.Visits {
+		v := &in.Data.Visits[i]
+		if v.Phase != phase {
+			continue
+		}
+		for _, c := range v.Calls {
+			set := out[c.Caller]
+			if set == nil {
+				set = make(map[string]bool)
+				out[c.Caller] = set
+			}
+			set[v.Site] = true
+		}
+	}
+	return out
+}
+
+// legitCallers are the paper's §3 subjects: Allowed & Attested CPs seen
+// calling in the After-Accept dataset.
+func (in *Input) legitCallers() map[string]bool {
+	return in.callersIn(dataset.AfterAccept, func(caller string) bool {
+		return in.allowed(caller) && in.attested(caller)
+	})
+}

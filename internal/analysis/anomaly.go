@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"strings"
+
+	"github.com/netmeasure/topicscope/internal/dataset"
+	"github.com/netmeasure/topicscope/internal/etld"
+	"github.com/netmeasure/topicscope/internal/stats"
+)
+
+// Anomaly reproduces the §4 analysis of calls by parties that are NOT on
+// the allow-list — observable only because the crawler runs with the
+// corrupted allow-list database (experiment A1).
+type Anomaly struct {
+	// UniqueCPs is the number of distinct not-Allowed callers in D_AA
+	// (paper: 2,614) and Calls the total call count (3,450).
+	UniqueCPs int
+	Calls     int
+	// SameSecondLevel: calls whose CP shares the visited site's
+	// second-level label, e.g. www.foo.com vs ad.foo.net (72%).
+	SameSecondLevel      int
+	SameSecondLevelShare float64
+	// JavaScriptShare: §4 "all these bizarre calls use the JavaScript
+	// browsingTopics() function".
+	JavaScriptShare float64
+	// SitesWithGTM / GTMShare: §4 observes GTM on 95% of websites where
+	// anomalous calls occur.
+	AnomalousSites int
+	SitesWithGTM   int
+	GTMShare       float64
+}
+
+// gtmHost identifies Google Tag Manager among downloaded resources.
+const gtmHost = "www.googletagmanager.com"
+
+// ComputeAnomaly runs experiment A1 over the After-Accept dataset.
+func ComputeAnomaly(in *Input) *Anomaly {
+	a := &Anomaly{}
+	cps := make(map[string]bool)
+	sitesWith := make(map[string]bool)
+	sitesWithGTM := make(map[string]bool)
+	jsCalls := 0
+
+	for i := range in.Data.Visits {
+		v := &in.Data.Visits[i]
+		if v.Phase != dataset.AfterAccept || !v.Success {
+			continue
+		}
+		hasAnomalous := false
+		for _, c := range v.Calls {
+			if in.allowed(c.Caller) {
+				continue
+			}
+			a.Calls++
+			cps[c.Caller] = true
+			hasAnomalous = true
+			if etld.SameSecondLevel(c.Caller, v.Site) {
+				a.SameSecondLevel++
+			}
+			if c.Type == dataset.CallJavaScript {
+				jsCalls++
+			}
+		}
+		if hasAnomalous {
+			sitesWith[v.Site] = true
+			for _, r := range v.Resources {
+				if r.Host == gtmHost {
+					sitesWithGTM[v.Site] = true
+					break
+				}
+			}
+		}
+	}
+
+	a.UniqueCPs = len(cps)
+	a.AnomalousSites = len(sitesWith)
+	a.SitesWithGTM = len(sitesWithGTM)
+	a.SameSecondLevelShare = stats.Share(a.SameSecondLevel, a.Calls)
+	a.JavaScriptShare = stats.Share(jsCalls, a.Calls)
+	a.GTMShare = stats.Share(a.SitesWithGTM, a.AnomalousSites)
+	return a
+}
+
+// Render prints the anomaly statistics.
+func (a *Anomaly) Render() string {
+	var b strings.Builder
+	t := &stats.Table{
+		Title:   "A1 — Anomalous usage by not-Allowed parties (§4, D_AA)",
+		Headers: []string{"metric", "value"},
+	}
+	t.AddRow("unique not-Allowed CPs", a.UniqueCPs)
+	t.AddRow("anomalous calls", a.Calls)
+	t.AddRow("CP = visited site (same 2nd-level)", stats.Pct(a.SameSecondLevelShare))
+	t.AddRow("JavaScript call type", stats.Pct(a.JavaScriptShare))
+	t.AddRow("sites with anomalous calls", a.AnomalousSites)
+	t.AddRow("...of which embed GTM", stats.Pct(a.GTMShare))
+	b.WriteString(t.Render())
+	return b.String()
+}

@@ -1,0 +1,272 @@
+package analysis
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/netmeasure/topicscope/internal/attestation"
+	"github.com/netmeasure/topicscope/internal/crawler"
+	"github.com/netmeasure/topicscope/internal/dataset"
+	"github.com/netmeasure/topicscope/internal/webserver"
+	"github.com/netmeasure/topicscope/internal/webworld"
+)
+
+// emptyInput is a structurally valid input with no visits.
+func emptyInput() *Input {
+	return &Input{
+		Data:         &dataset.Dataset{},
+		Allowlist:    attestation.NewAllowlist("criteo.com"),
+		Attestations: map[string]dataset.AttestationRecord{},
+	}
+}
+
+func TestExperimentsOnEmptyDataset(t *testing.T) {
+	in := emptyInput()
+	r := Run(in)
+	if r.Overview.Visited != 0 || r.Overview.AcceptShare != 0 {
+		t.Errorf("overview on empty data: %+v", r.Overview)
+	}
+	if r.Table1.Allowed != 1 || r.Table1.AAAllowedAttested != 0 {
+		t.Errorf("table1 on empty data: %+v", r.Table1)
+	}
+	if len(r.Figure2.Rows) != 0 || len(r.Figure3.Rows) != 0 || len(r.Figure5.Rows) != 0 {
+		t.Error("figures non-empty on empty data")
+	}
+	if r.Anomaly.Calls != 0 || r.Anomaly.SameSecondLevelShare != 0 {
+		t.Errorf("anomaly on empty data: %+v", r.Anomaly)
+	}
+	if r.Figure7.TotalSites != 0 || r.Figure7.AvgQuestionableRate != 0 {
+		t.Errorf("figure7 on empty data: %+v", r.Figure7)
+	}
+	// Render must not panic anywhere.
+	if out := r.Render(); out == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestSingleVisitDataset(t *testing.T) {
+	ts := time.Date(2024, 3, 30, 12, 0, 0, 0, time.UTC)
+	d := &dataset.Dataset{}
+	d.Append(dataset.Visit{
+		Site: "foo.com", Rank: 1, Phase: dataset.BeforeAccept, Success: true,
+		CMP: "HubSpot", FetchedAt: ts,
+		Resources: []dataset.Resource{
+			{URL: "http://criteo.com/tag.js", Host: "criteo.com", ThirdParty: true},
+		},
+		Calls: []dataset.TopicsCall{{
+			Caller: "criteo.com", Site: "foo.com", Type: dataset.CallFetch,
+			ContextOrigin: "criteo.com", Timestamp: ts, GateAllowed: true,
+			GateReason: "default-allow-corrupt-db",
+		}},
+	})
+	in := &Input{
+		Data:      d,
+		Allowlist: attestation.NewAllowlist("criteo.com"),
+		Attestations: map[string]dataset.AttestationRecord{
+			"criteo.com": {Domain: "criteo.com", Present: true, Valid: true, AttestsTopics: true, IssuedAt: ts},
+		},
+	}
+
+	t1 := ComputeTable1(in)
+	if t1.BAAllowedAttested != 1 {
+		t.Errorf("single questionable caller not counted: %+v", t1)
+	}
+
+	f7 := ComputeFigure7(in)
+	if f7.TotalQuestionable != 1 || f7.OverRepresentation("HubSpot") != 1 {
+		t.Errorf("figure7 single-site: %+v", f7)
+	}
+
+	f5 := ComputeFigure5(in, 0)
+	if len(f5.Rows) != 1 || f5.Rows[0].Sites != 1 {
+		t.Errorf("figure5 single-site: %+v", f5.Rows)
+	}
+
+	e := ComputeEnrolment(in)
+	if e.Total != 1 || e.MonthlyPace() != 1 {
+		t.Errorf("enrolment single record: %+v", e)
+	}
+}
+
+func TestFailedVisitsExcludedFromDenominators(t *testing.T) {
+	d := &dataset.Dataset{}
+	d.Append(dataset.Visit{Site: "dead.com", Rank: 1, Phase: dataset.BeforeAccept, Success: false, Error: "dns"})
+	d.Append(dataset.Visit{Site: "live.com", Rank: 2, Phase: dataset.BeforeAccept, Success: true})
+	in := &Input{Data: d, Allowlist: attestation.NewAllowlist(), Attestations: map[string]dataset.AttestationRecord{}}
+
+	o := ComputeOverview(in)
+	if o.Attempted != 2 || o.Visited != 1 {
+		t.Errorf("overview: %+v", o)
+	}
+	f7 := ComputeFigure7(in)
+	if f7.TotalSites != 1 {
+		t.Errorf("figure7 counted failed visit: %+v", f7)
+	}
+}
+
+func TestCallTypesExperiment(t *testing.T) {
+	in := input(t)
+	ct := ComputeCallTypes(in)
+	t.Logf("\n%s", ct.Render())
+
+	// §4: every anomalous call is a JavaScript-style call.
+	if got := ct.AnomalousJSShare(); got != 1.0 {
+		t.Errorf("anomalous JS share %.3f, want 1.0", got)
+	}
+	// Legitimate callers use all three integration styles.
+	for _, typ := range AllCallTypes {
+		if ct.LegitByType[typ] == 0 {
+			t.Errorf("no legit %s calls observed", typ)
+		}
+	}
+	// doubleclick prefers the header flows (mixHeader in the catalog).
+	if dom := ct.DominantPerCP["doubleclick.net"]; dom == dataset.CallJavaScript {
+		t.Logf("doubleclick dominant type %s (header-mix platform)", dom)
+	}
+	// criteo's tags are mostly JavaScript.
+	if dom, ok := ct.DominantPerCP["criteo.com"]; !ok || dom != dataset.CallJavaScript {
+		t.Errorf("criteo dominant type %v, want javascript", dom)
+	}
+}
+
+func TestLanguagesExperiment(t *testing.T) {
+	l := ComputeLanguages(input(t))
+	t.Logf("\n%s", l.Render())
+	if l.Visited == 0 {
+		t.Fatal("no visits")
+	}
+	// Only the five Priv-Accept languages can be accepted.
+	supported := map[string]bool{"en": true, "fr": true, "es": true, "de": true, "it": true}
+	for lang := range l.AcceptedByLanguage {
+		if !supported[lang] {
+			t.Errorf("accepted banner in unsupported language %q", lang)
+		}
+	}
+	// English dominates (most .com and many "other" sites).
+	if top := l.AcceptedByLanguage.Sorted()[0]; top.Key != "en" {
+		t.Errorf("top accepted language %q, want en", top.Key)
+	}
+	if rate := l.AcceptRate(); rate < 0.2 || rate > 0.45 {
+		t.Errorf("accept rate %.3f out of paper band", rate)
+	}
+	if miss := l.MissRate(); miss < 0.2 || miss > 0.6 {
+		t.Errorf("banner miss rate %.3f implausible", miss)
+	}
+	sum := l.NoBanner + l.MissedBanner + l.AcceptedByLanguage.Total()
+	if sum != l.Visited {
+		t.Errorf("outcome partition broken: %d vs %d", sum, l.Visited)
+	}
+}
+
+func TestLongitudinalStability(t *testing.T) {
+	// Two crawls of the same 1,500-site world a virtual week apart: the
+	// per-CP enabled rates must hold even though per-site assignments
+	// rotate (experiment L1).
+	world := webworld.Generate(webworld.Config{Seed: 31, NumSites: 1500})
+	server := webserver.New(world, nil)
+	allow := attestation.NewAllowlist(world.Catalog.AllowedDomains()...)
+	recs := crawler.New(crawler.Config{Client: server.Client(), Workers: 8}).
+		CheckAttestations(context.Background(), allow.Domains())
+	atts := dataset.AttestationIndex(recs)
+
+	runAt := func(start time.Time) *Figure3 {
+		c := crawler.New(crawler.Config{
+			Client:             server.Client(),
+			ReferenceAllowlist: allow,
+			Workers:            16,
+			Collect:            true,
+			Start:              start,
+		})
+		res, err := c.Run(context.Background(), world.List())
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := &Input{Data: res.Data, Allowlist: allow, Attestations: atts}
+		return ComputeFigure3(in, 80, 0)
+	}
+
+	t0 := time.Date(2024, 3, 30, 6, 0, 0, 0, time.UTC)
+	f3a := runAt(t0)
+	f3b := runAt(t0.AddDate(0, 0, 7))
+	l := CompareEnabledRates(f3a, f3b)
+	t.Logf("\n%s", l.Render())
+	if len(l.Rows) < 3 {
+		t.Fatalf("only %d comparable CPs", len(l.Rows))
+	}
+	if drift := l.MaxDrift(); drift > 0.18 {
+		t.Errorf("max enabled-rate drift %.3f across a week, want stability", drift)
+	}
+}
+
+func TestAdoptionGrowthOverTime(t *testing.T) {
+	// §6 asks for continuous monitoring: crawling the same world at
+	// earlier virtual dates must reveal fewer active callers, because a
+	// platform cannot call before its enrolment. Three snapshots across
+	// the rollout window show monotone-ish growth.
+	world := webworld.Generate(webworld.Config{Seed: 17, NumSites: 1200})
+	server := webserver.New(world, nil)
+	allow := attestation.NewAllowlist(world.Catalog.AllowedDomains()...)
+	recs := crawler.New(crawler.Config{Client: server.Client(), Workers: 8}).
+		CheckAttestations(context.Background(), allow.Domains())
+	atts := dataset.AttestationIndex(recs)
+
+	callersAt := func(start time.Time) int {
+		c := crawler.New(crawler.Config{
+			Client:             server.Client(),
+			ReferenceAllowlist: allow,
+			Workers:            16,
+			Collect:            true,
+			Start:              start,
+		})
+		res, err := c.Run(context.Background(), world.List())
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := &Input{Data: res.Data, Allowlist: allow, Attestations: atts}
+		return ComputeTable1(in).AAAllowedAttested
+	}
+
+	early := callersAt(time.Date(2023, 8, 1, 6, 0, 0, 0, time.UTC))
+	mid := callersAt(time.Date(2023, 12, 1, 6, 0, 0, 0, time.UTC))
+	late := callersAt(time.Date(2024, 3, 30, 6, 0, 0, 0, time.UTC))
+	t.Logf("active A&A callers: Aug 2023=%d, Dec 2023=%d, Mar 2024=%d", early, mid, late)
+	if !(early < mid && mid < late) {
+		t.Errorf("adoption not growing: %d, %d, %d", early, mid, late)
+	}
+	if late < 30 {
+		t.Errorf("late snapshot has only %d callers", late)
+	}
+}
+
+func TestAdoptionSeriesHelpers(t *testing.T) {
+	in := input(t)
+	date := time.Date(2024, 3, 30, 0, 0, 0, 0, time.UTC)
+	p := SnapshotAdoption(in, date)
+	if p.ActiveCallers == 0 || p.Enrolled == 0 || p.SitesWithCall == 0 {
+		t.Errorf("snapshot empty: %+v", p)
+	}
+	early := SnapshotAdoption(in, time.Date(2023, 7, 1, 0, 0, 0, 0, time.UTC))
+	if early.Enrolled >= p.Enrolled {
+		t.Errorf("enrolled count not growing with date: %d vs %d", early.Enrolled, p.Enrolled)
+	}
+
+	a := &Adoption{Points: []AdoptionPoint{
+		{Date: date, ActiveCallers: 3},
+		{Date: date.AddDate(0, 1, 0), ActiveCallers: 10},
+	}}
+	if !a.Growing() {
+		t.Error("growing series not detected")
+	}
+	a.Points = append(a.Points, AdoptionPoint{ActiveCallers: 5})
+	if a.Growing() {
+		t.Error("shrinking series reported growing")
+	}
+	if out := a.Render(); !strings.Contains(out, "A2") {
+		t.Error("render missing header")
+	}
+	if (&Adoption{}).Growing() {
+		t.Error("empty series cannot be growing")
+	}
+}

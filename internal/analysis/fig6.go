@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"strings"
+
+	"github.com/netmeasure/topicscope/internal/dataset"
+	"github.com/netmeasure/topicscope/internal/etld"
+	"github.com/netmeasure/topicscope/internal/stats"
+)
+
+// RegionShare is one (CP, region) cell of Figure 6.
+type RegionShare struct {
+	// Present is the number of D_BA websites of this region embedding
+	// the CP (the figure's top-axis numbers).
+	Present int
+	// Called is how many of those saw a Before-Accept call by the CP.
+	Called int
+}
+
+// Share is the enabled percentage the figure plots.
+func (r RegionShare) Share() float64 { return stats.Share(r.Called, r.Present) }
+
+// Figure6 reproduces Figure 6: the share of websites where a CP calls
+// the Topics API before consent, broken down by website TLD region, for
+// the top questionable CPs.
+type Figure6 struct {
+	CPs     []string
+	Regions []etld.Region
+	// Cells[cp][region]
+	Cells map[string]map[etld.Region]RegionShare
+}
+
+// ComputeFigure6 runs experiment F6 for the given CPs (pass nil to use
+// the top-4 questionable CPs as the paper does).
+func ComputeFigure6(in *Input, cps []string) *Figure6 {
+	if cps == nil {
+		f5 := ComputeFigure5(in, 4)
+		for _, r := range f5.Rows {
+			cps = append(cps, r.CP)
+		}
+	}
+	want := make(map[string]bool, len(cps))
+	for _, cp := range cps {
+		want[cp] = true
+	}
+
+	present := in.presentOn(dataset.BeforeAccept, want)
+	called := in.calledOn(dataset.BeforeAccept)
+
+	f := &Figure6{CPs: cps, Regions: etld.Regions, Cells: make(map[string]map[etld.Region]RegionShare)}
+	for _, cp := range cps {
+		cells := make(map[etld.Region]RegionShare)
+		for site := range present[cp] {
+			region := etld.RegionOf(site)
+			c := cells[region]
+			c.Present++
+			if called[cp][site] {
+				c.Called++
+			}
+			cells[region] = c
+		}
+		f.Cells[cp] = cells
+	}
+	return f
+}
+
+// Render prints the figure data.
+func (f *Figure6) Render() string {
+	var b strings.Builder
+	t := &stats.Table{
+		Title:   "F6 — Before-Accept call share by website TLD region (Figure 6, D_BA)",
+		Headers: []string{"calling party", "region", "embedded", "called", "share"},
+	}
+	for _, cp := range f.CPs {
+		for _, region := range f.Regions {
+			c := f.Cells[cp][region]
+			t.AddRow(cp, region.String(), c.Present, c.Called, stats.Pct(c.Share()))
+		}
+	}
+	b.WriteString(t.Render())
+	return b.String()
+}

@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"strings"
+
+	"github.com/netmeasure/topicscope/internal/cmpdb"
+	"github.com/netmeasure/topicscope/internal/dataset"
+	"github.com/netmeasure/topicscope/internal/stats"
+)
+
+// CMPRow is one CMP of Figure 7 with the two probabilities the paper
+// compares.
+type CMPRow struct {
+	CMP string
+	// PCMP is P(CMP = x): the probability of observing the CMP over all
+	// successfully visited websites (red bars).
+	PCMP float64
+	// PCMPGivenQuestionable is P(CMP = x | questionable call) (blue
+	// bars).
+	PCMPGivenQuestionable float64
+	// PQuestionableGivenCMP is P(questionable | CMP = x), the quantity
+	// behind the paper's "12%, twice as big as the average" HubSpot
+	// remark.
+	PQuestionableGivenCMP float64
+	// Sites and QuestionableSites are the underlying counts.
+	Sites             int
+	QuestionableSites int
+}
+
+// Figure7 reproduces Figure 7: CMP probabilities conditioned on
+// questionable Before-Accept calls.
+//
+// A "questionable call" here is a Before-Accept call by an allow-listed
+// CP: that is the behaviour a correctly configured CMP would have
+// prevented by gating the tag, which is exactly what the figure probes.
+// (First-party GTM calls bypass CMP gating entirely and would only
+// dilute the conditional; see EXPERIMENTS.md.)
+type Figure7 struct {
+	Rows []CMPRow
+	// TotalSites / TotalQuestionable are the denominators.
+	TotalSites        int
+	TotalQuestionable int
+	// AvgQuestionableRate is P(questionable) over all sites.
+	AvgQuestionableRate float64
+}
+
+// ComputeFigure7 runs experiment F7 over the Before-Accept dataset.
+func ComputeFigure7(in *Input) *Figure7 {
+	sitesByCMP := stats.Counter{}
+	questByCMP := stats.Counter{}
+	total, quest := 0, 0
+
+	for i := range in.Data.Visits {
+		v := &in.Data.Visits[i]
+		if v.Phase != dataset.BeforeAccept || !v.Success {
+			continue
+		}
+		total++
+		questionable := false
+		for _, c := range v.Calls {
+			if in.allowed(c.Caller) {
+				questionable = true
+				break
+			}
+		}
+		if questionable {
+			quest++
+		}
+		if v.CMP != "" {
+			sitesByCMP.Add(v.CMP)
+			if questionable {
+				questByCMP.Add(v.CMP)
+			}
+		}
+	}
+
+	f := &Figure7{TotalSites: total, TotalQuestionable: quest,
+		AvgQuestionableRate: stats.Share(quest, total)}
+	for _, c := range cmpdb.All() {
+		row := CMPRow{
+			CMP:                   c.Name,
+			Sites:                 sitesByCMP[c.Name],
+			QuestionableSites:     questByCMP[c.Name],
+			PCMP:                  stats.Share(sitesByCMP[c.Name], total),
+			PCMPGivenQuestionable: stats.Share(questByCMP[c.Name], quest),
+			PQuestionableGivenCMP: stats.Share(questByCMP[c.Name], sitesByCMP[c.Name]),
+		}
+		f.Rows = append(f.Rows, row)
+	}
+	return f
+}
+
+// OverRepresentation returns P(CMP|questionable)/P(CMP) for a CMP — the
+// ratio that singles out HubSpot (≈3× in the paper) and LiveRamp.
+func (f *Figure7) OverRepresentation(cmp string) float64 {
+	for _, r := range f.Rows {
+		if r.CMP == cmp {
+			if r.PCMP == 0 {
+				return 0
+			}
+			return r.PCMPGivenQuestionable / r.PCMP
+		}
+	}
+	return 0
+}
+
+// Render prints the figure data.
+func (f *Figure7) Render() string {
+	var b strings.Builder
+	t := &stats.Table{
+		Title:   "F7 — CMP probability given questionable calls (Figure 7, D_BA)",
+		Headers: []string{"CMP", "P(CMP)", "P(CMP|quest)", "P(quest|CMP)", "sites", "quest"},
+	}
+	chart := &stats.BarChart{Title: "P(CMP|questionable) — compare with P(CMP)"}
+	for _, r := range f.Rows {
+		t.AddRow(r.CMP, stats.Pct(r.PCMP), stats.Pct(r.PCMPGivenQuestionable),
+			stats.Pct(r.PQuestionableGivenCMP), r.Sites, r.QuestionableSites)
+		chart.Add(r.CMP, r.PCMPGivenQuestionable, stats.Pct(r.PCMPGivenQuestionable)+" vs "+stats.Pct(r.PCMP))
+	}
+	b.WriteString(t.Render())
+	b.WriteByte('\n')
+	b.WriteString(chart.Render())
+	b.WriteString("average P(questionable) = " + stats.Pct(f.AvgQuestionableRate) + "\n")
+	return b.String()
+}

@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/netmeasure/topicscope/internal/stats"
+)
+
+// Longitudinal compares the A/B enabled rates of two crawls of the same
+// site population at different times (experiment L1). §6 notes the study
+// is a snapshot and "measurements should be conducted continuously";
+// §3's repeated tests predict the population-level rates stay at the
+// predetermined fractions while the per-site ON/OFF assignments rotate.
+type Longitudinal struct {
+	Rows []LongitudinalRow
+}
+
+// LongitudinalRow compares one CP across the two crawls.
+type LongitudinalRow struct {
+	CP string
+	// RateA and RateB are the enabled rates in each crawl.
+	RateA, RateB float64
+	// PresentA/B are the presence denominators.
+	PresentA, PresentB int
+	// Drift is |RateA - RateB|.
+	Drift float64
+}
+
+// CompareEnabledRates builds the comparison from two Figure 3 runs over
+// the same world at different times.
+func CompareEnabledRates(a, b *Figure3) *Longitudinal {
+	byCP := make(map[string]EnabledRate, len(b.Rows))
+	for _, r := range b.Rows {
+		byCP[r.CP] = r
+	}
+	l := &Longitudinal{}
+	for _, ra := range a.Rows {
+		rb, ok := byCP[ra.CP]
+		if !ok {
+			continue
+		}
+		l.Rows = append(l.Rows, LongitudinalRow{
+			CP:       ra.CP,
+			RateA:    ra.Rate,
+			RateB:    rb.Rate,
+			PresentA: ra.Present,
+			PresentB: rb.Present,
+			Drift:    math.Abs(ra.Rate - rb.Rate),
+		})
+	}
+	sort.Slice(l.Rows, func(i, j int) bool { return l.Rows[i].CP < l.Rows[j].CP })
+	return l
+}
+
+// MaxDrift is the largest per-CP rate change between the crawls.
+func (l *Longitudinal) MaxDrift() float64 {
+	var m float64
+	for _, r := range l.Rows {
+		if r.Drift > m {
+			m = r.Drift
+		}
+	}
+	return m
+}
+
+// Render prints the comparison.
+func (l *Longitudinal) Render() string {
+	var b strings.Builder
+	t := &stats.Table{
+		Title:   "L1 — Enabled rates across two crawl snapshots (§3/§6)",
+		Headers: []string{"calling party", "rate t0", "rate t1", "drift"},
+	}
+	for _, r := range l.Rows {
+		t.AddRow(r.CP, stats.Pct(r.RateA), stats.Pct(r.RateB), stats.Pct(r.Drift))
+	}
+	b.WriteString(t.Render())
+	b.WriteString("max drift: " + stats.Pct(l.MaxDrift()) + " — population rates hold while per-site assignments rotate\n")
+	return b.String()
+}

@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Report bundles every dataset-driven experiment of the paper.
+type Report struct {
+	Overview  *Overview
+	Table1    *Table1
+	Figure2   *Figure2
+	Figure3   *Figure3
+	Anomaly   *Anomaly
+	Figure5   *Figure5
+	Figure6   *Figure6
+	Figure7   *Figure7
+	Enrolment *Enrolment
+	CallTypes *CallTypes
+	Languages *Languages
+}
+
+// Run executes all experiments over the input.
+func Run(in *Input) *Report {
+	return &Report{
+		Overview:  ComputeOverview(in),
+		Table1:    ComputeTable1(in),
+		Figure2:   ComputeFigure2(in, 15),
+		Figure3:   ComputeFigure3(in, 0, 15),
+		Anomaly:   ComputeAnomaly(in),
+		Figure5:   ComputeFigure5(in, 15),
+		Figure6:   ComputeFigure6(in, nil),
+		Figure7:   ComputeFigure7(in),
+		Enrolment: ComputeEnrolment(in),
+		CallTypes: ComputeCallTypes(in),
+		Languages: ComputeLanguages(in),
+	}
+}
+
+// Render prints every experiment, separated by blank lines, in the
+// paper's order.
+func (r *Report) Render() string {
+	sections := []string{
+		r.Overview.Render(),
+		r.Table1.Render(),
+		r.Figure2.Render(),
+		r.Figure3.Render(),
+		r.Anomaly.Render(),
+		r.Figure5.Render(),
+		r.Figure6.Render(),
+		r.Figure7.Render(),
+		r.Enrolment.Render(),
+		r.CallTypes.Render(),
+		r.Languages.Render(),
+	}
+	return strings.Join(sections, "\n")
+}
+
+// WriteJSON emits the full report as indented JSON, the
+// machine-readable counterpart of Render for downstream plotting.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return fmt.Errorf("analysis: encoding report: %w", err)
+	}
+	return nil
+}

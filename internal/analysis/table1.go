@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"strings"
+
+	"github.com/netmeasure/topicscope/internal/dataset"
+	"github.com/netmeasure/topicscope/internal/stats"
+)
+
+// Table1 reproduces the paper's Table 1: the overall status of Topics
+// API usage, split by allow-list membership and attestation status, for
+// both datasets. The red rows of the paper (anomalous usage) correspond
+// to NotAllowed*, the blue rows (questionable usage) to the D_BA block.
+type Table1 struct {
+	// Allowed is the allow-list size (193 in the paper).
+	Allowed int
+	// AllowedNotAttested: enrolled domains without a valid attestation
+	// file (12).
+	AllowedNotAttested int
+	// AllowedAttested: enrolled domains with one (181).
+	AllowedAttested int
+
+	// D_AA caller counts.
+	AAAllowedAttested    int // 47
+	AANotAllowedAttested int // 1 (distillery.com)
+	AANotAllowed         int // 2,614
+
+	// D_BA caller counts.
+	BAAllowedAttested int // 28
+	BANotAllowed      int // 1,308
+}
+
+// ComputeTable1 runs experiment T1.
+func ComputeTable1(in *Input) *Table1 {
+	t := &Table1{Allowed: in.Allowlist.Len()}
+	for _, d := range in.Allowlist.Domains() {
+		if rec, ok := in.Attestations[d]; ok && rec.Attested() {
+			t.AllowedAttested++
+		} else {
+			t.AllowedNotAttested++
+		}
+	}
+
+	for caller := range in.callersIn(dataset.AfterAccept, nil) {
+		switch {
+		case in.allowed(caller) && in.attested(caller):
+			t.AAAllowedAttested++
+		case !in.allowed(caller) && in.attested(caller):
+			t.AANotAllowedAttested++
+		case !in.allowed(caller):
+			t.AANotAllowed++
+		}
+	}
+	for caller := range in.callersIn(dataset.BeforeAccept, nil) {
+		switch {
+		case in.allowed(caller) && in.attested(caller):
+			t.BAAllowedAttested++
+		case !in.allowed(caller):
+			t.BANotAllowed++
+		}
+	}
+	return t
+}
+
+// Render prints Table 1 in the paper's layout.
+func (t *Table1) Render() string {
+	var b strings.Builder
+	tb := &stats.Table{
+		Title:   "T1 — Overall status of Topics API usage (Table 1)",
+		Headers: []string{"block", "row", "count"},
+	}
+	tb.AddRow("allow-list", "Allowed", t.Allowed)
+	tb.AddRow("allow-list", "Allowed & !Attested", t.AllowedNotAttested)
+	tb.AddRow("allow-list", "Allowed & Attested", t.AllowedAttested)
+	tb.AddRow("D_AA", "Allowed & Attested (callers)", t.AAAllowedAttested)
+	tb.AddRow("D_AA", "!Allowed & Attested", t.AANotAllowedAttested)
+	tb.AddRow("D_AA", "!Allowed (anomalous)", t.AANotAllowed)
+	tb.AddRow("D_BA", "Allowed & Attested (questionable)", t.BAAllowedAttested)
+	tb.AddRow("D_BA", "!Allowed (questionable)", t.BANotAllowed)
+	b.WriteString(tb.Render())
+	return b.String()
+}

@@ -1,0 +1,163 @@
+package attestation
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sort"
+
+	"github.com/netmeasure/topicscope/internal/etld"
+)
+
+// DatFileName is the allow-list file name inside the
+// PrivacySandboxAttestationsPreloaded component directory (§2.3).
+const DatFileName = "privacy-sandbox-attestations.dat"
+
+// datMagic identifies the serialised allow-list format.
+var datMagic = [6]byte{'P', 'S', 'A', 'T', 'T', 1}
+
+// Allowlist is the set of enrolled caller domains the browser consults
+// before permitting a Topics API call. Membership is by registrable
+// domain: ads.example.com is allowed when example.com is enrolled.
+type Allowlist struct {
+	domains map[string]bool // registrable domains
+}
+
+// NewAllowlist builds an allow-list from enrolled domains.
+func NewAllowlist(domains ...string) *Allowlist {
+	a := &Allowlist{domains: make(map[string]bool, len(domains))}
+	for _, d := range domains {
+		a.Add(d)
+	}
+	return a
+}
+
+// Add enrolls a domain.
+func (a *Allowlist) Add(domain string) {
+	if reg := etld.RegistrableDomain(domain); reg != "" {
+		a.domains[reg] = true
+	}
+}
+
+// Contains reports whether host's registrable domain is enrolled.
+func (a *Allowlist) Contains(host string) bool {
+	return a.domains[etld.RegistrableDomain(host)]
+}
+
+// Len returns the number of enrolled domains.
+func (a *Allowlist) Len() int { return len(a.domains) }
+
+// Domains returns the enrolled registrable domains, sorted.
+func (a *Allowlist) Domains() []string {
+	out := make([]string, 0, len(a.domains))
+	for d := range a.domains {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WriteTo serialises the allow-list in the .dat format: magic, a uint32
+// entry count, length-prefixed domains, and a CRC32 footer over
+// everything before it.
+func (a *Allowlist) WriteTo(w io.Writer) (int64, error) {
+	crc := crc32.NewIEEE()
+	mw := io.MultiWriter(w, crc)
+	var n int64
+
+	wr := func(p []byte) error {
+		m, err := mw.Write(p)
+		n += int64(m)
+		return err
+	}
+	if err := wr(datMagic[:]); err != nil {
+		return n, fmt.Errorf("allowlist: writing magic: %w", err)
+	}
+	var buf [4]byte
+	domains := a.Domains()
+	binary.BigEndian.PutUint32(buf[:], uint32(len(domains)))
+	if err := wr(buf[:]); err != nil {
+		return n, fmt.Errorf("allowlist: writing count: %w", err)
+	}
+	for _, d := range domains {
+		if len(d) > 0xFFFF {
+			return n, fmt.Errorf("allowlist: domain too long: %q", d)
+		}
+		var l [2]byte
+		binary.BigEndian.PutUint16(l[:], uint16(len(d)))
+		if err := wr(l[:]); err != nil {
+			return n, fmt.Errorf("allowlist: writing entry: %w", err)
+		}
+		if err := wr([]byte(d)); err != nil {
+			return n, fmt.Errorf("allowlist: writing entry: %w", err)
+		}
+	}
+	binary.BigEndian.PutUint32(buf[:], crc.Sum32())
+	m, err := w.Write(buf[:])
+	n += int64(m)
+	if err != nil {
+		return n, fmt.Errorf("allowlist: writing checksum: %w", err)
+	}
+	return n, nil
+}
+
+// ErrCorrupted reports an unreadable allow-list database. Chromium treats
+// this condition by *allowing every caller* (the bug of §2.3); the Gate
+// type reproduces that decision and records it.
+type ErrCorrupted struct {
+	Reason string
+}
+
+func (e *ErrCorrupted) Error() string {
+	return "allowlist: corrupted database: " + e.Reason
+}
+
+// ReadAllowlist parses a serialised allow-list, returning *ErrCorrupted
+// for any structural damage.
+func ReadAllowlist(r io.Reader) (*Allowlist, error) {
+	br := bufio.NewReader(r)
+	crc := crc32.NewIEEE()
+
+	var magic [6]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, &ErrCorrupted{Reason: "short magic: " + err.Error()}
+	}
+	if magic != datMagic {
+		return nil, &ErrCorrupted{Reason: "bad magic"}
+	}
+	crc.Write(magic[:])
+
+	var buf [4]byte
+	if _, err := io.ReadFull(br, buf[:]); err != nil {
+		return nil, &ErrCorrupted{Reason: "short count: " + err.Error()}
+	}
+	crc.Write(buf[:])
+	count := binary.BigEndian.Uint32(buf[:])
+	if count > 1<<22 {
+		return nil, &ErrCorrupted{Reason: "implausible entry count"}
+	}
+
+	a := NewAllowlist()
+	for i := uint32(0); i < count; i++ {
+		var l [2]byte
+		if _, err := io.ReadFull(br, l[:]); err != nil {
+			return nil, &ErrCorrupted{Reason: "short entry length: " + err.Error()}
+		}
+		crc.Write(l[:])
+		d := make([]byte, binary.BigEndian.Uint16(l[:]))
+		if _, err := io.ReadFull(br, d); err != nil {
+			return nil, &ErrCorrupted{Reason: "short entry: " + err.Error()}
+		}
+		crc.Write(d)
+		a.Add(string(d))
+	}
+	if _, err := io.ReadFull(br, buf[:]); err != nil {
+		return nil, &ErrCorrupted{Reason: "short checksum: " + err.Error()}
+	}
+	if binary.BigEndian.Uint32(buf[:]) != crc.Sum32() {
+		return nil, &ErrCorrupted{Reason: "checksum mismatch"}
+	}
+	return a, nil
+}

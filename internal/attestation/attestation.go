@@ -1,0 +1,151 @@
+// Package attestation implements the Privacy Sandbox enrolment artifacts
+// the paper checks (§2.3):
+//
+//   - the attestation JSON every enrolled caller must serve at
+//     <domain>/.well-known/privacy-sandbox-attestations.json, declaring
+//     it will not use the Topics API for cross-site re-identification;
+//   - the browser-side allow-list file privacy-sandbox-attestations.dat
+//     shipped in the PrivacySandboxAttestationsPreloaded component,
+//     which gates Topics API calls by caller domain;
+//   - the gate itself, including the Chromium implementation error the
+//     paper discovered: when the local allow-list database is corrupted
+//     or missing, the browser "permits any Topics API calls as default
+//     case", letting unenrolled callers access the API.
+package attestation
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// WellKnownPath is the fixed URL path of the attestation file.
+const WellKnownPath = "/.well-known/privacy-sandbox-attestations.json"
+
+// API names used in platform attestations.
+const (
+	APITopics            = "topics_api"
+	APIProtectedAudience = "protected_audience_api"
+	APIAttributionReport = "attribution_reporting_api"
+	APISharedStorage     = "shared_storage_api"
+)
+
+// AttestationKey is the declaration each attested API carries.
+const AttestationKey = "ServiceNotUsedForIdentifyingUserAcrossSites"
+
+// File models the attestation JSON.
+//
+// IssuedAt corresponds to the issue date the paper extracts from each
+// attestation ("the first attestation being on [June] 16th [2023]");
+// EnrollmentSite is the field enrolments had to add on October 17th 2024.
+type File struct {
+	ParserVersion  string                `json:"attestation_parser_version"`
+	Version        string                `json:"attestation_version"`
+	PrivacyPolicy  []string              `json:"privacy_policy,omitempty"`
+	OwnershipToken string                `json:"ownership_token,omitempty"`
+	EnrollmentSite string                `json:"enrollment_site,omitempty"`
+	IssuedAt       time.Time             `json:"issued_at"`
+	Platforms      []PlatformAttestation `json:"platform_attestations"`
+}
+
+// PlatformAttestation lists the attested APIs for one platform.
+type PlatformAttestation struct {
+	Platform string `json:"platform"`
+	// Attestations maps an API name to its declarations.
+	Attestations map[string]map[string]bool `json:"attestations"`
+}
+
+// Parse decodes an attestation file from JSON.
+func Parse(r io.Reader) (*File, error) {
+	var f File
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("attestation: parsing: %w", err)
+	}
+	return &f, nil
+}
+
+// Encode writes the attestation file as indented JSON.
+func (f *File) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(f); err != nil {
+		return fmt.Errorf("attestation: encoding: %w", err)
+	}
+	return nil
+}
+
+// Validate checks structural invariants and returns every problem found.
+func (f *File) Validate() []error {
+	var errs []error
+	if f.ParserVersion == "" {
+		errs = append(errs, fmt.Errorf("missing attestation_parser_version"))
+	}
+	if f.Version == "" {
+		errs = append(errs, fmt.Errorf("missing attestation_version"))
+	}
+	if len(f.Platforms) == 0 {
+		errs = append(errs, fmt.Errorf("no platform_attestations"))
+	}
+	for i, p := range f.Platforms {
+		if p.Platform == "" {
+			errs = append(errs, fmt.Errorf("platform_attestations[%d]: missing platform", i))
+		}
+		if len(p.Attestations) == 0 {
+			errs = append(errs, fmt.Errorf("platform_attestations[%d]: no attested APIs", i))
+		}
+		for api, decls := range p.Attestations {
+			if !decls[AttestationKey] {
+				errs = append(errs, fmt.Errorf(
+					"platform_attestations[%d]: %s does not declare %s", i, api, AttestationKey))
+			}
+		}
+	}
+	if f.IssuedAt.IsZero() {
+		errs = append(errs, fmt.Errorf("missing issued_at"))
+	}
+	return errs
+}
+
+// AttestsAPI reports whether the file attests the given API on any
+// platform with the required declaration.
+func (f *File) AttestsAPI(api string) bool {
+	for _, p := range f.Platforms {
+		if decls, ok := p.Attestations[api]; ok && decls[AttestationKey] {
+			return true
+		}
+	}
+	return false
+}
+
+// AttestsTopics reports whether the file attests the Topics API.
+func (f *File) AttestsTopics() bool { return f.AttestsAPI(APITopics) }
+
+// HasEnrollmentSite reports whether the file carries the post-October
+// 2024 enrollment_site field (§3: "many of the enrolled CPs had to
+// update their attestations to include the new enrollment_site field").
+func (f *File) HasEnrollmentSite() bool { return f.EnrollmentSite != "" }
+
+// NewTopicsFile builds a minimal valid attestation for the Topics API,
+// used by the synthetic web to publish well-known files.
+func NewTopicsFile(domain string, issued time.Time, withEnrollmentSite bool) *File {
+	f := &File{
+		ParserVersion:  "2",
+		Version:        "2",
+		PrivacyPolicy:  []string{"https://" + domain + "/privacy"},
+		OwnershipToken: fmt.Sprintf("tok-%s", domain),
+		IssuedAt:       issued,
+		Platforms: []PlatformAttestation{{
+			Platform: "chrome",
+			Attestations: map[string]map[string]bool{
+				APITopics: {AttestationKey: true},
+			},
+		}},
+	}
+	if withEnrollmentSite {
+		f.EnrollmentSite = "https://" + domain
+	}
+	return f
+}

@@ -1,0 +1,274 @@
+package attestation
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var issueDate = time.Date(2023, 6, 16, 0, 0, 0, 0, time.UTC)
+
+func TestFileRoundTrip(t *testing.T) {
+	f := NewTopicsFile("criteo.com", issueDate, true)
+	var buf bytes.Buffer
+	if err := f.Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !got.AttestsTopics() {
+		t.Error("round-tripped file does not attest topics")
+	}
+	if !got.HasEnrollmentSite() || got.EnrollmentSite != "https://criteo.com" {
+		t.Errorf("EnrollmentSite = %q", got.EnrollmentSite)
+	}
+	if !got.IssuedAt.Equal(issueDate) {
+		t.Errorf("IssuedAt = %v", got.IssuedAt)
+	}
+	if errs := got.Validate(); len(errs) != 0 {
+		t.Errorf("Validate: %v", errs)
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	_, err := Parse(strings.NewReader(`{"attestation_version":"2","bogus":1}`))
+	if err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := Parse(strings.NewReader("<html>not found</html>")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestValidateFindsEveryDefect(t *testing.T) {
+	f := &File{}
+	errs := f.Validate()
+	if len(errs) < 3 {
+		t.Errorf("empty file yielded %d errors: %v", len(errs), errs)
+	}
+
+	// Attested API without the required declaration.
+	f = NewTopicsFile("x.com", issueDate, false)
+	f.Platforms[0].Attestations[APITopics][AttestationKey] = false
+	found := false
+	for _, e := range f.Validate() {
+		if strings.Contains(e.Error(), AttestationKey) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("missing declaration not reported")
+	}
+	if f.AttestsTopics() {
+		t.Error("AttestsTopics true without declaration")
+	}
+}
+
+func TestAttestsAPISelectivity(t *testing.T) {
+	f := NewTopicsFile("x.com", issueDate, false)
+	if f.AttestsAPI(APIProtectedAudience) {
+		t.Error("file attests an API it does not carry")
+	}
+	f.Platforms[0].Attestations[APIProtectedAudience] = map[string]bool{AttestationKey: true}
+	if !f.AttestsAPI(APIProtectedAudience) {
+		t.Error("added API not attested")
+	}
+}
+
+func TestAllowlistMembership(t *testing.T) {
+	a := NewAllowlist("criteo.com", "doubleclick.net")
+	cases := []struct {
+		host string
+		want bool
+	}{
+		{"criteo.com", true},
+		{"static.criteo.com", true},
+		{"DoubleClick.net", true},
+		{"ads.doubleclick.net", true},
+		{"criteo.org", false},
+		{"notcriteo.com", false},
+		{"", false},
+	}
+	for _, c := range cases {
+		if got := a.Contains(c.host); got != c.want {
+			t.Errorf("Contains(%q) = %v, want %v", c.host, got, c.want)
+		}
+	}
+	if a.Len() != 2 {
+		t.Errorf("Len = %d", a.Len())
+	}
+}
+
+func TestAllowlistAddByRegistrableDomain(t *testing.T) {
+	a := NewAllowlist()
+	a.Add("cdn.ads.pubmatic.com")
+	if !a.Contains("image.pubmatic.com") {
+		t.Error("enrolment did not normalise to registrable domain")
+	}
+	if got := a.Domains(); len(got) != 1 || got[0] != "pubmatic.com" {
+		t.Errorf("Domains() = %v", got)
+	}
+}
+
+func TestAllowlistDatRoundTrip(t *testing.T) {
+	a := NewAllowlist("criteo.com", "doubleclick.net", "rubiconproject.com", "yandex.ru")
+	var buf bytes.Buffer
+	if _, err := a.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	got, err := ReadAllowlist(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadAllowlist: %v", err)
+	}
+	if got.Len() != a.Len() {
+		t.Fatalf("round trip lost entries: %d vs %d", got.Len(), a.Len())
+	}
+	for _, d := range a.Domains() {
+		if !got.Contains(d) {
+			t.Errorf("lost %q", d)
+		}
+	}
+}
+
+func TestReadAllowlistDetectsCorruption(t *testing.T) {
+	a := NewAllowlist("criteo.com", "doubleclick.net")
+	var buf bytes.Buffer
+	if _, err := a.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	healthy := buf.Bytes()
+
+	mutations := map[string][]byte{
+		"empty":        {},
+		"bad magic":    append([]byte("XXXXXX"), healthy[6:]...),
+		"truncated":    healthy[:len(healthy)-6],
+		"bit flip":     flipByte(healthy, len(healthy)/2),
+		"flipped tail": flipByte(healthy, len(healthy)-1),
+	}
+	for name, data := range mutations {
+		_, err := ReadAllowlist(bytes.NewReader(data))
+		var ce *ErrCorrupted
+		if err == nil {
+			t.Errorf("%s: corruption not detected", name)
+		} else if !asCorrupted(err, &ce) {
+			t.Errorf("%s: error %v is not ErrCorrupted", name, err)
+		}
+	}
+}
+
+func flipByte(b []byte, i int) []byte {
+	out := append([]byte(nil), b...)
+	out[i] ^= 0xFF
+	return out
+}
+
+func asCorrupted(err error, target **ErrCorrupted) bool {
+	ce, ok := err.(*ErrCorrupted)
+	if ok {
+		*target = ce
+	}
+	return ok
+}
+
+// TestCorruptedAllowlistDefaultAllow reproduces the §2.3 Chromium bug
+// end to end: corrupt the on-disk database, load it as the browser
+// would, and observe that ANY caller is then allowed (experiment B1).
+func TestCorruptedAllowlistDefaultAllow(t *testing.T) {
+	a := NewAllowlist("criteo.com")
+	var buf bytes.Buffer
+	if _, err := a.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Healthy database: enforcement works.
+	list, err := ReadAllowlist(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := NewGate(list, nil)
+	if d := gate.Check("criteo.com"); !d.Allowed || d.Reason != ReasonEnrolled {
+		t.Errorf("enrolled caller: %+v", d)
+	}
+	if d := gate.Check("evil.example"); d.Allowed || d.Reason != ReasonBlockedNotEnrolled {
+		t.Errorf("unenrolled caller on healthy DB: %+v", d)
+	}
+
+	// Corrupted database: the browser allows everyone.
+	corrupt := flipByte(buf.Bytes(), 8)
+	list, err = ReadAllowlist(bytes.NewReader(corrupt))
+	gate = NewGate(list, err)
+	if !gate.Corrupted() {
+		t.Fatal("gate did not enter corrupted mode")
+	}
+	for _, caller := range []string{"criteo.com", "evil.example", "www.any-first-party.it"} {
+		d := gate.Check(caller)
+		if !d.Allowed || d.Reason != ReasonDefaultAllowCorruptDB {
+			t.Errorf("corrupted DB, caller %q: %+v, want default-allow", caller, d)
+		}
+	}
+}
+
+func TestGateConstructors(t *testing.T) {
+	g := NewEnforcingGate(NewAllowlist("a.com"))
+	if g.Corrupted() {
+		t.Error("enforcing gate reports corrupted")
+	}
+	if !g.Check("a.com").Allowed || g.Check("b.com").Allowed {
+		t.Error("enforcing gate wrong decisions")
+	}
+	cg := NewCorruptedGate()
+	if !cg.Corrupted() || !cg.Check("anyone.net").Allowed {
+		t.Error("corrupted gate must allow everyone")
+	}
+}
+
+func TestReasonStrings(t *testing.T) {
+	for r, want := range map[Reason]string{
+		ReasonEnrolled:              "enrolled",
+		ReasonBlockedNotEnrolled:    "blocked-not-enrolled",
+		ReasonDefaultAllowCorruptDB: "default-allow-corrupt-db",
+		Reason(99):                  "unknown",
+	} {
+		if r.String() != want {
+			t.Errorf("Reason(%d).String() = %q, want %q", r, r.String(), want)
+		}
+	}
+}
+
+// Property: any serialised allow-list round-trips, and single-byte
+// corruption anywhere is always detected.
+func TestAllowlistProperty(t *testing.T) {
+	f := func(raw []uint8, flipAt uint16) bool {
+		a := NewAllowlist()
+		for i, b := range raw {
+			if i >= 30 {
+				break
+			}
+			a.Add(string(rune('a'+b%26)) + "dom.com")
+		}
+		var buf bytes.Buffer
+		if _, err := a.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := ReadAllowlist(bytes.NewReader(buf.Bytes()))
+		if err != nil || got.Len() != a.Len() {
+			return false
+		}
+		data := flipByte(buf.Bytes(), int(flipAt)%buf.Len())
+		if bytes.Equal(data, buf.Bytes()) {
+			return true
+		}
+		_, err = ReadAllowlist(bytes.NewReader(data))
+		return err != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,44 @@
+package attestation
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadAllowlist verifies the .dat parser never panics and either
+// round-trips or reports corruption.
+func FuzzReadAllowlist(f *testing.F) {
+	var healthy bytes.Buffer
+	NewAllowlist("criteo.com", "doubleclick.net").WriteTo(&healthy) //nolint:errcheck
+	f.Add(healthy.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("PSATT\x01garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		list, err := ReadAllowlist(bytes.NewReader(data))
+		if err == nil && list == nil {
+			t.Fatal("nil list without error")
+		}
+		// The gate must be total on any outcome.
+		g := NewGate(list, err)
+		g.Check("x.example")
+	})
+}
+
+// FuzzParseAttestation verifies the JSON parser rejects or accepts
+// without panicking, and Validate is total.
+func FuzzParseAttestation(f *testing.F) {
+	var buf bytes.Buffer
+	NewTopicsFile("criteo.com", issueDate, true).Encode(&buf) //nolint:errcheck
+	f.Add(buf.String())
+	f.Add(`{}`)
+	f.Add(`{"attestation_version":"2","platform_attestations":[]}`)
+	f.Fuzz(func(t *testing.T, input string) {
+		file, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		file.Validate()
+		file.AttestsTopics()
+	})
+}

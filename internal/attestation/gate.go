@@ -1,0 +1,82 @@
+package attestation
+
+// Decision is the outcome of the browser's Topics API caller check.
+type Decision struct {
+	// Allowed reports whether the call may proceed.
+	Allowed bool
+	// Reason explains the outcome.
+	Reason Reason
+}
+
+// Reason enumerates why a call was allowed or blocked.
+type Reason int
+
+const (
+	// ReasonEnrolled: the caller's registrable domain is on the
+	// allow-list — the only legitimate path.
+	ReasonEnrolled Reason = iota
+	// ReasonBlockedNotEnrolled: the caller is not enrolled and the
+	// database is healthy; the browser blocks the call.
+	ReasonBlockedNotEnrolled
+	// ReasonDefaultAllowCorruptDB: the allow-list database is corrupted
+	// or missing and Chromium's implementation *permits the call as the
+	// default case* — the bug the paper reported to Google (§2.3). The
+	// paper exploits it on purpose to observe not-allowed callers.
+	ReasonDefaultAllowCorruptDB
+)
+
+// String returns a short diagnostic label.
+func (r Reason) String() string {
+	switch r {
+	case ReasonEnrolled:
+		return "enrolled"
+	case ReasonBlockedNotEnrolled:
+		return "blocked-not-enrolled"
+	case ReasonDefaultAllowCorruptDB:
+		return "default-allow-corrupt-db"
+	default:
+		return "unknown"
+	}
+}
+
+// Gate is the browser-side check executed on every Topics API call,
+// reproducing Chromium's behaviour including the corrupted-database
+// default-allow error path.
+type Gate struct {
+	list      *Allowlist
+	corrupted bool
+}
+
+// NewGate builds a gate from the result of loading the allow-list
+// database. Pass the error from ReadAllowlist: when it indicates a
+// corrupted or missing database the gate enters the buggy default-allow
+// mode, exactly as Chromium does.
+func NewGate(list *Allowlist, loadErr error) *Gate {
+	// Any load failure — corruption, missing file, I/O error — puts
+	// Chromium's implementation on the default-allow path.
+	return &Gate{list: list, corrupted: list == nil || loadErr != nil}
+}
+
+// NewEnforcingGate builds a healthy gate over an in-memory allow-list.
+func NewEnforcingGate(list *Allowlist) *Gate { return &Gate{list: list} }
+
+// NewCorruptedGate builds a gate in the buggy default-allow mode, the
+// configuration the paper's crawler deliberately runs with ("we on
+// purpose corrupted the local allow-list of our Chromium browser").
+func NewCorruptedGate() *Gate { return &Gate{corrupted: true} }
+
+// Corrupted reports whether the gate is in default-allow mode.
+func (g *Gate) Corrupted() bool { return g.corrupted }
+
+// Check decides whether caller may invoke the Topics API.
+func (g *Gate) Check(caller string) Decision {
+	if g.corrupted {
+		// Chromium bug: any first or third party may call the API when
+		// the internal database is corrupted or missing.
+		return Decision{Allowed: true, Reason: ReasonDefaultAllowCorruptDB}
+	}
+	if g.list.Contains(caller) {
+		return Decision{Allowed: true, Reason: ReasonEnrolled}
+	}
+	return Decision{Allowed: false, Reason: ReasonBlockedNotEnrolled}
+}

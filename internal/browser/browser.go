@@ -1,0 +1,292 @@
+// Package browser emulates the instrumented Chromium of the paper's
+// methodology (§2.2): it loads pages over HTTP, fetches subresources,
+// executes scripts and iframes with real browsing-context origin
+// semantics, implements the three Topics API call types (JavaScript,
+// Fetch, IFrame) with the Sec-Browsing-Topics / Observe-Browsing-Topics
+// header flow, enforces the caller allow-list through
+// internal/attestation's Gate — including Chromium's corrupted-database
+// default-allow bug — and records every Topics API invocation exactly as
+// the paper's modified BrowsingTopicsSiteDataManagerImpl does: calling
+// party, site, call type, context origin and timestamp.
+//
+// The origin rule that produces the paper's §4 anomaly is implemented
+// faithfully (Figure 4): a <script src="https://third.party/x.js">
+// placed directly in a page executes in the page's root browsing
+// context, so its document.browsingTopics() call carries the *website's*
+// origin; only scripts running inside an iframe carry the frame's
+// origin.
+package browser
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/netmeasure/topicscope/internal/attestation"
+	"github.com/netmeasure/topicscope/internal/dataset"
+	"github.com/netmeasure/topicscope/internal/etld"
+	"github.com/netmeasure/topicscope/internal/htmlx"
+	"github.com/netmeasure/topicscope/internal/topics"
+)
+
+// Header names of the Topics API network integration.
+const (
+	TopicsRequestHeader = "Sec-Browsing-Topics"
+	ObserveHeader       = "Observe-Browsing-Topics"
+	// VirtualTimeHeader is simulation plumbing, not part of the Topics
+	// protocol: the browser stamps every request with its virtual clock
+	// so the synthetic web server evaluates A/B-test slots at the
+	// *visit's* time, keeping concurrent crawls deterministic.
+	VirtualTimeHeader = "X-Topicscope-Time"
+	// VantageHeader declares the visitor's jurisdiction to the synthetic
+	// web (the stand-in for geo-IP): sites geo-fence their GDPR banners
+	// and gating on it. §6 notes the paper crawled from a single EU
+	// vantage; this knob explores the alternative.
+	VantageHeader        = "X-Topicscope-Vantage"
+	defaultUserAgent     = "topicscope/1.0 (emulated Chromium/122.0.6261.128)"
+	defaultMaxFrameDepth = 3
+	maxRedirects         = 5
+	maxBodySize          = 4 << 20
+)
+
+// Config configures a Browser.
+type Config struct {
+	// Client performs HTTP; typically webserver.(*Server).Client() or a
+	// TCP client. It must not follow redirects itself.
+	Client *http.Client
+	// Gate is the operational caller check. The paper's crawler runs a
+	// deliberately corrupted gate (attestation.NewCorruptedGate) so that
+	// even unenrolled callers execute and can be observed (§2.3).
+	Gate *attestation.Gate
+	// ReferenceAllowlist annotates each recorded call with the verdict a
+	// healthy allow-list would give, so the analysis can separate
+	// Allowed from !Allowed callers (Table 1).
+	ReferenceAllowlist *attestation.Allowlist
+	// Engine answers the Topics API calls. Optional: when nil every call
+	// returns no topics but is still recorded — matching a fresh profile
+	// with no browsing history.
+	Engine *topics.Engine
+	// Now supplies timestamps; defaults to time.Now.
+	Now func() time.Time
+	// MaxFrameDepth bounds iframe recursion.
+	MaxFrameDepth int
+	// UserAgent overrides the default UA string.
+	UserAgent string
+	// Vantage is the visitor jurisdiction: "eu" (default — the paper's
+	// setup) or "us". Outside the EU, TCF reports gdprApplies=false and
+	// consent-guarded tags proceed without a banner interaction.
+	Vantage string
+	// Scheme is the navigation scheme, "http" (default) or "https"; the
+	// synthetic web emits scheme-relative subresource URLs so either
+	// works end to end.
+	Scheme string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	if c.MaxFrameDepth <= 0 {
+		c.MaxFrameDepth = defaultMaxFrameDepth
+	}
+	if c.UserAgent == "" {
+		c.UserAgent = defaultUserAgent
+	}
+	if c.Gate == nil {
+		c.Gate = attestation.NewCorruptedGate()
+	}
+	if c.Vantage == "" {
+		c.Vantage = "eu"
+	}
+	if c.Scheme == "" {
+		c.Scheme = "http"
+	}
+	if c.ReferenceAllowlist == nil {
+		c.ReferenceAllowlist = attestation.NewAllowlist()
+	}
+	return c
+}
+
+// Browser is the emulated browser. It is safe for concurrent use; each
+// LoadPage call is independent, while consent state and the Topics
+// engine are shared like in one real browser profile.
+type Browser struct {
+	cfg Config
+
+	mu      sync.Mutex
+	consent map[string]bool // registrable domain -> consented
+}
+
+// New builds a Browser.
+func New(cfg Config) *Browser {
+	return &Browser{cfg: cfg.withDefaults(), consent: make(map[string]bool)}
+}
+
+// PageVisit is the instrumented result of loading one page.
+type PageVisit struct {
+	// RequestedURL is the navigation target.
+	RequestedURL string
+	// FinalURL is where the navigation ended after redirects.
+	FinalURL string
+	// PageOrigin is the host of the final document — the root browsing
+	// context's origin.
+	PageOrigin string
+	// Status is the final HTTP status.
+	Status int
+	// Resources lists every object downloaded.
+	Resources []dataset.Resource
+	// Calls lists every Topics API invocation observed.
+	Calls []dataset.TopicsCall
+	// Doc is the parsed final document, for consent detection.
+	Doc *htmlx.Node
+
+	visitedSite string // rank-list domain the visit is attributed to
+}
+
+// SetConsent marks the user as having accepted the privacy policy of the
+// given origin (Priv-Accept clicking "Accept"): subsequent requests to
+// that registrable domain carry the consent cookie and if-consent
+// integrations run.
+func (b *Browser) SetConsent(origin string) {
+	reg := etld.RegistrableDomain(origin)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consent[reg] = true
+}
+
+// HasConsent reports the consent state for an origin.
+func (b *Browser) HasConsent(origin string) bool {
+	reg := etld.RegistrableDomain(origin)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.consent[reg]
+}
+
+// ClearConsent forgets all consent state (fresh profile).
+func (b *Browser) ClearConsent() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consent = make(map[string]bool)
+}
+
+// LoadPage navigates to http://<site>/ and renders it: subresources are
+// fetched, scripts and iframes are executed with correct origin
+// semantics, Topics API calls are gated, executed and recorded.
+func (b *Browser) LoadPage(ctx context.Context, site string) (*PageVisit, error) {
+	v := &PageVisit{
+		RequestedURL: b.cfg.Scheme + "://" + site + "/",
+		visitedSite:  site,
+	}
+	resp, body, finalURL, err := b.navigate(ctx, v, v.RequestedURL)
+	if err != nil {
+		return v, fmt.Errorf("browser: loading %s: %w", site, err)
+	}
+	v.FinalURL = finalURL.String()
+	v.PageOrigin = etld.Normalize(finalURL.Host)
+	v.Status = resp.StatusCode
+	if resp.StatusCode != http.StatusOK {
+		return v, fmt.Errorf("browser: loading %s: status %d", site, resp.StatusCode)
+	}
+	v.Doc = htmlx.Parse(body)
+
+	// The page visit feeds the Topics history (the browser "observes the
+	// sites the user visits", §2.1).
+	if b.cfg.Engine != nil {
+		b.cfg.Engine.RecordVisit(v.PageOrigin)
+	}
+
+	ec := &execCtx{
+		visit:   v,
+		pageURL: finalURL,
+		origin:  v.PageOrigin,
+		depth:   0,
+	}
+	b.processDocument(ctx, ec, v.Doc)
+	return v, nil
+}
+
+// navigate GETs a URL following up to maxRedirects redirects, recording
+// every hop as a downloaded resource.
+func (b *Browser) navigate(ctx context.Context, v *PageVisit, rawURL string) (*http.Response, string, *url.URL, error) {
+	current := rawURL
+	for hop := 0; hop <= maxRedirects; hop++ {
+		u, err := url.Parse(current)
+		if err != nil {
+			return nil, "", nil, fmt.Errorf("parsing %q: %w", current, err)
+		}
+		resp, body, err := b.fetch(ctx, v, u, "", nil)
+		if err != nil {
+			return nil, "", nil, err
+		}
+		if resp.StatusCode >= 300 && resp.StatusCode < 400 {
+			loc := resp.Header.Get("Location")
+			if loc == "" {
+				return resp, body, u, nil
+			}
+			next, err := u.Parse(loc)
+			if err != nil {
+				return nil, "", nil, fmt.Errorf("bad redirect %q: %w", loc, err)
+			}
+			current = next.String()
+			continue
+		}
+		return resp, body, u, nil
+	}
+	return nil, "", nil, fmt.Errorf("too many redirects for %s", rawURL)
+}
+
+// fetch downloads one URL, records it as a resource, attaches the
+// consent cookie for consented first-party hosts, the Referer, and any
+// extra headers. It honours Observe-Browsing-Topics responses.
+func (b *Browser) fetch(ctx context.Context, v *PageVisit, u *url.URL, referer string, extra http.Header) (*http.Response, string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
+	if err != nil {
+		return nil, "", fmt.Errorf("building request: %w", err)
+	}
+	req.Header.Set("User-Agent", b.cfg.UserAgent)
+	req.Header.Set(VirtualTimeHeader, b.cfg.Now().UTC().Format(time.RFC3339Nano))
+	req.Header.Set(VantageHeader, b.cfg.Vantage)
+	if referer != "" {
+		req.Header.Set("Referer", referer)
+	}
+	for k, vals := range extra {
+		for _, val := range vals {
+			req.Header.Add(k, val)
+		}
+	}
+	if b.HasConsent(u.Host) {
+		req.AddCookie(&http.Cookie{Name: "consent", Value: "1"})
+	}
+
+	resp, err := b.cfg.Client.Do(req)
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBodySize))
+	if err != nil {
+		return nil, "", fmt.Errorf("reading %s: %w", u, err)
+	}
+
+	host := etld.Normalize(u.Host)
+	v.Resources = append(v.Resources, dataset.Resource{
+		URL:        u.String(),
+		Host:       host,
+		ThirdParty: !etld.SameSite(host, v.visitedSite),
+	})
+
+	// A caller that received topics and answers Observe-Browsing-Topics
+	// has its page observation recorded (the header flow of the Topics
+	// fetch integration).
+	if b.cfg.Engine != nil &&
+		req.Header.Get(TopicsRequestHeader) != "" &&
+		strings.HasPrefix(resp.Header.Get(ObserveHeader), "?1") {
+		b.cfg.Engine.Observe(v.visitedSite, etld.RegistrableDomain(host))
+	}
+	return resp, string(body), nil
+}

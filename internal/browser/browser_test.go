@@ -1,0 +1,378 @@
+package browser
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/netmeasure/topicscope/internal/attestation"
+	"github.com/netmeasure/topicscope/internal/classifier"
+	"github.com/netmeasure/topicscope/internal/dataset"
+	"github.com/netmeasure/topicscope/internal/etld"
+	"github.com/netmeasure/topicscope/internal/taxonomy"
+	"github.com/netmeasure/topicscope/internal/topics"
+	"github.com/netmeasure/topicscope/internal/webserver"
+	"github.com/netmeasure/topicscope/internal/webworld"
+)
+
+var (
+	twWorld  = webworld.Generate(webworld.Config{Seed: 42, NumSites: 2000})
+	twNow    = time.Date(2024, 3, 30, 12, 0, 0, 0, time.UTC)
+	twServer = webserver.New(twWorld, func() time.Time { return twNow })
+	twAllow  = attestation.NewAllowlist(twWorld.Catalog.AllowedDomains()...)
+)
+
+// newTestBrowser builds a browser in the paper's crawl configuration:
+// corrupted gate, reference allow-list for annotation.
+func newTestBrowser(t *testing.T, gate *attestation.Gate, engine *topics.Engine) *Browser {
+	t.Helper()
+	if gate == nil {
+		gate = attestation.NewCorruptedGate()
+	}
+	return New(Config{
+		Client:             twServer.Client(),
+		Gate:               gate,
+		ReferenceAllowlist: twAllow,
+		Engine:             engine,
+		Now:                func() time.Time { return twNow },
+	})
+}
+
+func findSite(t *testing.T, pred func(*webworld.Site) bool) *webworld.Site {
+	t.Helper()
+	for _, s := range twWorld.Sites {
+		if s.Reachable && pred(s) {
+			return s
+		}
+	}
+	t.Skip("no site matches predicate in test world")
+	return nil
+}
+
+func hasPlatform(s *webworld.Site, domain string) bool {
+	for _, p := range s.Platforms {
+		if p == domain {
+			return true
+		}
+	}
+	return false
+}
+
+func callsBy(v *PageVisit, caller string) []dataset.TopicsCall {
+	var out []dataset.TopicsCall
+	for _, c := range v.Calls {
+		if c.Caller == caller {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func TestLoadPageRecordsResources(t *testing.T) {
+	site := findSite(t, func(s *webworld.Site) bool {
+		return s.RedirectTo == "" && len(s.LongTail) > 2
+	})
+	b := newTestBrowser(t, nil, nil)
+	v, err := b.LoadPage(context.Background(), site.Domain)
+	if err != nil {
+		t.Fatalf("LoadPage: %v", err)
+	}
+	if v.Status != 200 || v.PageOrigin != site.Domain {
+		t.Fatalf("visit: %+v", v)
+	}
+	var first, third int
+	for _, r := range v.Resources {
+		if r.ThirdParty {
+			third++
+		} else {
+			first++
+		}
+	}
+	if first < 2 || third < 2 {
+		t.Errorf("resources first=%d third=%d, want both populated", first, third)
+	}
+	tp := v.Resources
+	_ = tp
+	if v.Doc == nil {
+		t.Error("document not parsed")
+	}
+}
+
+func TestPlatformCallEnabledSite(t *testing.T) {
+	// criteo has EnabledRate 0.75 and is not consent-aware: on an
+	// ungated site where its A/B slot is ON, a call must be recorded
+	// with caller criteo.com even before consent.
+	p, _ := twWorld.Catalog.ByDomain("criteo.com")
+	site := findSite(t, func(s *webworld.Site) bool {
+		return s.LoadsAdsPreConsent() && s.RedirectTo == "" && hasPlatform(s, "criteo.com") &&
+			p.EnabledOn(s.Domain, twNow) && !p.GuardsConsentOn(s.Domain)
+	})
+	b := newTestBrowser(t, nil, nil)
+	v, err := b.LoadPage(context.Background(), site.Domain)
+	if err != nil {
+		t.Fatalf("LoadPage: %v", err)
+	}
+	calls := callsBy(v, "criteo.com")
+	if len(calls) == 0 {
+		t.Fatal("no criteo call recorded on enabled ungated site")
+	}
+	c := calls[0]
+	if !c.GateAllowed {
+		t.Error("criteo must be annotated as allow-listed")
+	}
+	if c.Site != site.Domain {
+		t.Errorf("call site %q", c.Site)
+	}
+	// For a JavaScript-type call the context origin must be criteo's
+	// frame, not the page.
+	if c.Type == dataset.CallJavaScript && !etld.SameSite(c.ContextOrigin, "criteo.com") {
+		t.Errorf("JS call context origin %q, want criteo.com frame", c.ContextOrigin)
+	}
+}
+
+func TestGTMAnomalousCall(t *testing.T) {
+	site := findSite(t, func(s *webworld.Site) bool {
+		return s.GTMTopicsCall && !s.GTMConsentMode && s.RedirectTo == ""
+	})
+	b := newTestBrowser(t, nil, nil)
+	v, err := b.LoadPage(context.Background(), site.Domain)
+	if err != nil {
+		t.Fatalf("LoadPage: %v", err)
+	}
+	calls := callsBy(v, site.Domain)
+	if len(calls) == 0 {
+		t.Fatal("anomalous first-party call missing")
+	}
+	c := calls[0]
+	if c.Type != dataset.CallJavaScript {
+		t.Errorf("anomalous call type %q, §4 reports all use browsingTopics()", c.Type)
+	}
+	if c.ContextOrigin != site.Domain {
+		t.Errorf("context origin %q, want the page itself (Figure 4)", c.ContextOrigin)
+	}
+	if c.GateAllowed {
+		t.Error("first party must not be annotated as allow-listed")
+	}
+	if c.GateReason != "default-allow-corrupt-db" {
+		t.Errorf("gate reason %q", c.GateReason)
+	}
+}
+
+func TestEnforcingGateBlocksAnomalousCalls(t *testing.T) {
+	site := findSite(t, func(s *webworld.Site) bool {
+		return s.GTMTopicsCall && !s.GTMConsentMode && s.RedirectTo == ""
+	})
+	b := newTestBrowser(t, attestation.NewEnforcingGate(twAllow), nil)
+	v, err := b.LoadPage(context.Background(), site.Domain)
+	if err != nil {
+		t.Fatalf("LoadPage: %v", err)
+	}
+	if calls := callsBy(v, site.Domain); len(calls) != 0 {
+		t.Errorf("healthy gate let a first-party call through: %+v", calls)
+	}
+}
+
+func TestConsentGuard(t *testing.T) {
+	// A consent-mode GTM site: no call before consent, call after.
+	site := findSite(t, func(s *webworld.Site) bool {
+		return s.GTMTopicsCall && s.GTMConsentMode && s.RedirectTo == ""
+	})
+	b := newTestBrowser(t, nil, nil)
+	v, err := b.LoadPage(context.Background(), site.Domain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(callsBy(v, site.Domain)) != 0 {
+		t.Fatal("consent-mode call fired before consent")
+	}
+	b.SetConsent(site.Domain)
+	v2, err := b.LoadPage(context.Background(), site.Domain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(callsBy(v2, site.Domain)) == 0 {
+		t.Error("consent-mode call missing after consent")
+	}
+}
+
+func TestGatedSiteHidesPlatformsUntilConsent(t *testing.T) {
+	site := findSite(t, func(s *webworld.Site) bool {
+		return s.Gated && s.RedirectTo == "" && len(s.Platforms) > 1
+	})
+	b := newTestBrowser(t, nil, nil)
+	v, _ := b.LoadPage(context.Background(), site.Domain)
+	for _, r := range v.Resources {
+		if strings.Contains(r.URL, "/tag.js") {
+			t.Fatalf("gated site loaded %s before consent", r.URL)
+		}
+	}
+	b.SetConsent(site.Domain)
+	v2, _ := b.LoadPage(context.Background(), site.Domain)
+	found := false
+	for _, r := range v2.Resources {
+		if strings.Contains(r.URL, "/tag.js") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("platform tags missing after consent")
+	}
+}
+
+func TestRedirectSiteCallsUnderSisterOrigin(t *testing.T) {
+	site := findSite(t, func(s *webworld.Site) bool {
+		return s.RedirectTo != "" && s.GTMTopicsCall && !s.GTMConsentMode
+	})
+	b := newTestBrowser(t, nil, nil)
+	v, err := b.LoadPage(context.Background(), site.Domain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.PageOrigin != site.RedirectTo {
+		t.Fatalf("page origin %q, want sister %q", v.PageOrigin, site.RedirectTo)
+	}
+	calls := callsBy(v, site.RedirectTo)
+	if len(calls) == 0 {
+		t.Fatal("no call under sister origin")
+	}
+	if calls[0].Site != site.Domain {
+		t.Errorf("call attributed to %q, want visited domain %q", calls[0].Site, site.Domain)
+	}
+	if etld.SameSecondLevel(calls[0].Caller, site.Domain) {
+		t.Error("sister caller unexpectedly shares second-level label")
+	}
+}
+
+func TestIframeTypeCallSendsHeader(t *testing.T) {
+	// Find a site where doubleclick (mixHeader) picks the iframe type
+	// and is enabled; consent needed (doubleclick is consent-aware).
+	p, _ := twWorld.Catalog.ByDomain("doubleclick.net")
+	site := findSite(t, func(s *webworld.Site) bool {
+		return s.RedirectTo == "" && hasPlatform(s, "doubleclick.net") &&
+			p.EnabledOn(s.Domain, twNow) &&
+			p.CallTypeFor(s.Domain) == dataset.CallIframe
+	})
+	b := newTestBrowser(t, nil, nil)
+	b.SetConsent(site.Domain)
+	v, err := b.LoadPage(context.Background(), site.Domain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := callsBy(v, "doubleclick.net")
+	if len(calls) == 0 {
+		t.Fatal("no doubleclick call")
+	}
+	if calls[0].Type != dataset.CallIframe {
+		t.Errorf("call type %q, want iframe", calls[0].Type)
+	}
+}
+
+func TestConsentAwarePlatformSilentBeforeConsent(t *testing.T) {
+	p, _ := twWorld.Catalog.ByDomain("doubleclick.net")
+	site := findSite(t, func(s *webworld.Site) bool {
+		return s.LoadsAdsPreConsent() && s.RedirectTo == "" && hasPlatform(s, "doubleclick.net") &&
+			p.EnabledOn(s.Domain, twNow)
+	})
+	b := newTestBrowser(t, nil, nil)
+	v, _ := b.LoadPage(context.Background(), site.Domain)
+	if calls := callsBy(v, "doubleclick.net"); len(calls) != 0 {
+		t.Errorf("doubleclick called before consent: %+v", calls)
+	}
+	// Presence is still visible through its resources.
+	seen := false
+	for _, r := range v.Resources {
+		if etld.SameSite(r.Host, "doubleclick.net") {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Error("doubleclick resources missing on ungated site")
+	}
+}
+
+func TestEngineIntegrationReturnsTopics(t *testing.T) {
+	// With an engine that has history, an allowed caller receives
+	// topics and the record notes how many.
+	tx := taxonomy.NewV2()
+	cl := classifier.New(tx)
+	clock := twNow
+	eng := topics.NewEngine(tx, cl, topics.Config{
+		Seed: 5, NoNoise: true,
+		Now: func() time.Time { return clock },
+	})
+	// Build one epoch of history observed by criteo.
+	for _, s := range []string{"news-site.com", "travel-site.com", "games-site.com", "pizza-site.com", "chess-site.com"} {
+		eng.RecordVisit(s)
+		eng.Observe(s, "criteo.com")
+	}
+	clock = clock.Add(topics.DefaultEpochDuration)
+	eng.AdvanceEpoch()
+
+	p, _ := twWorld.Catalog.ByDomain("criteo.com")
+	site := findSite(t, func(s *webworld.Site) bool {
+		return s.RedirectTo == "" && hasPlatform(s, "criteo.com") &&
+			p.EnabledOn(s.Domain, twNow)
+	})
+	b := newTestBrowser(t, nil, eng)
+	b.SetConsent(site.Domain)
+	v, err := b.LoadPage(context.Background(), site.Domain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := callsBy(v, "criteo.com")
+	if len(calls) == 0 {
+		t.Fatal("no criteo call")
+	}
+	if calls[0].TopicsReturned == 0 {
+		t.Error("criteo received no topics despite epoch history")
+	}
+}
+
+func TestUnreachableSiteReturnsError(t *testing.T) {
+	var dead *webworld.Site
+	for _, s := range twWorld.Sites {
+		if !s.Reachable {
+			dead = s
+			break
+		}
+	}
+	b := newTestBrowser(t, nil, nil)
+	if _, err := b.LoadPage(context.Background(), dead.Domain); err == nil {
+		t.Error("unreachable site loaded")
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	b := newTestBrowser(t, nil, nil)
+	site := findSite(t, func(s *webworld.Site) bool { return s.RedirectTo == "" })
+	if _, err := b.LoadPage(ctx, site.Domain); err == nil {
+		t.Error("cancelled context still loaded page")
+	}
+}
+
+func TestConsentStateManagement(t *testing.T) {
+	b := newTestBrowser(t, nil, nil)
+	b.SetConsent("www.foo.com")
+	if !b.HasConsent("cdn.foo.com") {
+		t.Error("consent must apply to the registrable domain")
+	}
+	if b.HasConsent("bar.com") {
+		t.Error("consent leaked across sites")
+	}
+	b.ClearConsent()
+	if b.HasConsent("foo.com") {
+		t.Error("ClearConsent did not reset")
+	}
+}
+
+func TestFormatTopicsHeader(t *testing.T) {
+	if got := formatTopicsHeader(nil); got != "();v=chrome.2" {
+		t.Errorf("empty header = %q", got)
+	}
+	if got := formatTopicsHeader([]int{1, 42}); got != "(1 42);v=chrome.2" {
+		t.Errorf("header = %q", got)
+	}
+}

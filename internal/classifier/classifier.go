@@ -1,0 +1,184 @@
+// Package classifier maps hostnames to taxonomy topics.
+//
+// Paper §2.1: "During each epoch ... the browser collects the visited
+// websites and assigns to each of them one or more labels, called topics,
+// using a predefined language model." Chrome implements this as a
+// manually curated override list of ~10k popular domains backed by a
+// small on-device neural model over the hostname string.
+//
+// This package mirrors that two-tier design with deterministic,
+// dependency-free components:
+//
+//  1. an override table (exact registrable-domain matches), and
+//  2. a token model: hostname labels are split into word tokens that are
+//     matched against a keyword→topic table; hosts with no matching
+//     token hash deterministically onto the taxonomy so every site gets
+//     a stable, repeatable classification (Chrome similarly always
+//     produces *some* output; unknown sites get low-confidence topics).
+//
+// Classification is a pure function of the hostname, which the tests and
+// the reproducibility guarantees of the crawler rely on.
+package classifier
+
+import (
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"github.com/netmeasure/topicscope/internal/etld"
+	"github.com/netmeasure/topicscope/internal/taxonomy"
+)
+
+// MaxTopicsPerSite caps how many topics a single site classification
+// yields, mirroring Chrome's model output cap.
+const MaxTopicsPerSite = 3
+
+// Classifier assigns topics to hostnames.
+type Classifier struct {
+	tx        *taxonomy.Taxonomy
+	overrides map[string][]int    // registrable domain -> topic IDs
+	keywords  map[string][]string // token -> topic paths
+	resolved  map[string][]int    // token -> topic IDs (resolved at construction)
+}
+
+// Option configures a Classifier.
+type Option func(*Classifier)
+
+// WithOverride adds an exact override: the registrable domain of host is
+// always classified as the given topic paths. Unknown paths are ignored,
+// as Chrome ignores stale override entries after a taxonomy migration.
+func WithOverride(host string, paths ...string) Option {
+	return func(c *Classifier) {
+		var ids []int
+		for _, p := range paths {
+			if t, ok := c.tx.ByPath(p); ok {
+				ids = append(ids, t.ID)
+			}
+		}
+		if len(ids) > 0 {
+			c.overrides[etld.RegistrableDomain(host)] = capTopics(ids)
+		}
+	}
+}
+
+// New builds a Classifier over the given taxonomy with the built-in
+// keyword model plus any options.
+func New(tx *taxonomy.Taxonomy, opts ...Option) *Classifier {
+	c := &Classifier{
+		tx:        tx,
+		overrides: make(map[string][]int),
+		keywords:  builtinKeywords,
+		resolved:  make(map[string][]int),
+	}
+	for token, paths := range c.keywords {
+		var ids []int
+		for _, p := range paths {
+			if t, ok := tx.ByPath(p); ok {
+				ids = append(ids, t.ID)
+			}
+		}
+		if len(ids) > 0 {
+			c.resolved[token] = ids
+		}
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Classify returns the topics for host, at most MaxTopicsPerSite, in
+// stable order. It never returns an empty slice for a non-empty host.
+func (c *Classifier) Classify(host string) []taxonomy.Topic {
+	host = etld.Normalize(host)
+	if host == "" {
+		return nil
+	}
+	if ids, ok := c.overrides[etld.RegistrableDomain(host)]; ok {
+		return c.topics(ids)
+	}
+	ids := c.tokenModel(host)
+	if len(ids) == 0 {
+		ids = []int{c.fallback(host)}
+	}
+	return c.topics(capTopics(ids))
+}
+
+// ClassifyIDs is Classify returning bare topic IDs.
+func (c *Classifier) ClassifyIDs(host string) []int {
+	ts := c.Classify(host)
+	ids := make([]int, len(ts))
+	for i, t := range ts {
+		ids[i] = t.ID
+	}
+	return ids
+}
+
+// tokenModel splits the hostname into word tokens and collects keyword
+// matches. Matches are deduplicated and sorted for determinism.
+func (c *Classifier) tokenModel(host string) []int {
+	seen := make(map[int]bool)
+	var ids []int
+	for _, token := range Tokenize(host) {
+		for _, id := range c.resolved[token] {
+			if !seen[id] {
+				seen[id] = true
+				ids = append(ids, id)
+			}
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// fallback hashes the registrable domain onto the taxonomy so unknown
+// hosts still receive one stable topic.
+func (c *Classifier) fallback(host string) int {
+	h := fnv.New64a()
+	h.Write([]byte(etld.RegistrableDomain(host)))
+	return int(h.Sum64()%uint64(c.tx.Len())) + 1
+}
+
+func (c *Classifier) topics(ids []int) []taxonomy.Topic {
+	out := make([]taxonomy.Topic, 0, len(ids))
+	for _, id := range ids {
+		if t, ok := c.tx.Get(id); ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func capTopics(ids []int) []int {
+	if len(ids) > MaxTopicsPerSite {
+		return ids[:MaxTopicsPerSite]
+	}
+	return ids
+}
+
+// Tokenize splits a hostname into lowercase word tokens: labels are split
+// on '.', '-', '_' and digit boundaries; the public suffix is dropped
+// (".com" carries no interest signal).
+func Tokenize(host string) []string {
+	host = etld.Normalize(host)
+	suffix := etld.PublicSuffix(host)
+	host = strings.TrimSuffix(host, suffix)
+	var tokens []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() >= 2 { // single letters are noise
+			tokens = append(tokens, b.String())
+		}
+		b.Reset()
+	}
+	for _, r := range host {
+		switch {
+		case r >= 'a' && r <= 'z':
+			b.WriteRune(r)
+		default:
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}

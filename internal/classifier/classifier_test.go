@@ -1,0 +1,163 @@
+package classifier
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/netmeasure/topicscope/internal/taxonomy"
+)
+
+func newTestClassifier(t *testing.T, opts ...Option) *Classifier {
+	t.Helper()
+	return New(taxonomy.NewV2(), opts...)
+}
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"travel-deals.com", []string{"travel", "deals"}},
+		{"www.sport24news.fr", []string{"www", "sport", "news"}},
+		{"a-b.com", nil}, // single letters dropped
+		{"foo_bar.co.uk", []string{"foo", "bar"}},
+		{"", nil},
+	}
+	for _, c := range cases {
+		if got := Tokenize(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestClassifyKeyword(t *testing.T) {
+	c := newTestClassifier(t)
+	topics := c.Classify("www.travel-hotels.com")
+	if len(topics) == 0 {
+		t.Fatal("no topics for keyword-rich host")
+	}
+	paths := map[string]bool{}
+	for _, tp := range topics {
+		paths[tp.Path] = true
+	}
+	if !paths["/Travel & Transportation"] {
+		t.Errorf("expected travel topic, got %v", topics)
+	}
+	if !paths["/Travel & Transportation/Hotels & Accommodations"] {
+		t.Errorf("expected hotels topic, got %v", topics)
+	}
+}
+
+func TestClassifyCap(t *testing.T) {
+	c := newTestClassifier(t)
+	// A host matching many keywords must still return at most the cap.
+	topics := c.Classify("news-sport-travel-food-games.com")
+	if len(topics) > MaxTopicsPerSite {
+		t.Errorf("got %d topics, cap is %d", len(topics), MaxTopicsPerSite)
+	}
+	if len(topics) == 0 {
+		t.Error("expected topics")
+	}
+}
+
+func TestClassifyFallbackDeterministic(t *testing.T) {
+	c := newTestClassifier(t)
+	a := c.Classify("zzqxv.example")
+	b := c.Classify("zzqxv.example")
+	if len(a) != 1 {
+		t.Fatalf("fallback should give exactly 1 topic, got %v", a)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("fallback not deterministic: %v vs %v", a, b)
+	}
+	// Subdomains of the same registrable domain classify identically.
+	if got := c.Classify("cdn.zzqxv.example"); !reflect.DeepEqual(got, a) {
+		t.Errorf("subdomain classified differently: %v vs %v", got, a)
+	}
+}
+
+func TestClassifyEmpty(t *testing.T) {
+	c := newTestClassifier(t)
+	if got := c.Classify(""); got != nil {
+		t.Errorf("Classify(\"\") = %v, want nil", got)
+	}
+}
+
+func TestOverrideWins(t *testing.T) {
+	c := newTestClassifier(t, WithOverride("travel-hotels.com", "/Sports/Golf"))
+	topics := c.Classify("www.travel-hotels.com")
+	if len(topics) != 1 || topics[0].Path != "/Sports/Golf" {
+		t.Errorf("override not applied: %v", topics)
+	}
+}
+
+func TestOverrideUnknownPathIgnored(t *testing.T) {
+	c := newTestClassifier(t, WithOverride("foo.com", "/Not A Real Topic"))
+	topics := c.Classify("foo.com")
+	if len(topics) == 0 {
+		t.Fatal("expected fallback classification")
+	}
+	if topics[0].Path == "/Not A Real Topic" {
+		t.Error("bogus override survived")
+	}
+}
+
+func TestClassifyIDsMatchesClassify(t *testing.T) {
+	c := newTestClassifier(t)
+	for _, host := range []string{"news.example.com", "shop-fashion.de", "qqq.example"} {
+		topics := c.Classify(host)
+		ids := c.ClassifyIDs(host)
+		if len(topics) != len(ids) {
+			t.Fatalf("length mismatch for %q", host)
+		}
+		for i := range ids {
+			if topics[i].ID != ids[i] {
+				t.Errorf("ID mismatch at %d for %q", i, host)
+			}
+		}
+	}
+}
+
+func TestAllKeywordPathsResolve(t *testing.T) {
+	tx := taxonomy.NewV2()
+	for token, paths := range builtinKeywords {
+		for _, p := range paths {
+			if _, ok := tx.ByPath(p); !ok {
+				t.Errorf("keyword %q maps to unknown taxonomy path %q", token, p)
+			}
+		}
+	}
+}
+
+// Property: classification is always non-empty for non-empty hosts,
+// capped, deterministic, and yields valid taxonomy IDs.
+func TestClassifyProperties(t *testing.T) {
+	c := newTestClassifier(t)
+	tx := taxonomy.NewV2()
+	words := []string{"news", "shop", "zz", "travel", "qwerty", "cdn", "static", "game"}
+	tlds := []string{"com", "net", "de", "fr", "co.uk", "ru"}
+	f := func(a, b, tld uint8, hyphen bool) bool {
+		host := words[int(a)%len(words)]
+		if hyphen {
+			host += "-" + words[int(b)%len(words)]
+		} else {
+			host += words[int(b)%len(words)]
+		}
+		host += "." + tlds[int(tld)%len(tlds)]
+		got := c.Classify(host)
+		if len(got) == 0 || len(got) > MaxTopicsPerSite {
+			return false
+		}
+		for _, topic := range got {
+			if _, ok := tx.Get(topic.ID); !ok {
+				return false
+			}
+		}
+		again := c.Classify(host)
+		return reflect.DeepEqual(got, again)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,400 @@
+// Package crawler runs the paper's measurement campaign (§2.2): visit
+// each site of a rank list, record the Before-Accept state, try to
+// accept the privacy banner with the Priv-Accept logic, and — only on
+// success — record an After-Accept visit. Every visit captures the
+// downloaded first- and third-party objects and every Topics API call.
+//
+// The crawler is deliberately configured the way the paper's was:
+//
+//   - the browser's allow-list gate is corrupted, so not-Allowed callers
+//     execute and are observed (§2.3);
+//   - a reference allow-list annotates each call with the verdict a
+//     healthy browser would have reached;
+//   - visit times advance on a virtual clock derived from the site's
+//     rank, so concurrent workers produce a byte-identical dataset.
+package crawler
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/netmeasure/topicscope/internal/attestation"
+	"github.com/netmeasure/topicscope/internal/browser"
+	"github.com/netmeasure/topicscope/internal/dataset"
+	"github.com/netmeasure/topicscope/internal/etld"
+	"github.com/netmeasure/topicscope/internal/privaccept"
+	"github.com/netmeasure/topicscope/internal/topics"
+	"github.com/netmeasure/topicscope/internal/tranco"
+)
+
+// Config parameterises a crawl.
+type Config struct {
+	// Client performs HTTP for every browser the crawl spawns.
+	Client *http.Client
+	// ReferenceAllowlist is the healthy allow-list used for annotation
+	// (and for the enforcing gate if Enforce is set).
+	ReferenceAllowlist *attestation.Allowlist
+	// Enforce runs the crawl with a healthy gate instead of the paper's
+	// corrupted one — an ablation: anomalous calls disappear.
+	Enforce bool
+	// Engine optionally gives the crawl a browsing-history-bearing
+	// Topics engine shared across all visits (one browser profile).
+	Engine *topics.Engine
+	// Workers is the parallelism (default 8).
+	Workers int
+	// Start is the virtual time of the first visit (default the paper's
+	// crawl date, March 30th 2024).
+	Start time.Time
+	// VisitSpacing separates consecutive sites on the virtual clock; a
+	// 50k-site crawl at 2s spacing spans ≈1 day like the paper's.
+	VisitSpacing time.Duration
+	// AcceptDelay separates a site's Before- and After-Accept visits.
+	AcceptDelay time.Duration
+	// PageTimeout bounds one page load (navigation plus every
+	// subresource); default 30s, like a patient real crawl.
+	PageTimeout time.Duration
+	// Vantage is the visitor jurisdiction ("eu" default, "us"): §6's
+	// single-location limitation, made a knob.
+	Vantage string
+	// Scheme is "http" (default) or "https" — with a TLS client from
+	// webserver.NewTLSClient the whole campaign runs over HTTPS/2.
+	Scheme string
+	// Writer, when set, receives every visit record in rank order.
+	Writer *dataset.Writer
+	// Collect keeps all visits in memory and returns them from Run.
+	Collect bool
+	// SkipSites lists sites already crawled (resume support): they are
+	// not revisited and produce no records.
+	SkipSites map[string]bool
+	// Logger receives progress; nil disables logging.
+	Logger *slog.Logger
+	// ProgressEvery logs progress each N sites (default 1000).
+	ProgressEvery int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.Start.IsZero() {
+		c.Start = time.Date(2024, 3, 30, 6, 0, 0, 0, time.UTC)
+	}
+	if c.VisitSpacing <= 0 {
+		c.VisitSpacing = 2 * time.Second
+	}
+	if c.AcceptDelay <= 0 {
+		c.AcceptDelay = 30 * time.Second
+	}
+	if c.PageTimeout <= 0 {
+		c.PageTimeout = 30 * time.Second
+	}
+	if c.ProgressEvery <= 0 {
+		c.ProgressEvery = 1000
+	}
+	if c.ReferenceAllowlist == nil {
+		c.ReferenceAllowlist = attestation.NewAllowlist()
+	}
+	return c
+}
+
+// Stats aggregates a finished crawl.
+type Stats struct {
+	// Attempted sites, successful Before-Accept visits, and failures.
+	Attempted, Succeeded, Failed int
+	// BannersFound and Accepted count Priv-Accept outcomes; Accepted is
+	// the D_AA size.
+	BannersFound, Accepted int
+	// CallsBefore / CallsAfter are total Topics API calls per phase.
+	CallsBefore, CallsAfter int
+	// Elapsed is the wall-clock duration of the crawl.
+	Elapsed time.Duration
+}
+
+// String renders a compact summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("attempted=%d ok=%d failed=%d banners=%d accepted=%d callsBA=%d callsAA=%d elapsed=%s",
+		s.Attempted, s.Succeeded, s.Failed, s.BannersFound, s.Accepted,
+		s.CallsBefore, s.CallsAfter, s.Elapsed.Round(time.Millisecond))
+}
+
+// Result bundles a crawl's outputs.
+type Result struct {
+	Stats Stats
+	// Data holds the visits if Config.Collect was set.
+	Data *dataset.Dataset
+}
+
+// Crawler executes measurement campaigns.
+type Crawler struct {
+	cfg Config
+}
+
+// New builds a Crawler.
+func New(cfg Config) *Crawler {
+	return &Crawler{cfg: cfg.withDefaults()}
+}
+
+// siteResult carries one site's visit records to the rank-ordered
+// writer.
+type siteResult struct {
+	rank   int
+	visits []dataset.Visit
+}
+
+// Run crawls every entry of the list. It honours ctx cancellation,
+// returning the partial result and ctx.Err().
+func (c *Crawler) Run(ctx context.Context, list *tranco.List) (*Result, error) {
+	started := time.Now()
+	cfg := c.cfg
+	res := &Result{}
+	if cfg.Collect {
+		res.Data = &dataset.Dataset{}
+	}
+
+	jobs := make(chan tranco.Entry)
+	results := make(chan siteResult, cfg.Workers*2)
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for entry := range jobs {
+				var visits []dataset.Visit
+				if !cfg.SkipSites[entry.Domain] {
+					visits = c.crawlSite(ctx, entry)
+				}
+				select {
+				case results <- siteResult{rank: entry.Rank, visits: visits}:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+
+	// Feeder.
+	go func() {
+		defer close(jobs)
+		for _, e := range list.Entries {
+			select {
+			case jobs <- e:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Rank-ordered consumer: a reorder buffer keyed by rank keeps the
+	// output deterministic under any worker scheduling.
+	err := c.consume(ctx, list, results, res)
+	if err != nil {
+		// Unblock any workers still sending so they can observe ctx or
+		// finish; without this a failed writer would leak goroutines.
+		go func() {
+			for range results {
+			}
+		}()
+	}
+	res.Stats.Elapsed = time.Since(started)
+	if cfg.Logger != nil {
+		cfg.Logger.Info("crawl finished", "stats", res.Stats.String())
+	}
+	return res, err
+}
+
+func (c *Crawler) consume(ctx context.Context, list *tranco.List, results <-chan siteResult, res *Result) error {
+	cfg := c.cfg
+	pending := make(map[int][]dataset.Visit)
+	if len(list.Entries) == 0 {
+		return nil
+	}
+	nextIdx := 0
+	emit := func(visits []dataset.Visit) error {
+		for i := range visits {
+			v := &visits[i]
+			c.accumulate(res, v)
+			if cfg.Writer != nil {
+				if err := cfg.Writer.Write(v); err != nil {
+					return err
+				}
+			}
+			if cfg.Collect {
+				res.Data.Append(*v)
+			}
+		}
+		return nil
+	}
+	done := 0
+	for sr := range results {
+		pending[sr.rank] = sr.visits
+		for nextIdx < len(list.Entries) {
+			visits, ok := pending[list.Entries[nextIdx].Rank]
+			if !ok {
+				break
+			}
+			delete(pending, list.Entries[nextIdx].Rank)
+			if err := emit(visits); err != nil {
+				return err
+			}
+			nextIdx++
+			done++
+			if cfg.Logger != nil && done%cfg.ProgressEvery == 0 {
+				cfg.Logger.Info("crawl progress", "sites", done, "of", len(list.Entries))
+			}
+		}
+	}
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	if cfg.Writer != nil {
+		if err := cfg.Writer.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Crawler) accumulate(res *Result, v *dataset.Visit) {
+	st := &res.Stats
+	switch v.Phase {
+	case dataset.BeforeAccept:
+		st.Attempted++
+		if v.Success {
+			st.Succeeded++
+		} else {
+			st.Failed++
+		}
+		if v.BannerDetected {
+			st.BannersFound++
+		}
+		if v.Accepted {
+			st.Accepted++
+		}
+		st.CallsBefore += len(v.Calls)
+	case dataset.AfterAccept:
+		st.CallsAfter += len(v.Calls)
+	}
+}
+
+// crawlSite performs the Before-Accept visit, the Priv-Accept consent
+// interaction and — on success — the After-Accept visit.
+func (c *Crawler) crawlSite(ctx context.Context, entry tranco.Entry) []dataset.Visit {
+	cfg := c.cfg
+	visitTime := cfg.Start.Add(time.Duration(entry.Rank-1) * cfg.VisitSpacing)
+
+	// One fresh browser profile per site; the Topics engine (if any) is
+	// shared, like a single browser visiting site after site.
+	clock := visitTime
+	gate := attestation.NewCorruptedGate()
+	if cfg.Enforce {
+		gate = attestation.NewEnforcingGate(cfg.ReferenceAllowlist)
+	}
+	b := browser.New(browser.Config{
+		Client:             cfg.Client,
+		Gate:               gate,
+		ReferenceAllowlist: cfg.ReferenceAllowlist,
+		Engine:             cfg.Engine,
+		Vantage:            cfg.Vantage,
+		Scheme:             cfg.Scheme,
+		Now:                func() time.Time { return clock },
+	})
+
+	// Before-Accept visit.
+	before := dataset.Visit{
+		Site:      entry.Domain,
+		Rank:      entry.Rank,
+		Phase:     dataset.BeforeAccept,
+		FetchedAt: visitTime,
+	}
+	loadCtx, cancel := context.WithTimeout(ctx, cfg.PageTimeout)
+	pv, err := b.LoadPage(loadCtx, entry.Domain)
+	cancel()
+	fillVisit(&before, pv, err)
+	if err != nil {
+		return []dataset.Visit{before}
+	}
+
+	// Priv-Accept: find the banner and its accept control.
+	det := privaccept.Detect(pv.Doc)
+	before.BannerDetected = det.BannerFound
+	before.BannerLanguage = det.Language
+	before.CMP = cmpOf(pv)
+	if !det.AcceptFound {
+		// No banner, or Priv-Accept missed language/keyword: no
+		// After-Accept visit (§2.2).
+		return []dataset.Visit{before}
+	}
+	before.Accepted = true
+
+	// Click accept: consent attaches to the page's origin (the sister
+	// domain for redirecting sites).
+	b.SetConsent(pv.PageOrigin)
+
+	// After-Accept visit, cache cleared ("We delete the browser cache to
+	// load again all objects").
+	clock = visitTime.Add(cfg.AcceptDelay)
+	after := dataset.Visit{
+		Site:      entry.Domain,
+		Rank:      entry.Rank,
+		Phase:     dataset.AfterAccept,
+		FetchedAt: clock,
+		Accepted:  true,
+	}
+	loadCtx2, cancel2 := context.WithTimeout(ctx, cfg.PageTimeout)
+	pv2, err2 := b.LoadPage(loadCtx2, entry.Domain)
+	cancel2()
+	fillVisit(&after, pv2, err2)
+	if err2 == nil {
+		after.BannerDetected = det.BannerFound
+		after.BannerLanguage = det.Language
+		after.CMP = cmpOf(pv2)
+	}
+	return []dataset.Visit{before, after}
+}
+
+// fillVisit copies a browser PageVisit into a dataset record.
+func fillVisit(v *dataset.Visit, pv *browser.PageVisit, err error) {
+	if pv != nil {
+		v.Resources = pv.Resources
+		v.Calls = pv.Calls
+	}
+	if err != nil {
+		v.Success = false
+		v.Error = errText(err)
+		return
+	}
+	v.Success = true
+}
+
+func errText(err error) string {
+	var ue interface{ Timeout() bool }
+	if errors.As(err, &ue) && ue.Timeout() {
+		return "timeout: " + err.Error()
+	}
+	return err.Error()
+}
+
+// cmpOf fingerprints the CMP in use from the downloaded resources, by
+// domain, as the paper does with the Wappalyzer list.
+func cmpOf(pv *browser.PageVisit) string {
+	for _, r := range pv.Resources {
+		if name, ok := cmpByHost(r.Host); ok {
+			return name
+		}
+	}
+	return ""
+}
+
+func cmpByHost(host string) (string, bool) {
+	return cmpLookup(etld.Normalize(host))
+}

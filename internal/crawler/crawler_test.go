@@ -1,0 +1,380 @@
+package crawler
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"github.com/netmeasure/topicscope/internal/attestation"
+	"github.com/netmeasure/topicscope/internal/dataset"
+	"github.com/netmeasure/topicscope/internal/webserver"
+	"github.com/netmeasure/topicscope/internal/webworld"
+)
+
+var (
+	cwWorld  = webworld.Generate(webworld.Config{Seed: 99, NumSites: 600, DistilleryRank: 300})
+	cwServer = webserver.New(cwWorld, nil)
+	cwAllow  = attestation.NewAllowlist(cwWorld.Catalog.AllowedDomains()...)
+)
+
+func newTestCrawler(t *testing.T, collect bool, w *dataset.Writer) *Crawler {
+	t.Helper()
+	return New(Config{
+		Client:             cwServer.Client(),
+		ReferenceAllowlist: cwAllow,
+		Workers:            8,
+		Collect:            collect,
+		Writer:             w,
+	})
+}
+
+func runCrawl(t *testing.T) *Result {
+	t.Helper()
+	c := newTestCrawler(t, true, nil)
+	res, err := c.Run(context.Background(), cwWorld.List())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+var cached *Result
+
+func crawlOnce(t *testing.T) *Result {
+	if cached == nil {
+		cached = runCrawl(t)
+	}
+	return cached
+}
+
+func TestCrawlStatsShape(t *testing.T) {
+	res := crawlOnce(t)
+	st := res.Stats
+	t.Logf("stats: %s", st)
+	if st.Attempted != 600 {
+		t.Errorf("attempted %d", st.Attempted)
+	}
+	if st.Succeeded+st.Failed != st.Attempted {
+		t.Error("succeeded+failed != attempted")
+	}
+	// ≈86.8% reachability.
+	if st.Succeeded < 480 || st.Succeeded > 560 {
+		t.Errorf("succeeded = %d, want ≈520", st.Succeeded)
+	}
+	// ≈30% of successful sites accepted (paper: 14,719/43,405).
+	frac := float64(st.Accepted) / float64(st.Succeeded)
+	if frac < 0.2 || frac > 0.45 {
+		t.Errorf("accept fraction %.3f, want ≈0.30", frac)
+	}
+	if st.CallsAfter == 0 || st.CallsBefore == 0 {
+		t.Error("no calls recorded in one of the phases")
+	}
+}
+
+func TestVisitRecordsConsistent(t *testing.T) {
+	res := crawlOnce(t)
+	afters := make(map[string]bool)
+	for i := range res.Data.Visits {
+		v := &res.Data.Visits[i]
+		switch v.Phase {
+		case dataset.AfterAccept:
+			afters[v.Site] = true
+			if !v.Accepted || !v.Success {
+				t.Errorf("after-accept visit of %s inconsistent: %+v", v.Site, v)
+			}
+		case dataset.BeforeAccept:
+			if v.Accepted && !v.BannerDetected {
+				t.Errorf("%s accepted without banner", v.Site)
+			}
+			if !v.Success && len(v.Calls) > 0 {
+				t.Errorf("%s failed but has calls", v.Site)
+			}
+		default:
+			t.Fatalf("unknown phase %q", v.Phase)
+		}
+	}
+	// Every accepted before-visit must have a matching after-visit.
+	for i := range res.Data.Visits {
+		v := &res.Data.Visits[i]
+		if v.Phase == dataset.BeforeAccept && v.Accepted && !afters[v.Site] {
+			t.Errorf("%s accepted but no after-accept visit", v.Site)
+		}
+	}
+}
+
+func TestCrawlRecordsOrderedByRank(t *testing.T) {
+	res := crawlOnce(t)
+	lastRank := 0
+	for i := range res.Data.Visits {
+		v := &res.Data.Visits[i]
+		if v.Rank < lastRank {
+			t.Fatalf("visit order broken at %s: rank %d after %d", v.Site, v.Rank, lastRank)
+		}
+		lastRank = v.Rank
+	}
+}
+
+func TestCrawlDeterministic(t *testing.T) {
+	var buf1, buf2 bytes.Buffer
+	w1, w2 := dataset.NewWriter(&buf1), dataset.NewWriter(&buf2)
+	c1 := newTestCrawler(t, false, w1)
+	if _, err := c1.Run(context.Background(), cwWorld.List().Top(150)); err != nil {
+		t.Fatal(err)
+	}
+	c2 := New(Config{
+		Client:             cwServer.Client(),
+		ReferenceAllowlist: cwAllow,
+		Workers:            3, // different parallelism must not matter
+		Writer:             w2,
+	})
+	if _, err := c2.Run(context.Background(), cwWorld.List().Top(150)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Error("two crawls of the same world differ byte-wise")
+	}
+	if buf1.Len() == 0 {
+		t.Error("no output written")
+	}
+}
+
+func TestEnforcedCrawlHasNoAnomalousCalls(t *testing.T) {
+	c := New(Config{
+		Client:             cwServer.Client(),
+		ReferenceAllowlist: cwAllow,
+		Enforce:            true,
+		Workers:            8,
+		Collect:            true,
+	})
+	res, err := c.Run(context.Background(), cwWorld.List().Top(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Data.Visits {
+		for _, call := range res.Data.Visits[i].Calls {
+			if !call.GateAllowed {
+				t.Fatalf("enforcing crawl recorded a not-Allowed call: %+v", call)
+			}
+			if call.GateReason != "enrolled" {
+				t.Fatalf("gate reason %q under enforcement", call.GateReason)
+			}
+		}
+	}
+}
+
+func TestCrawlCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := newTestCrawler(t, true, nil)
+	_, err := c.Run(ctx, cwWorld.List())
+	if err == nil {
+		t.Error("cancelled crawl returned no error")
+	}
+}
+
+func TestDistilleryObservedOnOwnSiteOnly(t *testing.T) {
+	res := crawlOnce(t)
+	for i := range res.Data.Visits {
+		v := &res.Data.Visits[i]
+		for _, call := range v.Calls {
+			if call.Caller == "distillery.com" && v.Site != "distillery.com" {
+				t.Errorf("distillery.com called on %s", v.Site)
+			}
+		}
+	}
+	// And it does call on its own site after accept.
+	found := false
+	for i := range res.Data.Visits {
+		v := &res.Data.Visits[i]
+		if v.Site == "distillery.com" && v.Phase == dataset.AfterAccept {
+			for _, call := range v.Calls {
+				if call.Caller == "distillery.com" {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("distillery.com never called on its own site")
+	}
+}
+
+func TestCheckAttestations(t *testing.T) {
+	c := newTestCrawler(t, false, nil)
+	domains := append([]string{}, cwWorld.Catalog.AllowedDomains()...)
+	domains = append(domains, "distillery.com", "unknown-host.example")
+	recs := c.CheckAttestations(context.Background(), domains)
+	if len(recs) != len(domains) {
+		t.Fatalf("got %d records", len(recs))
+	}
+	byDomain := map[string]dataset.AttestationRecord{}
+	attested := 0
+	for _, r := range recs {
+		byDomain[r.Domain] = r
+		if r.Attested() {
+			attested++
+		}
+	}
+	// 181 allowed & attested + distillery = 182.
+	if attested != 182 {
+		t.Errorf("attested = %d, want 182 (181 allowed + distillery)", attested)
+	}
+	if r := byDomain["distillery.com"]; !r.Attested() || r.IssuedAt.Year() != 2023 {
+		t.Errorf("distillery record: %+v", r)
+	}
+	if r := byDomain["unknown-host.example"]; r.Present {
+		t.Errorf("unknown host present: %+v", r)
+	}
+	// Exactly 12 allowed domains must lack attestation.
+	missing := 0
+	for _, d := range cwWorld.Catalog.AllowedDomains() {
+		if !byDomain[d].Attested() {
+			missing++
+		}
+	}
+	if missing != 12 {
+		t.Errorf("allowed-without-attestation = %d, Table 1 reports 12", missing)
+	}
+}
+
+func TestCallerDomains(t *testing.T) {
+	res := crawlOnce(t)
+	callers := CallerDomains(res.Data)
+	if len(callers) == 0 {
+		t.Fatal("no callers found")
+	}
+	seen := map[string]bool{}
+	for _, c := range callers {
+		if seen[c] {
+			t.Errorf("duplicate caller %q", c)
+		}
+		seen[c] = true
+	}
+}
+
+func TestVirtualTimesDeterministic(t *testing.T) {
+	res := crawlOnce(t)
+	start := time.Date(2024, 3, 30, 6, 0, 0, 0, time.UTC)
+	for i := range res.Data.Visits {
+		v := &res.Data.Visits[i]
+		want := start.Add(time.Duration(v.Rank-1) * 2 * time.Second)
+		if v.Phase == dataset.AfterAccept {
+			want = want.Add(30 * time.Second)
+		}
+		if !v.FetchedAt.Equal(want) {
+			t.Fatalf("%s %s fetched at %v, want %v", v.Site, v.Phase, v.FetchedAt, want)
+		}
+	}
+}
+
+func TestResumeSkipsCompletedSites(t *testing.T) {
+	list := cwWorld.List().Top(60)
+
+	// First half of the campaign.
+	var part1 bytes.Buffer
+	w1 := dataset.NewWriter(&part1)
+	c1 := New(Config{
+		Client:             cwServer.Client(),
+		ReferenceAllowlist: cwAllow,
+		Workers:            4,
+		Writer:             w1,
+	})
+	if _, err := c1.Run(context.Background(), list.Top(30)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume over the full list, skipping what part 1 covered.
+	done := map[string]bool{}
+	if err := dataset.Read(bytes.NewReader(part1.Bytes()), func(v *dataset.Visit) error {
+		if v.Phase == dataset.BeforeAccept {
+			done[v.Site] = true
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 30 {
+		t.Fatalf("part 1 covered %d sites", len(done))
+	}
+	var part2 bytes.Buffer
+	w2 := dataset.NewWriter(&part2)
+	c2 := New(Config{
+		Client:             cwServer.Client(),
+		ReferenceAllowlist: cwAllow,
+		Workers:            4,
+		Writer:             w2,
+		SkipSites:          done,
+	})
+	res2, err := c2.Run(context.Background(), list)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Stats.Attempted != 30 {
+		t.Errorf("resume attempted %d sites, want the remaining 30", res2.Stats.Attempted)
+	}
+
+	// Concatenated output equals a single uninterrupted campaign.
+	var full bytes.Buffer
+	wf := dataset.NewWriter(&full)
+	cf := New(Config{
+		Client:             cwServer.Client(),
+		ReferenceAllowlist: cwAllow,
+		Workers:            4,
+		Writer:             wf,
+	})
+	if _, err := cf.Run(context.Background(), list); err != nil {
+		t.Fatal(err)
+	}
+	combined := append(append([]byte{}, part1.Bytes()...), part2.Bytes()...)
+	if !bytes.Equal(combined, full.Bytes()) {
+		t.Error("resumed campaign output differs from an uninterrupted one")
+	}
+}
+
+func TestUSVantageCrawl(t *testing.T) {
+	// §6: the paper crawled from a single EU location. A US vantage
+	// sees geo-fenced banners only on EU sites, so consent is rarely
+	// acquired — and pre-consent Topics calls are far MORE common,
+	// because geo-fenced sites serve their ad stack unconditionally and
+	// consent-guarded tags treat gdprApplies=false as a green light.
+	list := cwWorld.List().Top(400)
+
+	runVantage := func(v string) *Result {
+		c := New(Config{
+			Client:             cwServer.Client(),
+			ReferenceAllowlist: cwAllow,
+			Workers:            8,
+			Collect:            true,
+			Vantage:            v,
+		})
+		res, err := c.Run(context.Background(), list)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	eu := runVantage("") // default: the paper's setup
+	us := runVantage("us")
+
+	t.Logf("eu: %s", eu.Stats)
+	t.Logf("us: %s", us.Stats)
+
+	if us.Stats.Accepted >= eu.Stats.Accepted {
+		t.Errorf("US vantage accepted %d banners vs EU %d — geo-fencing should shrink it",
+			us.Stats.Accepted, eu.Stats.Accepted)
+	}
+	if us.Stats.CallsBefore <= eu.Stats.CallsBefore {
+		t.Errorf("US vantage pre-consent calls %d vs EU %d — should be far larger",
+			us.Stats.CallsBefore, eu.Stats.CallsBefore)
+	}
+	// EU sites still show their banner to US visitors.
+	usBanners := us.Stats.BannersFound
+	if usBanners == 0 {
+		t.Error("US visitor saw no banners at all — EU sites apply GDPR to everyone")
+	}
+	if usBanners >= eu.Stats.BannersFound {
+		t.Errorf("US visitor saw %d banners vs EU %d", usBanners, eu.Stats.BannersFound)
+	}
+}

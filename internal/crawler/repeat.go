@@ -1,0 +1,69 @@
+package crawler
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/netmeasure/topicscope/internal/attestation"
+	"github.com/netmeasure/topicscope/internal/browser"
+)
+
+// RepeatedVisits implements the §3 repeated-test methodology (experiment
+// S1): revisit one site at fixed virtual-time intervals as a consented
+// user and record, for each watched CP, whether it invoked the Topics
+// API on each visit. The resulting ON/OFF series feed
+// analysis.AnalyzeAlternation, which detects the paper's "consistent
+// alternating periods".
+type RepeatedVisits struct {
+	// Site is the revisited website.
+	Site string
+	// Start and Step define the virtual-time sampling grid.
+	Start time.Time
+	Step  time.Duration
+	// Samples is how many visits to perform.
+	Samples int
+	// CPs are the calling parties to watch.
+	CPs []string
+}
+
+// Run executes the repeated visits and returns one ON/OFF series per
+// watched CP.
+func (c *Crawler) RepeatedVisits(ctx context.Context, rv RepeatedVisits) (map[string][]bool, error) {
+	if rv.Samples <= 0 || rv.Step <= 0 {
+		return nil, fmt.Errorf("crawler: repeated visits need positive samples and step")
+	}
+	series := make(map[string][]bool, len(rv.CPs))
+	for i := 0; i < rv.Samples; i++ {
+		at := rv.Start.Add(time.Duration(i) * rv.Step)
+		gate := attestation.NewCorruptedGate()
+		if c.cfg.Enforce {
+			gate = attestation.NewEnforcingGate(c.cfg.ReferenceAllowlist)
+		}
+		b := browser.New(browser.Config{
+			Client:             c.cfg.Client,
+			Gate:               gate,
+			ReferenceAllowlist: c.cfg.ReferenceAllowlist,
+			Engine:             c.cfg.Engine,
+			Now:                func() time.Time { return at },
+		})
+		// A returning, consented user: gating and consent guards pass,
+		// isolating the A/B decision.
+		b.SetConsent(rv.Site)
+		v, err := b.LoadPage(ctx, rv.Site)
+		if err != nil {
+			return nil, fmt.Errorf("crawler: repeated visit %d of %s: %w", i, rv.Site, err)
+		}
+		if v.PageOrigin != rv.Site {
+			b.SetConsent(v.PageOrigin)
+		}
+		called := make(map[string]bool, len(v.Calls))
+		for _, call := range v.Calls {
+			called[call.Caller] = true
+		}
+		for _, cp := range rv.CPs {
+			series[cp] = append(series[cp], called[cp])
+		}
+	}
+	return series, nil
+}

@@ -1,0 +1,71 @@
+package crawler
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/netmeasure/topicscope/internal/analysis"
+	"github.com/netmeasure/topicscope/internal/webworld"
+)
+
+func TestRepeatedVisitsAlternation(t *testing.T) {
+	// Find a reachable, non-redirecting site embedding criteo.
+	var site *webworld.Site
+	for _, s := range cwWorld.Sites {
+		if !s.Reachable || s.RedirectTo != "" {
+			continue
+		}
+		for _, p := range s.Platforms {
+			if p == "criteo.com" {
+				site = s
+			}
+		}
+		if site != nil {
+			break
+		}
+	}
+	if site == nil {
+		t.Skip("no criteo site in test world")
+	}
+
+	c := newTestCrawler(t, false, nil)
+	series, err := c.RepeatedVisits(context.Background(), RepeatedVisits{
+		Site:    site.Domain,
+		Start:   time.Date(2024, 3, 1, 0, 0, 0, 0, time.UTC),
+		Step:    3 * time.Hour,
+		Samples: 160, // 20 virtual days
+		CPs:     []string{"criteo.com", "google-analytics.com"},
+	})
+	if err != nil {
+		t.Fatalf("RepeatedVisits: %v", err)
+	}
+
+	crit := analysis.AnalyzeAlternation(series["criteo.com"])
+	t.Logf("criteo alternation: %s", crit.Render())
+	// §3: alternating ON periods and OFF periods, ON fraction near the
+	// CP's A/B rate (criteo: 75%).
+	if math.Abs(crit.OnFraction-0.75) > 0.15 {
+		t.Errorf("criteo ON fraction %.2f, want ≈0.75", crit.OnFraction)
+	}
+	if crit.Transitions == 0 {
+		t.Error("criteo never toggled across 20 virtual days")
+	}
+	if crit.LongestOnRun < 2 {
+		t.Error("no stable ON periods — not the A/B pattern the paper saw")
+	}
+
+	// A never-calling CP yields an all-OFF series.
+	ga := analysis.AnalyzeAlternation(series["google-analytics.com"])
+	if ga.OnFraction != 0 {
+		t.Errorf("google-analytics ON fraction %.2f, must be 0", ga.OnFraction)
+	}
+}
+
+func TestRepeatedVisitsValidation(t *testing.T) {
+	c := newTestCrawler(t, false, nil)
+	if _, err := c.RepeatedVisits(context.Background(), RepeatedVisits{Site: "x.com"}); err == nil {
+		t.Error("zero samples accepted")
+	}
+}

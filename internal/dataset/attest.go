@@ -1,0 +1,90 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// AttestationRecord is the outcome of checking one domain's well-known
+// attestation file (§2.3: "For every first and third party we encounter
+// ... we verify whether a valid attestation file is present").
+type AttestationRecord struct {
+	Domain string `json:"domain"`
+	// Present: the well-known URL answered 200.
+	Present bool `json:"present"`
+	// Valid: the file parsed and passed validation.
+	Valid bool `json:"valid"`
+	// AttestsTopics: the file attests the Topics API specifically.
+	AttestsTopics bool `json:"attestsTopics"`
+	// IssuedAt is the attestation issue date (enrolment timeline, §3).
+	IssuedAt time.Time `json:"issuedAt,omitempty"`
+	// HasEnrollmentSite: the file carries the post-Oct-2024 field.
+	HasEnrollmentSite bool `json:"hasEnrollmentSite"`
+	// Error describes a fetch or parse failure.
+	Error string `json:"error,omitempty"`
+}
+
+// Attested is the paper's definition: a valid attestation file covering
+// the Topics API.
+func (r AttestationRecord) Attested() bool {
+	return r.Present && r.Valid && r.AttestsTopics
+}
+
+// AttestationIndex indexes records by domain.
+func AttestationIndex(recs []AttestationRecord) map[string]AttestationRecord {
+	m := make(map[string]AttestationRecord, len(recs))
+	for _, r := range recs {
+		m[r.Domain] = r
+	}
+	return m
+}
+
+// SaveAttestations writes attestation records as JSONL.
+func SaveAttestations(path string, recs []AttestationRecord) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: creating %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("dataset: closing %s: %w", path, cerr)
+		}
+	}()
+	bw := bufio.NewWriter(f)
+	enc := json.NewEncoder(bw)
+	for i := range recs {
+		if err := enc.Encode(&recs[i]); err != nil {
+			return fmt.Errorf("dataset: encoding attestation %s: %w", recs[i].Domain, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadAttestations reads attestation records from JSONL.
+func LoadAttestations(path string) ([]AttestationRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	var out []AttestationRecord
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var r AttestationRecord
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			return nil, fmt.Errorf("dataset: parsing attestation record: %w", err)
+		}
+		out = append(out, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: scanning %s: %w", path, err)
+	}
+	return out, nil
+}

@@ -1,0 +1,93 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func sampleRecords() []AttestationRecord {
+	return []AttestationRecord{
+		{
+			Domain: "criteo.com", Present: true, Valid: true, AttestsTopics: true,
+			IssuedAt:          time.Date(2023, 7, 12, 0, 0, 0, 0, time.UTC),
+			HasEnrollmentSite: true,
+		},
+		{Domain: "missing.example", Error: "status 404"},
+	}
+}
+
+func TestAttestationsRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "attest.jsonl")
+	recs := sampleRecords()
+	if err := SaveAttestations(path, recs); err != nil {
+		t.Fatalf("SaveAttestations: %v", err)
+	}
+	got, err := LoadAttestations(path)
+	if err != nil {
+		t.Fatalf("LoadAttestations: %v", err)
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, recs)
+	}
+}
+
+func TestAttestationIndexAndAttested(t *testing.T) {
+	recs := sampleRecords()
+	idx := AttestationIndex(recs)
+	if len(idx) != 2 {
+		t.Fatalf("index size %d", len(idx))
+	}
+	if !idx["criteo.com"].Attested() {
+		t.Error("criteo.com should be attested")
+	}
+	if idx["missing.example"].Attested() {
+		t.Error("missing.example should not be attested")
+	}
+	// Attested requires all three bits.
+	half := AttestationRecord{Present: true, Valid: true}
+	if half.Attested() {
+		t.Error("file without topics attestation counted")
+	}
+}
+
+func TestLoadAttestationsErrors(t *testing.T) {
+	if _, err := LoadAttestations(filepath.Join(t.TempDir(), "none.jsonl")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.jsonl")
+	os.WriteFile(bad, []byte("{not json}\n"), 0o644)
+	if _, err := LoadAttestations(bad); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestCompletedSites(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "crawl.jsonl")
+
+	// Missing file means a fresh start.
+	got, err := CompletedSites(path)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("missing file: %v, %v", got, err)
+	}
+
+	d := &Dataset{}
+	d.Append(Visit{Site: "a.com", Phase: BeforeAccept, Success: true})
+	d.Append(Visit{Site: "a.com", Phase: AfterAccept, Success: true})
+	d.Append(Visit{Site: "b.com", Phase: BeforeAccept, Success: false})
+	if err := d.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err = CompletedSites(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both sites have a Before-Accept record (even the failed one: it
+	// was attempted and must not be retried on resume).
+	if !got["a.com"] || !got["b.com"] || len(got) != 2 {
+		t.Errorf("CompletedSites = %v", got)
+	}
+}

@@ -1,0 +1,172 @@
+// Package dataset defines the measurement records the crawler produces
+// and the analysis pipeline consumes, mirroring the data the paper
+// collects (§2.2): for every visited website, the URL of each first- and
+// third-party object downloaded to render the page, and every call to
+// the Topics API — the calling party (CP), the site where the call
+// happened, the timestamp, the API call type (JavaScript, Fetch or
+// IFrame) and possible multiple calls from the same CP on the same page.
+//
+// The paper's two datasets map to the Phase field: D_BA (Before-Accept,
+// no consent given) and D_AA (After-Accept, consent granted via the
+// privacy banner).
+package dataset
+
+import (
+	"time"
+)
+
+// CallType is how the Topics API was invoked (§2.2 cites the three
+// integration styles of the official guide).
+type CallType string
+
+// The three Topics API call types.
+const (
+	CallJavaScript CallType = "javascript" // document.browsingTopics()
+	CallFetch      CallType = "fetch"      // fetch(..., {browsingTopics: true})
+	CallIframe     CallType = "iframe"     // <iframe browsingtopics src=...>
+)
+
+// Phase distinguishes the two visits of the Priv-Accept methodology.
+type Phase string
+
+// Crawl phases: the first visit records the site before any consent is
+// given; the second happens only after the banner was accepted.
+const (
+	BeforeAccept Phase = "before_accept"
+	AfterAccept  Phase = "after_accept"
+)
+
+// Dataset name helpers matching the paper's notation.
+func (p Phase) DatasetName() string {
+	switch p {
+	case BeforeAccept:
+		return "D_BA"
+	case AfterAccept:
+		return "D_AA"
+	default:
+		return string(p)
+	}
+}
+
+// TopicsCall is one recorded invocation of the Topics API, the tuple the
+// paper obtains by instrumenting Chromium's
+// BrowsingTopicsSiteDataManagerImpl.
+type TopicsCall struct {
+	// Caller is the calling party (CP) domain.
+	Caller string `json:"caller"`
+	// Site is the website the call happened on.
+	Site string `json:"site"`
+	// Type is the API call type.
+	Type CallType `json:"type"`
+	// ContextOrigin is the origin of the browsing context that executed
+	// the call. For a <script> included directly in the page this is the
+	// site itself even when the script file came from a third party —
+	// the "wrong context" phenomenon of §4 (Figure 4).
+	ContextOrigin string `json:"contextOrigin"`
+	// Timestamp is when the call was made.
+	Timestamp time.Time `json:"timestamp"`
+	// GateAllowed reports the enforcing-gate verdict for the caller: true
+	// if the caller is on the allow-list. The crawler runs with the
+	// corrupted-database default-allow so even !Allowed calls execute
+	// and are recorded (the paper's methodology, §2.3).
+	GateAllowed bool `json:"gateAllowed"`
+	// GateReason is the textual gate decision.
+	GateReason string `json:"gateReason"`
+	// TopicsReturned is how many topics the engine answered with.
+	TopicsReturned int `json:"topicsReturned"`
+}
+
+// Resource is one first- or third-party object downloaded to render a
+// page.
+type Resource struct {
+	// URL of the object.
+	URL string `json:"url"`
+	// Host serving the object.
+	Host string `json:"host"`
+	// ThirdParty reports whether Host belongs to a different registrable
+	// domain than the visited site.
+	ThirdParty bool `json:"thirdParty"`
+}
+
+// Visit is the record of one page visit in one phase.
+type Visit struct {
+	// Site is the visited website (registrable domain from the rank
+	// list).
+	Site string `json:"site"`
+	// Rank is the site's position in the Tranco-style list.
+	Rank int `json:"rank"`
+	// Phase is BeforeAccept or AfterAccept.
+	Phase Phase `json:"phase"`
+	// Success reports whether the page loaded; failures carry Error.
+	Success bool `json:"success"`
+	// Error holds the failure cause for unsuccessful visits (the paper
+	// loses ≈13% of sites to DNS/connection errors).
+	Error string `json:"error,omitempty"`
+	// BannerDetected reports whether a privacy banner was found.
+	BannerDetected bool `json:"bannerDetected"`
+	// BannerLanguage is the detected banner language, when any.
+	BannerLanguage string `json:"bannerLanguage,omitempty"`
+	// Accepted reports whether Priv-Accept managed to click accept
+	// (only meaningful on the BeforeAccept record; an AfterAccept visit
+	// exists only if it did).
+	Accepted bool `json:"accepted"`
+	// CMP is the consent-management platform identified on the page by
+	// domain fingerprinting, empty if none.
+	CMP string `json:"cmp,omitempty"`
+	// Resources lists every downloaded object.
+	Resources []Resource `json:"resources,omitempty"`
+	// Calls lists every Topics API invocation observed.
+	Calls []TopicsCall `json:"calls,omitempty"`
+	// FetchedAt is the wall-clock time of the visit.
+	FetchedAt time.Time `json:"fetchedAt"`
+}
+
+// ThirdPartyHosts returns the distinct third-party hosts of the visit.
+func (v *Visit) ThirdPartyHosts() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, r := range v.Resources {
+		if r.ThirdParty && !seen[r.Host] {
+			seen[r.Host] = true
+			out = append(out, r.Host)
+		}
+	}
+	return out
+}
+
+// Dataset is an in-memory crawl result.
+type Dataset struct {
+	Visits []Visit
+}
+
+// Phase returns the visits belonging to one phase (the paper's D_BA or
+// D_AA view).
+func (d *Dataset) Phase(p Phase) []Visit {
+	var out []Visit
+	for _, v := range d.Visits {
+		if v.Phase == p {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// SuccessfulSites returns the distinct successfully visited sites in the
+// given phase.
+func (d *Dataset) SuccessfulSites(p Phase) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, v := range d.Visits {
+		if v.Phase == p && v.Success && !seen[v.Site] {
+			seen[v.Site] = true
+			out = append(out, v.Site)
+		}
+	}
+	return out
+}
+
+// Append adds a visit.
+func (d *Dataset) Append(v Visit) { d.Visits = append(d.Visits, v) }
+
+// Len returns the number of visit records.
+func (d *Dataset) Len() int { return len(d.Visits) }

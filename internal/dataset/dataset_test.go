@@ -1,0 +1,243 @@
+package dataset
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sampleVisit(site string, phase Phase, calls ...TopicsCall) Visit {
+	return Visit{
+		Site:           site,
+		Rank:           42,
+		Phase:          phase,
+		Success:        true,
+		BannerDetected: true,
+		BannerLanguage: "en",
+		Accepted:       phase == AfterAccept,
+		CMP:            "OneTrust",
+		Resources: []Resource{
+			{URL: "https://" + site + "/", Host: site, ThirdParty: false},
+			{URL: "https://cdn.adsrv.net/tag.js", Host: "cdn.adsrv.net", ThirdParty: true},
+			{URL: "https://cdn.adsrv.net/px.gif", Host: "cdn.adsrv.net", ThirdParty: true},
+		},
+		Calls:     calls,
+		FetchedAt: time.Date(2024, 3, 30, 12, 0, 0, 0, time.UTC),
+	}
+}
+
+func sampleCall(caller string) TopicsCall {
+	return TopicsCall{
+		Caller:         caller,
+		Site:           "example.com",
+		Type:           CallJavaScript,
+		ContextOrigin:  "example.com",
+		Timestamp:      time.Date(2024, 3, 30, 12, 0, 1, 0, time.UTC),
+		GateAllowed:    true,
+		GateReason:     "enrolled",
+		TopicsReturned: 2,
+	}
+}
+
+func TestPhaseNames(t *testing.T) {
+	if BeforeAccept.DatasetName() != "D_BA" || AfterAccept.DatasetName() != "D_AA" {
+		t.Error("dataset names do not match the paper's notation")
+	}
+	if Phase("x").DatasetName() != "x" {
+		t.Error("unknown phase name mangled")
+	}
+}
+
+func TestThirdPartyHostsDeduped(t *testing.T) {
+	v := sampleVisit("example.com", BeforeAccept)
+	got := v.ThirdPartyHosts()
+	if !reflect.DeepEqual(got, []string{"cdn.adsrv.net"}) {
+		t.Errorf("ThirdPartyHosts = %v", got)
+	}
+}
+
+func TestDatasetViews(t *testing.T) {
+	d := &Dataset{}
+	d.Append(sampleVisit("a.com", BeforeAccept))
+	d.Append(sampleVisit("a.com", AfterAccept))
+	d.Append(sampleVisit("b.com", BeforeAccept))
+	failed := sampleVisit("c.com", BeforeAccept)
+	failed.Success = false
+	failed.Error = "dns"
+	d.Append(failed)
+
+	if d.Len() != 4 {
+		t.Errorf("Len = %d", d.Len())
+	}
+	if got := len(d.Phase(BeforeAccept)); got != 3 {
+		t.Errorf("BeforeAccept visits = %d", got)
+	}
+	if got := len(d.Phase(AfterAccept)); got != 1 {
+		t.Errorf("AfterAccept visits = %d", got)
+	}
+	if got := d.SuccessfulSites(BeforeAccept); !reflect.DeepEqual(got, []string{"a.com", "b.com"}) {
+		t.Errorf("SuccessfulSites = %v", got)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	d := &Dataset{}
+	d.Append(sampleVisit("a.com", BeforeAccept, sampleCall("criteo.com")))
+	d.Append(sampleVisit("b.com", AfterAccept, sampleCall("doubleclick.net"), sampleCall("teads.tv")))
+
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := range d.Visits {
+		if err := w.Write(&d.Visits[i]); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if w.Count() != 2 {
+		t.Errorf("Count = %d", w.Count())
+	}
+
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if !reflect.DeepEqual(got.Visits, d.Visits) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got.Visits, d.Visits)
+	}
+}
+
+func TestJSONLSkipsBlankAndRejectsGarbage(t *testing.T) {
+	in := "\n" + `{"site":"a.com","phase":"before_accept","success":true,"rank":1,"accepted":false,"bannerDetected":false,"fetchedAt":"2024-03-30T00:00:00Z"}` + "\n\n"
+	d, err := Load(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if d.Len() != 1 {
+		t.Errorf("Len = %d", d.Len())
+	}
+	if _, err := Load(strings.NewReader("{bad json}\n")); err == nil {
+		t.Error("garbage line accepted")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	d := &Dataset{}
+	d.Append(sampleVisit("a.com", BeforeAccept, sampleCall("criteo.com")))
+	path := filepath.Join(t.TempDir(), "crawl.jsonl")
+	if err := d.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	if !reflect.DeepEqual(got.Visits, d.Visits) {
+		t.Error("file round trip mismatch")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.jsonl")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestCallsCSVRoundTrip(t *testing.T) {
+	d := &Dataset{}
+	d.Append(sampleVisit("a.com", BeforeAccept, sampleCall("criteo.com")))
+	d.Append(sampleVisit("b.com", AfterAccept, sampleCall("doubleclick.net"), sampleCall("teads.tv")))
+
+	var buf bytes.Buffer
+	if err := d.WriteCallsCSV(&buf); err != nil {
+		t.Fatalf("WriteCallsCSV: %v", err)
+	}
+	rows, err := ReadCallsCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadCallsCSV: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	if rows[0].Site != "a.com" || rows[0].Call.Caller != "criteo.com" {
+		t.Errorf("row 0 = %+v", rows[0])
+	}
+	if rows[2].Phase != AfterAccept || rows[2].Call.Caller != "teads.tv" {
+		t.Errorf("row 2 = %+v", rows[2])
+	}
+}
+
+func TestReadCallsCSVRejectsBadHeader(t *testing.T) {
+	if _, err := ReadCallsCSV(strings.NewReader("a,b,c,d,e,f,g,h,i,j\n")); err == nil {
+		t.Error("bad header accepted")
+	}
+}
+
+// Property: any visit record survives the JSONL round trip.
+func TestJSONLProperty(t *testing.T) {
+	f := func(site string, rank int, success bool, nCalls uint8) bool {
+		if strings.ContainsAny(site, "\n\r") {
+			site = "x.com"
+		}
+		v := Visit{
+			Site: site, Rank: rank, Phase: BeforeAccept, Success: success,
+			FetchedAt: time.Unix(1711800000, 0).UTC(),
+		}
+		for i := 0; i < int(nCalls%5); i++ {
+			v.Calls = append(v.Calls, sampleCall("cp.example"))
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if w.Write(&v) != nil || w.Flush() != nil {
+			return false
+		}
+		got, err := Load(&buf)
+		if err != nil || got.Len() != 1 {
+			return false
+		}
+		return reflect.DeepEqual(got.Visits[0], v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGzipDatasetRoundTrip(t *testing.T) {
+	d := &Dataset{}
+	d.Append(sampleVisit("a.com", BeforeAccept, sampleCall("criteo.com")))
+	d.Append(sampleVisit("b.com", AfterAccept))
+
+	path := filepath.Join(t.TempDir(), "crawl.jsonl.gz")
+	if err := d.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile(.gz): %v", err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile(.gz): %v", err)
+	}
+	if !reflect.DeepEqual(got.Visits, d.Visits) {
+		t.Error("gzip round trip mismatch")
+	}
+	// The file really is gzip (magic bytes), not plain text.
+	raw, _ := os.ReadFile(path)
+	if len(raw) < 2 || raw[0] != 0x1f || raw[1] != 0x8b {
+		t.Error("file is not gzip-compressed")
+	}
+	// Resume reads compressed crawls too (only a.com has a
+	// Before-Accept record).
+	sites, err := CompletedSites(path)
+	if err != nil || len(sites) != 1 || !sites["a.com"] {
+		t.Errorf("CompletedSites on .gz: %v, %v", sites, err)
+	}
+}
+
+func TestGzipRejectsCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.jsonl.gz")
+	os.WriteFile(path, []byte("definitely not gzip"), 0o644)
+	if _, err := LoadFile(path); err == nil {
+		t.Error("corrupt gzip accepted")
+	}
+}

@@ -1,0 +1,77 @@
+package dataset
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// gzipExt marks transparently compressed dataset files.
+const gzipExt = ".gz"
+
+// OpenReader opens a dataset file for reading, transparently
+// decompressing when the path ends in .gz. Close the returned
+// ReadCloser when done.
+func OpenReader(path string) (io.ReadCloser, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: opening %s: %w", path, err)
+	}
+	if !strings.HasSuffix(path, gzipExt) {
+		return f, nil
+	}
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("dataset: gzip %s: %w", path, err)
+	}
+	return &gzipReadCloser{zr: zr, f: f}, nil
+}
+
+type gzipReadCloser struct {
+	zr *gzip.Reader
+	f  *os.File
+}
+
+func (g *gzipReadCloser) Read(p []byte) (int, error) { return g.zr.Read(p) }
+
+func (g *gzipReadCloser) Close() error {
+	zerr := g.zr.Close()
+	ferr := g.f.Close()
+	if zerr != nil {
+		return zerr
+	}
+	return ferr
+}
+
+// OpenWriter creates a dataset file for writing, transparently
+// compressing when the path ends in .gz. Close the returned WriteCloser
+// to flush everything.
+func OpenWriter(path string) (io.WriteCloser, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: creating %s: %w", path, err)
+	}
+	if !strings.HasSuffix(path, gzipExt) {
+		return f, nil
+	}
+	return &gzipWriteCloser{zw: gzip.NewWriter(f), f: f}, nil
+}
+
+type gzipWriteCloser struct {
+	zw *gzip.Writer
+	f  *os.File
+}
+
+func (g *gzipWriteCloser) Write(p []byte) (int, error) { return g.zw.Write(p) }
+
+func (g *gzipWriteCloser) Close() error {
+	zerr := g.zw.Close()
+	ferr := g.f.Close()
+	if zerr != nil {
+		return zerr
+	}
+	return ferr
+}

@@ -1,0 +1,111 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Writer streams visit records as JSON Lines, the on-disk format of the
+// crawl. It is not safe for concurrent use; the crawler serialises
+// writes through a single goroutine.
+type Writer struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+	n   int
+}
+
+// NewWriter wraps w in a JSONL visit writer.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	return &Writer{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Write appends one visit record.
+func (w *Writer) Write(v *Visit) error {
+	if err := w.enc.Encode(v); err != nil {
+		return fmt.Errorf("dataset: encoding visit %q: %w", v.Site, err)
+	}
+	w.n++
+	return nil
+}
+
+// Count returns how many records were written.
+func (w *Writer) Count() int { return w.n }
+
+// Flush drains buffered output.
+func (w *Writer) Flush() error {
+	if err := w.bw.Flush(); err != nil {
+		return fmt.Errorf("dataset: flushing: %w", err)
+	}
+	return nil
+}
+
+// Read streams visit records from a JSONL stream into fn; it stops on
+// the first malformed line or when fn returns an error.
+func Read(r io.Reader, fn func(*Visit) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var v Visit
+		if err := json.Unmarshal(sc.Bytes(), &v); err != nil {
+			return fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		if err := fn(&v); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("dataset: scanning: %w", err)
+	}
+	return nil
+}
+
+// Load reads an entire JSONL stream into memory.
+func Load(r io.Reader) (*Dataset, error) {
+	d := &Dataset{}
+	err := Read(r, func(v *Visit) error {
+		d.Visits = append(d.Visits, *v)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// LoadFile loads a JSONL dataset from disk (.gz transparently).
+func LoadFile(path string) (*Dataset, error) {
+	f, err := OpenReader(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// SaveFile writes the dataset to disk as JSONL (.gz transparently).
+func (d *Dataset) SaveFile(path string) (err error) {
+	f, err := OpenWriter(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("dataset: closing %s: %w", path, cerr)
+		}
+	}()
+	w := NewWriter(f)
+	for i := range d.Visits {
+		if err := w.Write(&d.Visits[i]); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}

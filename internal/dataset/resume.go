@@ -1,0 +1,30 @@
+package dataset
+
+import (
+	"os"
+)
+
+// CompletedSites streams a JSONL crawl file and returns the set of sites
+// that already have a Before-Accept record — the resume point for an
+// interrupted campaign. A missing file yields an empty set.
+func CompletedSites(path string) (map[string]bool, error) {
+	if _, err := os.Stat(path); os.IsNotExist(err) {
+		return map[string]bool{}, nil
+	}
+	f, err := OpenReader(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]bool)
+	err = Read(f, func(v *Visit) error {
+		if v.Phase == BeforeAccept {
+			out[v.Site] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,177 @@
+package etld
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalize(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Example.COM", "example.com"},
+		{"example.com.", "example.com"},
+		{"example.com:8080", "example.com"},
+		{" example.com ", "example.com"},
+		{"example.com:notaport", "example.com:notaport"},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := Normalize(c.in); got != c.want {
+			t.Errorf("Normalize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPublicSuffix(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"www.example.com", "com"},
+		{"example.co.uk", "co.uk"},
+		{"www.example.co.uk", "co.uk"},
+		{"foo.bar.co.jp", "co.jp"},
+		{"example.it", "it"},
+		{"localhost", "localhost"},
+		{"a.b.c.d.com.br", "com.br"},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := PublicSuffix(c.in); got != c.want {
+			t.Errorf("PublicSuffix(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRegistrableDomain(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"www.example.com", "example.com"},
+		{"example.com", "example.com"},
+		{"a.b.example.co.uk", "example.co.uk"},
+		{"co.uk", "co.uk"},
+		{"com", "com"},
+		{"ad.foo.net", "foo.net"},
+		{"www.foo.com", "foo.com"},
+		{"shop.example.com.br", "example.com.br"},
+	}
+	for _, c := range cases {
+		if got := RegistrableDomain(c.in); got != c.want {
+			t.Errorf("RegistrableDomain(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSecondLevelLabel(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"www.foo.com", "foo"},
+		{"ad.foo.net", "foo"},
+		{"foo.co.uk", "foo"},
+		{"com", "com"},
+	}
+	for _, c := range cases {
+		if got := SecondLevelLabel(c.in); got != c.want {
+			t.Errorf("SecondLevelLabel(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSamenessPredicates(t *testing.T) {
+	// Section 4: www.foo.com and ad.foo.net are "the same second-level
+	// domain" but not the same site.
+	if SameSite("www.foo.com", "ad.foo.net") {
+		t.Error("SameSite(www.foo.com, ad.foo.net) = true, want false")
+	}
+	if !SameSecondLevel("www.foo.com", "ad.foo.net") {
+		t.Error("SameSecondLevel(www.foo.com, ad.foo.net) = false, want true")
+	}
+	if !SameSite("www.foo.com", "cdn.foo.com") {
+		t.Error("SameSite(www.foo.com, cdn.foo.com) = false, want true")
+	}
+	if SameSite("", "") {
+		t.Error("SameSite of empty hosts must be false")
+	}
+}
+
+func TestRegionOf(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Region
+	}{
+		{"example.com", RegionCom},
+		{"example.co.jp", RegionJapan},
+		{"example.jp", RegionJapan},
+		{"example.ru", RegionRussia},
+		{"example.msk.ru", RegionRussia},
+		{"example.fr", RegionEU},
+		{"example.de", RegionEU},
+		{"example.eu", RegionEU},
+		{"example.org", RegionOther},
+		{"example.co.uk", RegionOther}, // UK is not in the EU TLD set
+		{"example.us", RegionOther},
+	}
+	for _, c := range cases {
+		if got := RegionOf(c.in); got != c.want {
+			t.Errorf("RegionOf(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRegionString(t *testing.T) {
+	want := []string{".com", ".jp", ".ru", "EU", "Other"}
+	for i, r := range Regions {
+		if r.String() != want[i] {
+			t.Errorf("Regions[%d].String() = %q, want %q", i, r.String(), want[i])
+		}
+	}
+}
+
+func TestEUTLDCount(t *testing.T) {
+	// The paper says "30 TLDs for EU countries".
+	n := 0
+	for range euTLDs {
+		n++
+	}
+	if n != 30 {
+		t.Errorf("EU TLD set has %d entries, paper uses 30", n)
+	}
+}
+
+// Property: RegistrableDomain is idempotent and is always a suffix of the
+// normalized input.
+func TestRegistrableDomainProperties(t *testing.T) {
+	f := func(labelsRaw []uint8) bool {
+		if len(labelsRaw) == 0 {
+			return true
+		}
+		parts := make([]string, 0, len(labelsRaw)%6+1)
+		alphabet := []string{"www", "foo", "bar", "example", "ad", "co", "uk", "com", "net", "jp"}
+		for _, b := range labelsRaw {
+			parts = append(parts, alphabet[int(b)%len(alphabet)])
+			if len(parts) >= 6 {
+				break
+			}
+		}
+		host := strings.Join(parts, ".")
+		reg := RegistrableDomain(host)
+		if reg != RegistrableDomain(reg) {
+			return false
+		}
+		norm := Normalize(host)
+		return norm == reg || strings.HasSuffix(norm, "."+reg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SameSecondLevel is reflexive and symmetric on non-empty hosts.
+func TestSameSecondLevelProperties(t *testing.T) {
+	hosts := []string{"www.foo.com", "ad.foo.net", "foo.co.uk", "bar.com", "a.b.c.example.de"}
+	for _, a := range hosts {
+		if !SameSecondLevel(a, a) {
+			t.Errorf("SameSecondLevel(%q, %q) not reflexive", a, a)
+		}
+		for _, b := range hosts {
+			if SameSecondLevel(a, b) != SameSecondLevel(b, a) {
+				t.Errorf("SameSecondLevel not symmetric for %q, %q", a, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package htmlx
+
+import "testing"
+
+// FuzzParse verifies the parser never panics or hangs on arbitrary
+// input; the seed corpus covers every construct the synthetic web emits.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"<html><body><p>hi</p></body></html>",
+		`<script src="http://x.com/a.js"></script>`,
+		`<script>if (1<2) { document.browsingTopics(); }</script>`,
+		`<iframe browsingtopics src=http://a.com/f></iframe>`,
+		`<div id="privacy-banner"><button>Accept all</button></div>`,
+		"<!-- comment --><!DOCTYPE html><img src=/a.png>",
+		"<div", "</div>", "<div attr='unclosed", "<a b=c d>x",
+		"<p>&amp;&lt;&gt;&quot;&#39;&nbsp;</p>",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		if len(input) > 1<<16 {
+			input = input[:1<<16]
+		}
+		doc := Parse(input)
+		if doc == nil {
+			t.Fatal("Parse returned nil")
+		}
+		// Derived operations must not panic either.
+		doc.InnerText()
+		doc.FindAll("script")
+		doc.FindByID("x")
+	})
+}

@@ -1,0 +1,183 @@
+package htmlx
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseBasicTree(t *testing.T) {
+	doc := Parse(`<!DOCTYPE html>
+<html>
+<head><title>Hello</title></head>
+<body>
+  <div id="main" class="wrap">
+    <p>Some <b>bold</b> text</p>
+  </div>
+</body>
+</html>`)
+	html := doc.FindAll("html")
+	if len(html) != 1 {
+		t.Fatalf("html elements = %d", len(html))
+	}
+	if got := doc.FindAll("p"); len(got) != 1 {
+		t.Fatalf("p elements = %d", len(got))
+	}
+	div := doc.FindByID("main")
+	if div == nil || div.Tag != "div" {
+		t.Fatal("FindByID failed")
+	}
+	if v, _ := div.Attr("class"); v != "wrap" {
+		t.Errorf("class = %q", v)
+	}
+	if got := div.InnerText(); got != "Some bold text" {
+		t.Errorf("InnerText = %q", got)
+	}
+}
+
+func TestScriptRawBody(t *testing.T) {
+	doc := Parse(`<script src="http://x.com/a.js"></script>
+<script>
+const topics = await document.browsingTopics();
+if (1 < 2) { x = "<div>"; }
+</script>`)
+	scripts := doc.FindAll("script")
+	if len(scripts) != 2 {
+		t.Fatalf("scripts = %d", len(scripts))
+	}
+	if src, ok := scripts[0].Attr("src"); !ok || src != "http://x.com/a.js" {
+		t.Errorf("src = %q, %v", src, ok)
+	}
+	if !strings.Contains(scripts[1].Text, "browsingTopics()") {
+		t.Errorf("script body = %q", scripts[1].Text)
+	}
+	if !strings.Contains(scripts[1].Text, `x = "<div>";`) {
+		t.Error("raw text parsing broke on embedded markup")
+	}
+	// Script bodies must not leak into InnerText.
+	if strings.Contains(doc.InnerText(), "browsingTopics") {
+		t.Error("script body leaked into InnerText")
+	}
+}
+
+func TestBooleanAndUnquotedAttrs(t *testing.T) {
+	doc := Parse(`<iframe browsingtopics src=http://adv.com/frame.html width="1"></iframe>`)
+	frames := doc.FindAll("iframe")
+	if len(frames) != 1 {
+		t.Fatal("iframe missing")
+	}
+	f := frames[0]
+	if !f.HasAttr("browsingtopics") {
+		t.Error("boolean attribute lost")
+	}
+	if v, _ := f.Attr("SRC"); v != "http://adv.com/frame.html" {
+		t.Errorf("src = %q", v)
+	}
+	if v, _ := f.Attr("width"); v != "1" {
+		t.Errorf("width = %q", v)
+	}
+}
+
+func TestVoidAndSelfClosing(t *testing.T) {
+	doc := Parse(`<div><img src="/a.png"><br><link rel=stylesheet href="/s.css"><span/>text</div>`)
+	if len(doc.FindAll("img")) != 1 || len(doc.FindAll("link")) != 1 {
+		t.Error("void elements mishandled")
+	}
+	div := doc.FindAll("div")[0]
+	// img, br, link, span, text are all children of div (not nested).
+	if len(div.Children) != 5 {
+		t.Errorf("div has %d children: %+v", len(div.Children), div.Children)
+	}
+}
+
+func TestCommentsSkipped(t *testing.T) {
+	doc := Parse(`<div><!-- <script src="x"></script> -->visible</div>`)
+	if len(doc.FindAll("script")) != 0 {
+		t.Error("commented script parsed")
+	}
+	if got := doc.InnerText(); got != "visible" {
+		t.Errorf("InnerText = %q", got)
+	}
+}
+
+func TestEntities(t *testing.T) {
+	doc := Parse(`<p title="a&amp;b">x &lt;tag&gt; &amp; more</p>`)
+	p := doc.FindAll("p")[0]
+	if v, _ := p.Attr("title"); v != "a&b" {
+		t.Errorf("title = %q", v)
+	}
+	if got := p.InnerText(); got != "x <tag> & more" {
+		t.Errorf("InnerText = %q", got)
+	}
+}
+
+func TestMalformedInputsDoNotHangOrPanic(t *testing.T) {
+	inputs := []string{
+		"", "<", "<>", "< div>", "<div", "<div attr", `<div attr="unterminated`,
+		"</closewithoutopen>", "<div><span></div>", "<!--unclosed",
+		"<!doctype", "<script>never closed", strings.Repeat("<div>", 500),
+		"<div ===>ok</div>", "<a b=c d>x</a>",
+	}
+	for _, in := range inputs {
+		doc := Parse(in) // must terminate without panicking
+		if doc == nil {
+			t.Errorf("Parse(%q) = nil", in)
+		}
+	}
+}
+
+func TestNestedIframes(t *testing.T) {
+	doc := Parse(`<body>
+	  <iframe src="http://a.com/f1"><p>fallback</p></iframe>
+	  <div><iframe src="http://b.com/f2"></iframe></div>
+	</body>`)
+	frames := doc.FindAll("iframe")
+	if len(frames) != 2 {
+		t.Fatalf("frames = %d", len(frames))
+	}
+	if s, _ := frames[1].Attr("src"); s != "http://b.com/f2" {
+		t.Errorf("frame 2 src = %q", s)
+	}
+}
+
+// Property: Parse never panics and always terminates on arbitrary input.
+func TestParseRobustness(t *testing.T) {
+	f := func(s string) bool {
+		if len(s) > 4096 {
+			s = s[:4096]
+		}
+		doc := Parse(s)
+		return doc != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWalkPrune(t *testing.T) {
+	doc := Parse(`<div><section><p>deep</p></section><p>top</p></div>`)
+	var tags []string
+	doc.Walk(func(n *Node) bool {
+		if n.Tag == "section" {
+			return false // prune
+		}
+		if n.Tag != "" {
+			tags = append(tags, n.Tag)
+		}
+		return true
+	})
+	for _, tag := range tags {
+		if tag == "p" {
+			// one p is inside section (pruned), one at top level
+			return
+		}
+	}
+	t.Errorf("walk with prune visited %v, expected the top-level p", tags)
+}
+
+func TestStrayTopLevelEndTagDoesNotTruncate(t *testing.T) {
+	doc := Parse(`</div><p>first</p></span><p>second</p>`)
+	if got := len(doc.FindAll("p")); got != 2 {
+		t.Errorf("stray end tags swallowed content: %d paragraphs", got)
+	}
+}

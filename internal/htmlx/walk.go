@@ -1,0 +1,58 @@
+package htmlx
+
+import "strings"
+
+// Walk visits every node in document order; fn returning false prunes
+// the subtree.
+func (n *Node) Walk(fn func(*Node) bool) {
+	if !fn(n) {
+		return
+	}
+	for _, c := range n.Children {
+		c.Walk(fn)
+	}
+}
+
+// FindAll returns every element with the given tag, in document order.
+func (n *Node) FindAll(tag string) []*Node {
+	tag = strings.ToLower(tag)
+	var out []*Node
+	n.Walk(func(node *Node) bool {
+		if node.Tag == tag {
+			out = append(out, node)
+		}
+		return true
+	})
+	return out
+}
+
+// FindByID returns the first element with the given id attribute.
+func (n *Node) FindByID(id string) *Node {
+	var found *Node
+	n.Walk(func(node *Node) bool {
+		if found != nil {
+			return false
+		}
+		if v, ok := node.Attr("id"); ok && v == id {
+			found = node
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// InnerText concatenates all descendant text, normalising whitespace
+// runs to single spaces.
+func (n *Node) InnerText() string {
+	var b strings.Builder
+	n.Walk(func(node *Node) bool {
+		if node.Tag == "" && node.Text != "" {
+			b.WriteString(node.Text)
+			b.WriteByte(' ')
+		}
+		// Script/style raw bodies are not human-visible text.
+		return !rawTextElements[node.Tag]
+	})
+	return strings.Join(strings.Fields(b.String()), " ")
+}

@@ -1,0 +1,136 @@
+package privaccept
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/netmeasure/topicscope/internal/htmlx"
+)
+
+func page(banner string) *htmlx.Node {
+	return htmlx.Parse(fmt.Sprintf(`<!DOCTYPE html><html><body>
+<header>My Site</header>
+%s
+<main><p>Welcome to the site. Lots of content about travel and hotels.</p></main>
+</body></html>`, banner))
+}
+
+func TestDetectSupportedLanguages(t *testing.T) {
+	cases := []struct {
+		lang   string
+		button string
+	}{
+		{"en", "Accept all"},
+		{"en", "ACCEPT COOKIES"},
+		{"fr", "Tout accepter"},
+		{"es", "Aceptar todo"},
+		{"de", "Alle akzeptieren"},
+		{"it", "Accetta tutto"},
+	}
+	for _, c := range cases {
+		doc := page(fmt.Sprintf(
+			`<div id="privacy-banner"><p>We use cookies.</p><button>%s</button><button>Reject</button></div>`,
+			c.button))
+		det := Detect(doc)
+		if !det.BannerFound || !det.AcceptFound {
+			t.Errorf("%s banner %q not detected: %+v", c.lang, c.button, det)
+			continue
+		}
+		if det.Language != c.lang {
+			t.Errorf("button %q detected as %q, want %q", c.button, det.Language, c.lang)
+		}
+	}
+}
+
+func TestDetectUnsupportedLanguage(t *testing.T) {
+	// Japanese and Russian banners must be found but not accepted —
+	// the paper's Priv-Accept supports only five languages.
+	for _, button := range []string{"同意する", "Принять все"} {
+		doc := page(fmt.Sprintf(
+			`<div class="cookie-consent"><p>...</p><button>%s</button></div>`, button))
+		det := Detect(doc)
+		if !det.BannerFound {
+			t.Errorf("banner with %q not found", button)
+		}
+		if det.AcceptFound {
+			t.Errorf("unsupported-language button %q accepted", button)
+		}
+	}
+}
+
+func TestDetectObscureWording(t *testing.T) {
+	doc := page(`<div id="cookie-notice"><p>We value your privacy.</p>
+		<button>Continue with recommended settings</button></div>`)
+	det := Detect(doc)
+	if !det.BannerFound {
+		t.Error("banner not found")
+	}
+	if det.AcceptFound {
+		t.Error("obscure wording must not match")
+	}
+}
+
+func TestNoBanner(t *testing.T) {
+	det := Detect(page(""))
+	if det.BannerFound || det.AcceptFound {
+		t.Errorf("phantom banner: %+v", det)
+	}
+}
+
+func TestTextHintContainer(t *testing.T) {
+	// A markerless custom banner is found via its text.
+	doc := page(`<div class="notice-bar"><p>This site uses cookies to improve your experience.</p>
+		<a href="#" onclick="ok()">I agree</a></div>`)
+	det := Detect(doc)
+	if !det.BannerFound || !det.AcceptFound || det.Language != "en" {
+		t.Errorf("custom banner not handled: %+v", det)
+	}
+}
+
+func TestLongPhrasesWinOverShort(t *testing.T) {
+	doc := page(`<div id="consent"><button>Accept all cookies</button></div>`)
+	det := Detect(doc)
+	if !det.AcceptFound || det.Language != "en" {
+		t.Fatalf("detection failed: %+v", det)
+	}
+}
+
+func TestClickableKinds(t *testing.T) {
+	variants := []string{
+		`<button>Accept</button>`,
+		`<a href="#">Accept</a>`,
+		`<input type="submit" value="Accept">`,
+		`<div role="button">Accept</div>`,
+		`<span onclick="go()">Accept</span>`,
+	}
+	for _, v := range variants {
+		doc := page(`<div id="cookie-banner">` + v + `</div>`)
+		if det := Detect(doc); !det.AcceptFound {
+			t.Errorf("clickable variant %q not detected", v)
+		}
+	}
+	// Plain text inside the banner must not count as a control.
+	doc := page(`<div id="cookie-banner"><p>Click accept below</p></div>`)
+	if det := Detect(doc); det.AcceptFound {
+		t.Error("non-clickable text matched as accept control")
+	}
+}
+
+func TestRejectOnlyBanner(t *testing.T) {
+	doc := page(`<div id="cookie-banner"><button>Reject</button><button>Settings</button></div>`)
+	det := Detect(doc)
+	if !det.BannerFound || det.AcceptFound {
+		t.Errorf("reject-only banner: %+v", det)
+	}
+}
+
+func TestAllWordlistsNonEmpty(t *testing.T) {
+	if len(SupportedLanguages) != 5 {
+		t.Errorf("Priv-Accept supports five languages, got %d", len(SupportedLanguages))
+	}
+	for _, l := range SupportedLanguages {
+		if len(AcceptWords[l]) == 0 {
+			t.Errorf("no accept words for %q", l)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package reident
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestSimulateShape(t *testing.T) {
+	res := Simulate(Config{Users: 120, Epochs: 6, Seed: 3, NoNoise: true})
+	if len(res.MatchRate) != 6 || len(res.TopicsPerUser) != 6 {
+		t.Fatalf("series lengths: %d, %d", len(res.MatchRate), len(res.TopicsPerUser))
+	}
+	for k, r := range res.MatchRate {
+		if r < 0 || r > 1 {
+			t.Errorf("epoch %d: rate %f out of range", k, r)
+		}
+	}
+	// Accumulated topics grow with observation time.
+	if res.TopicsPerUser[5] <= res.TopicsPerUser[0] {
+		t.Errorf("topics per user did not grow: %v", res.TopicsPerUser)
+	}
+	// The attack works: after several epochs a large share of users is
+	// re-identified across the two publishers (PETS 2023 reports
+	// majority re-identification within weeks for stable profiles).
+	if res.MatchRate[5] < 0.5 {
+		t.Errorf("re-identification after 6 epochs = %.2f, expected the attack to work", res.MatchRate[5])
+	}
+	// And more observation helps.
+	if res.MatchRate[5] < res.MatchRate[0] {
+		t.Errorf("rate decreased with epochs: %v", res.MatchRate)
+	}
+}
+
+func TestNoiseMitigates(t *testing.T) {
+	clean := Simulate(Config{Users: 120, Epochs: 5, Seed: 9, NoNoise: true})
+	noisy := Simulate(Config{Users: 120, Epochs: 5, Seed: 9, NoNoise: false})
+	// The 5% replacement is plausible deniability, not a hard defence:
+	// it must not *increase* linkability.
+	last := len(clean.MatchRate) - 1
+	if noisy.MatchRate[last] > clean.MatchRate[last]+0.05 {
+		t.Errorf("noise increased re-identification: %.2f vs %.2f",
+			noisy.MatchRate[last], clean.MatchRate[last])
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := Simulate(Config{Users: 60, Epochs: 3, Seed: 11})
+	b := Simulate(Config{Users: 60, Epochs: 3, Seed: 11})
+	if !reflect.DeepEqual(a.MatchRate, b.MatchRate) {
+		t.Error("same seed produced different results")
+	}
+	c := Simulate(Config{Users: 60, Epochs: 3, Seed: 12})
+	if reflect.DeepEqual(a.MatchRate, c.MatchRate) {
+		t.Error("different seeds produced identical results")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Users == 0 || cfg.Epochs == 0 || cfg.ProfileSites == 0 || cfg.VisitsPerEpoch == 0 {
+		t.Errorf("defaults incomplete: %+v", cfg)
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	a := map[int]bool{1: true, 2: true, 3: true}
+	b := map[int]bool{2: true, 3: true, 4: true}
+	if got := jaccard(a, b); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("jaccard = %f", got)
+	}
+	if jaccard(nil, nil) != 0 {
+		t.Error("empty jaccard not 0")
+	}
+	if jaccard(a, a) != 1 {
+		t.Error("self jaccard not 1")
+	}
+}
+
+func TestMatchRateStrictness(t *testing.T) {
+	// Identical profiles across users are ambiguous: ties must not count
+	// as re-identification.
+	same := map[int]bool{1: true, 2: true}
+	a := []map[int]bool{same, same}
+	b := []map[int]bool{same, same}
+	if got := matchRate(a, b); got != 0 {
+		t.Errorf("ambiguous population matched at %.2f, want 0", got)
+	}
+	// Distinct profiles match perfectly.
+	a = []map[int]bool{{1: true}, {2: true}}
+	b = []map[int]bool{{1: true}, {2: true}}
+	if got := matchRate(a, b); got != 1 {
+		t.Errorf("distinct population matched at %.2f, want 1", got)
+	}
+	// Empty observation cannot match.
+	a = []map[int]bool{{}}
+	b = []map[int]bool{{1: true}}
+	if got := matchRate(a, b); got != 0 {
+		t.Errorf("empty profile matched at %.2f", got)
+	}
+}

@@ -1,0 +1,182 @@
+package taxonomy
+
+// v2AddedPaths lists the topics introduced by taxonomy v2 — the initial
+// taxonomy (v1, 349 entries in Chrome) was both smaller and less
+// commerce-heavy. NewV1 derives the v1 table by removing these from the
+// v2 table, mirroring how the real revisions relate. Note one
+// simplification, documented here: Chrome keeps shared-topic IDs stable
+// across revisions, while this package assigns IDs per table, so v1 and
+// v2 IDs agree only up to the first removal; cross-version code must map
+// by path (see MapTopics).
+var v2AddedPaths = []string{
+	"/Arts & Entertainment/Fun & Trivia",
+	"/Arts & Entertainment/Humor/Live Comedy",
+	"/Arts & Entertainment/Movies/Documentary Films",
+	"/Arts & Entertainment/Movies/Family Films",
+	"/Arts & Entertainment/Movies/Romance Films",
+	"/Arts & Entertainment/Music & Audio/Music Videos",
+	"/Arts & Entertainment/Music & Audio/Samples & Sound Libraries",
+	"/Arts & Entertainment/Music & Audio/Soundtracks",
+	"/Arts & Entertainment/Online Video/Live Streaming",
+	"/Arts & Entertainment/TV Shows & Programs/TV Documentary & Nonfiction",
+	"/Arts & Entertainment/TV Shows & Programs/TV Reality Shows",
+	"/Autos & Vehicles/Gas Prices & Vehicle Fueling",
+	"/Autos & Vehicles/Motor Vehicles (By Type)/Autonomous Vehicles",
+	"/Autos & Vehicles/Motor Vehicles (By Type)/Convertibles",
+	"/Autos & Vehicles/Motor Vehicles (By Type)/Microcars & Subcompacts",
+	"/Autos & Vehicles/Motor Vehicles (By Type)/Scooters & Mopeds",
+	"/Autos & Vehicles/Motor Vehicles (By Type)/Station Wagons",
+	"/Autos & Vehicles/Towing & Roadside Assistance",
+	"/Autos & Vehicles/Vehicle Shows",
+	"/Beauty & Fitness/Face & Body Care/Antiperspirants, Deodorants & Body Sprays",
+	"/Beauty & Fitness/Face & Body Care/Clean Beauty",
+	"/Beauty & Fitness/Face & Body Care/Nail Care Products",
+	"/Beauty & Fitness/Face & Body Care/Razors & Shavers",
+	"/Books & Literature/Fan Fiction",
+	"/Books & Literature/Literary Classics",
+	"/Business & Industrial/Business Operations/Flexible Work Arrangements",
+	"/Business & Industrial/Commercial Lending",
+	"/Business & Industrial/Energy & Utilities/Water Supply & Treatment",
+	"/Business & Industrial/MLM & Business Opportunities",
+	"/Computers & Electronics/Computer Peripherals/Computer Monitors & Displays",
+	"/Computers & Electronics/Computer Security/Antivirus & Malware",
+	"/Computers & Electronics/Computer Security/Network Security",
+	"/Computers & Electronics/Consumer Electronics/Home Automation",
+	"/Computers & Electronics/Consumer Electronics/Wearable Technology",
+	"/Computers & Electronics/Data Backup & Recovery",
+	"/Computers & Electronics/Software/Desktop Publishing",
+	"/Computers & Electronics/Software/Download Managers",
+	"/Computers & Electronics/Software/Freeware & Shareware",
+	"/Computers & Electronics/Software/Intelligent Personal Assistants",
+	"/Computers & Electronics/Software/Media Players",
+	"/Computers & Electronics/Software/Monitoring Software",
+	"/Finance/Banking/Money Transfer & Wire Services",
+	"/Finance/Credit & Lending/Student Loans",
+	"/Finance/Financial Planning & Management/Retirement & Pension",
+	"/Finance/Grants, Scholarships & Financial Aid",
+	"/Finance/Insurance/Travel Insurance",
+	"/Finance/Investing/Hedge Funds",
+	"/Food & Drink/Beverages/Soft Drinks",
+	"/Food & Drink/Cooking & Recipes/BBQ & Grilling",
+	"/Food & Drink/Cooking & Recipes/Cuisines/Vegetarian Cuisine",
+	"/Food & Drink/Restaurants/Pizzerias",
+	"/Games/Billiards",
+	"/Games/Card Games/Collectible Card Games",
+	"/Games/Computer & Video Games/Fighting Games",
+	"/Games/Computer & Video Games/Music & Dance Games",
+	"/Games/Computer & Video Games/Video Game Emulation",
+	"/Games/Computer & Video Games/Video Game Retailers",
+	"/Games/Table Tennis",
+	"/Games/Word Games",
+	"/Hobbies & Leisure/Anniversaries",
+	"/Hobbies & Leisure/Birthdays & Name Days",
+	"/Hobbies & Leisure/Fiber & Textile Arts",
+	"/Hobbies & Leisure/Paintball",
+	"/Hobbies & Leisure/Radio Control & Modeling",
+	"/Home & Garden/Bed & Bath/Bathroom",
+	"/Home & Garden/Home Safety & Security",
+	"/Home & Garden/Household Supplies",
+	"/Home & Garden/Laundry",
+	"/Internet & Telecom/Email & Messaging/Voice & Video Chat",
+	"/Internet & Telecom/Teleconferencing",
+	"/Jobs & Education/Education/Academic Conferences & Publications",
+	"/Jobs & Education/Education/Early Childhood Education",
+	"/Jobs & Education/Education/Homeschooling",
+	"/Jobs & Education/Education/Standardized & Admissions Tests",
+	"/Jobs & Education/Education/Vocational & Continuing Education",
+	"/Law & Government/Government/Visa & Immigration",
+	"/Law & Government/Public Safety/Crime & Justice",
+	"/Law & Government/Public Safety/Emergency Services",
+	"/News/Gossip & Tabloid News",
+	"/News/Health News",
+	"/Online Communities/Clip Art & Animated GIFs",
+	"/Online Communities/Dating & Personals/Matrimonial Services",
+	"/Online Communities/Feed Aggregation & Social Bookmarking",
+	"/Online Communities/Skins, Themes & Wallpapers",
+	"/People & Society/Family & Relationships/Ancestry & Genealogy",
+	"/People & Society/Family & Relationships/Parenting/Adoption",
+	"/People & Society/Family & Relationships/Parenting/Child Care",
+	"/People & Society/Science Fiction & Fantasy",
+	"/Pets & Animals/Pets/Fish & Aquaria",
+	"/Pets & Animals/Pets/Reptiles & Amphibians",
+	"/Pets & Animals/Veterinarians",
+	"/Real Estate/Lots & Land",
+	"/Real Estate/Moving & Relocation",
+	"/Real Estate/Property Inspections & Appraisals",
+	"/Real Estate/Timeshares & Vacation Properties",
+	"/Reference/Business & Personal Listings",
+	"/Reference/General Reference/Calculators & Reference Tools",
+	"/Reference/General Reference/Public Records",
+	"/Reference/Language Resources/Translation Tools & Resources",
+	"/Science/Biological Sciences/Genetics",
+	"/Science/Ecology & Environment/Climate Change & Global Warming",
+	"/Science/Geology",
+	"/Science/Robotics",
+	"/Shopping/Antiques & Collectibles",
+	"/Shopping/Apparel/Costumes",
+	"/Shopping/Apparel/Eyewear",
+	"/Shopping/Apparel/Headwear",
+	"/Shopping/Apparel/Sleepwear",
+	"/Shopping/Apparel/Swimwear",
+	"/Shopping/Apparel/Undergarments",
+	"/Shopping/Consumer Resources/Loyalty Cards & Programs",
+	"/Shopping/Discount & Outlet Stores",
+	"/Shopping/Flowers",
+	"/Shopping/Gifts & Special Event Items/Cards & Greetings",
+	"/Shopping/Gifts & Special Event Items/Party & Holiday Supplies",
+	"/Shopping/Photo & Video Services",
+	"/Shopping/Shopping Portals",
+	"/Sports/College Sports",
+	"/Sports/Extreme Sports/Climbing & Mountaineering",
+	"/Sports/Fantasy Sports",
+	"/Sports/Gymnastics",
+	"/Sports/Olympics",
+	"/Sports/Sporting Goods/Sports Memorabilia",
+	"/Sports/Sports Coaching & Training",
+	"/Sports/Track & Field",
+	"/Sports/Water Sports/Surfing",
+	"/Travel & Transportation/Business Travel",
+	"/Travel & Transportation/Family Travel",
+	"/Travel & Transportation/Honeymoons & Romantic Getaways",
+	"/Travel & Transportation/Long Distance Bus & Rail",
+	"/Travel & Transportation/Luggage & Travel Accessories",
+	"/Travel & Transportation/Specialty Travel/Adventure Travel",
+	"/Travel & Transportation/Specialty Travel/Ecotourism",
+	"/Travel & Transportation/Tourist Destinations/Regional Parks & Gardens",
+	"/Travel & Transportation/Tourist Destinations/Zoos, Aquariums & Preserves",
+	"/Travel & Transportation/Traffic & Route Planners",
+}
+
+// NewV1 returns the embedded taxonomy modelled on Chrome taxonomy v1:
+// the v2 table minus the v2 additions.
+func NewV1() *Taxonomy {
+	removed := make(map[string]bool, len(v2AddedPaths))
+	for _, p := range v2AddedPaths {
+		removed[p] = true
+	}
+	paths := make([]string, 0, len(taxonomyV2Paths)-len(v2AddedPaths))
+	for _, p := range taxonomyV2Paths {
+		if !removed[p] {
+			paths = append(paths, p)
+		}
+	}
+	return New(V1, paths)
+}
+
+// MapTopics translates topic IDs between taxonomy revisions by path,
+// dropping topics absent from the target — what a server consuming
+// versioned Sec-Browsing-Topics values must do when callers run
+// different Chrome releases.
+func MapTopics(from, to *Taxonomy, ids []int) []Topic {
+	var out []Topic
+	for _, id := range ids {
+		t, ok := from.Get(id)
+		if !ok {
+			continue
+		}
+		if mapped, ok := to.ByPath(t.Path); ok {
+			out = append(out, mapped)
+		}
+	}
+	return out
+}

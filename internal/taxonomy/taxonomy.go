@@ -1,0 +1,226 @@
+// Package taxonomy implements the Topics API taxonomy: the hierarchical
+// set of interest categories ("topics") the browser assigns to visited
+// websites (paper §2.1).
+//
+// Chrome ships the taxonomy as a flat table of (ID, path) pairs where the
+// path encodes the hierarchy ("/Arts & Entertainment/Music & Audio/Rock
+// Music"). This package embeds a representative taxonomy modelled on
+// taxonomy v2 (the version active during the paper's March 2024 crawl)
+// and provides hierarchy navigation, lookups and uniform sampling — the
+// latter is what the engine's 5% plausible-deniability noise draws from.
+package taxonomy
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"strings"
+)
+
+// Topic is one entry of the taxonomy.
+type Topic struct {
+	// ID is the stable numeric identifier the browsingTopics() call
+	// returns to callers.
+	ID int
+	// Path is the full hierarchical name, starting with "/".
+	Path string
+}
+
+// Name returns the final component of the topic path.
+func (t Topic) Name() string {
+	if i := strings.LastIndexByte(t.Path, '/'); i >= 0 {
+		return t.Path[i+1:]
+	}
+	return t.Path
+}
+
+// Depth returns the number of components in the path (a root category has
+// depth 1).
+func (t Topic) Depth() int {
+	return strings.Count(t.Path, "/")
+}
+
+// String implements fmt.Stringer as "ID:/Path".
+func (t Topic) String() string { return fmt.Sprintf("%d:%s", t.ID, t.Path) }
+
+// Version identifies a taxonomy revision, mirroring Chrome's
+// "chrome.N" configuration strings.
+type Version string
+
+// Taxonomy versions. V2 was active during the paper's crawl.
+const (
+	V1 Version = "chrome.1"
+	V2 Version = "chrome.2"
+)
+
+// Taxonomy is an immutable, indexed set of topics.
+type Taxonomy struct {
+	version  Version
+	topics   []Topic // sorted by ID
+	byID     map[int]int
+	byPath   map[string]int
+	children map[int][]int // parent ID -> child IDs ("" root uses ID 0)
+	parent   map[int]int   // child ID -> parent ID (absent for roots)
+}
+
+// New builds a taxonomy from a table of paths; IDs are assigned in table
+// order starting at 1. It panics on duplicate or malformed paths, which
+// can only happen from a programming error in the embedded table.
+func New(version Version, paths []string) *Taxonomy {
+	tx := &Taxonomy{
+		version:  version,
+		byID:     make(map[int]int, len(paths)),
+		byPath:   make(map[string]int, len(paths)),
+		children: make(map[int][]int),
+		parent:   make(map[int]int),
+	}
+	for i, p := range paths {
+		if !strings.HasPrefix(p, "/") || strings.HasSuffix(p, "/") {
+			panic(fmt.Sprintf("taxonomy: malformed path %q", p))
+		}
+		if _, dup := tx.byPath[p]; dup {
+			panic(fmt.Sprintf("taxonomy: duplicate path %q", p))
+		}
+		t := Topic{ID: i + 1, Path: p}
+		tx.topics = append(tx.topics, t)
+		tx.byID[t.ID] = i
+		tx.byPath[p] = i
+	}
+	// Link hierarchy. A parent may be absent from the table (Chrome's
+	// taxonomy is complete, ours is too by construction of the table, but
+	// we tolerate gaps by linking to the nearest present ancestor).
+	for _, t := range tx.topics {
+		anc := t.Path
+		for {
+			i := strings.LastIndexByte(anc, '/')
+			if i <= 0 {
+				break // root topic
+			}
+			anc = anc[:i]
+			if pi, ok := tx.byPath[anc]; ok {
+				pid := tx.topics[pi].ID
+				tx.parent[t.ID] = pid
+				tx.children[pid] = append(tx.children[pid], t.ID)
+				break
+			}
+		}
+	}
+	for _, kids := range tx.children {
+		sort.Ints(kids)
+	}
+	return tx
+}
+
+// NewV2 returns the embedded taxonomy modelled on Chrome taxonomy v2.
+func NewV2() *Taxonomy { return New(V2, taxonomyV2Paths) }
+
+// Version returns the taxonomy revision string.
+func (tx *Taxonomy) Version() Version { return tx.version }
+
+// Len returns the number of topics.
+func (tx *Taxonomy) Len() int { return len(tx.topics) }
+
+// All returns all topics in ID order. The returned slice is shared; do
+// not modify it.
+func (tx *Taxonomy) All() []Topic { return tx.topics }
+
+// Get returns the topic with the given ID.
+func (tx *Taxonomy) Get(id int) (Topic, bool) {
+	i, ok := tx.byID[id]
+	if !ok {
+		return Topic{}, false
+	}
+	return tx.topics[i], true
+}
+
+// ByPath returns the topic with the given full path.
+func (tx *Taxonomy) ByPath(path string) (Topic, bool) {
+	i, ok := tx.byPath[path]
+	if !ok {
+		return Topic{}, false
+	}
+	return tx.topics[i], true
+}
+
+// Parent returns the parent topic of id, if any. Root categories have no
+// parent.
+func (tx *Taxonomy) Parent(id int) (Topic, bool) {
+	pid, ok := tx.parent[id]
+	if !ok {
+		return Topic{}, false
+	}
+	return tx.Get(pid)
+}
+
+// Children returns the direct children of id in ID order.
+func (tx *Taxonomy) Children(id int) []Topic {
+	ids := tx.children[id]
+	out := make([]Topic, 0, len(ids))
+	for _, cid := range ids {
+		c, _ := tx.Get(cid)
+		out = append(out, c)
+	}
+	return out
+}
+
+// Roots returns the root categories (depth-1 topics) in ID order.
+func (tx *Taxonomy) Roots() []Topic {
+	var out []Topic
+	for _, t := range tx.topics {
+		if t.Depth() == 1 {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Ancestors returns the chain of ancestors of id from immediate parent up
+// to the root category.
+func (tx *Taxonomy) Ancestors(id int) []Topic {
+	var out []Topic
+	for {
+		p, ok := tx.Parent(id)
+		if !ok {
+			return out
+		}
+		out = append(out, p)
+		id = p.ID
+	}
+}
+
+// Root returns the depth-1 ancestor of id (or the topic itself if it is a
+// root category).
+func (tx *Taxonomy) Root(id int) (Topic, bool) {
+	t, ok := tx.Get(id)
+	if !ok {
+		return Topic{}, false
+	}
+	for {
+		p, okp := tx.Parent(t.ID)
+		if !okp {
+			return t, true
+		}
+		t = p
+	}
+}
+
+// IsAncestor reports whether a is a strict ancestor of b.
+func (tx *Taxonomy) IsAncestor(a, b int) bool {
+	for {
+		p, ok := tx.parent[b]
+		if !ok {
+			return false
+		}
+		if p == a {
+			return true
+		}
+		b = p
+	}
+}
+
+// Random returns a topic drawn uniformly at random, as Chrome does when
+// replacing a real topic with noise (paper §2.1: "5% of the offered
+// topics are replaced by a random topic").
+func (tx *Taxonomy) Random(rng *rand.Rand) Topic {
+	return tx.topics[rng.IntN(len(tx.topics))]
+}

@@ -1,0 +1,242 @@
+package taxonomy
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewV2Shape(t *testing.T) {
+	tx := NewV2()
+	if tx.Version() != V2 {
+		t.Errorf("Version() = %q, want %q", tx.Version(), V2)
+	}
+	if tx.Len() < 300 {
+		t.Errorf("taxonomy has %d topics, want a substantial table (>=300)", tx.Len())
+	}
+	if got := len(tx.All()); got != tx.Len() {
+		t.Errorf("All() returned %d topics, Len() = %d", got, tx.Len())
+	}
+	roots := tx.Roots()
+	if len(roots) < 20 {
+		t.Errorf("taxonomy has %d root categories, want >= 20", len(roots))
+	}
+	for _, r := range roots {
+		if r.Depth() != 1 {
+			t.Errorf("root %v has depth %d, want 1", r, r.Depth())
+		}
+	}
+}
+
+func TestIDsStableAndDense(t *testing.T) {
+	tx := NewV2()
+	for i, topic := range tx.All() {
+		if topic.ID != i+1 {
+			t.Fatalf("topic %d has ID %d, want dense sequential IDs", i, topic.ID)
+		}
+	}
+}
+
+func TestLookups(t *testing.T) {
+	tx := NewV2()
+	want := "/Arts & Entertainment/Music & Audio/Rock Music"
+	topic, ok := tx.ByPath(want)
+	if !ok {
+		t.Fatalf("ByPath(%q) not found", want)
+	}
+	if topic.Path != want {
+		t.Errorf("ByPath returned %q", topic.Path)
+	}
+	if topic.Name() != "Rock Music" {
+		t.Errorf("Name() = %q, want %q", topic.Name(), "Rock Music")
+	}
+	back, ok := tx.Get(topic.ID)
+	if !ok || back != topic {
+		t.Errorf("Get(%d) = %v, %v; want %v", topic.ID, back, ok, topic)
+	}
+	if _, ok := tx.Get(0); ok {
+		t.Error("Get(0) should not resolve")
+	}
+	if _, ok := tx.Get(tx.Len() + 1); ok {
+		t.Error("Get(out of range) should not resolve")
+	}
+	if _, ok := tx.ByPath("/No Such Category"); ok {
+		t.Error("ByPath of unknown path should not resolve")
+	}
+}
+
+func TestHierarchy(t *testing.T) {
+	tx := NewV2()
+	rock, _ := tx.ByPath("/Arts & Entertainment/Music & Audio/Rock Music")
+	music, _ := tx.ByPath("/Arts & Entertainment/Music & Audio")
+	arts, _ := tx.ByPath("/Arts & Entertainment")
+
+	if p, ok := tx.Parent(rock.ID); !ok || p != music {
+		t.Errorf("Parent(Rock Music) = %v, %v; want %v", p, ok, music)
+	}
+	if _, ok := tx.Parent(arts.ID); ok {
+		t.Error("root category must have no parent")
+	}
+	if !tx.IsAncestor(arts.ID, rock.ID) {
+		t.Error("Arts & Entertainment must be an ancestor of Rock Music")
+	}
+	if tx.IsAncestor(rock.ID, arts.ID) {
+		t.Error("Rock Music must not be an ancestor of Arts & Entertainment")
+	}
+	if tx.IsAncestor(rock.ID, rock.ID) {
+		t.Error("IsAncestor must be strict")
+	}
+
+	anc := tx.Ancestors(rock.ID)
+	if len(anc) != 2 || anc[0] != music || anc[1] != arts {
+		t.Errorf("Ancestors(Rock Music) = %v", anc)
+	}
+
+	root, ok := tx.Root(rock.ID)
+	if !ok || root != arts {
+		t.Errorf("Root(Rock Music) = %v, %v; want %v", root, ok, arts)
+	}
+	if root, ok := tx.Root(arts.ID); !ok || root != arts {
+		t.Errorf("Root(root) = %v, %v; want itself", root, ok)
+	}
+
+	kids := tx.Children(music.ID)
+	if len(kids) == 0 {
+		t.Fatal("Music & Audio should have children")
+	}
+	for _, k := range kids {
+		if !strings.HasPrefix(k.Path, music.Path+"/") {
+			t.Errorf("child %v not under %v", k, music)
+		}
+	}
+}
+
+func TestEveryNonRootHasParent(t *testing.T) {
+	tx := NewV2()
+	for _, topic := range tx.All() {
+		if topic.Depth() == 1 {
+			continue
+		}
+		p, ok := tx.Parent(topic.ID)
+		if !ok {
+			t.Errorf("topic %v has no parent", topic)
+			continue
+		}
+		if !strings.HasPrefix(topic.Path, p.Path+"/") {
+			t.Errorf("topic %v parent %v is not a path prefix", topic, p)
+		}
+	}
+}
+
+func TestRandomCoversTaxonomy(t *testing.T) {
+	tx := NewV2()
+	rng := rand.New(rand.NewPCG(1, 2))
+	seen := make(map[int]bool)
+	for i := 0; i < tx.Len()*20; i++ {
+		seen[tx.Random(rng).ID] = true
+	}
+	if len(seen) < tx.Len()*9/10 {
+		t.Errorf("Random covered only %d/%d topics", len(seen), tx.Len())
+	}
+}
+
+func TestNewPanicsOnBadTable(t *testing.T) {
+	for _, bad := range [][]string{
+		{"/A", "/A"},   // duplicate
+		{"no-slash"},   // malformed
+		{"/trailing/"}, // malformed
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%v) did not panic", bad)
+				}
+			}()
+			New(V1, bad)
+		}()
+	}
+}
+
+// Property: Get and ByPath are inverse on every topic; Root is always a
+// depth-1 ancestor-or-self.
+func TestTaxonomyProperties(t *testing.T) {
+	tx := NewV2()
+	f := func(raw uint16) bool {
+		id := int(raw)%tx.Len() + 1
+		topic, ok := tx.Get(id)
+		if !ok {
+			return false
+		}
+		byPath, ok := tx.ByPath(topic.Path)
+		if !ok || byPath.ID != id {
+			return false
+		}
+		root, ok := tx.Root(id)
+		if !ok || root.Depth() != 1 {
+			return false
+		}
+		return root.ID == id || tx.IsAncestor(root.ID, id)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewV1(t *testing.T) {
+	v1, v2 := NewV1(), NewV2()
+	if v1.Version() != V1 {
+		t.Errorf("version %q", v1.Version())
+	}
+	if v1.Len() >= v2.Len() {
+		t.Errorf("v1 (%d) must be smaller than v2 (%d)", v1.Len(), v2.Len())
+	}
+	if v1.Len() < 250 {
+		t.Errorf("v1 has %d topics, suspiciously small", v1.Len())
+	}
+	// Every v1 path exists in v2 (v2 is a superset).
+	for _, topic := range v1.All() {
+		if _, ok := v2.ByPath(topic.Path); !ok {
+			t.Errorf("v1 path %q missing from v2", topic.Path)
+		}
+	}
+	// Every listed v2 addition is absent from v1 and present in v2.
+	for _, p := range v2AddedPaths {
+		if _, ok := v1.ByPath(p); ok {
+			t.Errorf("v2 addition %q present in v1", p)
+		}
+		if _, ok := v2.ByPath(p); !ok {
+			t.Errorf("v2 addition %q not in v2 table", p)
+		}
+	}
+	// Hierarchy is still complete after removals.
+	for _, topic := range v1.All() {
+		if topic.Depth() > 1 {
+			if _, ok := v1.Parent(topic.ID); !ok {
+				t.Errorf("v1 topic %q lost its parent", topic.Path)
+			}
+		}
+	}
+}
+
+func TestMapTopics(t *testing.T) {
+	v1, v2 := NewV1(), NewV2()
+	rock2, _ := v2.ByPath("/Arts & Entertainment/Music & Audio/Rock Music")
+	clean2, _ := v2.ByPath("/Beauty & Fitness/Face & Body Care/Clean Beauty") // v2-only
+
+	mapped := MapTopics(v2, v1, []int{rock2.ID, clean2.ID, 99999})
+	if len(mapped) != 1 {
+		t.Fatalf("mapped %d topics, want 1 (v2-only and unknown dropped): %v", len(mapped), mapped)
+	}
+	if mapped[0].Path != rock2.Path {
+		t.Errorf("mapped path %q", mapped[0].Path)
+	}
+	// Round trip v1 -> v2 -> v1 is the identity on shared topics.
+	for _, topic := range v1.All()[:50] {
+		up := MapTopics(v1, v2, []int{topic.ID})
+		down := MapTopics(v2, v1, []int{up[0].ID})
+		if len(down) != 1 || down[0] != topic {
+			t.Fatalf("round trip broke for %v", topic)
+		}
+	}
+}

@@ -1,0 +1,396 @@
+// Package topics implements the browser-side Topics API engine described
+// in paper §2.1 and in the Privacy Sandbox documentation.
+//
+// The engine:
+//
+//   - monitors browsing activity: every page visit is classified into
+//     taxonomy topics by the predefined model (internal/classifier);
+//   - groups activity into epochs (one week each); at the end of an
+//     epoch it computes the top 5 most-visited topics of that epoch,
+//     padding with random topics when browsing history is thin;
+//   - answers browsingTopics() calls with up to three topics, one per
+//     each of the last three completed epochs, where the per-epoch topic
+//     is chosen pseudo-randomly among the epoch's top 5 — stable for a
+//     given (epoch, site) pair so that every caller embedded on the same
+//     page sees the same value and cannot use the API to fingerprint;
+//   - replaces the offered topic with a uniformly random one with 5%
+//     probability ("plausible deniability", §2.1);
+//   - filters results per caller: a caller only receives a topic for an
+//     epoch if, during that epoch, it observed the user on some page
+//     about that topic. Noise and padded topics are exempt from the
+//     filter, exactly because they carry no browsing information.
+//
+// All decisions derive deterministically from a user seed, the epoch
+// index and the site, so a crawl is reproducible.
+package topics
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"github.com/netmeasure/topicscope/internal/classifier"
+	"github.com/netmeasure/topicscope/internal/taxonomy"
+)
+
+// Default engine parameters, matching Chrome's.
+const (
+	DefaultEpochDuration = 7 * 24 * time.Hour
+	DefaultTopPerEpoch   = 5
+	DefaultEpochsToShare = 3
+	// DefaultNoiseProb is the 5% plausible-deniability replacement rate.
+	DefaultNoiseProb = 0.05
+	// DefaultModelVersion labels the classifier model in results.
+	DefaultModelVersion = "2206021246"
+)
+
+// Config parameterises an Engine. The zero value selects all defaults.
+type Config struct {
+	// EpochDuration is the length of one epoch (default one week).
+	EpochDuration time.Duration
+	// TopPerEpoch is how many topics an epoch's top list holds (5).
+	TopPerEpoch int
+	// EpochsToShare is how many past epochs a call draws from (3).
+	EpochsToShare int
+	// NoiseProb is the probability a returned topic is replaced by a
+	// uniformly random one (0.05). Leave zero for the default; set
+	// NoNoise to disable replacement entirely.
+	NoiseProb float64
+	// NoNoise disables the plausible-deniability replacement. Useful in
+	// tests and in experiments isolating the deterministic behaviour.
+	NoNoise bool
+	// NoCallerFiltering ABLATION: disable the per-caller observation
+	// filter, handing every caller the epoch topic whether or not it
+	// ever witnessed the user. Quantifies how much the filter protects
+	// (it is one of the two privacy mechanisms of §2.1, next to noise).
+	NoCallerFiltering bool
+	// Seed derives every pseudo-random decision; two engines with the
+	// same seed and history behave identically.
+	Seed uint64
+	// Now supplies the clock; defaults to time.Now. Tests and the
+	// simulator inject virtual time here.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.EpochDuration <= 0 {
+		c.EpochDuration = DefaultEpochDuration
+	}
+	if c.TopPerEpoch <= 0 {
+		c.TopPerEpoch = DefaultTopPerEpoch
+	}
+	if c.EpochsToShare <= 0 {
+		c.EpochsToShare = DefaultEpochsToShare
+	}
+	switch {
+	case c.NoNoise:
+		c.NoiseProb = 0
+	case c.NoiseProb <= 0 || c.NoiseProb > 1:
+		c.NoiseProb = DefaultNoiseProb
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Result is one topic returned by a browsingTopics() call, carrying the
+// same metadata Chrome attaches to each entry.
+type Result struct {
+	Topic           taxonomy.Topic `json:"topic"`
+	TaxonomyVersion string         `json:"taxonomyVersion"`
+	ModelVersion    string         `json:"modelVersion"`
+	// EpochIndex identifies which completed epoch produced this entry
+	// (0 is the most recent).
+	EpochIndex int `json:"epochIndex"`
+	// Noised marks entries produced by the 5% replacement; exported for
+	// experiments only — the real API does not reveal this bit.
+	Noised bool `json:"noised,omitempty"`
+}
+
+// Engine is the browser-side Topics state machine. It is safe for
+// concurrent use.
+type Engine struct {
+	cfg Config
+	tx  *taxonomy.Taxonomy
+	cl  *classifier.Classifier
+
+	mu      sync.Mutex
+	start   time.Time // start of the current (accumulating) epoch
+	current *accumulator
+	history []*Epoch // completed epochs, most recent first
+}
+
+// accumulator gathers one in-progress epoch.
+type accumulator struct {
+	// visits counts page loads per topic ID.
+	visits map[int]int
+	// witnessed maps topic ID -> set of callers that observed the user
+	// on a page classified with that topic during this epoch.
+	witnessed map[int]map[string]bool
+}
+
+func newAccumulator() *accumulator {
+	return &accumulator{
+		visits:    make(map[int]int),
+		witnessed: make(map[int]map[string]bool),
+	}
+}
+
+// Epoch is a completed epoch: its top topics plus the observation sets
+// needed for per-caller filtering.
+type Epoch struct {
+	Start time.Time
+	End   time.Time
+	// Top holds the epoch's top topics, strongest first, padded to the
+	// configured size.
+	Top []TopTopic
+	// witnessed is the caller-observation relation frozen at epoch end.
+	witnessed map[int]map[string]bool
+}
+
+// TopTopic is one slot of an epoch's top-5 list.
+type TopTopic struct {
+	ID int
+	// Visits is how many classified page loads contributed (0 for pads).
+	Visits int
+	// Padded marks slots filled with random topics because the user's
+	// browsing that epoch yielded fewer distinct topics than the list
+	// size. Padded topics carry no browsing signal and are therefore
+	// exempt from caller filtering, like noise.
+	Padded bool
+}
+
+// NewEngine builds an Engine over the given taxonomy and classifier.
+func NewEngine(tx *taxonomy.Taxonomy, cl *classifier.Classifier, cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{cfg: cfg, tx: tx, cl: cl, current: newAccumulator()}
+	e.start = cfg.Now()
+	return e
+}
+
+// Config returns the engine's effective configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// RecordVisit informs the engine of a page load on site. The page is
+// classified and contributes to the current epoch's topic frequencies.
+func (e *Engine) RecordVisit(site string) {
+	ids := e.cl.ClassifyIDs(site)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.rotateLocked()
+	for _, id := range ids {
+		e.current.visits[id]++
+	}
+}
+
+// Observe records that caller observed the user on site during the
+// current epoch (Chrome marks this when the caller invokes the API or
+// receives the Sec-Browsing-Topics headers on that page).
+func (e *Engine) Observe(site, caller string) {
+	ids := e.cl.ClassifyIDs(site)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.rotateLocked()
+	for _, id := range ids {
+		set := e.current.witnessed[id]
+		if set == nil {
+			set = make(map[string]bool)
+			e.current.witnessed[id] = set
+		}
+		set[caller] = true
+	}
+}
+
+// BrowsingTopics answers a browsingTopics() call issued by caller on a
+// page of site. It returns up to EpochsToShare results, one per completed
+// epoch, subject to per-caller observation filtering. It also counts as
+// an observation of site by caller in the current epoch, mirroring the
+// real API's side effect.
+func (e *Engine) BrowsingTopics(caller, site string) []Result {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.rotateLocked()
+
+	// Side effect first: calling the API marks the caller as observing
+	// the user on this page.
+	for _, id := range e.cl.ClassifyIDs(site) {
+		set := e.current.witnessed[id]
+		if set == nil {
+			set = make(map[string]bool)
+			e.current.witnessed[id] = set
+		}
+		set[caller] = true
+	}
+	var out []Result
+	n := min(e.cfg.EpochsToShare, len(e.history))
+	for idx := 0; idx < n; idx++ {
+		ep := e.history[idx]
+		if len(ep.Top) == 0 {
+			continue
+		}
+		res, ok := e.epochTopicLocked(idx, ep, caller, site)
+		if ok {
+			out = append(out, res)
+		}
+	}
+	return dedupeResults(out)
+}
+
+// epochTopicLocked picks the (epoch, site) topic and applies noise and
+// the caller filter.
+func (e *Engine) epochTopicLocked(idx int, ep *Epoch, caller, site string) (Result, bool) {
+	slotH := e.hash("slot", idx, ep.Start, site)
+	noiseH := e.hash("noise", idx, ep.Start, site)
+
+	if float64(noiseH%10000)/10000 < e.cfg.NoiseProb {
+		// Plausible-deniability replacement: a uniformly random topic,
+		// returned to every caller regardless of observation.
+		t, _ := e.tx.Get(int(slotH%uint64(e.tx.Len())) + 1)
+		return Result{
+			Topic:           t,
+			TaxonomyVersion: string(e.tx.Version()),
+			ModelVersion:    DefaultModelVersion,
+			EpochIndex:      idx,
+			Noised:          true,
+		}, true
+	}
+
+	slot := ep.Top[slotH%uint64(len(ep.Top))]
+	t, ok := e.tx.Get(slot.ID)
+	if !ok {
+		return Result{}, false
+	}
+	if !e.cfg.NoCallerFiltering && !slot.Padded && !ep.observedBy(slot.ID, caller) {
+		// The caller did not witness this interest during the epoch:
+		// the API returns nothing for this epoch slot.
+		return Result{}, false
+	}
+	return Result{
+		Topic:           t,
+		TaxonomyVersion: string(e.tx.Version()),
+		ModelVersion:    DefaultModelVersion,
+		EpochIndex:      idx,
+	}, true
+}
+
+func (ep *Epoch) observedBy(topicID int, caller string) bool {
+	return ep.witnessed[topicID][caller]
+}
+
+// CompletedEpochs returns a snapshot of the completed epochs, most recent
+// first.
+func (e *Engine) CompletedEpochs() []*Epoch {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.rotateLocked()
+	out := make([]*Epoch, len(e.history))
+	copy(out, e.history)
+	return out
+}
+
+// AdvanceEpoch force-finalizes the current epoch regardless of the clock.
+// The simulator uses it to step virtual weeks.
+func (e *Engine) AdvanceEpoch() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	now := e.cfg.Now()
+	e.finalizeLocked(e.start, now)
+	e.start = now
+}
+
+// rotateLocked finalizes epochs the clock has moved past.
+func (e *Engine) rotateLocked() {
+	now := e.cfg.Now()
+	for now.Sub(e.start) >= e.cfg.EpochDuration {
+		end := e.start.Add(e.cfg.EpochDuration)
+		e.finalizeLocked(e.start, end)
+		e.start = end
+	}
+}
+
+func (e *Engine) finalizeLocked(start, end time.Time) {
+	acc := e.current
+	e.current = newAccumulator()
+
+	top := topK(acc.visits, e.cfg.TopPerEpoch)
+	// Pad with deterministic pseudo-random topics when history is thin.
+	for i := 0; len(top) < e.cfg.TopPerEpoch; i++ {
+		h := e.hash("pad", i, start, "")
+		id := int(h%uint64(e.tx.Len())) + 1
+		if containsTopic(top, id) {
+			id = id%e.tx.Len() + 1
+		}
+		if containsTopic(top, id) {
+			continue
+		}
+		top = append(top, TopTopic{ID: id, Padded: true})
+	}
+	e.history = append([]*Epoch{{
+		Start:     start,
+		End:       end,
+		Top:       top,
+		witnessed: acc.witnessed,
+	}}, e.history...)
+	// Retain only what calls can ever need.
+	if len(e.history) > e.cfg.EpochsToShare {
+		e.history = e.history[:e.cfg.EpochsToShare]
+	}
+}
+
+func containsTopic(top []TopTopic, id int) bool {
+	for _, t := range top {
+		if t.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// topK selects the k most visited topics, ties broken by smaller ID for
+// determinism.
+func topK(visits map[int]int, k int) []TopTopic {
+	out := make([]TopTopic, 0, len(visits))
+	for id, n := range visits {
+		if id == 0 || n == 0 {
+			continue
+		}
+		out = append(out, TopTopic{ID: id, Visits: n})
+	}
+	// Insertion sort: k and len are tiny.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			a, b := out[j-1], out[j]
+			if b.Visits > a.Visits || (b.Visits == a.Visits && b.ID < a.ID) {
+				out[j-1], out[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// hash derives a stable 64-bit value from the engine seed and the given
+// discriminators.
+func (e *Engine) hash(kind string, idx int, epochStart time.Time, site string) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%d|%d|%s", e.cfg.Seed, kind, idx, epochStart.UnixNano(), site)
+	return h.Sum64()
+}
+
+func dedupeResults(in []Result) []Result {
+	seen := make(map[int]bool, len(in))
+	out := in[:0]
+	for _, r := range in {
+		if !seen[r.Topic.ID] {
+			seen[r.Topic.ID] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,443 @@
+package topics
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/netmeasure/topicscope/internal/classifier"
+	"github.com/netmeasure/topicscope/internal/taxonomy"
+)
+
+// vclock is an injectable virtual clock.
+type vclock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newVClock() *vclock {
+	return &vclock{t: time.Date(2024, 3, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *vclock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *vclock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func newTestEngine(t *testing.T, cfg Config) (*Engine, *vclock) {
+	t.Helper()
+	tx := taxonomy.NewV2()
+	cl := classifier.New(tx)
+	clk := newVClock()
+	cfg.Now = clk.Now
+	return NewEngine(tx, cl, cfg), clk
+}
+
+// fiveTopicSites yields sites whose classification covers five distinct
+// single-keyword topics, so an epoch's top list needs no padding.
+var fiveTopicSites = []string{
+	"news.example.com",
+	"travel.example.net",
+	"chess.example.org",
+	"pizza.example.io",
+	"poetry.example.dev",
+}
+
+func fillEpoch(e *Engine, caller string) {
+	for _, s := range fiveTopicSites {
+		e.RecordVisit(s)
+		e.RecordVisit(s)
+		if caller != "" {
+			e.Observe(s, caller)
+		}
+	}
+}
+
+func TestNoHistoryNoTopics(t *testing.T) {
+	e, _ := newTestEngine(t, Config{NoNoise: true, Seed: 1})
+	fillEpoch(e, "adv.com")
+	if got := e.BrowsingTopics("adv.com", "news.example.com"); len(got) != 0 {
+		t.Errorf("no completed epoch, got %v", got)
+	}
+}
+
+func TestObserverReceivesTopic(t *testing.T) {
+	e, clk := newTestEngine(t, Config{NoNoise: true, Seed: 7})
+	fillEpoch(e, "adv.com")
+	clk.Advance(DefaultEpochDuration)
+
+	got := e.BrowsingTopics("adv.com", "some-site.com")
+	if len(got) != 1 {
+		t.Fatalf("observer got %d results, want 1 (one completed epoch): %v", len(got), got)
+	}
+	r := got[0]
+	if r.EpochIndex != 0 {
+		t.Errorf("EpochIndex = %d, want 0", r.EpochIndex)
+	}
+	if r.Noised {
+		t.Error("noise disabled but Noised set")
+	}
+	if r.TaxonomyVersion != string(taxonomy.V2) {
+		t.Errorf("TaxonomyVersion = %q", r.TaxonomyVersion)
+	}
+	// The topic must be one of the five visited topics.
+	tops := e.CompletedEpochs()[0].Top
+	found := false
+	for _, tt := range tops {
+		if tt.ID == r.Topic.ID && !tt.Padded {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("returned topic %v not among epoch tops %v", r.Topic, tops)
+	}
+}
+
+func TestNonObserverFiltered(t *testing.T) {
+	e, clk := newTestEngine(t, Config{NoNoise: true, Seed: 7})
+	fillEpoch(e, "adv.com")
+	clk.Advance(DefaultEpochDuration)
+
+	// stranger.com never observed the user during the epoch: with a full
+	// (unpadded) top list and noise off it must receive nothing.
+	if got := e.BrowsingTopics("stranger.com", "some-site.com"); len(got) != 0 {
+		t.Errorf("non-observer got %v, want nothing", got)
+	}
+}
+
+func TestSameSiteSameTopicAcrossCallers(t *testing.T) {
+	e, clk := newTestEngine(t, Config{NoNoise: true, Seed: 11})
+	fillEpoch(e, "a.com")
+	for _, s := range fiveTopicSites {
+		e.Observe(s, "b.com")
+	}
+	clk.Advance(DefaultEpochDuration)
+
+	for i := 0; i < 20; i++ {
+		site := fmt.Sprintf("site-%d.com", i)
+		ra := e.BrowsingTopics("a.com", site)
+		rb := e.BrowsingTopics("b.com", site)
+		if len(ra) != 1 || len(rb) != 1 {
+			t.Fatalf("site %s: observers got %v / %v", site, ra, rb)
+		}
+		if ra[0].Topic != rb[0].Topic {
+			t.Errorf("site %s: callers see different topics %v vs %v — fingerprinting hazard",
+				site, ra[0].Topic, rb[0].Topic)
+		}
+	}
+}
+
+func TestTopicVariesAcrossSites(t *testing.T) {
+	e, clk := newTestEngine(t, Config{NoNoise: true, Seed: 3})
+	fillEpoch(e, "adv.com")
+	clk.Advance(DefaultEpochDuration)
+
+	seen := make(map[int]bool)
+	for i := 0; i < 200; i++ {
+		got := e.BrowsingTopics("adv.com", fmt.Sprintf("s%d.com", i))
+		for _, r := range got {
+			seen[r.Topic.ID] = true
+		}
+	}
+	if len(seen) < 3 {
+		t.Errorf("slot selection covered only %d of 5 top topics over 200 sites", len(seen))
+	}
+}
+
+func TestCallAsideEffectObserves(t *testing.T) {
+	e, clk := newTestEngine(t, Config{NoNoise: true, Seed: 5})
+	// Epoch 1: the caller merely *calls* the API on each site (returns
+	// nothing — no history) which must count as observation.
+	for _, s := range fiveTopicSites {
+		e.RecordVisit(s)
+		e.BrowsingTopics("adv.com", s)
+	}
+	clk.Advance(DefaultEpochDuration)
+	if got := e.BrowsingTopics("adv.com", "anywhere.com"); len(got) != 1 {
+		t.Errorf("caller that observed via API calls got %v, want 1 topic", got)
+	}
+}
+
+func TestPaddingWhenHistoryThin(t *testing.T) {
+	e, clk := newTestEngine(t, Config{NoNoise: true, Seed: 9})
+	e.RecordVisit("news.example.com") // one topic only
+	clk.Advance(DefaultEpochDuration)
+
+	eps := e.CompletedEpochs()
+	if len(eps) != 1 {
+		t.Fatalf("got %d epochs", len(eps))
+	}
+	top := eps[0].Top
+	if len(top) != DefaultTopPerEpoch {
+		t.Fatalf("top list has %d slots, want %d", len(top), DefaultTopPerEpoch)
+	}
+	realCount, padCount := 0, 0
+	seen := map[int]bool{}
+	for _, tt := range top {
+		if seen[tt.ID] {
+			t.Errorf("duplicate topic %d in top list", tt.ID)
+		}
+		seen[tt.ID] = true
+		if tt.Padded {
+			padCount++
+			if tt.Visits != 0 {
+				t.Errorf("padded slot with visits %d", tt.Visits)
+			}
+		} else {
+			realCount++
+		}
+	}
+	if realCount != 1 || padCount != DefaultTopPerEpoch-1 {
+		t.Errorf("real=%d pad=%d, want 1 and %d", realCount, padCount, DefaultTopPerEpoch-1)
+	}
+}
+
+func TestPaddedTopicsBypassCallerFilter(t *testing.T) {
+	e, clk := newTestEngine(t, Config{NoNoise: true, Seed: 9})
+	e.RecordVisit("news.example.com")
+	clk.Advance(DefaultEpochDuration)
+
+	// A stranger may still receive padded topics (they carry no signal).
+	got := 0
+	for i := 0; i < 100; i++ {
+		if rs := e.BrowsingTopics("stranger.com", fmt.Sprintf("x%d.com", i)); len(rs) > 0 {
+			got++
+		}
+	}
+	// 4 of 5 slots are pads, so roughly 80% of sites should yield one.
+	if got < 50 {
+		t.Errorf("stranger received topics on %d/100 sites, expected most (pads bypass filter)", got)
+	}
+}
+
+func TestTopKOrderingAndTies(t *testing.T) {
+	visits := map[int]int{10: 3, 2: 5, 7: 5, 30: 1, 4: 2, 9: 1}
+	top := topK(visits, 5)
+	wantIDs := []int{2, 7, 10, 4, 9} // 5,5,3,2,1(tie broken by ID: 9<30)
+	if len(top) != 5 {
+		t.Fatalf("topK returned %d", len(top))
+	}
+	for i, want := range wantIDs {
+		if top[i].ID != want {
+			t.Errorf("topK[%d] = %+v, want ID %d", i, top[i], want)
+		}
+	}
+}
+
+func TestEpochRotationKeepsThree(t *testing.T) {
+	e, clk := newTestEngine(t, Config{NoNoise: true, Seed: 2})
+	for week := 0; week < 6; week++ {
+		fillEpoch(e, "adv.com")
+		clk.Advance(DefaultEpochDuration)
+		e.RecordVisit("news.example.com") // trigger rotation
+	}
+	eps := e.CompletedEpochs()
+	if len(eps) != DefaultEpochsToShare {
+		t.Errorf("history holds %d epochs, want %d", len(eps), DefaultEpochsToShare)
+	}
+	for i := 1; i < len(eps); i++ {
+		if !eps[i].Start.Before(eps[i-1].Start) {
+			t.Error("epochs not ordered most recent first")
+		}
+	}
+}
+
+func TestThreeEpochsThreeTopics(t *testing.T) {
+	e, clk := newTestEngine(t, Config{NoNoise: true, Seed: 13})
+	for week := 0; week < 3; week++ {
+		fillEpoch(e, "adv.com")
+		clk.Advance(DefaultEpochDuration)
+	}
+	got := e.BrowsingTopics("adv.com", "landing.com")
+	if len(got) == 0 || len(got) > DefaultEpochsToShare {
+		t.Fatalf("got %d results, want 1..%d", len(got), DefaultEpochsToShare)
+	}
+	// Results must be deduplicated by topic.
+	seen := map[int]bool{}
+	for _, r := range got {
+		if seen[r.Topic.ID] {
+			t.Errorf("duplicate topic %v in results", r.Topic)
+		}
+		seen[r.Topic.ID] = true
+	}
+}
+
+func TestNoiseRateApproximatesConfig(t *testing.T) {
+	e, clk := newTestEngine(t, Config{Seed: 21}) // default 5% noise
+	fillEpoch(e, "adv.com")
+	clk.Advance(DefaultEpochDuration)
+
+	const n = 4000
+	noised := 0
+	for i := 0; i < n; i++ {
+		for _, r := range e.BrowsingTopics("adv.com", fmt.Sprintf("n%d.com", i)) {
+			if r.Noised {
+				noised++
+			}
+		}
+	}
+	rate := float64(noised) / n
+	if rate < 0.02 || rate > 0.09 {
+		t.Errorf("noise rate = %.3f over %d sites, want ≈0.05", rate, n)
+	}
+}
+
+func TestNoiseBypassesCallerFilter(t *testing.T) {
+	e, clk := newTestEngine(t, Config{Seed: 21})
+	fillEpoch(e, "adv.com")
+	clk.Advance(DefaultEpochDuration)
+
+	// A stranger should occasionally receive a noised topic even with a
+	// full top list.
+	noised := 0
+	for i := 0; i < 4000; i++ {
+		for _, r := range e.BrowsingTopics("stranger.com", fmt.Sprintf("m%d.com", i)) {
+			if !r.Noised {
+				t.Fatalf("stranger received non-noised topic %v", r)
+			}
+			noised++
+		}
+	}
+	if noised == 0 {
+		t.Error("stranger never received noise topics over 4000 sites")
+	}
+}
+
+func TestDeterminismAcrossEngines(t *testing.T) {
+	run := func() []Result {
+		e, clk := newTestEngine(t, Config{Seed: 99, NoNoise: true})
+		fillEpoch(e, "adv.com")
+		clk.Advance(DefaultEpochDuration)
+		var all []Result
+		for i := 0; i < 50; i++ {
+			all = append(all, e.BrowsingTopics("adv.com", fmt.Sprintf("d%d.com", i))...)
+		}
+		return all
+	}
+	if a, b := run(), run(); !reflect.DeepEqual(a, b) {
+		t.Error("two identically seeded engines diverged")
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	e, clk := newTestEngine(t, Config{Seed: 42, NoNoise: true})
+	fillEpoch(e, "adv.com")
+	clk.Advance(DefaultEpochDuration)
+	fillEpoch(e, "other.com")
+
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+
+	tx := taxonomy.NewV2()
+	e2 := NewEngine(tx, classifier.New(tx), Config{Now: clk.Now, NoNoise: true})
+	if err := e2.Load(&buf); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+
+	for i := 0; i < 30; i++ {
+		site := fmt.Sprintf("rt%d.com", i)
+		a := e.BrowsingTopics("adv.com", site)
+		b := e2.BrowsingTopics("adv.com", site)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("site %s: restored engine diverged: %v vs %v", site, a, b)
+		}
+	}
+}
+
+func TestRestoreRejectsBadState(t *testing.T) {
+	e, _ := newTestEngine(t, Config{})
+	if err := e.Restore(nil); err == nil {
+		t.Error("Restore(nil) succeeded")
+	}
+	if err := e.Restore(&State{Version: 999}); err == nil {
+		t.Error("Restore of future version succeeded")
+	}
+	if err := e.Load(bytes.NewReader([]byte("not json"))); err == nil {
+		t.Error("Load of garbage succeeded")
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	e, clk := newTestEngine(t, Config{Seed: 1})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				site := fmt.Sprintf("c%d-%d.com", g, i)
+				e.RecordVisit(site)
+				e.Observe(site, "adv.com")
+				e.BrowsingTopics("adv.com", site)
+				if i == 100 {
+					clk.Advance(DefaultEpochDuration / 4)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.EpochDuration != DefaultEpochDuration {
+		t.Errorf("EpochDuration = %v", cfg.EpochDuration)
+	}
+	if cfg.TopPerEpoch != DefaultTopPerEpoch {
+		t.Errorf("TopPerEpoch = %d", cfg.TopPerEpoch)
+	}
+	if cfg.EpochsToShare != DefaultEpochsToShare {
+		t.Errorf("EpochsToShare = %d", cfg.EpochsToShare)
+	}
+	if cfg.NoiseProb != DefaultNoiseProb {
+		t.Errorf("NoiseProb = %v", cfg.NoiseProb)
+	}
+	if cfg.Now == nil {
+		t.Error("Now not defaulted")
+	}
+	quiet := Config{NoNoise: true}.withDefaults()
+	if quiet.NoiseProb != 0 {
+		t.Errorf("NoNoise did not zero NoiseProb: %v", quiet.NoiseProb)
+	}
+}
+
+func TestCallerFilteringAblation(t *testing.T) {
+	// With the filter disabled, a stranger receives real topics it never
+	// observed — quantifying what the §2.1 filter protects.
+	e, clk := newTestEngine(t, Config{NoNoise: true, NoCallerFiltering: true, Seed: 7})
+	fillEpoch(e, "adv.com")
+	clk.Advance(DefaultEpochDuration)
+
+	leaked := 0
+	for i := 0; i < 100; i++ {
+		if rs := e.BrowsingTopics("stranger.com", fmt.Sprintf("x%d.com", i)); len(rs) > 0 {
+			leaked++
+		}
+	}
+	if leaked != 100 {
+		t.Errorf("ablated filter leaked on %d/100 sites, want every site", leaked)
+	}
+
+	// Control: the deployed configuration leaks nothing to a stranger
+	// (noise off, full top list).
+	e2, clk2 := newTestEngine(t, Config{NoNoise: true, Seed: 7})
+	fillEpoch(e2, "adv.com")
+	clk2.Advance(DefaultEpochDuration)
+	for i := 0; i < 100; i++ {
+		if rs := e2.BrowsingTopics("stranger.com", fmt.Sprintf("x%d.com", i)); len(rs) > 0 {
+			t.Fatalf("deployed filter leaked: %v", rs)
+		}
+	}
+}

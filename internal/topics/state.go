@@ -1,0 +1,140 @@
+package topics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// State is the JSON-serialisable snapshot of an Engine: the equivalent of
+// Chrome's on-disk BrowsingTopicsState file. It captures completed epochs
+// and the accumulating one, so a restarted browser continues where it
+// left off.
+type State struct {
+	Version      int          `json:"version"`
+	Seed         uint64       `json:"seed"`
+	CurrentStart time.Time    `json:"currentStart"`
+	Current      stateEpoch   `json:"current"`
+	History      []stateEpoch `json:"history"`
+}
+
+type stateEpoch struct {
+	Start     time.Time        `json:"start"`
+	End       time.Time        `json:"end,omitempty"`
+	Top       []TopTopic       `json:"top,omitempty"`
+	Visits    map[int]int      `json:"visits,omitempty"`
+	Witnessed map[int][]string `json:"witnessed,omitempty"`
+}
+
+const stateVersion = 1
+
+// Snapshot extracts the engine state.
+func (e *Engine) Snapshot() *State {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := &State{
+		Version:      stateVersion,
+		Seed:         e.cfg.Seed,
+		CurrentStart: e.start,
+		Current: stateEpoch{
+			Start:     e.start,
+			Visits:    cloneCounts(e.current.visits),
+			Witnessed: witnessedToLists(e.current.witnessed),
+		},
+	}
+	for _, ep := range e.history {
+		s.History = append(s.History, stateEpoch{
+			Start:     ep.Start,
+			End:       ep.End,
+			Top:       append([]TopTopic(nil), ep.Top...),
+			Witnessed: witnessedToLists(ep.witnessed),
+		})
+	}
+	return s
+}
+
+// Restore replaces the engine state with a snapshot. The snapshot's seed
+// overrides the configured one so pseudo-random decisions stay coherent
+// with the restored history.
+func (e *Engine) Restore(s *State) error {
+	if s == nil {
+		return fmt.Errorf("topics: nil state")
+	}
+	if s.Version != stateVersion {
+		return fmt.Errorf("topics: unsupported state version %d", s.Version)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cfg.Seed = s.Seed
+	e.start = s.CurrentStart
+	e.current = &accumulator{
+		visits:    cloneCounts(s.Current.Visits),
+		witnessed: witnessedFromLists(s.Current.Witnessed),
+	}
+	if e.current.visits == nil {
+		e.current.visits = make(map[int]int)
+	}
+	e.history = nil
+	for _, se := range s.History {
+		e.history = append(e.history, &Epoch{
+			Start:     se.Start,
+			End:       se.End,
+			Top:       append([]TopTopic(nil), se.Top...),
+			witnessed: witnessedFromLists(se.Witnessed),
+		})
+	}
+	return nil
+}
+
+// Save writes the engine state as JSON.
+func (e *Engine) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(e.Snapshot()); err != nil {
+		return fmt.Errorf("topics: saving state: %w", err)
+	}
+	return nil
+}
+
+// Load reads a JSON state and restores the engine from it.
+func (e *Engine) Load(r io.Reader) error {
+	var s State
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return fmt.Errorf("topics: loading state: %w", err)
+	}
+	return e.Restore(&s)
+}
+
+func cloneCounts(in map[int]int) map[int]int {
+	out := make(map[int]int, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}
+
+func witnessedToLists(in map[int]map[string]bool) map[int][]string {
+	if len(in) == 0 {
+		return nil
+	}
+	out := make(map[int][]string, len(in))
+	for id, set := range in {
+		for caller := range set {
+			out[id] = append(out[id], caller)
+		}
+	}
+	return out
+}
+
+func witnessedFromLists(in map[int][]string) map[int]map[string]bool {
+	out := make(map[int]map[string]bool, len(in))
+	for id, callers := range in {
+		set := make(map[string]bool, len(callers))
+		for _, c := range callers {
+			set[c] = true
+		}
+		out[id] = set
+	}
+	return out
+}

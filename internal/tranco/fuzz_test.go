@@ -1,0 +1,32 @@
+package tranco
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse verifies the list parser is total and that accepted lists
+// round-trip through Write.
+func FuzzParse(f *testing.F) {
+	f.Add("1,google.com\n2,youtube.com\n")
+	f.Add("")
+	f.Add("x,y\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		l, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := l.Write(&buf); err != nil {
+			t.Fatalf("accepted list failed to serialise: %v", err)
+		}
+		again, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("serialised list failed to parse: %v", err)
+		}
+		if again.Len() != l.Len() {
+			t.Fatalf("round trip changed length: %d vs %d", again.Len(), l.Len())
+		}
+	})
+}

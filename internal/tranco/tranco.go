@@ -1,0 +1,130 @@
+// Package tranco handles Tranco-style top-site rank lists (§2.2: the
+// crawl targets "the top-50,000 websites according to the Tranco list
+// as of March 26th, 2024"). The on-disk format is the Tranco CSV:
+// one "rank,domain" pair per line, rank starting at 1.
+package tranco
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Entry is one ranked site.
+type Entry struct {
+	Rank   int
+	Domain string
+}
+
+// List is a rank-ordered site list.
+type List struct {
+	Entries []Entry
+}
+
+// Top returns a list with at most n leading entries.
+func (l *List) Top(n int) *List {
+	if n > len(l.Entries) {
+		n = len(l.Entries)
+	}
+	return &List{Entries: l.Entries[:n]}
+}
+
+// Len returns the number of entries.
+func (l *List) Len() int { return len(l.Entries) }
+
+// Domains returns the domains in rank order.
+func (l *List) Domains() []string {
+	out := make([]string, len(l.Entries))
+	for i, e := range l.Entries {
+		out[i] = e.Domain
+	}
+	return out
+}
+
+// FromDomains builds a list assigning ranks 1..n in slice order.
+func FromDomains(domains []string) *List {
+	l := &List{Entries: make([]Entry, len(domains))}
+	for i, d := range domains {
+		l.Entries[i] = Entry{Rank: i + 1, Domain: d}
+	}
+	return l
+}
+
+// Parse reads a Tranco CSV. It validates that ranks are positive and
+// strictly increasing and that domains are non-empty.
+func Parse(r io.Reader) (*List, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	l := &List{}
+	line := 0
+	prevRank := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		rankStr, domain, ok := strings.Cut(text, ",")
+		if !ok {
+			return nil, fmt.Errorf("tranco: line %d: missing comma: %q", line, text)
+		}
+		rank, err := strconv.Atoi(strings.TrimSpace(rankStr))
+		if err != nil {
+			return nil, fmt.Errorf("tranco: line %d: bad rank: %w", line, err)
+		}
+		domain = strings.ToLower(strings.TrimSpace(domain))
+		if rank <= prevRank {
+			return nil, fmt.Errorf("tranco: line %d: rank %d not increasing", line, rank)
+		}
+		if domain == "" || !strings.Contains(domain, ".") {
+			return nil, fmt.Errorf("tranco: line %d: invalid domain %q", line, domain)
+		}
+		prevRank = rank
+		l.Entries = append(l.Entries, Entry{Rank: rank, Domain: domain})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("tranco: scanning: %w", err)
+	}
+	return l, nil
+}
+
+// Write emits the list in Tranco CSV format.
+func (l *List) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range l.Entries {
+		if _, err := fmt.Fprintf(bw, "%d,%s\n", e.Rank, e.Domain); err != nil {
+			return fmt.Errorf("tranco: writing: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("tranco: flushing: %w", err)
+	}
+	return nil
+}
+
+// LoadFile parses a Tranco CSV from disk.
+func LoadFile(path string) (*List, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("tranco: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	return Parse(f)
+}
+
+// SaveFile writes the list to disk.
+func (l *List) SaveFile(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("tranco: creating %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("tranco: closing %s: %w", path, cerr)
+		}
+	}()
+	return l.Write(f)
+}

@@ -1,0 +1,116 @@
+package tranco
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseValid(t *testing.T) {
+	in := "1,google.com\n2,youtube.com\n\n5,example.co.uk\n"
+	l, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	want := []Entry{{1, "google.com"}, {2, "youtube.com"}, {5, "example.co.uk"}}
+	if !reflect.DeepEqual(l.Entries, want) {
+		t.Errorf("Entries = %v", l.Entries)
+	}
+}
+
+func TestParseNormalises(t *testing.T) {
+	l, err := Parse(strings.NewReader(" 1 , Example.COM \n"))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if l.Entries[0].Domain != "example.com" {
+		t.Errorf("domain = %q", l.Entries[0].Domain)
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	bad := []string{
+		"1 google.com\n",          // no comma
+		"x,google.com\n",          // bad rank
+		"1,google.com\n1,b.com\n", // non-increasing
+		"2,google.com\n1,b.com\n", // decreasing
+		"1,\n",                    // empty domain
+		"1,nodot\n",               // no dot
+	}
+	for _, in := range bad {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("Parse(%q) accepted", in)
+		}
+	}
+}
+
+func TestTopAndDomains(t *testing.T) {
+	l := FromDomains([]string{"a.com", "b.com", "c.com"})
+	top := l.Top(2)
+	if top.Len() != 2 || top.Entries[1].Domain != "b.com" {
+		t.Errorf("Top(2) = %v", top.Entries)
+	}
+	if l.Top(10).Len() != 3 {
+		t.Error("Top beyond length must clamp")
+	}
+	if !reflect.DeepEqual(l.Domains(), []string{"a.com", "b.com", "c.com"}) {
+		t.Errorf("Domains = %v", l.Domains())
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	l := FromDomains([]string{"google.com", "youtube.com", "example.org"})
+	var buf bytes.Buffer
+	if err := l.Write(&buf); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !reflect.DeepEqual(got.Entries, l.Entries) {
+		t.Errorf("round trip: %v vs %v", got.Entries, l.Entries)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	l := FromDomains([]string{"a.com", "b.net"})
+	path := filepath.Join(t.TempDir(), "list.csv")
+	if err := l.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	if !reflect.DeepEqual(got.Entries, l.Entries) {
+		t.Error("file round trip mismatch")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "nope.csv")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+// Property: FromDomains → Write → Parse is the identity for valid
+// domain-like strings.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(n uint8) bool {
+		var domains []string
+		for i := 0; i <= int(n%50); i++ {
+			domains = append(domains, "site"+string(rune('a'+i%26))+strings.Repeat("x", i%3)+".com")
+		}
+		l := FromDomains(domains)
+		var buf bytes.Buffer
+		if l.Write(&buf) != nil {
+			return false
+		}
+		got, err := Parse(&buf)
+		return err == nil && reflect.DeepEqual(got.Entries, l.Entries)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,38 @@
+// Package vclock provides a minimal virtual clock shared by the
+// synthetic web server, the emulated browser and the crawler, so a whole
+// measurement campaign is reproducible: A/B-test slots and call
+// timestamps derive from virtual time, not the wall clock.
+package vclock
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Clock is a monotonic virtual clock, safe for concurrent use.
+type Clock struct {
+	// nanos holds the current virtual time as Unix nanoseconds.
+	nanos atomic.Int64
+}
+
+// New returns a clock starting at the given time.
+func New(start time.Time) *Clock {
+	c := &Clock{}
+	c.nanos.Store(start.UnixNano())
+	return c
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Time {
+	return time.Unix(0, c.nanos.Load()).UTC()
+}
+
+// Advance moves the clock forward by d and returns the new time.
+func (c *Clock) Advance(d time.Duration) time.Time {
+	return time.Unix(0, c.nanos.Add(int64(d))).UTC()
+}
+
+// Set jumps the clock to t.
+func (c *Clock) Set(t time.Time) {
+	c.nanos.Store(t.UnixNano())
+}

@@ -1,0 +1,45 @@
+package vclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestClockBasics(t *testing.T) {
+	start := time.Date(2024, 3, 30, 0, 0, 0, 0, time.UTC)
+	c := New(start)
+	if !c.Now().Equal(start) {
+		t.Errorf("Now = %v", c.Now())
+	}
+	got := c.Advance(90 * time.Second)
+	if !got.Equal(start.Add(90 * time.Second)) {
+		t.Errorf("Advance returned %v", got)
+	}
+	if !c.Now().Equal(start.Add(90 * time.Second)) {
+		t.Errorf("Now after advance = %v", c.Now())
+	}
+	c.Set(start)
+	if !c.Now().Equal(start) {
+		t.Error("Set did not jump")
+	}
+}
+
+func TestClockConcurrent(t *testing.T) {
+	c := New(time.Unix(0, 0))
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Advance(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	want := time.Unix(0, 0).Add(16 * 1000 * time.Millisecond)
+	if !c.Now().Equal(want) {
+		t.Errorf("Now = %v, want %v", c.Now(), want)
+	}
+}

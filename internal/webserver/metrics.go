@@ -1,0 +1,50 @@
+package webserver
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"github.com/netmeasure/topicscope/internal/webworld"
+)
+
+// Metrics counts served requests per host kind, for topics-serve
+// observability.
+type Metrics struct {
+	counts [webworld.HostLongTail + 1]atomic.Int64
+}
+
+func (m *Metrics) observe(kind webworld.HostKind) {
+	if int(kind) < len(m.counts) {
+		m.counts[kind].Add(1)
+	}
+}
+
+// Snapshot is a point-in-time copy of the counters.
+type Snapshot struct {
+	Sites, Sisters, Platforms, CMPs, GTM, LongTail, Unknown int64
+}
+
+// Total sums all requests.
+func (s Snapshot) Total() int64 {
+	return s.Sites + s.Sisters + s.Platforms + s.CMPs + s.GTM + s.LongTail + s.Unknown
+}
+
+// String renders a one-line summary.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("requests total=%d sites=%d sisters=%d platforms=%d cmps=%d gtm=%d longtail=%d unknown=%d",
+		s.Total(), s.Sites, s.Sisters, s.Platforms, s.CMPs, s.GTM, s.LongTail, s.Unknown)
+}
+
+// Metrics returns the current counters.
+func (s *Server) Metrics() Snapshot {
+	m := &s.metrics
+	return Snapshot{
+		Sites:     m.counts[webworld.HostSite].Load(),
+		Sisters:   m.counts[webworld.HostSister].Load(),
+		Platforms: m.counts[webworld.HostPlatform].Load(),
+		CMPs:      m.counts[webworld.HostCMP].Load(),
+		GTM:       m.counts[webworld.HostGTM].Load(),
+		LongTail:  m.counts[webworld.HostLongTail].Load(),
+		Unknown:   m.counts[webworld.HostUnknown].Load(),
+	}
+}

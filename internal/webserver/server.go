@@ -1,0 +1,304 @@
+// Package webserver serves the synthetic web of internal/webworld over
+// real HTTP: every hostname of the world (ranked sites, sister domains,
+// ad platforms, CMPs, Google Tag Manager, long-tail third parties) is
+// virtual-hosted by one handler that dispatches on the Host header.
+//
+// The crawler talks to this server through a transport that routes every
+// hostname to the listener (see Transport), so the full network path —
+// TCP, HTTP, HTML, subresource fetches, redirects, cookies, the
+// Sec-Browsing-Topics / Observe-Browsing-Topics headers — is exercised
+// exactly as against the live web.
+package webserver
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"github.com/netmeasure/topicscope/internal/adcatalog"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/netmeasure/topicscope/internal/attestation"
+	"github.com/netmeasure/topicscope/internal/etld"
+	"github.com/netmeasure/topicscope/internal/webworld"
+)
+
+// ConsentCookie is the cookie a site sets once the user accepts its
+// privacy policy; its presence switches rendering to the After-Accept
+// state.
+const ConsentCookie = "consent"
+
+// ObserveHeader is the Topics API response header a caller sets to
+// record the page visit in the browser's topics history.
+const ObserveHeader = "Observe-Browsing-Topics"
+
+// TopicsRequestHeader carries the topics on fetch/iframe calls.
+const TopicsRequestHeader = "Sec-Browsing-Topics"
+
+// VirtualTimeHeader lets the emulated browser pin each request to its
+// visit's virtual time; A/B-test slot decisions use it when present.
+// Simulation plumbing only — see internal/browser.
+const VirtualTimeHeader = "X-Topicscope-Time"
+
+// VantageHeader declares the visitor's jurisdiction (the simulation's
+// geo-IP): sites geo-fence GDPR banners and ad gating on it.
+const VantageHeader = "X-Topicscope-Vantage"
+
+// Server renders the world.
+type Server struct {
+	World *webworld.World
+	// Now supplies virtual time for A/B-test slot decisions; defaults to
+	// time.Now.
+	Now func() time.Time
+
+	metrics Metrics
+}
+
+// New builds a Server over a world.
+func New(w *webworld.World, now func() time.Time) *Server {
+	if now == nil {
+		now = time.Now
+	}
+	return &Server{World: w, Now: now}
+}
+
+// ServeHTTP dispatches on the Host header.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	host := etld.Normalize(r.Host)
+	kind := s.World.Classify(host)
+	s.metrics.observe(kind)
+	switch kind {
+	case webworld.HostSite, webworld.HostSister:
+		// A first party may double as a calling party (distillery.com,
+		// §2.4): platform endpoints win on their dedicated paths.
+		if p, ok := s.World.Catalog.ByDomain(host); ok && isPlatformPath(r.URL.Path) {
+			s.servePlatform(w, r, p, host)
+			return
+		}
+		site, _ := s.World.SiteByDomain(host)
+		s.serveSite(w, r, site, host)
+	case webworld.HostPlatform:
+		p, _ := s.World.Catalog.ByDomain(host)
+		s.servePlatform(w, r, p, host)
+	case webworld.HostCMP:
+		s.serveCMP(w, r)
+	case webworld.HostGTM:
+		s.serveGTM(w, r)
+	case webworld.HostLongTail:
+		s.serveLongTail(w, r)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// isPlatformPath reports whether the path belongs to the ad-platform
+// endpoint set.
+func isPlatformPath(path string) bool {
+	switch path {
+	case "/tag.js", "/topics-frame.html", "/ad.html", "/t", attestation.WellKnownPath:
+		return true
+	}
+	return false
+}
+
+// requestNow resolves the effective time of a request: the browser's
+// virtual timestamp when supplied, the server clock otherwise.
+func (s *Server) requestNow(r *http.Request) time.Time {
+	if v := r.Header.Get(VirtualTimeHeader); v != "" {
+		if t, err := time.Parse(time.RFC3339Nano, v); err == nil {
+			return t
+		}
+	}
+	return s.Now()
+}
+
+// euVisitor reports whether the request comes from an EU vantage (the
+// default when the header is absent — the paper's setup). Non-EU
+// visitors are geo-fenced out of GDPR banners by most non-EU sites.
+func euVisitor(r *http.Request) bool {
+	v := r.Header.Get(VantageHeader)
+	return v == "" || v == "eu"
+}
+
+// hasConsent reports whether the request carries the site's consent
+// cookie.
+func hasConsent(r *http.Request) bool {
+	c, err := r.Cookie(ConsentCookie)
+	return err == nil && c.Value == "1"
+}
+
+// refererHost extracts the embedding page's host from the Referer
+// header; third-party endpoints use it to know which site they are
+// embedded on, as real tags do.
+func refererHost(r *http.Request) string {
+	ref := r.Header.Get("Referer")
+	if ref == "" {
+		return ""
+	}
+	rest, ok := strings.CutPrefix(ref, "http://")
+	if !ok {
+		rest, ok = strings.CutPrefix(ref, "https://")
+		if !ok {
+			return ""
+		}
+	}
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		rest = rest[:i]
+	}
+	return etld.Normalize(rest)
+}
+
+// serveSite renders a ranked website (or its sister domain).
+func (s *Server) serveSite(w http.ResponseWriter, r *http.Request, site *webworld.Site, host string) {
+	// The ranked domain 301-redirects to its sister when configured.
+	if site.RedirectTo != "" && host == site.Domain {
+		// Scheme-relative Location keeps the redirect valid over both
+		// HTTP and HTTPS deployments.
+		target := "//" + site.RedirectTo + r.URL.Path
+		http.Redirect(w, r, target, http.StatusMovedPermanently)
+		return
+	}
+	switch {
+	case r.URL.Path == "/":
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, s.sitePage(site, host, hasConsent(r), euVisitor(r)))
+	case strings.HasPrefix(r.URL.Path, "/static/"):
+		serveStatic(w, r.URL.Path)
+	case r.URL.Path == "/js/ads-lib.js":
+		// The non-GTM first-party library with a root-context
+		// browsingTopics() call (§4's remaining anomalous sites).
+		w.Header().Set("Content-Type", "application/javascript")
+		if site.OtherLibTopicsCall {
+			fmt.Fprintln(w, "// legacy ads helper")
+			fmt.Fprintln(w, "#ts call")
+		} else {
+			fmt.Fprintln(w, "// ads helper (inert)")
+		}
+	case r.URL.Path == "/privacy":
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprintf(w, "<html><body><h1>Privacy policy of %s</h1></body></html>", host)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// servePlatform renders an ad platform's endpoints.
+func (s *Server) servePlatform(w http.ResponseWriter, r *http.Request, p *adcatalog.Platform, host string) {
+	switch r.URL.Path {
+	case "/tag.js":
+		w.Header().Set("Content-Type", "application/javascript")
+		fmt.Fprint(w, s.platformTag(p, refererHost(r), s.requestNow(r)))
+	case "/topics-frame.html":
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, s.topicsFrame(p))
+	case "/ad.html":
+		// Target of <iframe browsingtopics>: acknowledge observation.
+		if r.Header.Get(TopicsRequestHeader) != "" {
+			w.Header().Set(ObserveHeader, "?1")
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprintf(w, "<html><body><p>ad by %s</p></body></html>", host)
+	case "/t":
+		// Fetch-call endpoint: topics arrive in the request header; the
+		// response asks the browser to record the observation.
+		if r.Header.Get(TopicsRequestHeader) != "" {
+			w.Header().Set(ObserveHeader, "?1")
+		}
+		w.WriteHeader(http.StatusNoContent)
+	case "/px.gif":
+		servePixel(w)
+	case attestation.WellKnownPath:
+		s.serveAttestation(w, p)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// serveCMP serves consent-management assets; their presence on a page is
+// how the analysis fingerprints the CMP (Figure 7).
+func (s *Server) serveCMP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/consent.js":
+		w.Header().Set("Content-Type", "application/javascript")
+		fmt.Fprintln(w, "// consent management platform loader")
+	case "/banner.css":
+		w.Header().Set("Content-Type", "text/css")
+		fmt.Fprintln(w, ".cookie-banner{position:fixed;bottom:0}")
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// serveGTM serves the Google Tag Manager container. The container body
+// depends on the embedding site's configuration (§4: GTM "contains a
+// call to the browsingTopics() function") and is executed by the browser
+// in the page's root context — the origin confusion of Figure 4.
+func (s *Server) serveGTM(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/gtm.js" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/javascript")
+	site, ok := s.World.SiteByDomain(refererHost(r))
+	if !ok || !site.HasGTM {
+		fmt.Fprintln(w, "// gtm container (inert)")
+		return
+	}
+	fmt.Fprintln(w, "// gtm container", r.URL.Query().Get("id"))
+	fmt.Fprintln(w, "#ts fetch url=//"+webworld.GTMDomain+"/px.gif")
+	if site.GTMTopicsCall {
+		directive := "#ts call"
+		if site.GTMConsentMode {
+			directive = "#ts if-consent call"
+		}
+		fmt.Fprintln(w, directive)
+		// Containers with several topics-reaching tags call more than
+		// once per page; the paper counts 3,450 anomalous calls from
+		// 2,614 CPs (§2.2: "possible multiple calls from the same CP on
+		// the same webpage").
+		if gtmDoubleCall(site.Domain) {
+			fmt.Fprintln(w, directive)
+		}
+	}
+}
+
+func (s *Server) serveLongTail(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case strings.HasSuffix(r.URL.Path, ".js"):
+		w.Header().Set("Content-Type", "application/javascript")
+		fmt.Fprintln(w, "// third-party widget")
+	case strings.HasSuffix(r.URL.Path, ".gif"):
+		servePixel(w)
+	default:
+		w.Header().Set("Content-Type", "text/plain")
+		fmt.Fprintln(w, "ok")
+	}
+}
+
+// gtmDoubleCall deterministically marks ≈30% of containers as reaching
+// the browsingTopics() call twice.
+func gtmDoubleCall(domain string) bool {
+	h := fnv.New32a()
+	h.Write([]byte(domain))
+	return h.Sum32()%10 < 3
+}
+
+func serveStatic(w http.ResponseWriter, path string) {
+	switch {
+	case strings.HasSuffix(path, ".css"):
+		w.Header().Set("Content-Type", "text/css")
+		fmt.Fprintln(w, "body{margin:0}")
+	case strings.HasSuffix(path, ".js"):
+		w.Header().Set("Content-Type", "application/javascript")
+		fmt.Fprintln(w, "// site script")
+	default:
+		servePixel(w)
+	}
+}
+
+func servePixel(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "image/gif")
+	// Minimal 1x1 transparent GIF.
+	w.Write([]byte("GIF89a\x01\x00\x01\x00\x80\x00\x00\x00\x00\x00\x00\x00\x00!\xf9\x04\x01\x00\x00\x00\x00,\x00\x00\x00\x00\x01\x00\x01\x00\x00\x02\x02D\x01\x00;"))
+}

@@ -1,0 +1,186 @@
+package webserver
+
+import (
+	"context"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/pem"
+	"fmt"
+	"math/big"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/netmeasure/topicscope/internal/etld"
+	"github.com/netmeasure/topicscope/internal/webworld"
+)
+
+// CertAuthority is an in-memory certificate authority that mints a leaf
+// certificate for every hostname of the synthetic web on demand — the
+// moral equivalent of the interception proxies real crawling rigs use.
+// Serving the world over TLS also upgrades the crawl to HTTP/2 via ALPN.
+type CertAuthority struct {
+	caCert *x509.Certificate
+	caKey  *ecdsa.PrivateKey
+	caPEM  *x509.CertPool
+
+	mu    sync.Mutex
+	leafs map[string]*tls.Certificate
+}
+
+// NewCertAuthority creates a fresh CA. notBefore anchors validity so
+// virtual-time crawls verify; pass the zero value for "now".
+func NewCertAuthority(notBefore time.Time) (*CertAuthority, error) {
+	if notBefore.IsZero() {
+		notBefore = time.Now()
+	}
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("webserver: generating CA key: %w", err)
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber:          big.NewInt(1),
+		Subject:               pkix.Name{CommonName: "topicscope synthetic-web CA"},
+		NotBefore:             notBefore.Add(-time.Hour),
+		NotAfter:              notBefore.AddDate(10, 0, 0),
+		IsCA:                  true,
+		KeyUsage:              x509.KeyUsageCertSign | x509.KeyUsageDigitalSignature,
+		BasicConstraintsValid: true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, &key.PublicKey, key)
+	if err != nil {
+		return nil, fmt.Errorf("webserver: creating CA cert: %w", err)
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, fmt.Errorf("webserver: parsing CA cert: %w", err)
+	}
+	pool := x509.NewCertPool()
+	pool.AddCert(cert)
+	return &CertAuthority{
+		caCert: cert,
+		caKey:  key,
+		caPEM:  pool,
+		leafs:  make(map[string]*tls.Certificate),
+	}, nil
+}
+
+// Pool returns the trust pool containing the CA, for client configs.
+func (ca *CertAuthority) Pool() *x509.CertPool { return ca.caPEM }
+
+// leafFor mints (and caches) a certificate for one hostname.
+func (ca *CertAuthority) leafFor(host string) (*tls.Certificate, error) {
+	host = etld.Normalize(host)
+	if host == "" {
+		return nil, fmt.Errorf("webserver: empty SNI")
+	}
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	if leaf, ok := ca.leafs[host]; ok {
+		return leaf, nil
+	}
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("webserver: generating leaf key: %w", err)
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber: big.NewInt(int64(len(ca.leafs) + 2)),
+		Subject:      pkix.Name{CommonName: host},
+		DNSNames:     []string{host},
+		NotBefore:    ca.caCert.NotBefore,
+		NotAfter:     ca.caCert.NotAfter,
+		KeyUsage:     x509.KeyUsageDigitalSignature,
+		ExtKeyUsage:  []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, ca.caCert, &key.PublicKey, ca.caKey)
+	if err != nil {
+		return nil, fmt.Errorf("webserver: signing leaf for %s: %w", host, err)
+	}
+	leaf := &tls.Certificate{Certificate: [][]byte{der, ca.caCert.Raw}, PrivateKey: key}
+	ca.leafs[host] = leaf
+	return leaf, nil
+}
+
+// TLSConfig returns a server-side TLS config that answers any SNI with a
+// freshly minted certificate for that exact hostname.
+func (ca *CertAuthority) TLSConfig() *tls.Config {
+	return &tls.Config{
+		GetCertificate: func(hello *tls.ClientHelloInfo) (*tls.Certificate, error) {
+			return ca.leafFor(hello.ServerName)
+		},
+		NextProtos: []string{"h2", "http/1.1"},
+	}
+}
+
+// ListenTLS starts a TLS listener for the server on addr and returns the
+// listener plus the CA whose pool clients must trust.
+func (s *Server) ListenTLS(addr string) (net.Listener, *CertAuthority, error) {
+	ca, err := NewCertAuthority(s.Now())
+	if err != nil {
+		return nil, nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("webserver: listening on %s: %w", addr, err)
+	}
+	return tls.NewListener(ln, ca.TLSConfig()), ca, nil
+}
+
+// NewTLSClient returns a client that dials every hostname to addr over
+// TLS with correct SNI and verification against the CA — the HTTPS
+// variant of NewTCPClient. HTTP/2 is negotiated via ALPN.
+func NewTLSClient(w *webworld.World, addr string, ca *CertAuthority, timeout time.Duration) *http.Client {
+	dialer := &net.Dialer{Timeout: timeout}
+	transport := &http.Transport{
+		DialContext: func(ctx context.Context, network, _ string) (net.Conn, error) {
+			return dialer.DialContext(ctx, network, addr)
+		},
+		TLSClientConfig:     &tls.Config{RootCAs: ca.Pool()},
+		ForceAttemptHTTP2:   true,
+		MaxIdleConnsPerHost: 64,
+	}
+	return &http.Client{
+		Transport: &failingTransport{world: w, next: transport},
+		CheckRedirect: func(*http.Request, []*http.Request) error {
+			return http.ErrUseLastResponse
+		},
+		Timeout: timeout,
+	}
+}
+
+// CertPEM returns the CA certificate PEM, for handing to out-of-process
+// crawlers (topics-serve -tls writes it; topics-crawl -ca-cert trusts
+// it).
+func (ca *CertAuthority) CertPEM() []byte {
+	return pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: ca.caCert.Raw})
+}
+
+// NewTLSClientFromPEM builds the HTTPS crawl client from a CA
+// certificate PEM instead of an in-process CA.
+func NewTLSClientFromPEM(w *webworld.World, addr string, caPEM []byte, timeout time.Duration) (*http.Client, error) {
+	pool := x509.NewCertPool()
+	if !pool.AppendCertsFromPEM(caPEM) {
+		return nil, fmt.Errorf("webserver: no certificate in CA PEM")
+	}
+	dialer := &net.Dialer{Timeout: timeout}
+	transport := &http.Transport{
+		DialContext: func(ctx context.Context, network, _ string) (net.Conn, error) {
+			return dialer.DialContext(ctx, network, addr)
+		},
+		TLSClientConfig:     &tls.Config{RootCAs: pool},
+		ForceAttemptHTTP2:   true,
+		MaxIdleConnsPerHost: 64,
+	}
+	return &http.Client{
+		Transport: &failingTransport{world: w, next: transport},
+		CheckRedirect: func(*http.Request, []*http.Request) error {
+			return http.ErrUseLastResponse
+		},
+		Timeout: timeout,
+	}, nil
+}

@@ -1,0 +1,118 @@
+package webserver
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"github.com/netmeasure/topicscope/internal/etld"
+	"github.com/netmeasure/topicscope/internal/webworld"
+)
+
+// UnreachableError simulates the network-level failures a real crawl
+// encounters for the world's unreachable sites (§2.4: "domain name
+// resolution or connection-related errors").
+type UnreachableError struct {
+	Host string
+	Mode webworld.FailureMode
+}
+
+func (e *UnreachableError) Error() string {
+	switch e.Mode {
+	case webworld.FailDNS:
+		return fmt.Sprintf("lookup %s: no such host", e.Host)
+	case webworld.FailRefused:
+		return fmt.Sprintf("dial tcp %s:80: connection refused", e.Host)
+	default:
+		return fmt.Sprintf("dial tcp %s:80: i/o timeout", e.Host)
+	}
+}
+
+// Timeout implements net.Error-style timeout reporting.
+func (e *UnreachableError) Timeout() bool { return e.Mode == webworld.FailTimeout }
+
+// unreachable checks whether a hostname belongs to an unreachable ranked
+// site.
+func unreachable(w *webworld.World, host string) *UnreachableError {
+	host = etld.Normalize(host)
+	site, ok := w.SiteByDomain(host)
+	if ok && !site.Reachable {
+		return &UnreachableError{Host: host, Mode: site.Failure}
+	}
+	return nil
+}
+
+// Transport is an in-process http.RoundTripper that routes every
+// hostname straight into the Server handler — no sockets, suitable for
+// large simulated crawls — while reproducing per-site network failures.
+type Transport struct {
+	Server *Server
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if err := req.Context().Err(); err != nil {
+		return nil, err
+	}
+	host := req.URL.Host
+	if host == "" {
+		host = req.Host
+	}
+	if err := unreachable(t.Server.World, host); err != nil {
+		return nil, err
+	}
+	rec := httptest.NewRecorder()
+	t.Server.ServeHTTP(rec, req)
+	resp := rec.Result()
+	resp.Request = req
+	return resp, nil
+}
+
+// Client returns an http.Client wired to the server in-process. Redirects
+// are followed by the caller (the browser), so the client reports them
+// verbatim.
+func (s *Server) Client() *http.Client {
+	return &http.Client{
+		Transport: &Transport{Server: s},
+		CheckRedirect: func(*http.Request, []*http.Request) error {
+			return http.ErrUseLastResponse
+		},
+	}
+}
+
+// NewTCPClient returns a client that dials every hostname to the given
+// listener address (as a crawler pointed at topics-serve would), while
+// still simulating per-site network failures locally.
+func NewTCPClient(w *webworld.World, addr string, timeout time.Duration) *http.Client {
+	dialer := &net.Dialer{Timeout: timeout}
+	transport := &http.Transport{
+		DialContext: func(ctx context.Context, network, _ string) (net.Conn, error) {
+			return dialer.DialContext(ctx, network, addr)
+		},
+		MaxIdleConnsPerHost: 64,
+	}
+	return &http.Client{
+		Transport: &failingTransport{world: w, next: transport},
+		CheckRedirect: func(*http.Request, []*http.Request) error {
+			return http.ErrUseLastResponse
+		},
+		Timeout: timeout,
+	}
+}
+
+// failingTransport injects the world's unreachable-site failures in
+// front of a real network transport.
+type failingTransport struct {
+	world *webworld.World
+	next  http.RoundTripper
+}
+
+func (t *failingTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if err := unreachable(t.world, req.URL.Host); err != nil {
+		return nil, err
+	}
+	return t.next.RoundTrip(req)
+}

@@ -1,0 +1,493 @@
+package webserver
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/netmeasure/topicscope/internal/attestation"
+	"github.com/netmeasure/topicscope/internal/privaccept"
+	"github.com/netmeasure/topicscope/internal/webworld"
+)
+
+var (
+	testWorld  = webworld.Generate(webworld.Config{Seed: 42, NumSites: 2000})
+	testClock  = func() time.Time { return time.Date(2024, 3, 30, 12, 0, 0, 0, time.UTC) }
+	testServer = New(testWorld, testClock)
+	testClient = testServer.Client()
+)
+
+func get(t *testing.T, url string, hdr map[string]string) (*http.Response, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatalf("NewRequest: %v", err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := testClient.Do(req)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading body: %v", err)
+	}
+	return resp, string(body)
+}
+
+// pickSite finds a reachable site matching the predicate.
+func pickSite(t *testing.T, pred func(*webworld.Site) bool) *webworld.Site {
+	t.Helper()
+	for _, s := range testWorld.Sites {
+		if s.Reachable && pred(s) {
+			return s
+		}
+	}
+	t.Fatal("no site matches predicate")
+	return nil
+}
+
+func TestSitePageRendersResourcesAndBanner(t *testing.T) {
+	site := pickSite(t, func(s *webworld.Site) bool {
+		return s.HasBanner && !s.ObscureBanner && s.CMP != "" && s.RedirectTo == "" &&
+			(s.Language == "en" || s.Language == "it")
+	})
+	resp, body := get(t, "http://"+site.Domain+"/", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if !strings.Contains(body, "privacy-banner") {
+		t.Error("banner missing on first visit")
+	}
+	if !strings.Contains(body, "/static/0.css") {
+		t.Error("first-party resources missing")
+	}
+	word := privaccept.AcceptWords[site.Language][0]
+	if !strings.Contains(strings.ToLower(body), word) {
+		t.Errorf("accept wording %q missing from banner", word)
+	}
+
+	// After consent, the banner disappears.
+	_, body2 := get(t, "http://"+site.Domain+"/", map[string]string{"Cookie": "consent=1"})
+	if strings.Contains(body2, "privacy-banner") {
+		t.Error("banner still present after consent")
+	}
+}
+
+func TestGatingHidesAdTagsBeforeConsent(t *testing.T) {
+	site := pickSite(t, func(s *webworld.Site) bool {
+		return s.Gated && len(s.Platforms) > 0 && s.RedirectTo == ""
+	})
+	_, before := get(t, "http://"+site.Domain+"/", nil)
+	if strings.Contains(before, site.Platforms[0]+"/tag.js") {
+		t.Error("gated site exposes ad tags before consent")
+	}
+	_, after := get(t, "http://"+site.Domain+"/", map[string]string{"Cookie": "consent=1"})
+	if !strings.Contains(after, site.Platforms[0]+"/tag.js") {
+		t.Error("ad tags missing after consent")
+	}
+}
+
+func TestUngatedSiteServesAdTagsAlways(t *testing.T) {
+	site := pickSite(t, func(s *webworld.Site) bool {
+		return s.LoadsAdsPreConsent() && len(s.Platforms) > 0 && s.RedirectTo == ""
+	})
+	_, body := get(t, "http://"+site.Domain+"/", nil)
+	if !strings.Contains(body, site.Platforms[0]+"/tag.js") {
+		t.Error("ungated site missing ad tags before consent")
+	}
+}
+
+func TestRedirectToSister(t *testing.T) {
+	site := pickSite(t, func(s *webworld.Site) bool { return s.RedirectTo != "" })
+	resp, _ := get(t, "http://"+site.Domain+"/", nil)
+	if resp.StatusCode != http.StatusMovedPermanently {
+		t.Fatalf("status %d, want 301", resp.StatusCode)
+	}
+	loc := resp.Header.Get("Location")
+	if !strings.Contains(loc, site.RedirectTo) {
+		t.Errorf("Location = %q, want sister %q", loc, site.RedirectTo)
+	}
+	resp2, body := get(t, loc, nil)
+	if resp2.StatusCode != http.StatusOK || !strings.Contains(body, "<html>") {
+		t.Errorf("sister page not served: %d", resp2.StatusCode)
+	}
+}
+
+func TestGTMContainerContents(t *testing.T) {
+	anomalous := pickSite(t, func(s *webworld.Site) bool {
+		return s.GTMTopicsCall && !s.GTMConsentMode
+	})
+	_, body := get(t, "http://"+webworld.GTMDomain+"/gtm.js?id=GTM-X",
+		map[string]string{"Referer": "http://" + anomalous.EffectiveDomain() + "/"})
+	if !strings.Contains(body, "#ts call") {
+		t.Errorf("anomalous GTM container lacks the topics call:\n%s", body)
+	}
+
+	deferred := pickSite(t, func(s *webworld.Site) bool {
+		return s.GTMTopicsCall && s.GTMConsentMode
+	})
+	_, body = get(t, "http://"+webworld.GTMDomain+"/gtm.js?id=GTM-X",
+		map[string]string{"Referer": "http://" + deferred.EffectiveDomain() + "/"})
+	if !strings.Contains(body, "#ts if-consent call") {
+		t.Error("consent-mode GTM container must guard the call")
+	}
+
+	// Without Referer the container is inert.
+	_, body = get(t, "http://"+webworld.GTMDomain+"/gtm.js?id=GTM-X", nil)
+	if strings.Contains(body, "#ts call") {
+		t.Error("refererless GTM container must be inert")
+	}
+}
+
+func TestPlatformTagAB(t *testing.T) {
+	// criteo calls on 75% of (site, slot) cells; over sites both states
+	// must occur, and the tag always carries the presence beacon.
+	on, off := 0, 0
+	for i, s := range testWorld.Sites {
+		if i > 400 {
+			break
+		}
+		_, body := get(t, "http://criteo.com/tag.js",
+			map[string]string{"Referer": "http://" + s.Domain + "/"})
+		if !strings.Contains(body, "px.gif") {
+			t.Fatal("presence beacon missing")
+		}
+		if strings.Contains(body, "topics-frame.html") || strings.Contains(body, " topics") ||
+			strings.Contains(body, "browsingtopics") {
+			on++
+		} else {
+			off++
+		}
+	}
+	if on == 0 || off == 0 {
+		t.Errorf("criteo A/B states: on=%d off=%d, want both", on, off)
+	}
+}
+
+func TestConsentAwarePlatformGuards(t *testing.T) {
+	// doubleclick is consent-aware: any emitted integration directive
+	// must carry if-consent.
+	for i, s := range testWorld.Sites {
+		if i > 300 {
+			break
+		}
+		_, body := get(t, "http://doubleclick.net/tag.js",
+			map[string]string{"Referer": "http://" + s.Domain + "/"})
+		for _, line := range strings.Split(body, "\n") {
+			if strings.HasPrefix(line, "#ts ") && !strings.Contains(line, "px.gif") {
+				if !strings.Contains(line, "if-consent") {
+					t.Fatalf("doubleclick directive without consent guard: %q", line)
+				}
+			}
+		}
+	}
+}
+
+func TestNeverCallerServesInertTag(t *testing.T) {
+	for _, s := range testWorld.Sites[:200] {
+		_, body := get(t, "http://google-analytics.com/tag.js",
+			map[string]string{"Referer": "http://" + s.Domain + "/"})
+		if strings.Contains(body, "call") || strings.Contains(body, "topics") {
+			t.Fatalf("google-analytics tag contains a topics integration:\n%s", body)
+		}
+	}
+}
+
+func TestAttestationEndpoint(t *testing.T) {
+	resp, body := get(t, "http://criteo.com"+attestation.WellKnownPath, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	f, err := attestation.Parse(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !f.AttestsTopics() {
+		t.Error("criteo attestation does not attest topics")
+	}
+
+	// An Allowed & !Attested domain 404s.
+	var missing string
+	for _, p := range testWorld.Catalog.All() {
+		if p.Allowed && !p.Attested {
+			missing = p.Domain
+			break
+		}
+	}
+	resp, _ = get(t, "http://"+missing+attestation.WellKnownPath, nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unattested domain served attestation: %d", resp.StatusCode)
+	}
+}
+
+func TestTopicsEndpointsSetObserveHeader(t *testing.T) {
+	resp, _ := get(t, "http://criteo.com/t",
+		map[string]string{TopicsRequestHeader: "(1 2);v=chrome.2"})
+	if resp.Header.Get(ObserveHeader) != "?1" {
+		t.Error("fetch endpoint did not set Observe-Browsing-Topics")
+	}
+	resp, _ = get(t, "http://criteo.com/t", nil)
+	if resp.Header.Get(ObserveHeader) != "" {
+		t.Error("observe header set without topics header")
+	}
+}
+
+func TestUnreachableSitesFail(t *testing.T) {
+	var dead *webworld.Site
+	for _, s := range testWorld.Sites {
+		if !s.Reachable {
+			dead = s
+			break
+		}
+	}
+	if dead == nil {
+		t.Fatal("no unreachable site in world")
+	}
+	_, err := testClient.Get("http://" + dead.Domain + "/")
+	if err == nil {
+		t.Fatal("unreachable site served")
+	}
+	var ue *UnreachableError
+	if !errors.As(err, &ue) {
+		t.Errorf("error %v is not UnreachableError", err)
+	}
+}
+
+func TestUnknownHost404s(t *testing.T) {
+	resp, _ := get(t, "http://not-part-of-the-world.example/", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestSelfOnlyPlatformOnOwnSite(t *testing.T) {
+	// distillery.com's page embeds its own tag; the tag calls (rate 1)
+	// under an if-consent guard.
+	_, body := get(t, "http://distillery.com/", nil)
+	if !strings.Contains(body, "distillery.com/tag.js") {
+		t.Fatal("distillery.com page lacks its own tag")
+	}
+	_, tag := get(t, "http://distillery.com/tag.js",
+		map[string]string{"Referer": "http://distillery.com/"})
+	if !strings.Contains(tag, "if-consent") {
+		t.Errorf("distillery tag must be consent-aware:\n%s", tag)
+	}
+}
+
+func TestLongTailServing(t *testing.T) {
+	var host string
+	for _, s := range testWorld.Sites {
+		if len(s.LongTail) > 0 {
+			host = s.LongTail[0]
+			break
+		}
+	}
+	resp, body := get(t, "http://"+host+"/w.js", nil)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "widget") {
+		t.Errorf("long-tail js: %d %q", resp.StatusCode, body)
+	}
+	resp, _ = get(t, "http://"+host+"/px.gif", nil)
+	if ct := resp.Header.Get("Content-Type"); ct != "image/gif" {
+		t.Errorf("pixel content type %q", ct)
+	}
+	resp, body = get(t, "http://"+host+"/anything", nil)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("long-tail fallback: %d %q", resp.StatusCode, body)
+	}
+}
+
+func TestStaticAndPrivacyPages(t *testing.T) {
+	site := pickSite(t, func(s *webworld.Site) bool { return s.RedirectTo == "" })
+	for path, want := range map[string]string{
+		"/static/0.css": "text/css",
+		"/static/1.js":  "application/javascript",
+		"/static/2.png": "image/gif",
+	} {
+		resp, _ := get(t, "http://"+site.Domain+path, nil)
+		if ct := resp.Header.Get("Content-Type"); ct != want {
+			t.Errorf("%s content type %q, want %q", path, ct, want)
+		}
+	}
+	resp, body := get(t, "http://"+site.Domain+"/privacy", nil)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "Privacy policy") {
+		t.Errorf("privacy page: %d", resp.StatusCode)
+	}
+	resp, _ = get(t, "http://"+site.Domain+"/nope", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown site path: %d", resp.StatusCode)
+	}
+}
+
+func TestTopicsFrameAndAdPage(t *testing.T) {
+	_, body := get(t, "http://criteo.com/topics-frame.html", nil)
+	if !strings.Contains(body, "#ts call") {
+		t.Errorf("topics frame lacks the call:\n%s", body)
+	}
+	resp, body := get(t, "http://criteo.com/ad.html",
+		map[string]string{TopicsRequestHeader: "(1);v=chrome.2"})
+	if resp.Header.Get(ObserveHeader) != "?1" {
+		t.Error("ad.html did not acknowledge topics header")
+	}
+	if !strings.Contains(body, "ad by") {
+		t.Errorf("ad body: %q", body)
+	}
+	resp, _ = get(t, "http://criteo.com/unknown-endpoint", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown platform path: %d", resp.StatusCode)
+	}
+}
+
+func TestCMPAssets(t *testing.T) {
+	resp, body := get(t, "http://onetrust.com/consent.js", nil)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "consent") {
+		t.Errorf("consent.js: %d", resp.StatusCode)
+	}
+	resp, _ = get(t, "http://onetrust.com/banner.css", nil)
+	if ct := resp.Header.Get("Content-Type"); ct != "text/css" {
+		t.Errorf("banner.css content type %q", ct)
+	}
+	resp, _ = get(t, "http://onetrust.com/other", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown CMP path: %d", resp.StatusCode)
+	}
+}
+
+func TestGTMDoubleCallMarker(t *testing.T) {
+	// ≈30% of anomalous containers call twice; both kinds must exist.
+	single, double := 0, 0
+	for _, s := range testWorld.Sites {
+		if !s.GTMTopicsCall || s.GTMConsentMode {
+			continue
+		}
+		_, body := get(t, "http://"+webworld.GTMDomain+"/gtm.js?id=GTM-X",
+			map[string]string{"Referer": "http://" + s.EffectiveDomain() + "/"})
+		switch strings.Count(body, "#ts call") {
+		case 1:
+			single++
+		case 2:
+			double++
+		default:
+			t.Fatalf("unexpected call count in container:\n%s", body)
+		}
+	}
+	if single == 0 || double == 0 {
+		t.Errorf("GTM call multiplicity: single=%d double=%d, want both", single, double)
+	}
+}
+
+func TestVirtualTimeHeaderControlsAB(t *testing.T) {
+	// The same tag request at two far-apart virtual times can differ —
+	// slots flip; and a malformed header falls back to the server clock.
+	site := pickSite(t, func(s *webworld.Site) bool { return hasPlat(s, "criteo.com") })
+	states := map[bool]int{}
+	for day := 0; day < 40; day++ {
+		at := time.Date(2024, 3, 1+day%28, 1, 0, 0, 0, time.UTC).Format(time.RFC3339Nano)
+		_, body := get(t, "http://criteo.com/tag.js", map[string]string{
+			"Referer":         "http://" + site.Domain + "/",
+			VirtualTimeHeader: at,
+		})
+		states[strings.Contains(body, "topics")] = states[strings.Contains(body, "topics")] + 1
+	}
+	if len(states) != 2 {
+		t.Logf("criteo never flipped on %s across 40 slots (possible but unlikely)", site.Domain)
+	}
+	resp, _ := get(t, "http://criteo.com/tag.js", map[string]string{
+		"Referer":         "http://" + site.Domain + "/",
+		VirtualTimeHeader: "not-a-time",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("malformed virtual time rejected: %d", resp.StatusCode)
+	}
+}
+
+func hasPlat(s *webworld.Site, domain string) bool {
+	for _, p := range s.Platforms {
+		if p == domain {
+			return true
+		}
+	}
+	return false
+}
+
+func TestServerMetrics(t *testing.T) {
+	world := webworld.Generate(webworld.Config{Seed: 77, NumSites: 50})
+	server := New(world, testClock)
+	client := server.Client()
+
+	reqs := []string{
+		"http://" + world.Sites[0].Domain + "/",
+		"http://criteo.com/px.gif",
+		"http://onetrust.com/consent.js",
+		"http://" + webworld.GTMDomain + "/gtm.js",
+		"http://nowhere.example/",
+	}
+	for _, u := range reqs {
+		resp, err := client.Get(u)
+		if err == nil {
+			resp.Body.Close()
+		}
+	}
+	m := server.Metrics()
+	t.Logf("metrics: %s", m)
+	if m.Sites == 0 || m.Platforms == 0 || m.CMPs == 0 || m.GTM == 0 || m.Unknown == 0 {
+		t.Errorf("metrics incomplete: %+v", m)
+	}
+	if m.Total() < int64(len(reqs)) {
+		t.Errorf("total %d < %d", m.Total(), len(reqs))
+	}
+}
+
+func TestHTTPSEndToEnd(t *testing.T) {
+	world := webworld.Generate(webworld.Config{Seed: 55, NumSites: 120})
+	server := New(world, testClock)
+	ln, ca, err := server.ListenTLS("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: server}
+	go hs.Serve(ln) //nolint:errcheck // closed below
+	defer hs.Close()
+
+	client := NewTLSClient(world, ln.Addr().String(), ca, 5*time.Second)
+
+	// Raw request: certificate verification for an arbitrary host, and
+	// HTTP/2 via ALPN.
+	var site *webworld.Site
+	for _, s := range world.Sites {
+		if s.Reachable && s.RedirectTo == "" {
+			site = s
+			break
+		}
+	}
+	resp, err := client.Get("https://" + site.Domain + "/")
+	if err != nil {
+		t.Fatalf("HTTPS GET: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.TLS == nil {
+		t.Fatal("response not over TLS")
+	}
+	if resp.Proto != "HTTP/2.0" {
+		t.Errorf("negotiated %s, want HTTP/2.0 via ALPN", resp.Proto)
+	}
+	if got := resp.TLS.PeerCertificates[0].DNSNames; len(got) != 1 || got[0] != site.Domain {
+		t.Errorf("leaf certificate names %v, want exactly %q", got, site.Domain)
+	}
+
+	// A second host gets its own certificate from the same CA.
+	resp2, err := client.Get("https://criteo.com/px.gif")
+	if err != nil {
+		t.Fatalf("HTTPS platform GET: %v", err)
+	}
+	resp2.Body.Close()
+	if got := resp2.TLS.PeerCertificates[0].DNSNames[0]; got != "criteo.com" {
+		t.Errorf("platform leaf for %q", got)
+	}
+}

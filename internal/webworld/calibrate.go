@@ -1,0 +1,173 @@
+package webworld
+
+import "github.com/netmeasure/topicscope/internal/etld"
+
+// Config parameterises world generation. The zero value plus
+// withDefaults() reproduces the paper-calibrated world; every default
+// cites the paper statistic that motivates it.
+type Config struct {
+	// Seed drives all randomness; same seed ⇒ identical world.
+	Seed uint64
+	// NumSites is the rank-list length (paper: top-50,000).
+	NumSites int
+	// LongTailPool is the universe of ordinary third-party hosts; sized
+	// so a full crawl sees ≈19,534 unique third parties (§2.4).
+	LongTailPool int
+	// LongTailPerSiteMin/Max bound how many long-tail hosts one site
+	// embeds.
+	LongTailPerSiteMin, LongTailPerSiteMax int
+
+	// ReachableRate: the paper successfully visits 43,405/50,000 ≈ 86.8%
+	// of sites, losing the rest to DNS or connection errors.
+	ReachableRate float64
+
+	// BannerRate[region]: probability a site shows a privacy banner.
+	// Calibrated so ≈30% of successful sites end with an accepted
+	// banner (§2.4: 14,719 of 43,405), given language support below.
+	BannerRate map[etld.Region]float64
+	// ObscureBannerRate: banners whose accept control Priv-Accept cannot
+	// recognise even in a supported language (its authors report 92–95%
+	// accuracy).
+	ObscureBannerRate float64
+	// CMPRate: share of banner sites using a known CMP from cmpdb.
+	CMPRate float64
+	// CustomGatedRate: share of banner sites *without* a CMP that still
+	// gate ad tags until consent.
+	CustomGatedRate float64
+
+	// GTMRate: share of sites embedding Google Tag Manager (§4: GTM is
+	// on 95% of the sites where anomalous calls occur).
+	GTMRate float64
+	// GTMTopicsRate: share of GTM containers whose configuration reaches
+	// the browsingTopics() call. Together with GTMRate it is calibrated
+	// against §4: 2,614 anomalous CPs over the 14,719-site D_AA ≈ 17.8%.
+	GTMTopicsRate float64
+	// GTMConsentModeRate: share of topics-calling GTM containers that
+	// defer the call until consent; the remainder also fire in
+	// Before-Accept, yielding the ≈1,308 not-Allowed D_BA callers
+	// (1,308/43,405 ≈ 3.0%).
+	GTMConsentModeRate float64
+	// OtherLibTopicsRate: sites with a non-GTM first-party library
+	// calling browsingTopics() (the ≈5% of anomalous sites without GTM).
+	OtherLibTopicsRate float64
+
+	// AdsPreConsentRate[region]: probability that a site whose ad stack
+	// is not CMP-gated still fires its ad tags before any consent.
+	// Region-dependent: .ru sites rarely wait, EU sites mostly do.
+	// Calibrated against Figure 6's D_BA embedding counts (e.g. criteo
+	// embedded pre-consent on only ≈1.5k of 43k sites despite a 15.5%
+	// D_AA presence).
+	AdsPreConsentRate map[etld.Region]float64
+
+	// SisterRedirectRate: sites 301-redirecting to a same-organisation
+	// domain with a different second-level label (§4: 28% of anomalous
+	// calls have CP ≠ visited site).
+	SisterRedirectRate float64
+
+	// AdIntensityWeights maps intensity levels to probabilities; level 0
+	// models ad-free sites.
+	AdIntensityWeights map[float64]float64
+
+	// FirstPartyResourcesMin/Max bound same-site subresource counts.
+	FirstPartyResourcesMin, FirstPartyResourcesMax int
+
+	// RegionShare: distribution of site regions, approximating the
+	// Tranco TLD mix (Figure 6 presence rows imply substantial .com,
+	// EU and .ru populations and a small .jp one).
+	RegionShare map[etld.Region]float64
+
+	// DistilleryRank places the distillery.com site (§2.4: the one
+	// Attested-but-not-Allowed party, calling only on its own website).
+	DistilleryRank int
+}
+
+func (c Config) withDefaults() Config {
+	if c.NumSites <= 0 {
+		c.NumSites = 50000
+	}
+	if c.LongTailPool <= 0 {
+		// Tuned so a full 50k crawl yields ≈19.5k unique third parties.
+		c.LongTailPool = 17500
+	}
+	if c.LongTailPerSiteMin <= 0 {
+		c.LongTailPerSiteMin = 2
+	}
+	if c.LongTailPerSiteMax <= 0 {
+		c.LongTailPerSiteMax = 14
+	}
+	if c.ReachableRate == 0 {
+		c.ReachableRate = 0.868
+	}
+	if c.BannerRate == nil {
+		c.BannerRate = map[etld.Region]float64{
+			etld.RegionCom:    0.44,
+			etld.RegionJapan:  0.22,
+			etld.RegionRussia: 0.32,
+			etld.RegionEU:     0.80,
+			etld.RegionOther:  0.40,
+		}
+	}
+	if c.ObscureBannerRate == 0 {
+		c.ObscureBannerRate = 0.07
+	}
+	if c.CMPRate == 0 {
+		c.CMPRate = 0.60
+	}
+	if c.CustomGatedRate == 0 {
+		c.CustomGatedRate = 0.35
+	}
+	if c.GTMRate == 0 {
+		c.GTMRate = 0.62
+	}
+	if c.GTMTopicsRate == 0 {
+		c.GTMTopicsRate = 0.27
+	}
+	if c.GTMConsentModeRate == 0 {
+		c.GTMConsentModeRate = 0.82
+	}
+	if c.OtherLibTopicsRate == 0 {
+		c.OtherLibTopicsRate = 0.009
+	}
+	if c.AdsPreConsentRate == nil {
+		c.AdsPreConsentRate = map[etld.Region]float64{
+			etld.RegionCom:    0.30,
+			etld.RegionJapan:  0.50,
+			etld.RegionRussia: 0.85,
+			etld.RegionEU:     0.18,
+			etld.RegionOther:  0.40,
+		}
+	}
+	if c.SisterRedirectRate == 0 {
+		c.SisterRedirectRate = 0.28
+	}
+	if c.AdIntensityWeights == nil {
+		c.AdIntensityWeights = map[float64]float64{
+			0:   0.24,
+			0.7: 0.24,
+			1.0: 0.30,
+			1.5: 0.22,
+		}
+	}
+	if c.FirstPartyResourcesMin <= 0 {
+		c.FirstPartyResourcesMin = 4
+	}
+	if c.FirstPartyResourcesMax <= 0 {
+		c.FirstPartyResourcesMax = 18
+	}
+	if c.RegionShare == nil {
+		c.RegionShare = map[etld.Region]float64{
+			etld.RegionCom:    0.42,
+			etld.RegionJapan:  0.035,
+			etld.RegionRussia: 0.055,
+			etld.RegionEU:     0.20,
+			etld.RegionOther:  0.29,
+		}
+	}
+	if c.DistilleryRank <= 0 {
+		c.DistilleryRank = 24000
+		if c.DistilleryRank > c.NumSites {
+			c.DistilleryRank = (c.NumSites + 1) / 2
+		}
+	}
+	return c
+}

@@ -1,0 +1,253 @@
+// Package webworld generates the deterministic synthetic web the crawler
+// measures: a Tranco-style ranking of sites, each with a region and
+// language, privacy banner and CMP deployment, Google Tag Manager
+// presence (including the configurations whose root-context
+// browsingTopics() call produces the paper's §4 anomaly), embedded ad
+// platforms from internal/adcatalog, a long tail of ordinary third
+// parties, and the failure modes a real crawl encounters.
+//
+// This package substitutes for the live Web of the paper's measurement
+// (DESIGN.md, "Substitutions"): every rate is calibrated against a
+// statistic the paper reports, see calibrate.go.
+package webworld
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/netmeasure/topicscope/internal/adcatalog"
+	"github.com/netmeasure/topicscope/internal/etld"
+	"github.com/netmeasure/topicscope/internal/tranco"
+)
+
+// FailureMode describes why an unreachable site fails.
+type FailureMode string
+
+// Failure modes observed by real crawls ("domain name resolution or
+// connection-related errors", §2.4).
+const (
+	FailNone    FailureMode = ""
+	FailDNS     FailureMode = "dns"
+	FailRefused FailureMode = "refused"
+	FailTimeout FailureMode = "timeout"
+)
+
+// Site is one website of the synthetic web.
+type Site struct {
+	// Rank is the 1-based position in the rank list.
+	Rank int
+	// Domain is the registrable domain in the rank list.
+	Domain string
+	// Region derives from the TLD (Figure 6 grouping).
+	Region etld.Region
+	// Language is the page/banner language (ISO 639-1).
+	Language string
+	// AdIntensity scales ad-platform embedding: 0 means an ad-free site.
+	AdIntensity float64
+
+	// Reachable is false for the ≈13% of sites a crawl loses; Failure
+	// tells how loading fails.
+	Reachable bool
+	Failure   FailureMode
+
+	// HasBanner: the site shows a privacy banner on first visit.
+	HasBanner bool
+	// ObscureBanner: the banner's accept control uses wording outside
+	// Priv-Accept's keyword lists, so automatic acceptance fails.
+	ObscureBanner bool
+	// CMP is the consent-management platform name ("" = none/custom).
+	CMP string
+	// CMPMisconfigured: the CMP deployment lets third parties run before
+	// consent (the Figure 7 phenomenon).
+	CMPMisconfigured bool
+	// Gated: ad-platform tags are withheld until consent.
+	Gated bool
+	// AdsPreConsent: for non-CMP-gated sites, whether the ad stack fires
+	// before consent at all (many publishers trigger ads only from a
+	// consent signal even without a strict CMP).
+	AdsPreConsent bool
+
+	// HasGTM: the site embeds Google Tag Manager.
+	HasGTM bool
+	// GTMTopicsCall: this GTM container configuration reaches the
+	// browsingTopics() call (§4: GTM "contains a call to the
+	// browsingTopics() function").
+	GTMTopicsCall bool
+	// GTMConsentMode: the container defers that call until consent.
+	GTMConsentMode bool
+	// OtherLibTopicsCall: a non-GTM first-party library with a
+	// root-context browsingTopics() call (the remaining ≈5% of
+	// anomalous-call sites that have no GTM).
+	OtherLibTopicsCall bool
+
+	// RedirectTo, when set, is a sister domain owned by the same
+	// organisation that the site HTTP-redirects to; calls then execute
+	// under the sister origin (the 28% of §4 anomalous calls whose CP
+	// does not textually match the visited site).
+	RedirectTo string
+
+	// Platforms lists the embedded ad-platform domains.
+	Platforms []string
+	// LongTail lists embedded ordinary third-party hosts.
+	LongTail []string
+	// FirstPartyResources is how many same-site subresources the page
+	// references.
+	FirstPartyResources int
+}
+
+// LoadsAdsPreConsent reports whether the site's ad-platform tags load in
+// a Before-Accept visit: a misconfigured CMP fires them immediately; a
+// healthy CMP or a gating custom banner withholds them; everyone else
+// follows the AdsPreConsent coin.
+func (s *Site) LoadsAdsPreConsent() bool {
+	if s.CMP != "" {
+		return s.CMPMisconfigured
+	}
+	if s.Gated {
+		return false
+	}
+	return s.AdsPreConsent
+}
+
+// EffectiveDomain is the origin serving the site's content: the sister
+// domain when the site redirects, otherwise the site itself.
+func (s *Site) EffectiveDomain() string {
+	if s.RedirectTo != "" {
+		return s.RedirectTo
+	}
+	return s.Domain
+}
+
+// HostKind classifies a hostname within the world.
+type HostKind int
+
+// Host kinds, from the crawler's perspective.
+const (
+	HostUnknown  HostKind = iota
+	HostSite              // a ranked website (or its www alias)
+	HostSister            // a redirect target owned by a site's org
+	HostPlatform          // an ad-platform domain from the catalog
+	HostCMP               // a consent-management-platform domain
+	HostGTM               // www.googletagmanager.com
+	HostLongTail          // an ordinary third party
+)
+
+// GTMDomain is the host serving Google Tag Manager containers.
+const GTMDomain = "www.googletagmanager.com"
+
+// World is the generated synthetic web.
+type World struct {
+	Cfg      Config
+	Catalog  *adcatalog.Catalog
+	Sites    []*Site
+	byDomain map[string]*Site // site domains and sister domains
+	longTail map[string]bool
+	cmpHosts map[string]string // consent host -> CMP name
+}
+
+// List returns the world's rank list.
+func (w *World) List() *tranco.List {
+	domains := make([]string, len(w.Sites))
+	for i, s := range w.Sites {
+		domains[i] = s.Domain
+	}
+	return tranco.FromDomains(domains)
+}
+
+// SiteByDomain resolves a ranked site (or one of its sister domains).
+func (w *World) SiteByDomain(domain string) (*Site, bool) {
+	s, ok := w.byDomain[etld.Normalize(domain)]
+	return s, ok
+}
+
+// Classify reports what role a hostname plays in the world.
+func (w *World) Classify(host string) HostKind {
+	host = etld.Normalize(host)
+	if host == GTMDomain {
+		return HostGTM
+	}
+	if s, ok := w.byDomain[host]; ok {
+		if s.Domain == host {
+			return HostSite
+		}
+		return HostSister
+	}
+	if _, ok := w.Catalog.ByDomain(host); ok {
+		return HostPlatform
+	}
+	if _, ok := w.cmpHosts[host]; ok {
+		return HostCMP
+	}
+	if w.longTail[host] {
+		return HostLongTail
+	}
+	return HostUnknown
+}
+
+// CMPForHost returns the CMP name served by a consent host.
+func (w *World) CMPForHost(host string) (string, bool) {
+	name, ok := w.cmpHosts[etld.Normalize(host)]
+	return name, ok
+}
+
+// Stats summarises the world for logging and sanity tests.
+type Stats struct {
+	Sites          int
+	Reachable      int
+	WithBanner     int
+	WithCMP        int
+	Misconfigured  int
+	WithGTM        int
+	GTMTopics      int
+	Redirecting    int
+	AdFree         int
+	UniqueLongTail int
+	ByRegion       map[etld.Region]int
+}
+
+// Stats computes world-level aggregates.
+func (w *World) Stats() Stats {
+	st := Stats{ByRegion: make(map[etld.Region]int)}
+	for _, s := range w.Sites {
+		st.Sites++
+		st.ByRegion[s.Region]++
+		if s.Reachable {
+			st.Reachable++
+		}
+		if s.HasBanner {
+			st.WithBanner++
+		}
+		if s.CMP != "" {
+			st.WithCMP++
+		}
+		if s.CMPMisconfigured {
+			st.Misconfigured++
+		}
+		if s.HasGTM {
+			st.WithGTM++
+		}
+		if s.GTMTopicsCall {
+			st.GTMTopics++
+		}
+		if s.RedirectTo != "" {
+			st.Redirecting++
+		}
+		if s.AdIntensity == 0 {
+			st.AdFree++
+		}
+	}
+	st.UniqueLongTail = len(w.longTail)
+	return st
+}
+
+// String renders a one-line stats summary.
+func (s Stats) String() string {
+	regions := make([]string, 0, len(s.ByRegion))
+	for _, r := range etld.Regions {
+		regions = append(regions, fmt.Sprintf("%s:%d", r, s.ByRegion[r]))
+	}
+	sort.Strings(regions)
+	return fmt.Sprintf("sites=%d reachable=%d banner=%d cmp=%d misconfig=%d gtm=%d gtmTopics=%d redirect=%d adFree=%d longTail=%d",
+		s.Sites, s.Reachable, s.WithBanner, s.WithCMP, s.Misconfigured,
+		s.WithGTM, s.GTMTopics, s.Redirecting, s.AdFree, s.UniqueLongTail)
+}

@@ -1,0 +1,209 @@
+package webworld
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+
+	"github.com/netmeasure/topicscope/internal/etld"
+)
+
+// topicWords are hostname tokens the classifier's keyword model knows;
+// composing site names from them makes the Topics engine's "language
+// model" classify sites meaningfully rather than by fallback hash.
+var topicWords = []string{
+	"news", "daily", "herald", "tribune", "press", "journal", "weather",
+	"sport", "football", "soccer", "tennis", "golf", "cricket", "racing",
+	"fitness", "yoga", "shop", "store", "deals", "coupon", "outlet",
+	"fashion", "apparel", "shoes", "luxury", "toys", "gifts", "beauty",
+	"cosmetic", "perfume", "hair", "tech", "computer", "laptop", "mobile",
+	"software", "code", "cloud", "hosting", "security", "gadget", "camera",
+	"bank", "finance", "money", "invest", "stocks", "trading", "forex",
+	"credit", "loans", "mortgage", "insurance", "tax", "travel", "trip",
+	"tour", "hotels", "flights", "cruise", "beach", "food", "recipes",
+	"cooking", "kitchen", "pizza", "restaurant", "coffee", "wine",
+	"grocery", "games", "gaming", "arcade", "chess", "poker", "puzzle",
+	"movies", "film", "cinema", "series", "music", "radio", "rock",
+	"jazz", "anime", "manga", "comics", "stream", "video", "photo",
+	"art", "design", "comedy", "dance", "auto", "cars", "moto", "truck",
+	"garage", "home", "garden", "decor", "diy", "realty", "estate",
+	"property", "rent", "housing", "jobs", "career", "learn", "school",
+	"college", "academy", "courses", "pets", "dog", "cat", "vet",
+	"baby", "parent", "wedding", "dating", "social", "forum", "blog",
+	"books", "ebook", "poetry", "wiki", "maps", "science", "astro",
+	"math", "physics", "climate", "craft", "fishing", "hiking", "camping",
+	"cycling", "running", "outdoor", "law", "legal", "court", "business",
+	"marketing", "farm", "energy", "pharma",
+}
+
+// fillerWords are brandish tokens with no topic signal.
+var fillerWords = []string{
+	"zone", "point", "spot", "base", "world", "planet", "city", "land",
+	"center", "central", "direct", "express", "first", "global", "one",
+	"pro", "plus", "max", "top", "best", "easy", "smart", "quick",
+	"mega", "super", "prime", "vista", "nova", "alpha", "delta", "omni",
+}
+
+// sisterSuffixes build same-organisation alias domains with a different
+// second-level label (§4: e.g. windows.com vs microsoft.com).
+var sisterSuffixes = []string{"group", "media", "corp", "digital", "holding", "brands"}
+
+// longTailPrefixes name ordinary third-party services.
+var longTailPrefixes = []string{
+	"cdn", "static", "img", "assets", "api", "pixel", "sync", "media",
+	"widget", "track", "metrics", "fonts", "tags", "beacon", "edge",
+	"cache", "embed", "player", "comments", "search",
+}
+
+// regionTLDs weight concrete TLDs within each region; EU entries carry
+// the banner language of their country.
+var regionTLDs = map[etld.Region][]tldChoice{
+	etld.RegionCom: {{"com", "en", 1}},
+	etld.RegionJapan: {
+		{"jp", "ja", 0.6}, {"co.jp", "ja", 0.4},
+	},
+	etld.RegionRussia: {
+		{"ru", "ru", 0.9}, {"msk.ru", "ru", 0.05}, {"com.ru", "ru", 0.05},
+	},
+	etld.RegionEU: {
+		{"de", "de", 0.18}, {"fr", "fr", 0.16}, {"it", "it", 0.13},
+		{"es", "es", 0.11}, {"nl", "nl", 0.08}, {"pl", "pl", 0.09},
+		{"se", "sv", 0.05}, {"pt", "pt", 0.04}, {"at", "de", 0.04},
+		{"be", "fr", 0.03}, {"cz", "cs", 0.03}, {"dk", "da", 0.02},
+		{"fi", "fi", 0.02}, {"ie", "en", 0.02},
+	},
+	etld.RegionOther: {
+		{"org", "en", 0.17}, {"net", "en", 0.12}, {"co.uk", "en", 0.14},
+		{"io", "en", 0.07}, {"co", "en", 0.05}, {"in", "en", 0.08},
+		{"com.br", "pt", 0.09}, {"com.au", "en", 0.06}, {"ca", "en", 0.05},
+		{"us", "en", 0.04}, {"tr", "tr", 0.05}, {"com.mx", "es", 0.05},
+		{"ch", "de", 0.03},
+	},
+}
+
+type tldChoice struct {
+	tld    string
+	lang   string
+	weight float64
+}
+
+// comLanguages lets .com sites occasionally carry non-English banners.
+var comLanguages = []struct {
+	lang   string
+	weight float64
+}{
+	{"en", 0.84}, {"es", 0.06}, {"de", 0.04}, {"fr", 0.03}, {"it", 0.03},
+}
+
+// namer produces unique hostnames.
+type namer struct {
+	used map[string]bool
+}
+
+func newNamer() *namer { return &namer{used: make(map[string]bool)} }
+
+// pickRegion draws a region per Config.RegionShare.
+func pickRegion(rng *rand.Rand, share map[etld.Region]float64) etld.Region {
+	var total float64
+	for _, r := range etld.Regions {
+		total += share[r]
+	}
+	x := rng.Float64() * total
+	for _, r := range etld.Regions {
+		if x < share[r] {
+			return r
+		}
+		x -= share[r]
+	}
+	return etld.RegionOther
+}
+
+// pickTLD draws a TLD + language for the region.
+func pickTLD(rng *rand.Rand, region etld.Region) (tld, lang string) {
+	choices := regionTLDs[region]
+	var total float64
+	for _, c := range choices {
+		total += c.weight
+	}
+	x := rng.Float64() * total
+	for _, c := range choices {
+		if x < c.weight {
+			tld, lang = c.tld, c.lang
+			break
+		}
+		x -= c.weight
+	}
+	if tld == "" {
+		last := choices[len(choices)-1]
+		tld, lang = last.tld, last.lang
+	}
+	if region == etld.RegionCom {
+		x := rng.Float64()
+		for _, c := range comLanguages {
+			if x < c.weight {
+				lang = c.lang
+				break
+			}
+			x -= c.weight
+		}
+	}
+	return tld, lang
+}
+
+// siteDomain builds a unique site domain whose label embeds topic
+// keywords the classifier understands.
+func (n *namer) siteDomain(rng *rand.Rand, tld string) string {
+	for attempt := 0; ; attempt++ {
+		var parts []string
+		parts = append(parts, topicWords[rng.IntN(len(topicWords))])
+		switch rng.IntN(4) {
+		case 0: // two topic words
+			parts = append(parts, topicWords[rng.IntN(len(topicWords))])
+		case 1, 2: // topic + filler
+			parts = append(parts, fillerWords[rng.IntN(len(fillerWords))])
+		}
+		label := strings.Join(parts, pickSep(rng))
+		if attempt > 2 {
+			label = fmt.Sprintf("%s%d", label, rng.IntN(1000))
+		}
+		d := label + "." + tld
+		if !n.used[d] {
+			n.used[d] = true
+			return d
+		}
+	}
+}
+
+// sisterDomain builds the same-organisation alias for a site, guaranteed
+// to have a different second-level label and to be unique.
+func (n *namer) sisterDomain(rng *rand.Rand, siteDomain string) string {
+	label := etld.SecondLevelLabel(siteDomain)
+	tlds := []string{"com", "net", "org"}
+	for attempt := 0; ; attempt++ {
+		suffix := sisterSuffixes[rng.IntN(len(sisterSuffixes))]
+		cand := label + suffix
+		if attempt > 2 {
+			cand = fmt.Sprintf("%s%d", cand, rng.IntN(1000))
+		}
+		d := cand + "." + tlds[rng.IntN(len(tlds))]
+		if !n.used[d] && etld.SecondLevelLabel(d) != label {
+			n.used[d] = true
+			return d
+		}
+	}
+}
+
+// longTailHost builds the i-th long-tail third-party host.
+func longTailHost(rng *rand.Rand, i int) string {
+	prefix := longTailPrefixes[rng.IntN(len(longTailPrefixes))]
+	brand := fillerWords[rng.IntN(len(fillerWords))] + fillerWords[rng.IntN(len(fillerWords))]
+	tlds := []string{"com", "net", "io", "org", "co"}
+	return fmt.Sprintf("%s.%s%d.%s", prefix, brand, i, tlds[rng.IntN(len(tlds))])
+}
+
+func pickSep(rng *rand.Rand) string {
+	if rng.IntN(3) == 0 {
+		return ""
+	}
+	return "-"
+}

@@ -1,0 +1,84 @@
+package webworld
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/netmeasure/topicscope/internal/adcatalog"
+	"github.com/netmeasure/topicscope/internal/cmpdb"
+	"github.com/netmeasure/topicscope/internal/etld"
+)
+
+// worldSpec is the on-disk form of a world: provenance plus the full
+// site list. The ad-platform catalog and CMP database are code-level
+// constants, so they are not serialised; deserialisation rebuilds every
+// index. Custom generator configs are not preserved — the spec exists so
+// a crawl target can be inspected and served without regenerating.
+type worldSpec struct {
+	FormatVersion int     `json:"formatVersion"`
+	Seed          uint64  `json:"seed"`
+	NumSites      int     `json:"numSites"`
+	Sites         []*Site `json:"sites"`
+}
+
+const specVersion = 1
+
+// Save writes the world as JSON.
+func (w *World) Save(out io.Writer) error {
+	enc := json.NewEncoder(out)
+	spec := worldSpec{
+		FormatVersion: specVersion,
+		Seed:          w.Cfg.Seed,
+		NumSites:      len(w.Sites),
+		Sites:         w.Sites,
+	}
+	if err := enc.Encode(&spec); err != nil {
+		return fmt.Errorf("webworld: encoding spec: %w", err)
+	}
+	return nil
+}
+
+// Load reads a world spec and rebuilds a fully indexed World.
+func Load(in io.Reader) (*World, error) {
+	var spec worldSpec
+	if err := json.NewDecoder(in).Decode(&spec); err != nil {
+		return nil, fmt.Errorf("webworld: decoding spec: %w", err)
+	}
+	if spec.FormatVersion != specVersion {
+		return nil, fmt.Errorf("webworld: unsupported spec version %d", spec.FormatVersion)
+	}
+	w := &World{
+		Cfg:      Config{Seed: spec.Seed, NumSites: spec.NumSites}.withDefaults(),
+		Catalog:  adcatalog.New(),
+		byDomain: make(map[string]*Site, len(spec.Sites)*2),
+		longTail: make(map[string]bool),
+		cmpHosts: make(map[string]string, 16),
+	}
+	for _, c := range cmpdb.All() {
+		w.cmpHosts[c.Domain] = c.Name
+	}
+	for i, s := range spec.Sites {
+		if s == nil || s.Domain == "" {
+			return nil, fmt.Errorf("webworld: spec site %d invalid", i)
+		}
+		if s.Rank != i+1 {
+			return nil, fmt.Errorf("webworld: spec site %d has rank %d", i, s.Rank)
+		}
+		if _, dup := w.byDomain[s.Domain]; dup {
+			return nil, fmt.Errorf("webworld: duplicate domain %q in spec", s.Domain)
+		}
+		if etld.RegionOf(s.Domain) != s.Region {
+			return nil, fmt.Errorf("webworld: site %q region inconsistent", s.Domain)
+		}
+		w.Sites = append(w.Sites, s)
+		w.byDomain[s.Domain] = s
+		if s.RedirectTo != "" {
+			w.byDomain[s.RedirectTo] = s
+		}
+		for _, h := range s.LongTail {
+			w.longTail[h] = true
+		}
+	}
+	return w, nil
+}

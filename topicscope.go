@@ -1,0 +1,147 @@
+// Package topicscope is a measurement framework reproducing "A First
+// View of Topics API Usage in the Wild" (Verna, Jha, Trevisan, Mellia —
+// CoNEXT '24): an instrumented-browser crawler for the Google Topics
+// API, a full browser-side Topics engine, the Privacy Sandbox enrolment
+// artifacts (allow-list and attestation files, including Chromium's
+// corrupted-database default-allow bug), a deterministic synthetic web
+// substituting for the live top-50k sites, and an analysis pipeline that
+// regenerates every table and figure of the paper.
+//
+// The package re-exports the library's supported surface; implementation
+// lives under internal/. Typical use is the one-call Campaign:
+//
+//	results, err := topicscope.Campaign{Seed: 1, Sites: 5000}.Run(ctx)
+//	fmt.Print(results.Report.Render())
+//
+// or the individual pieces: GenerateWorld + NewServer + NewCrawler +
+// Analyze for custom experiments, and NewEngine for using the Topics API
+// engine directly as a library.
+package topicscope
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"time"
+
+	"github.com/netmeasure/topicscope/internal/analysis"
+	"github.com/netmeasure/topicscope/internal/attestation"
+	"github.com/netmeasure/topicscope/internal/crawler"
+	"github.com/netmeasure/topicscope/internal/dataset"
+	"github.com/netmeasure/topicscope/internal/webserver"
+	"github.com/netmeasure/topicscope/internal/webworld"
+)
+
+// Campaign runs the paper's full methodology end to end: generate the
+// synthetic web, serve it in-process, crawl every site Before- and
+// After-Accept with the corrupted allow-list gate, check well-known
+// attestations, and compute every table and figure.
+type Campaign struct {
+	// Seed makes the whole campaign reproducible.
+	Seed uint64
+	// Sites is the rank-list length (default 50,000 like the paper;
+	// scaled-down runs keep the result shapes).
+	Sites int
+	// Workers is crawl parallelism (default 8).
+	Workers int
+	// Enforce runs the healthy-gate ablation instead of the paper's
+	// corrupted-gate configuration.
+	Enforce bool
+	// OutputPath, when set, streams the visit records there as JSONL.
+	OutputPath string
+	// Start is the virtual date of the first visit (zero = the paper's
+	// March 30th 2024). Earlier dates observe fewer active callers —
+	// platforms cannot call before their enrolment.
+	Start time.Time
+	// Vantage is the visitor jurisdiction: "eu" (default, the paper's
+	// single-location setup) or "us" (§6's untested alternative:
+	// geo-fenced banners, unconditional ad stacks, gdprApplies=false).
+	Vantage string
+	// Logger receives progress (nil = silent).
+	Logger *slog.Logger
+	// WorldConfig overrides the generated world entirely (optional).
+	WorldConfig *WorldConfig
+}
+
+// Results bundles a campaign's outputs.
+type Results struct {
+	// World is the synthetic web the campaign measured.
+	World *World
+	// Data holds every visit record.
+	Data *Dataset
+	// Stats summarises the crawl.
+	Stats CrawlStats
+	// Attestations are the well-known checks for every relevant domain.
+	Attestations []AttestationRecord
+	// Report holds every computed experiment.
+	Report *Report
+}
+
+// Run executes the campaign.
+func (c Campaign) Run(ctx context.Context) (*Results, error) {
+	cfg := webworld.Config{Seed: c.Seed, NumSites: c.Sites}
+	if c.WorldConfig != nil {
+		cfg = *c.WorldConfig
+	}
+	world := webworld.Generate(cfg)
+	server := webserver.New(world, nil)
+	allow := attestation.NewAllowlist(world.Catalog.AllowedDomains()...)
+
+	cr := crawler.New(crawler.Config{
+		Client:             server.Client(),
+		ReferenceAllowlist: allow,
+		Enforce:            c.Enforce,
+		Workers:            c.Workers,
+		Collect:            true,
+		Start:              c.Start,
+		Vantage:            c.Vantage,
+		Logger:             c.Logger,
+	})
+
+	var writer *dataset.Writer
+	if c.OutputPath != "" {
+		f, err := dataset.OpenWriter(c.OutputPath) // .gz transparently
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		writer = dataset.NewWriter(f)
+		cr = crawler.New(crawler.Config{
+			Client:             server.Client(),
+			ReferenceAllowlist: allow,
+			Enforce:            c.Enforce,
+			Workers:            c.Workers,
+			Collect:            true,
+			Start:              c.Start,
+			Vantage:            c.Vantage,
+			Logger:             c.Logger,
+			Writer:             writer,
+		})
+	}
+
+	res, err := cr.Run(ctx, world.List())
+	if err != nil {
+		return nil, fmt.Errorf("topicscope: crawling: %w", err)
+	}
+
+	domains := allow.Domains()
+	domains = append(domains, crawler.CallerDomains(res.Data)...)
+	recs := cr.CheckAttestations(ctx, domains)
+
+	in := &analysis.Input{
+		Data:         res.Data,
+		Allowlist:    allow,
+		Attestations: dataset.AttestationIndex(recs),
+	}
+	return &Results{
+		World:        world,
+		Data:         res.Data,
+		Stats:        res.Stats,
+		Attestations: recs,
+		Report:       analysis.Run(in),
+	}, nil
+}
+
+// DefaultCrawlStart is the virtual time campaigns begin at — the paper's
+// crawl date.
+var DefaultCrawlStart = time.Date(2024, 3, 30, 6, 0, 0, 0, time.UTC)

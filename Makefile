@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench fuzz report clean
+.PHONY: all build test race race-core cover bench fuzz report clean
 
-all: build test
+all: build test race-core
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Focused race pass over the packages with real concurrency: the
+# crawler's worker pool + reorder buffer and the webserver (chaos
+# handler included) — fast enough to ride in `make all`.
+race-core:
+	$(GO) test -race ./internal/crawler/ ./internal/webserver/
 
 cover:
 	$(GO) test -cover ./...

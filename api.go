@@ -11,6 +11,7 @@ import (
 	"github.com/netmeasure/topicscope/internal/analysis"
 	"github.com/netmeasure/topicscope/internal/attestation"
 	"github.com/netmeasure/topicscope/internal/browser"
+	"github.com/netmeasure/topicscope/internal/chaos"
 	"github.com/netmeasure/topicscope/internal/classifier"
 	"github.com/netmeasure/topicscope/internal/crawler"
 	"github.com/netmeasure/topicscope/internal/dataset"
@@ -76,6 +77,53 @@ func NewTLSClient(w *World, addr string, ca *CertAuthority, timeout time.Duratio
 // the CA certificate PEM that topics-serve -tls wrote.
 func NewTLSClientFromPEM(w *World, addr string, caPEM []byte, timeout time.Duration) (*http.Client, error) {
 	return webserver.NewTLSClientFromPEM(w, addr, caPEM, timeout)
+}
+
+// ---- Chaos / fault injection ----
+
+// Chaos is the seeded, deterministic fault injector reproducing the
+// unreliable Internet of §2.4, and the crawl error taxonomy.
+type (
+	ChaosConfig   = chaos.Config
+	ChaosStats    = chaos.Stats
+	ChaosSnapshot = chaos.StatsSnapshot
+	ChaosClass    = chaos.Class
+	ChaosInjector = chaos.Injector
+	ChaosHandler  = chaos.Handler
+)
+
+// DefaultChaos returns the paper-calibrated fault profile (layered on
+// the world's 86.8% reachable rate).
+func DefaultChaos(seed uint64) ChaosConfig { return webworld.DefaultChaos(seed) }
+
+// NewChaosInjector wraps a client-side transport with fault injection.
+func NewChaosInjector(cfg ChaosConfig, next http.RoundTripper) *ChaosInjector {
+	return chaos.NewInjector(cfg, next)
+}
+
+// NewChaosHandler wraps a server-side handler with fault injection.
+func NewChaosHandler(cfg ChaosConfig, next http.Handler) *ChaosHandler {
+	return chaos.NewHandler(cfg, next)
+}
+
+// EnableChaos wraps a client's transport with fault injection in place
+// and returns the injector (for its stats).
+func EnableChaos(client *http.Client, cfg ChaosConfig) *ChaosInjector {
+	in := chaos.NewInjector(cfg, client.Transport)
+	client.Transport = in
+	return in
+}
+
+// ClassifyError maps any crawl error onto the error taxonomy.
+func ClassifyError(err error) ChaosClass { return chaos.Classify(err) }
+
+// MetricsPath is the debug endpoint topics-serve exposes.
+const MetricsPath = webserver.MetricsPath
+
+// MetricsHandler renders server and chaos counters in Prometheus text
+// format (chaosStats may be nil).
+func MetricsHandler(s *Server, chaosStats *ChaosStats) http.Handler {
+	return webserver.MetricsHandler(s, chaosStats)
 }
 
 // ---- Browser & crawling ----

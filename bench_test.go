@@ -185,6 +185,36 @@ func BenchmarkFullCampaign(b *testing.B) {
 	}
 }
 
+// BenchmarkCrawlChaos measures the fault-injected campaign (D1r): the
+// default retry policy against a retry-free crawl of the same world,
+// reporting the visit-success rate each buys.
+func BenchmarkCrawlChaos(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		retries int
+	}{
+		{"retries=default", 0},
+		{"retries=off", -1},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			var last *topicscope.Results
+			for i := 0; i < b.N; i++ {
+				res, err := topicscope.Campaign{
+					Seed: 7, Sites: 600, Workers: 16,
+					Chaos: true, ChaosSeed: 1, Retries: bc.retries,
+				}.Run(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(float64(last.Stats.Succeeded)/float64(last.Stats.Attempted)*100, "success_pct")
+			b.ReportMetric(float64(last.Stats.Retries), "retries")
+			b.ReportMetric(float64(last.Stats.PartialVisits), "partial_visits")
+		})
+	}
+}
+
 // BenchmarkWorldGeneration measures the synthetic-web generator.
 func BenchmarkWorldGeneration(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -76,7 +76,7 @@ func TestCLIPipeline(t *testing.T) {
 		t.Errorf("calls CSV: %v", err)
 	}
 
-	for _, exp := range []string{"D1", "D2", "F2", "F3", "A1", "F5", "F6", "F7", "E1", "X1", "all"} {
+	for _, exp := range []string{"D1", "D1R", "D2", "F2", "F3", "A1", "F5", "F6", "F7", "E1", "X1", "all"} {
 		out := run("topics-analyze", "-data", crawl, "-attest", attest,
 			"-allowlist", allow, "-exp", exp)
 		if len(out) == 0 {

@@ -3,8 +3,9 @@
 //
 //	topics-analyze -data crawl.jsonl -attest attest.jsonl -allowlist allow.dat -exp all
 //
-// Experiments: D1 (dataset overview), T1 (Table 1), F2/F3/F5/F6/F7
-// (figures), A1 (§4 anomalous usage), E1 (enrolment timeline), or "all".
+// Experiments: D1 (dataset overview), D1r (visit reliability), T1
+// (Table 1), F2/F3/F5/F6/F7 (figures), A1 (§4 anomalous usage), E1
+// (enrolment timeline), or "all".
 package main
 
 import (
@@ -22,7 +23,7 @@ func main() {
 		dataPath  = flag.String("data", "crawl.jsonl", "visit dataset (JSONL)")
 		attPath   = flag.String("attest", "attest.jsonl", "attestation records (JSONL)")
 		allowPath = flag.String("allowlist", "allow.dat", "allow-list database (.dat)")
-		exp       = flag.String("exp", "all", "experiment id: D1,D2,T1,F2,F3,A1,F5,F6,F7,E1,X1 or all")
+		exp       = flag.String("exp", "all", "experiment id: D1,D1r,D2,T1,F2,F3,A1,F5,F6,F7,E1,X1 or all")
 		csvOut    = flag.String("csv", "", "also export the flattened per-call CSV here")
 		dataPath2 = flag.String("data2", "", "second crawl of the same world: print the L1 longitudinal comparison")
 	)
@@ -87,6 +88,8 @@ func main() {
 		fmt.Print(report.Render())
 	case "D1":
 		fmt.Print(report.Overview.Render())
+	case "D1R":
+		fmt.Print(report.Reliability.Render())
 	case "T1":
 		fmt.Print(report.Table1.Render())
 	case "F2":

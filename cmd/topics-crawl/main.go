@@ -41,6 +41,9 @@ func main() {
 		quiet      = flag.Bool("quiet", false, "suppress progress logging")
 		resume     = flag.Bool("resume", false, "skip sites already present in -out and append to it")
 		timeoutMS  = flag.Int("timeout-ms", 10000, "per-request timeout for -connect mode")
+		useChaos   = flag.Bool("chaos", false, "inject the paper-calibrated fault profile client-side")
+		chaosSeed  = flag.Uint64("chaos-seed", 1, "fault-injection seed (independent of the world seed)")
+		retries    = flag.Int("retries", 2, "extra attempts per navigation/fetch; 0 disables retries")
 	)
 	flag.Parse()
 
@@ -64,6 +67,10 @@ func main() {
 		client = topicscope.NewTCPClient(world, *connect, time.Duration(*timeoutMS)*time.Millisecond)
 	default:
 		client = topicscope.NewServer(world, nil).Client()
+	}
+	var injector *topicscope.ChaosInjector
+	if *useChaos {
+		injector = topicscope.EnableChaos(client, topicscope.DefaultChaos(*chaosSeed))
 	}
 
 	var logger *slog.Logger
@@ -99,6 +106,10 @@ func main() {
 	}
 	writer := topicscope.NewDatasetWriter(sink)
 
+	attempts := *retries + 1
+	if attempts < 1 {
+		attempts = 1
+	}
 	cr := topicscope.NewCrawler(topicscope.CrawlerConfig{
 		Client:             client,
 		ReferenceAllowlist: allow,
@@ -108,6 +119,7 @@ func main() {
 		Collect:            true,
 		SkipSites:          skip,
 		Scheme:             scheme,
+		Attempts:           attempts,
 		Logger:             logger,
 	})
 
@@ -119,6 +131,9 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("crawl: %s\n", res.Stats)
+	if injector != nil {
+		fmt.Printf("chaos: %s\n", injector.Stats().Snapshot())
+	}
 	fmt.Printf("dataset: %s (%d visit records)\n", *out, res.Data.Len())
 
 	// Attestation checks for every allow-listed domain plus every

@@ -20,16 +20,19 @@ import (
 
 func main() {
 	var (
-		seed    = flag.Uint64("seed", 1, "world seed")
-		sites   = flag.Int("sites", 50000, "number of ranked sites")
-		workers = flag.Int("workers", 16, "crawl parallelism")
-		out     = flag.String("out", "", "write the report here instead of stdout")
-		data    = flag.String("data", "", "also write the visit dataset here (JSONL)")
-		jsonOut = flag.String("json", "", "also write the machine-readable report here (JSON)")
-		enforce = flag.Bool("enforce", false, "healthy-gate ablation")
-		quiet   = flag.Bool("quiet", false, "suppress progress logging")
-		date    = flag.String("date", "", "virtual crawl date YYYY-MM-DD (default 2024-03-30); earlier dates see fewer active callers")
-		vantage = flag.String("vantage", "eu", "visitor jurisdiction: eu (the paper's setup) or us")
+		seed      = flag.Uint64("seed", 1, "world seed")
+		sites     = flag.Int("sites", 50000, "number of ranked sites")
+		workers   = flag.Int("workers", 16, "crawl parallelism")
+		out       = flag.String("out", "", "write the report here instead of stdout")
+		data      = flag.String("data", "", "also write the visit dataset here (JSONL)")
+		jsonOut   = flag.String("json", "", "also write the machine-readable report here (JSON)")
+		enforce   = flag.Bool("enforce", false, "healthy-gate ablation")
+		quiet     = flag.Bool("quiet", false, "suppress progress logging")
+		date      = flag.String("date", "", "virtual crawl date YYYY-MM-DD (default 2024-03-30); earlier dates see fewer active callers")
+		vantage   = flag.String("vantage", "eu", "visitor jurisdiction: eu (the paper's setup) or us")
+		useChaos  = flag.Bool("chaos", false, "inject the paper-calibrated fault profile during the crawl")
+		chaosSeed = flag.Uint64("chaos-seed", 1, "fault-injection seed (independent of the world seed)")
+		retries   = flag.Int("retries", 2, "extra attempts per navigation/fetch; 0 disables retries")
 	)
 	flag.Parse()
 
@@ -50,6 +53,10 @@ func main() {
 		}
 	}
 
+	campaignRetries := *retries
+	if campaignRetries <= 0 {
+		campaignRetries = -1 // Campaign: negative disables, 0 = default
+	}
 	results, err := topicscope.Campaign{
 		Seed:       *seed,
 		Sites:      *sites,
@@ -58,6 +65,9 @@ func main() {
 		OutputPath: *data,
 		Start:      start,
 		Vantage:    *vantage,
+		Chaos:      *useChaos,
+		ChaosSeed:  *chaosSeed,
+		Retries:    campaignRetries,
 		Logger:     logger,
 	}.Run(ctx)
 	if err != nil {

@@ -24,16 +24,37 @@ import (
 
 func main() {
 	var (
-		seed   = flag.Uint64("seed", 1, "world seed")
-		sites  = flag.Int("sites", 50000, "number of ranked sites")
-		addr   = flag.String("addr", "127.0.0.1:8080", "listen address")
-		useTLS = flag.Bool("tls", false, "serve HTTPS with per-host certificates from an in-memory CA")
-		caOut  = flag.String("ca-cert", "topicscope-ca.pem", "with -tls: write the CA certificate PEM here for crawlers to trust")
+		seed      = flag.Uint64("seed", 1, "world seed")
+		sites     = flag.Int("sites", 50000, "number of ranked sites")
+		addr      = flag.String("addr", "127.0.0.1:8080", "listen address")
+		useTLS    = flag.Bool("tls", false, "serve HTTPS with per-host certificates from an in-memory CA")
+		caOut     = flag.String("ca-cert", "topicscope-ca.pem", "with -tls: write the CA certificate PEM here for crawlers to trust")
+		useChaos  = flag.Bool("chaos", false, "inject the paper-calibrated fault profile (5xx, resets, truncation, hard-down hosts)")
+		chaosSeed = flag.Uint64("chaos-seed", 1, "fault-injection seed (independent of the world seed)")
 	)
 	flag.Parse()
 
 	world := topicscope.GenerateWorld(topicscope.WorldConfig{Seed: *seed, NumSites: *sites})
 	server := topicscope.NewServer(world, nil)
+
+	var chaosStats *topicscope.ChaosStats
+	var handler http.Handler = server
+	if *useChaos {
+		ch := topicscope.NewChaosHandler(topicscope.DefaultChaos(*chaosSeed), server)
+		chaosStats = ch.Stats()
+		handler = ch
+		fmt.Printf("chaos enabled (seed %d)\n", *chaosSeed)
+	}
+	// The metrics endpoint sits in front of the injector so scrapes are
+	// never fault-injected.
+	metrics := topicscope.MetricsHandler(server, chaosStats)
+	root := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == topicscope.MetricsPath {
+			metrics.ServeHTTP(w, r)
+			return
+		}
+		handler.ServeHTTP(w, r)
+	})
 
 	var ln net.Listener
 	var err error
@@ -57,7 +78,7 @@ func main() {
 	}
 
 	hs := &http.Server{
-		Handler:           server,
+		Handler:           root,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -72,6 +93,9 @@ func main() {
 		fatal(err)
 	}
 	fmt.Println(server.Metrics())
+	if chaosStats != nil {
+		fmt.Println(chaosStats.Snapshot())
+	}
 }
 
 func fatal(err error) {

@@ -68,6 +68,9 @@ func (in *Input) presentOn(phase dataset.Phase, candidates map[string]bool) map[
 		}
 		seen := make(map[string]bool)
 		for _, r := range v.Resources {
+			if r.Failed {
+				continue
+			}
 			reg := etld.RegistrableDomain(r.Host)
 			if !candidates[reg] || seen[reg] {
 				continue

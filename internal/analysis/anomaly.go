@@ -64,7 +64,7 @@ func ComputeAnomaly(in *Input) *Anomaly {
 		if hasAnomalous {
 			sitesWith[v.Site] = true
 			for _, r := range v.Resources {
-				if r.Host == gtmHost {
+				if r.Host == gtmHost && !r.Failed {
 					sitesWithGTM[v.Site] = true
 					break
 				}

@@ -56,7 +56,7 @@ func ComputeOverview(in *Input) *Overview {
 				accepted[v.Site] = true
 			}
 			for _, r := range v.Resources {
-				if r.ThirdParty {
+				if r.ThirdParty && !r.Failed {
 					thirdParties[etld.RegistrableDomain(r.Host)] = true
 				}
 			}

@@ -9,33 +9,35 @@ import (
 
 // Report bundles every dataset-driven experiment of the paper.
 type Report struct {
-	Overview  *Overview
-	Table1    *Table1
-	Figure2   *Figure2
-	Figure3   *Figure3
-	Anomaly   *Anomaly
-	Figure5   *Figure5
-	Figure6   *Figure6
-	Figure7   *Figure7
-	Enrolment *Enrolment
-	CallTypes *CallTypes
-	Languages *Languages
+	Overview    *Overview
+	Reliability *Reliability
+	Table1      *Table1
+	Figure2     *Figure2
+	Figure3     *Figure3
+	Anomaly     *Anomaly
+	Figure5     *Figure5
+	Figure6     *Figure6
+	Figure7     *Figure7
+	Enrolment   *Enrolment
+	CallTypes   *CallTypes
+	Languages   *Languages
 }
 
 // Run executes all experiments over the input.
 func Run(in *Input) *Report {
 	return &Report{
-		Overview:  ComputeOverview(in),
-		Table1:    ComputeTable1(in),
-		Figure2:   ComputeFigure2(in, 15),
-		Figure3:   ComputeFigure3(in, 0, 15),
-		Anomaly:   ComputeAnomaly(in),
-		Figure5:   ComputeFigure5(in, 15),
-		Figure6:   ComputeFigure6(in, nil),
-		Figure7:   ComputeFigure7(in),
-		Enrolment: ComputeEnrolment(in),
-		CallTypes: ComputeCallTypes(in),
-		Languages: ComputeLanguages(in),
+		Overview:    ComputeOverview(in),
+		Reliability: ComputeReliability(in),
+		Table1:      ComputeTable1(in),
+		Figure2:     ComputeFigure2(in, 15),
+		Figure3:     ComputeFigure3(in, 0, 15),
+		Anomaly:     ComputeAnomaly(in),
+		Figure5:     ComputeFigure5(in, 15),
+		Figure6:     ComputeFigure6(in, nil),
+		Figure7:     ComputeFigure7(in),
+		Enrolment:   ComputeEnrolment(in),
+		CallTypes:   ComputeCallTypes(in),
+		Languages:   ComputeLanguages(in),
 	}
 }
 
@@ -44,6 +46,7 @@ func Run(in *Input) *Report {
 func (r *Report) Render() string {
 	sections := []string{
 		r.Overview.Render(),
+		r.Reliability.Render(),
 		r.Table1.Render(),
 		r.Figure2.Render(),
 		r.Figure3.Render(),

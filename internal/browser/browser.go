@@ -23,11 +23,13 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"github.com/netmeasure/topicscope/internal/attestation"
+	"github.com/netmeasure/topicscope/internal/chaos"
 	"github.com/netmeasure/topicscope/internal/dataset"
 	"github.com/netmeasure/topicscope/internal/etld"
 	"github.com/netmeasure/topicscope/internal/htmlx"
@@ -85,6 +87,16 @@ type Config struct {
 	// synthetic web emits scheme-relative subresource URLs so either
 	// works end to end.
 	Scheme string
+	// Attempts is the total try budget for a transiently failing fetch
+	// (1 = no retries). Each retry carries an incremented attempt
+	// header, so against the chaos injector it redraws the fault coin
+	// deterministically. Default 3.
+	Attempts int
+	// BreakerThreshold trips a per-host circuit breaker within one page
+	// load after this many failed fetches: further requests to the host
+	// short-circuit with a circuit-open error instead of burning the
+	// retry budget. Default 3; negative disables the breaker.
+	BreakerThreshold int
 }
 
 func (c Config) withDefaults() Config {
@@ -109,7 +121,32 @@ func (c Config) withDefaults() Config {
 	if c.ReferenceAllowlist == nil {
 		c.ReferenceAllowlist = attestation.NewAllowlist()
 	}
+	if c.Attempts <= 0 {
+		c.Attempts = 3
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 3
+	}
 	return c
+}
+
+// StatusError is a fetch that completed with a server-error status (or
+// a navigation that ended on any non-200 one).
+type StatusError struct {
+	Host   string
+	Status int
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("status %d from %s", e.Status, e.Host)
+}
+
+// ErrorClass maps the status onto the chaos taxonomy.
+func (e *StatusError) ErrorClass() string {
+	if e.Status >= 500 {
+		return string(chaos.ClassHTTP5xx)
+	}
+	return string(chaos.ClassOther)
 }
 
 // Browser is the emulated browser. It is safe for concurrent use; each
@@ -144,8 +181,11 @@ type PageVisit struct {
 	Calls []dataset.TopicsCall
 	// Doc is the parsed final document, for consent detection.
 	Doc *htmlx.Node
+	// Retries counts fetch attempts beyond the first across the visit.
+	Retries int
 
-	visitedSite string // rank-list domain the visit is attributed to
+	visitedSite string         // rank-list domain the visit is attributed to
+	failures    map[string]int // per-host failed fetches, for the breaker
 }
 
 // SetConsent marks the user as having accepted the privacy policy of the
@@ -181,6 +221,7 @@ func (b *Browser) LoadPage(ctx context.Context, site string) (*PageVisit, error)
 	v := &PageVisit{
 		RequestedURL: b.cfg.Scheme + "://" + site + "/",
 		visitedSite:  site,
+		failures:     make(map[string]int),
 	}
 	resp, body, finalURL, err := b.navigate(ctx, v, v.RequestedURL)
 	if err != nil {
@@ -190,7 +231,7 @@ func (b *Browser) LoadPage(ctx context.Context, site string) (*PageVisit, error)
 	v.PageOrigin = etld.Normalize(finalURL.Host)
 	v.Status = resp.StatusCode
 	if resp.StatusCode != http.StatusOK {
-		return v, fmt.Errorf("browser: loading %s: status %d", site, resp.StatusCode)
+		return v, fmt.Errorf("browser: loading %s: %w", site, &StatusError{Host: v.PageOrigin, Status: resp.StatusCode})
 	}
 	v.Doc = htmlx.Parse(body)
 
@@ -240,16 +281,69 @@ func (b *Browser) navigate(ctx context.Context, v *PageVisit, rawURL string) (*h
 	return nil, "", nil, fmt.Errorf("too many redirects for %s", rawURL)
 }
 
-// fetch downloads one URL, records it as a resource, attaches the
-// consent cookie for consented first-party hosts, the Referer, and any
-// extra headers. It honours Observe-Browsing-Topics responses.
+// fetch downloads one URL with bounded retries and a per-host circuit
+// breaker, records it as a resource — failed fetches included, so a
+// degraded page still yields a partial record — attaches the consent
+// cookie for consented first-party hosts, the Referer, and any extra
+// headers. It honours Observe-Browsing-Topics responses.
 func (b *Browser) fetch(ctx context.Context, v *PageVisit, u *url.URL, referer string, extra http.Header) (*http.Response, string, error) {
+	host := etld.Normalize(u.Host)
+	record := func(err error) {
+		res := dataset.Resource{
+			URL:        u.String(),
+			Host:       host,
+			ThirdParty: !etld.SameSite(host, v.visitedSite),
+		}
+		if err != nil {
+			res.Failed = true
+			res.Error = string(chaos.Classify(err))
+			if v.failures != nil {
+				v.failures[host]++
+			}
+		}
+		v.Resources = append(v.Resources, res)
+	}
+
+	if b.cfg.BreakerThreshold > 0 && v.failures[host] >= b.cfg.BreakerThreshold {
+		err := &chaos.Error{Class: chaos.ClassCircuitOpen, Host: host}
+		record(err)
+		return nil, "", err
+	}
+
+	var (
+		resp *http.Response
+		body string
+		err  error
+	)
+	for attempt := 0; ; attempt++ {
+		resp, body, err = b.fetchOnce(ctx, v, u, referer, extra, attempt)
+		if err == nil && resp.StatusCode >= http.StatusInternalServerError {
+			err = &StatusError{Host: host, Status: resp.StatusCode}
+		}
+		if err == nil || attempt+1 >= b.cfg.Attempts ||
+			!chaos.Retryable(chaos.Classify(err)) || ctx.Err() != nil {
+			break
+		}
+		v.Retries++
+	}
+	record(err)
+	if err != nil {
+		return nil, "", err
+	}
+	return resp, body, nil
+}
+
+// fetchOnce performs one fetch attempt. The attempt number is stamped
+// on the request so a retry redraws the chaos injector's fault coin
+// deterministically (the virtual clock is fixed within a page load).
+func (b *Browser) fetchOnce(ctx context.Context, v *PageVisit, u *url.URL, referer string, extra http.Header, attempt int) (*http.Response, string, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
 	if err != nil {
 		return nil, "", fmt.Errorf("building request: %w", err)
 	}
 	req.Header.Set("User-Agent", b.cfg.UserAgent)
 	req.Header.Set(VirtualTimeHeader, b.cfg.Now().UTC().Format(time.RFC3339Nano))
+	req.Header.Set(chaos.AttemptHeader, strconv.Itoa(attempt))
 	req.Header.Set(VantageHeader, b.cfg.Vantage)
 	if referer != "" {
 		req.Header.Set("Referer", referer)
@@ -273,20 +367,13 @@ func (b *Browser) fetch(ctx context.Context, v *PageVisit, u *url.URL, referer s
 		return nil, "", fmt.Errorf("reading %s: %w", u, err)
 	}
 
-	host := etld.Normalize(u.Host)
-	v.Resources = append(v.Resources, dataset.Resource{
-		URL:        u.String(),
-		Host:       host,
-		ThirdParty: !etld.SameSite(host, v.visitedSite),
-	})
-
 	// A caller that received topics and answers Observe-Browsing-Topics
 	// has its page observation recorded (the header flow of the Topics
 	// fetch integration).
 	if b.cfg.Engine != nil &&
 		req.Header.Get(TopicsRequestHeader) != "" &&
 		strings.HasPrefix(resp.Header.Get(ObserveHeader), "?1") {
-		b.cfg.Engine.Observe(v.visitedSite, etld.RegistrableDomain(host))
+		b.cfg.Engine.Observe(v.visitedSite, etld.RegistrableDomain(etld.Normalize(u.Host)))
 	}
 	return resp, string(body), nil
 }

@@ -1,0 +1,379 @@
+// Package chaos is a seeded, deterministic fault injector for the
+// synthetic web: it reproduces the unreliable Internet the paper's
+// crawler faced (§2.4: only 43,405 of 50,000 sites answered) by
+// applying per-host failure profiles — hard-down hosts, flaky hosts
+// with injected latency, 5xx responses, connection resets and
+// truncated bodies, and flaky /.well-known attestation endpoints.
+//
+// Every decision is a pure function of (seed, host, path, virtual
+// time, attempt), never of request arrival order, so a crawl with any
+// worker count produces byte-identical datasets. The package also owns
+// the crawl error taxonomy (timeout | refused | dns | reset | http5xx
+// | truncated | circuit-open) that the resilience layer and the
+// analysis pipeline share.
+package chaos
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand/v2"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Simulation plumbing headers the injector keys its decisions on. They
+// mirror the browser's constants; chaos cannot import internal/browser
+// (the browser imports chaos for the taxonomy).
+const (
+	// VirtualTimeHeader carries the visit's virtual timestamp; a retry
+	// after backoff advances it, redrawing the fault coin.
+	VirtualTimeHeader = "X-Topicscope-Time"
+	// AttemptHeader carries the fetch attempt number (0-based); a
+	// same-instant retry redraws the fault coin through it.
+	AttemptHeader = "X-Topicscope-Attempt"
+	// wellKnownPath is the attestation endpoint, which gets its own
+	// flakiness profile (mirrors attestation.WellKnownPath).
+	wellKnownPath = "/.well-known/privacy-sandbox-attestations.json"
+)
+
+// Class is one entry of the structured crawl error taxonomy.
+type Class string
+
+// The error taxonomy. ClassNone marks a fault-free request; ClassOther
+// collects errors outside the taxonomy (context cancellation, parse
+// failures, ...).
+const (
+	ClassNone        Class = ""
+	ClassTimeout     Class = "timeout"
+	ClassRefused     Class = "refused"
+	ClassDNS         Class = "dns"
+	ClassReset       Class = "reset"
+	ClassHTTP5xx     Class = "http5xx"
+	ClassTruncated   Class = "truncated"
+	ClassCircuitOpen Class = "circuit-open"
+	ClassOther       Class = "other"
+)
+
+// Classes lists every non-empty class in rendering order.
+var Classes = []Class{
+	ClassTimeout, ClassRefused, ClassDNS, ClassReset,
+	ClassHTTP5xx, ClassTruncated, ClassCircuitOpen, ClassOther,
+}
+
+// numClasses must track len(Classes); the Stats array needs a constant.
+const numClasses = 8
+
+// Retryable reports whether a failure class is worth retrying:
+// transient faults are, while DNS failures, refused connections
+// (hard-down hosts) and an open circuit are not.
+func Retryable(c Class) bool {
+	switch c {
+	case ClassTimeout, ClassReset, ClassHTTP5xx, ClassTruncated:
+		return true
+	}
+	return false
+}
+
+// Error is an injected (or synthesized) failure carrying its taxonomy
+// class.
+type Error struct {
+	Class Class
+	Host  string
+	// Latency is the injected delay that caused a timeout, when any.
+	Latency time.Duration
+}
+
+// Error renders the failure the way the equivalent network error would.
+func (e *Error) Error() string {
+	switch e.Class {
+	case ClassTimeout:
+		return fmt.Sprintf("read tcp %s:80: i/o timeout (injected latency %s)", e.Host, e.Latency.Round(time.Millisecond))
+	case ClassRefused:
+		return fmt.Sprintf("dial tcp %s:80: connection refused", e.Host)
+	case ClassReset:
+		return fmt.Sprintf("read tcp %s:80: connection reset by peer", e.Host)
+	case ClassTruncated:
+		return fmt.Sprintf("reading %s: unexpected EOF (truncated body)", e.Host)
+	case ClassCircuitOpen:
+		return fmt.Sprintf("%s: circuit breaker open", e.Host)
+	default:
+		return fmt.Sprintf("%s: injected %s", e.Host, e.Class)
+	}
+}
+
+// Timeout implements net.Error-style timeout reporting.
+func (e *Error) Timeout() bool { return e.Class == ClassTimeout }
+
+// ErrorClass implements the classification interface Classify checks.
+func (e *Error) ErrorClass() string { return string(e.Class) }
+
+// Classify maps any crawl error onto the taxonomy. It prefers a typed
+// classification (anything in the chain exposing ErrorClass() or
+// Timeout()) and falls back to text matching for errors from the
+// standard net stack.
+func Classify(err error) Class {
+	if err == nil {
+		return ClassNone
+	}
+	if c := classifyChain(err); c != ClassOther {
+		return c
+	}
+	return ClassifyText(err.Error())
+}
+
+// classifyChain walks the error chain looking for a typed class.
+func classifyChain(err error) Class {
+	for e := err; e != nil; e = unwrap(e) {
+		if ec, ok := e.(interface{ ErrorClass() string }); ok {
+			if c := Class(ec.ErrorClass()); known(c) {
+				return c
+			}
+		}
+		if te, ok := e.(interface{ Timeout() bool }); ok && te.Timeout() {
+			return ClassTimeout
+		}
+	}
+	return ClassOther
+}
+
+func unwrap(err error) error {
+	switch u := err.(type) {
+	case interface{ Unwrap() error }:
+		return u.Unwrap()
+	default:
+		return nil
+	}
+}
+
+func known(c Class) bool {
+	for _, k := range Classes {
+		if c == k && c != ClassOther {
+			return true
+		}
+	}
+	return false
+}
+
+// ClassifyText classifies an error message, for datasets recorded
+// before the taxonomy existed (or errors that lost their type over
+// JSON).
+func ClassifyText(msg string) Class {
+	switch {
+	case msg == "":
+		return ClassNone
+	case strings.Contains(msg, "circuit breaker"):
+		return ClassCircuitOpen
+	case strings.Contains(msg, "timeout") || strings.Contains(msg, "deadline exceeded"):
+		return ClassTimeout
+	case strings.Contains(msg, "connection refused"):
+		return ClassRefused
+	case strings.Contains(msg, "no such host"):
+		return ClassDNS
+	case strings.Contains(msg, "connection reset"):
+		return ClassReset
+	case strings.Contains(msg, "status 5"):
+		return ClassHTTP5xx
+	case strings.Contains(msg, "unexpected EOF") || strings.Contains(msg, "truncated"):
+		return ClassTruncated
+	default:
+		return ClassOther
+	}
+}
+
+// Config parameterises the injector. The zero value disables every
+// fault; webworld.DefaultChaos returns the paper-calibrated profile.
+type Config struct {
+	// Enabled turns injection on; off, every request passes through.
+	Enabled bool
+	// Seed drives all fault decisions; independent of the world seed so
+	// the same world can be crawled under different weather.
+	Seed uint64
+
+	// HardDownRate is the share of hosts that are completely down:
+	// every connection is refused, retries never help.
+	HardDownRate float64
+	// FlakyRate is the share of hosts that fail intermittently.
+	FlakyRate float64
+	// FaultRate is the per-request probability that a flaky host
+	// returns a 5xx, resets the connection or truncates the body.
+	FaultRate float64
+	// LatencyRate is the per-request probability that a flaky host
+	// injects latency, drawn uniformly from (0, MaxLatency].
+	LatencyRate float64
+	// MaxLatency bounds injected latency; delays of TimeoutAfter or
+	// more become timeout failures (the virtual clock never actually
+	// sleeps).
+	MaxLatency time.Duration
+	// TimeoutAfter is the emulated client patience: injected latency at
+	// or above it turns the request into a timeout.
+	TimeoutAfter time.Duration
+
+	// HTTP5xxWeight / ResetWeight / TruncateWeight mix the fault
+	// classes of FaultRate (normalised internally).
+	HTTP5xxWeight, ResetWeight, TruncateWeight float64
+
+	// WellKnownFlakyRate is the share of hosts whose /.well-known
+	// attestation endpoint is flaky even when the rest of the host is
+	// healthy; WellKnownFaultRate is its per-request fault probability.
+	WellKnownFlakyRate float64
+	WellKnownFaultRate float64
+}
+
+// Profile is a host's deterministic failure disposition.
+type Profile struct {
+	HardDown       bool
+	Flaky          bool
+	WellKnownFlaky bool
+}
+
+// ProfileFor derives a host's profile from the chaos seed alone.
+func (c Config) ProfileFor(host string) Profile {
+	rng := rand.New(rand.NewPCG(c.Seed, hash64("host", host)))
+	return Profile{
+		HardDown:       rng.Float64() < c.HardDownRate,
+		Flaky:          rng.Float64() < c.FlakyRate,
+		WellKnownFlaky: rng.Float64() < c.WellKnownFlakyRate,
+	}
+}
+
+// Decision is the fault verdict for one request.
+type Decision struct {
+	// Class is the injected failure; ClassNone passes the request
+	// through.
+	Class Class
+	// Latency is the injected delay (also set on latency-caused
+	// timeouts).
+	Latency time.Duration
+	// Status is the injected HTTP status for ClassHTTP5xx.
+	Status int
+}
+
+// Decide computes the fault verdict for a request, a pure function of
+// the configuration and the request coordinates — host, URL path, the
+// virtual-time header value, and the attempt header value.
+func (c Config) Decide(host, path, vtime, attempt string) Decision {
+	if !c.Enabled {
+		return Decision{}
+	}
+	p := c.ProfileFor(host)
+	if p.HardDown {
+		return Decision{Class: ClassRefused}
+	}
+	latencyRate, faultRate := 0.0, 0.0
+	if p.Flaky {
+		latencyRate, faultRate = c.LatencyRate, c.FaultRate
+	}
+	if p.WellKnownFlaky && path == wellKnownPath && c.WellKnownFaultRate > faultRate {
+		faultRate = c.WellKnownFaultRate
+	}
+	if latencyRate == 0 && faultRate == 0 {
+		return Decision{}
+	}
+	rng := rand.New(rand.NewPCG(c.Seed^0x5eedFa013, hash64("req", host, path, vtime, attempt)))
+	// Fixed draw order keeps decisions stable across config tweaks that
+	// do not touch the drawn quantity.
+	if rng.Float64() < latencyRate {
+		lat := time.Duration(rng.Float64() * float64(c.MaxLatency))
+		if c.TimeoutAfter > 0 && lat >= c.TimeoutAfter {
+			return Decision{Class: ClassTimeout, Latency: lat}
+		}
+		return Decision{Latency: lat}
+	}
+	if rng.Float64() >= faultRate {
+		return Decision{}
+	}
+	total := c.HTTP5xxWeight + c.ResetWeight + c.TruncateWeight
+	if total <= 0 {
+		return Decision{Class: ClassReset}
+	}
+	x := rng.Float64() * total
+	switch {
+	case x < c.HTTP5xxWeight:
+		statuses := [...]int{500, 502, 503}
+		return Decision{Class: ClassHTTP5xx, Status: statuses[rng.IntN(len(statuses))]}
+	case x < c.HTTP5xxWeight+c.ResetWeight:
+		return Decision{Class: ClassReset}
+	default:
+		return Decision{Class: ClassTruncated}
+	}
+}
+
+// hash64 folds strings into a 64-bit stream selector for the PCG.
+func hash64(parts ...string) uint64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+// Stats counts injector activity, safe for concurrent use.
+type Stats struct {
+	requests atomic.Int64
+	delayed  atomic.Int64
+	injected [numClasses]atomic.Int64
+}
+
+func classIndex(c Class) int {
+	for i, k := range Classes {
+		if k == c {
+			return i
+		}
+	}
+	return len(Classes) - 1 // ClassOther
+}
+
+func (s *Stats) observe(d Decision) {
+	s.requests.Add(1)
+	if d.Latency > 0 && d.Class == ClassNone {
+		s.delayed.Add(1)
+	}
+	if d.Class != ClassNone {
+		s.injected[classIndex(d.Class)].Add(1)
+	}
+}
+
+// StatsSnapshot is a point-in-time copy of the counters.
+type StatsSnapshot struct {
+	// Requests is every request seen; Delayed had latency injected but
+	// stayed under the timeout budget; Injected maps fault class to
+	// count.
+	Requests, Delayed int64
+	Injected          map[Class]int64
+}
+
+// InjectedTotal sums all injected faults.
+func (s StatsSnapshot) InjectedTotal() int64 {
+	var n int64
+	for _, v := range s.Injected {
+		n += v
+	}
+	return n
+}
+
+// String renders a one-line summary in stable class order.
+func (s StatsSnapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos requests=%d delayed=%d injected=%d", s.Requests, s.Delayed, s.InjectedTotal())
+	for _, c := range Classes {
+		if s.Injected[c] > 0 {
+			fmt.Fprintf(&b, " %s=%d", c, s.Injected[c])
+		}
+	}
+	return b.String()
+}
+
+// Snapshot copies the counters.
+func (s *Stats) Snapshot() StatsSnapshot {
+	out := StatsSnapshot{
+		Requests: s.requests.Load(),
+		Delayed:  s.delayed.Load(),
+		Injected: make(map[Class]int64, len(Classes)),
+	}
+	for i, c := range Classes {
+		out.Injected[c] = s.injected[i].Load()
+	}
+	return out
+}

@@ -16,15 +16,18 @@ package crawler
 
 import (
 	"context"
-	"errors"
 	"fmt"
+	"hash/fnv"
 	"log/slog"
+	"math/rand/v2"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
 	"github.com/netmeasure/topicscope/internal/attestation"
 	"github.com/netmeasure/topicscope/internal/browser"
+	"github.com/netmeasure/topicscope/internal/chaos"
 	"github.com/netmeasure/topicscope/internal/dataset"
 	"github.com/netmeasure/topicscope/internal/etld"
 	"github.com/netmeasure/topicscope/internal/privaccept"
@@ -71,6 +74,17 @@ type Config struct {
 	// SkipSites lists sites already crawled (resume support): they are
 	// not revisited and produce no records.
 	SkipSites map[string]bool
+	// Attempts is the try budget for each navigation and each fetch
+	// (1 = no retries; default 3). Navigation retries back off on the
+	// virtual clock, so they cost no wall time and the redrawn fault
+	// coins stay deterministic under any worker scheduling.
+	Attempts int
+	// RetryBackoff is the base virtual-clock delay before a navigation
+	// retry (default 5s), doubled per attempt plus seeded jitter.
+	RetryBackoff time.Duration
+	// BreakerThreshold is the per-host circuit-breaker threshold within
+	// one page load (default 3; negative disables the breaker).
+	BreakerThreshold int
 	// Logger receives progress; nil disables logging.
 	Logger *slog.Logger
 	// ProgressEvery logs progress each N sites (default 1000).
@@ -99,6 +113,15 @@ func (c Config) withDefaults() Config {
 	if c.ReferenceAllowlist == nil {
 		c.ReferenceAllowlist = attestation.NewAllowlist()
 	}
+	if c.Attempts <= 0 {
+		c.Attempts = 3
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 5 * time.Second
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 3
+	}
 	return c
 }
 
@@ -111,15 +134,22 @@ type Stats struct {
 	BannersFound, Accepted int
 	// CallsBefore / CallsAfter are total Topics API calls per phase.
 	CallsBefore, CallsAfter int
+	// Retries counts extra fetch/navigation attempts across all visits;
+	// CircuitOpens counts requests short-circuited by an open breaker;
+	// PartialVisits counts successful visits with failed subresources.
+	Retries, CircuitOpens, PartialVisits int
+	// FailedByClass breaks Failed down by error-taxonomy class.
+	FailedByClass map[chaos.Class]int
 	// Elapsed is the wall-clock duration of the crawl.
 	Elapsed time.Duration
 }
 
 // String renders a compact summary.
 func (s Stats) String() string {
-	return fmt.Sprintf("attempted=%d ok=%d failed=%d banners=%d accepted=%d callsBA=%d callsAA=%d elapsed=%s",
+	return fmt.Sprintf("attempted=%d ok=%d failed=%d banners=%d accepted=%d callsBA=%d callsAA=%d retries=%d circuitOpens=%d partial=%d elapsed=%s",
 		s.Attempted, s.Succeeded, s.Failed, s.BannersFound, s.Accepted,
-		s.CallsBefore, s.CallsAfter, s.Elapsed.Round(time.Millisecond))
+		s.CallsBefore, s.CallsAfter, s.Retries, s.CircuitOpens, s.PartialVisits,
+		s.Elapsed.Round(time.Millisecond))
 }
 
 // Result bundles a crawl's outputs.
@@ -266,6 +296,15 @@ func (c *Crawler) consume(ctx context.Context, list *tranco.List, results <-chan
 
 func (c *Crawler) accumulate(res *Result, v *dataset.Visit) {
 	st := &res.Stats
+	st.Retries += v.Retries
+	if v.Partial {
+		st.PartialVisits++
+	}
+	for _, r := range v.Resources {
+		if r.Failed && r.Error == string(chaos.ClassCircuitOpen) {
+			st.CircuitOpens++
+		}
+	}
 	switch v.Phase {
 	case dataset.BeforeAccept:
 		st.Attempted++
@@ -273,6 +312,10 @@ func (c *Crawler) accumulate(res *Result, v *dataset.Visit) {
 			st.Succeeded++
 		} else {
 			st.Failed++
+			if st.FailedByClass == nil {
+				st.FailedByClass = make(map[chaos.Class]int)
+			}
+			st.FailedByClass[chaos.Class(v.ErrorClass)]++
 		}
 		if v.BannerDetected {
 			st.BannersFound++
@@ -306,8 +349,31 @@ func (c *Crawler) crawlSite(ctx context.Context, entry tranco.Entry) []dataset.V
 		Engine:             cfg.Engine,
 		Vantage:            cfg.Vantage,
 		Scheme:             cfg.Scheme,
+		Attempts:           cfg.Attempts,
+		BreakerThreshold:   cfg.BreakerThreshold,
 		Now:                func() time.Time { return clock },
 	})
+
+	// loadPage navigates with bounded retries: each retry backs the
+	// virtual clock off exponentially (with seeded jitter), so the
+	// chaos injector redraws its fault coin through the time header and
+	// the dataset stays byte-identical under any worker scheduling.
+	loadPage := func() (*browser.PageVisit, int, error) {
+		var pv *browser.PageVisit
+		var err error
+		retries := 0
+		for attempt := 0; ; attempt++ {
+			loadCtx, cancel := context.WithTimeout(ctx, cfg.PageTimeout)
+			pv, err = b.LoadPage(loadCtx, entry.Domain)
+			cancel()
+			if err == nil || attempt+1 >= cfg.Attempts ||
+				!chaos.Retryable(chaos.Classify(err)) || ctx.Err() != nil {
+				return pv, retries, err
+			}
+			retries++
+			clock = clock.Add(navBackoff(cfg.RetryBackoff, entry.Domain, attempt))
+		}
+	}
 
 	// Before-Accept visit.
 	before := dataset.Visit{
@@ -316,10 +382,9 @@ func (c *Crawler) crawlSite(ctx context.Context, entry tranco.Entry) []dataset.V
 		Phase:     dataset.BeforeAccept,
 		FetchedAt: visitTime,
 	}
-	loadCtx, cancel := context.WithTimeout(ctx, cfg.PageTimeout)
-	pv, err := b.LoadPage(loadCtx, entry.Domain)
-	cancel()
+	pv, navRetries, err := loadPage()
 	fillVisit(&before, pv, err)
+	before.Retries += navRetries
 	if err != nil {
 		return []dataset.Visit{before}
 	}
@@ -350,10 +415,9 @@ func (c *Crawler) crawlSite(ctx context.Context, entry tranco.Entry) []dataset.V
 		FetchedAt: clock,
 		Accepted:  true,
 	}
-	loadCtx2, cancel2 := context.WithTimeout(ctx, cfg.PageTimeout)
-	pv2, err2 := b.LoadPage(loadCtx2, entry.Domain)
-	cancel2()
+	pv2, navRetries2, err2 := loadPage()
 	fillVisit(&after, pv2, err2)
+	after.Retries += navRetries2
 	if err2 == nil {
 		after.BannerDetected = det.BannerFound
 		after.BannerLanguage = det.Language
@@ -367,27 +431,52 @@ func fillVisit(v *dataset.Visit, pv *browser.PageVisit, err error) {
 	if pv != nil {
 		v.Resources = pv.Resources
 		v.Calls = pv.Calls
+		v.Retries += pv.Retries
 	}
 	if err != nil {
 		v.Success = false
 		v.Error = errText(err)
+		v.ErrorClass = string(chaos.Classify(err))
 		return
 	}
 	v.Success = true
+	for _, r := range v.Resources {
+		if r.Failed {
+			v.Partial = true
+			break
+		}
+	}
 }
 
+// errText renders a failure with its taxonomy class as prefix, so the
+// raw dataset stays greppable by error kind.
 func errText(err error) string {
-	var ue interface{ Timeout() bool }
-	if errors.As(err, &ue) && ue.Timeout() {
-		return "timeout: " + err.Error()
+	if c := chaos.Classify(err); c != chaos.ClassNone && c != chaos.ClassOther {
+		return string(c) + ": " + err.Error()
 	}
 	return err.Error()
+}
+
+// navBackoff is the virtual-clock delay before navigation retry
+// attempt+1: exponential in the attempt with jitter seeded from the
+// site name, deterministic by construction.
+func navBackoff(base time.Duration, site string, attempt int) time.Duration {
+	d := base << attempt
+	h := fnv.New64a()
+	h.Write([]byte(site))
+	h.Write([]byte{0})
+	h.Write([]byte(strconv.Itoa(attempt)))
+	rng := rand.New(rand.NewPCG(0xbac0ff, h.Sum64()))
+	return d + time.Duration(rng.Int64N(int64(base)/2+1))
 }
 
 // cmpOf fingerprints the CMP in use from the downloaded resources, by
 // domain, as the paper does with the Wappalyzer list.
 func cmpOf(pv *browser.PageVisit) string {
 	for _, r := range pv.Resources {
+		if r.Failed {
+			continue
+		}
 		if name, ok := cmpByHost(r.Host); ok {
 			return name
 		}

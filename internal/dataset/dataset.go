@@ -86,6 +86,11 @@ type Resource struct {
 	// ThirdParty reports whether Host belongs to a different registrable
 	// domain than the visited site.
 	ThirdParty bool `json:"thirdParty"`
+	// Failed marks an object whose download did not complete (after
+	// retries); Error carries its taxonomy class. A page with failed
+	// subresources still yields a partial visit record.
+	Failed bool   `json:"failed,omitempty"`
+	Error  string `json:"error,omitempty"`
 }
 
 // Visit is the record of one page visit in one phase.
@@ -102,6 +107,15 @@ type Visit struct {
 	// Error holds the failure cause for unsuccessful visits (the paper
 	// loses ≈13% of sites to DNS/connection errors).
 	Error string `json:"error,omitempty"`
+	// ErrorClass is Error mapped onto the structured taxonomy
+	// (timeout | refused | dns | reset | http5xx | truncated |
+	// circuit-open | other).
+	ErrorClass string `json:"errorClass,omitempty"`
+	// Partial marks a successful visit degraded by failed subresources.
+	Partial bool `json:"partial,omitempty"`
+	// Retries counts extra fetch and navigation attempts the visit
+	// needed beyond the first of each.
+	Retries int `json:"retries,omitempty"`
 	// BannerDetected reports whether a privacy banner was found.
 	BannerDetected bool `json:"bannerDetected"`
 	// BannerLanguage is the detected banner language, when any.
@@ -126,7 +140,7 @@ func (v *Visit) ThirdPartyHosts() []string {
 	seen := make(map[string]bool)
 	var out []string
 	for _, r := range v.Resources {
-		if r.ThirdParty && !seen[r.Host] {
+		if r.ThirdParty && !r.Failed && !seen[r.Host] {
 			seen[r.Host] = true
 			out = append(out, r.Host)
 		}

@@ -2,8 +2,11 @@ package webserver
 
 import (
 	"fmt"
+	"net/http"
+	"sort"
 	"sync/atomic"
 
+	"github.com/netmeasure/topicscope/internal/chaos"
 	"github.com/netmeasure/topicscope/internal/webworld"
 )
 
@@ -33,6 +36,55 @@ func (s Snapshot) Total() int64 {
 func (s Snapshot) String() string {
 	return fmt.Sprintf("requests total=%d sites=%d sisters=%d platforms=%d cmps=%d gtm=%d longtail=%d unknown=%d",
 		s.Total(), s.Sites, s.Sisters, s.Platforms, s.CMPs, s.GTM, s.LongTail, s.Unknown)
+}
+
+// MetricsPath is the debug endpoint topics-serve exposes.
+const MetricsPath = "/__metrics"
+
+// MetricsHandler renders the server's request counters — plus the
+// chaos injector's, when one is attached — in the Prometheus text
+// exposition format. chaosStats may be nil.
+func MetricsHandler(s *Server, chaosStats *chaos.Stats) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		snap := s.Metrics()
+		fmt.Fprintln(w, "# HELP topicscope_requests_total Requests served, by host kind.")
+		fmt.Fprintln(w, "# TYPE topicscope_requests_total counter")
+		for _, kv := range []struct {
+			kind string
+			n    int64
+		}{
+			{"site", snap.Sites},
+			{"sister", snap.Sisters},
+			{"platform", snap.Platforms},
+			{"cmp", snap.CMPs},
+			{"gtm", snap.GTM},
+			{"longtail", snap.LongTail},
+			{"unknown", snap.Unknown},
+		} {
+			fmt.Fprintf(w, "topicscope_requests_total{kind=%q} %d\n", kv.kind, kv.n)
+		}
+		if chaosStats == nil {
+			return
+		}
+		cs := chaosStats.Snapshot()
+		fmt.Fprintln(w, "# HELP topicscope_chaos_requests_total Requests seen by the fault injector.")
+		fmt.Fprintln(w, "# TYPE topicscope_chaos_requests_total counter")
+		fmt.Fprintf(w, "topicscope_chaos_requests_total %d\n", cs.Requests)
+		fmt.Fprintln(w, "# HELP topicscope_chaos_delayed_total Requests with injected latency under the timeout budget.")
+		fmt.Fprintln(w, "# TYPE topicscope_chaos_delayed_total counter")
+		fmt.Fprintf(w, "topicscope_chaos_delayed_total %d\n", cs.Delayed)
+		fmt.Fprintln(w, "# HELP topicscope_chaos_injected_total Injected faults, by taxonomy class.")
+		fmt.Fprintln(w, "# TYPE topicscope_chaos_injected_total counter")
+		classes := make([]string, 0, len(cs.Injected))
+		for c := range cs.Injected {
+			classes = append(classes, string(c))
+		}
+		sort.Strings(classes)
+		for _, c := range classes {
+			fmt.Fprintf(w, "topicscope_chaos_injected_total{class=%q} %d\n", c, cs.Injected[chaos.Class(c)])
+		}
+	})
 }
 
 // Metrics returns the current counters.

@@ -1,0 +1,60 @@
+package webserver
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/netmeasure/topicscope/internal/chaos"
+	"github.com/netmeasure/topicscope/internal/webworld"
+)
+
+func TestMetricsHandler(t *testing.T) {
+	world := webworld.Generate(webworld.Config{Seed: 7, NumSites: 100})
+	srv := New(world, testClock)
+	client := srv.Client()
+
+	req, _ := http.NewRequest(http.MethodGet, "http://"+world.Sites[0].Domain+"/", nil)
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatalf("priming request: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain
+	resp.Body.Close()
+
+	// Without chaos stats: host-kind counters only.
+	rec := httptest.NewRecorder()
+	MetricsHandler(srv, nil).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, MetricsPath, nil))
+	body := rec.Body.String()
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	if !strings.Contains(body, `topicscope_requests_total{kind="site"} 1`) {
+		t.Errorf("site counter missing:\n%s", body)
+	}
+	if strings.Contains(body, "topicscope_chaos") {
+		t.Errorf("chaos metrics rendered without an injector:\n%s", body)
+	}
+
+	// With a chaos handler attached, its counters appear too.
+	ch := chaos.NewHandler(webworld.DefaultChaos(1), srv)
+	for i := 0; i < 20 && i < len(world.Sites); i++ {
+		func() {
+			defer func() { recover() }() //nolint:errcheck // injected aborts panic
+			r := httptest.NewRequest(http.MethodGet, "/", nil)
+			r.Host = world.Sites[i].Domain
+			ch.ServeHTTP(httptest.NewRecorder(), r)
+		}()
+	}
+	rec = httptest.NewRecorder()
+	MetricsHandler(srv, ch.Stats()).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, MetricsPath, nil))
+	body = rec.Body.String()
+	if !strings.Contains(body, "topicscope_chaos_requests_total 20") {
+		t.Errorf("chaos request counter missing:\n%s", body)
+	}
+	if !strings.Contains(body, "# TYPE topicscope_chaos_injected_total counter") {
+		t.Errorf("chaos injected type line missing:\n%s", body)
+	}
+}

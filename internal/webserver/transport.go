@@ -34,6 +34,19 @@ func (e *UnreachableError) Error() string {
 // Timeout implements net.Error-style timeout reporting.
 func (e *UnreachableError) Timeout() bool { return e.Mode == webworld.FailTimeout }
 
+// ErrorClass maps the failure onto the chaos taxonomy (the interface
+// chaos.Classify duck-types on).
+func (e *UnreachableError) ErrorClass() string {
+	switch e.Mode {
+	case webworld.FailDNS:
+		return "dns"
+	case webworld.FailRefused:
+		return "refused"
+	default:
+		return "timeout"
+	}
+}
+
 // unreachable checks whether a hostname belongs to an unreachable ranked
 // site.
 func unreachable(w *webworld.World, host string) *UnreachableError {

@@ -26,6 +26,7 @@ import (
 
 	"github.com/netmeasure/topicscope/internal/analysis"
 	"github.com/netmeasure/topicscope/internal/attestation"
+	"github.com/netmeasure/topicscope/internal/chaos"
 	"github.com/netmeasure/topicscope/internal/crawler"
 	"github.com/netmeasure/topicscope/internal/dataset"
 	"github.com/netmeasure/topicscope/internal/webserver"
@@ -57,6 +58,14 @@ type Campaign struct {
 	// single-location setup) or "us" (§6's untested alternative:
 	// geo-fenced banners, unconditional ad stacks, gdprApplies=false).
 	Vantage string
+	// Chaos enables the deterministic fault injector, layering the
+	// paper's §2.4 live-host weather on top of the world's unreachable
+	// sites; ChaosSeed drives it (independent of the world seed).
+	Chaos     bool
+	ChaosSeed uint64
+	// Retries is the extra-attempt budget per navigation/fetch: 0 keeps
+	// the default policy (2 retries), negative disables retries.
+	Retries int
 	// Logger receives progress (nil = silent).
 	Logger *slog.Logger
 	// WorldConfig overrides the generated world entirely (optional).
@@ -87,37 +96,36 @@ func (c Campaign) Run(ctx context.Context) (*Results, error) {
 	server := webserver.New(world, nil)
 	allow := attestation.NewAllowlist(world.Catalog.AllowedDomains()...)
 
-	cr := crawler.New(crawler.Config{
-		Client:             server.Client(),
+	client := server.Client()
+	if c.Chaos {
+		client.Transport = chaos.NewInjector(webworld.DefaultChaos(c.ChaosSeed), client.Transport)
+	}
+	attempts := 0 // crawler default
+	if c.Retries > 0 {
+		attempts = c.Retries + 1
+	} else if c.Retries < 0 {
+		attempts = 1
+	}
+	ccfg := crawler.Config{
+		Client:             client,
 		ReferenceAllowlist: allow,
 		Enforce:            c.Enforce,
 		Workers:            c.Workers,
 		Collect:            true,
 		Start:              c.Start,
 		Vantage:            c.Vantage,
+		Attempts:           attempts,
 		Logger:             c.Logger,
-	})
-
-	var writer *dataset.Writer
+	}
 	if c.OutputPath != "" {
 		f, err := dataset.OpenWriter(c.OutputPath) // .gz transparently
 		if err != nil {
 			return nil, err
 		}
 		defer f.Close()
-		writer = dataset.NewWriter(f)
-		cr = crawler.New(crawler.Config{
-			Client:             server.Client(),
-			ReferenceAllowlist: allow,
-			Enforce:            c.Enforce,
-			Workers:            c.Workers,
-			Collect:            true,
-			Start:              c.Start,
-			Vantage:            c.Vantage,
-			Logger:             c.Logger,
-			Writer:             writer,
-		})
+		ccfg.Writer = dataset.NewWriter(f)
 	}
+	cr := crawler.New(ccfg)
 
 	res, err := cr.Run(ctx, world.List())
 	if err != nil {

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-core cover bench fuzz report clean
+.PHONY: all build test race race-core cover bench bench-json fuzz report clean
 
 all: build test race-core
 
@@ -17,16 +17,22 @@ race:
 	$(GO) test -race ./...
 
 # Focused race pass over the packages with real concurrency: the
-# crawler's worker pool + reorder buffer and the webserver (chaos
-# handler included) — fast enough to ride in `make all`.
+# crawler's worker pool + reorder buffer, the webserver (chaos handler
+# and page cache included), and the analysis index's sharded build +
+# concurrent reads — fast enough to ride in `make all`.
 race-core:
-	$(GO) test -race ./internal/crawler/ ./internal/webserver/
+	$(GO) test -race ./internal/analysis/ ./internal/crawler/ ./internal/webserver/
 
 cover:
 	$(GO) test -cover ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable benchmark baseline: the committed BENCH_report.json
+# is the reference later sessions diff against.
+bench-json:
+	$(GO) test -run '^$$' -bench=. -benchmem . | $(GO) run ./cmd/benchjson > BENCH_report.json
 
 # Short fuzz pass over every parser.
 fuzz:

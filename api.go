@@ -241,12 +241,22 @@ func LoadRankList(path string) (*RankList, error) { return tranco.LoadFile(path)
 // Analysis inputs and outputs.
 type (
 	AnalysisInput = analysis.Input
+	AnalysisIndex = analysis.Index
 	Report        = analysis.Report
 	Alternation   = analysis.Alternation
 )
 
-// Analyze computes every experiment over a dataset.
+// Analyze computes every experiment over a dataset. The input's
+// analysis index is built once (one parallel pass over the visits) and
+// reused by every experiment; further Compute* calls on the same input
+// answer from the same index.
 func Analyze(in *AnalysisInput) *Report { return analysis.Run(in) }
+
+// BuildAnalysisIndex aggregates a dataset into the single-pass analysis
+// index ahead of time — useful to front-load the scan before fanning
+// experiments out. Analyze and the Compute* helpers build it lazily, so
+// calling this is never required.
+func BuildAnalysisIndex(in *AnalysisInput) *AnalysisIndex { return in.Index() }
 
 // AnalyzeAlternation summarises a repeated-visit ON/OFF series
 // (experiment S1).
@@ -262,6 +272,11 @@ func CompareEnabledRates(a, b *analysis.Figure3) *analysis.Longitudinal {
 // CompareEnabledRates for longitudinal snapshots).
 func ComputeFigure3(in *AnalysisInput, minPresence, topN int) *analysis.Figure3 {
 	return analysis.ComputeFigure3(in, minPresence, topN)
+}
+
+// ComputeOverview runs the dataset-overview experiment (D1) alone.
+func ComputeOverview(in *AnalysisInput) *analysis.Overview {
+	return analysis.ComputeOverview(in)
 }
 
 // ---- Platforms & hosts ----

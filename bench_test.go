@@ -153,6 +153,45 @@ func BenchmarkEnrolment(b *testing.B) {
 	b.ReportMetric(e.MonthlyPace(), "enrolments_per_month")
 }
 
+// BenchmarkIndexBuild measures the tentpole itself: one parallel sharded
+// pass aggregating the whole dataset into the analysis index (interned
+// hostnames, per-phase call/presence sets, every precomputed section).
+// Every Compute* above amortizes this cost; here it is paid per
+// iteration on a fresh Input.
+func BenchmarkIndexBuild(b *testing.B) {
+	in, _ := benchInput(b)
+	b.ResetTimer()
+	var idx *analysis.Index
+	for i := 0; i < b.N; i++ {
+		fresh := &topicscope.AnalysisInput{
+			Data:         in.Data,
+			Allowlist:    in.Allowlist,
+			Attestations: in.Attestations,
+		}
+		idx = analysis.BuildIndex(fresh)
+	}
+	b.ReportMetric(float64(idx.Hosts()), "distinct_hosts")
+	b.ReportMetric(float64(len(in.Data.Visits)), "visits")
+}
+
+// BenchmarkFullReport measures every experiment end to end on a fresh
+// Input: one index build plus the concurrent section fan-out — the cost
+// topics-analyze pays after loading a dataset.
+func BenchmarkFullReport(b *testing.B) {
+	in, _ := benchInput(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fresh := &topicscope.AnalysisInput{
+			Data:         in.Data,
+			Allowlist:    in.Allowlist,
+			Attestations: in.Attestations,
+		}
+		if topicscope.Analyze(fresh) == nil {
+			b.Fatal("nil report")
+		}
+	}
+}
+
 // BenchmarkABTestAlternation regenerates experiment S1: repeated-visit
 // ON/OFF series per (CP, site) across A/B slots.
 func BenchmarkABTestAlternation(b *testing.B) {

@@ -1,0 +1,136 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON report on stdout, so benchmark baselines can be
+// committed and diffed (see `make bench-json` and BENCH_report.json).
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson > BENCH_report.json
+//
+// Each benchmark becomes one entry keyed by its name with the
+// GOMAXPROCS suffix stripped (BenchmarkTable1-8 → BenchmarkTable1), so
+// reports from machines with different core counts stay comparable.
+// Standard measurements (ns/op, B/op, allocs/op, MB/s) get dedicated
+// fields; every custom b.ReportMetric unit lands under "metrics".
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// entry is one benchmark's parsed result.
+type entry struct {
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_op"`
+	BytesPerOp  float64            `json:"b_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_op,omitempty"`
+	MBPerSec    float64            `json:"mb_s,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	report, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(report) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	out, err := marshalSorted(report)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(out)
+}
+
+// parse consumes benchmark output lines; non-benchmark lines (package
+// headers, PASS, ok) are ignored.
+func parse(sc *bufio.Scanner) (map[string]*entry, error) {
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	report := map[string]*entry{}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // "Benchmark..." banner without results
+		}
+		e := &entry{Iterations: iters}
+		// Remaining fields alternate value/unit.
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q in %q", fields[i], line)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				e.NsPerOp = val
+			case "B/op":
+				e.BytesPerOp = val
+			case "allocs/op":
+				e.AllocsPerOp = val
+			case "MB/s":
+				e.MBPerSec = val
+			default:
+				if e.Metrics == nil {
+					e.Metrics = map[string]float64{}
+				}
+				e.Metrics[unit] = val
+			}
+		}
+		report[stripProcs(fields[0])] = e
+	}
+	return report, sc.Err()
+}
+
+// stripProcs removes the trailing -GOMAXPROCS suffix from a benchmark
+// name, leaving sub-benchmark paths intact:
+// BenchmarkCrawlChaos/retries=off-8 → BenchmarkCrawlChaos/retries=off.
+func stripProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// marshalSorted renders the report with stable key order (encoding/json
+// sorts map keys, but an explicit ordered body keeps diffs minimal and
+// readable).
+func marshalSorted(report map[string]*entry) ([]byte, error) {
+	names := make([]string, 0, len(report))
+	for name := range report {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString("{\n")
+	for i, name := range names {
+		body, err := json.Marshal(report[name])
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(&b, "  %q: %s", name, body)
+		if i < len(names)-1 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("}\n")
+	return []byte(b.String()), nil
+}

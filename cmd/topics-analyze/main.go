@@ -49,6 +49,10 @@ func main() {
 		Allowlist:    allow,
 		Attestations: topicscope.AttestationIndex(recs),
 	}
+	// One parallel pass aggregates the dataset; every experiment below —
+	// the full report, the longitudinal comparison, any figure — answers
+	// from this index without rescanning the visits.
+	topicscope.BuildAnalysisIndex(in)
 	report := topicscope.Analyze(in)
 
 	if *csvOut != "" {

@@ -88,8 +88,12 @@ func main() {
 		}
 	}
 
-	text := fmt.Sprintf("topicscope report — seed=%d sites=%d enforce=%v\ncrawl: %s\n\n%s",
-		*seed, *sites, *enforce, results.Stats, results.Report.Render())
+	// Headline figures for the summary line come straight from the
+	// campaign's analysis index (results.Analysis) — already built by
+	// Analyze, so these Compute* calls cost a map lookup, not a rescan.
+	overview := topicscope.ComputeOverview(results.Analysis)
+	text := fmt.Sprintf("topicscope report — seed=%d sites=%d enforce=%v\ncrawl: %s\nvisited: %d sites, %d third parties\n\n%s",
+		*seed, *sites, *enforce, results.Stats, overview.Visited, overview.UniqueThirdParties, results.Report.Render())
 	if *out == "" {
 		fmt.Print(text)
 		return

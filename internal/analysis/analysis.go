@@ -9,9 +9,16 @@
 // records, the reference allow-list, and the well-known attestation
 // checks — never from generator internals — so it would work unchanged
 // on a dataset captured from the real web.
+//
+// Every Compute* function answers from a shared analysis Index (see
+// index.go) that aggregates the dataset in one parallel sharded pass;
+// the first query builds it, later ones reuse it. The pre-index
+// full-scan implementations live in legacy.go as the parity reference.
 package analysis
 
 import (
+	"sync"
+
 	"github.com/netmeasure/topicscope/internal/attestation"
 	"github.com/netmeasure/topicscope/internal/dataset"
 	"github.com/netmeasure/topicscope/internal/etld"
@@ -26,6 +33,17 @@ type Input struct {
 	Allowlist *attestation.Allowlist
 	// Attestations indexes well-known attestation checks by domain.
 	Attestations map[string]dataset.AttestationRecord
+
+	indexOnce sync.Once
+	index     *Index
+}
+
+// Index returns the input's analysis index, building it on first use.
+// Safe for concurrent callers; the dataset must not be mutated after the
+// first call.
+func (in *Input) Index() *Index {
+	in.indexOnce.Do(func() { in.index = BuildIndex(in) })
+	return in.index
 }
 
 // allowed reports whether a caller is on the allow-list.
@@ -37,81 +55,4 @@ func (in *Input) allowed(caller string) bool {
 func (in *Input) attested(caller string) bool {
 	rec, ok := in.Attestations[etld.RegistrableDomain(caller)]
 	return ok && rec.Attested()
-}
-
-// callersIn returns the distinct callers of a phase, restricted by the
-// predicate (nil = all).
-func (in *Input) callersIn(phase dataset.Phase, keep func(caller string) bool) map[string]bool {
-	out := make(map[string]bool)
-	for i := range in.Data.Visits {
-		v := &in.Data.Visits[i]
-		if v.Phase != phase {
-			continue
-		}
-		for _, c := range v.Calls {
-			if keep == nil || keep(c.Caller) {
-				out[c.Caller] = true
-			}
-		}
-	}
-	return out
-}
-
-// presentOn reports the distinct sites (per phase) on which each
-// candidate CP domain appears among downloaded resources.
-func (in *Input) presentOn(phase dataset.Phase, candidates map[string]bool) map[string]map[string]bool {
-	out := make(map[string]map[string]bool)
-	for i := range in.Data.Visits {
-		v := &in.Data.Visits[i]
-		if v.Phase != phase || !v.Success {
-			continue
-		}
-		seen := make(map[string]bool)
-		for _, r := range v.Resources {
-			if r.Failed {
-				continue
-			}
-			reg := etld.RegistrableDomain(r.Host)
-			if !candidates[reg] || seen[reg] {
-				continue
-			}
-			seen[reg] = true
-			set := out[reg]
-			if set == nil {
-				set = make(map[string]bool)
-				out[reg] = set
-			}
-			set[v.Site] = true
-		}
-	}
-	return out
-}
-
-// calledOn reports the distinct sites (per phase) on which each caller
-// invoked the API.
-func (in *Input) calledOn(phase dataset.Phase) map[string]map[string]bool {
-	out := make(map[string]map[string]bool)
-	for i := range in.Data.Visits {
-		v := &in.Data.Visits[i]
-		if v.Phase != phase {
-			continue
-		}
-		for _, c := range v.Calls {
-			set := out[c.Caller]
-			if set == nil {
-				set = make(map[string]bool)
-				out[c.Caller] = set
-			}
-			set[v.Site] = true
-		}
-	}
-	return out
-}
-
-// legitCallers are the paper's §3 subjects: Allowed & Attested CPs seen
-// calling in the After-Accept dataset.
-func (in *Input) legitCallers() map[string]bool {
-	return in.callersIn(dataset.AfterAccept, func(caller string) bool {
-		return in.allowed(caller) && in.attested(caller)
-	})
 }

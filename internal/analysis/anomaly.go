@@ -3,8 +3,6 @@ package analysis
 import (
 	"strings"
 
-	"github.com/netmeasure/topicscope/internal/dataset"
-	"github.com/netmeasure/topicscope/internal/etld"
 	"github.com/netmeasure/topicscope/internal/stats"
 )
 
@@ -35,50 +33,8 @@ const gtmHost = "www.googletagmanager.com"
 
 // ComputeAnomaly runs experiment A1 over the After-Accept dataset.
 func ComputeAnomaly(in *Input) *Anomaly {
-	a := &Anomaly{}
-	cps := make(map[string]bool)
-	sitesWith := make(map[string]bool)
-	sitesWithGTM := make(map[string]bool)
-	jsCalls := 0
-
-	for i := range in.Data.Visits {
-		v := &in.Data.Visits[i]
-		if v.Phase != dataset.AfterAccept || !v.Success {
-			continue
-		}
-		hasAnomalous := false
-		for _, c := range v.Calls {
-			if in.allowed(c.Caller) {
-				continue
-			}
-			a.Calls++
-			cps[c.Caller] = true
-			hasAnomalous = true
-			if etld.SameSecondLevel(c.Caller, v.Site) {
-				a.SameSecondLevel++
-			}
-			if c.Type == dataset.CallJavaScript {
-				jsCalls++
-			}
-		}
-		if hasAnomalous {
-			sitesWith[v.Site] = true
-			for _, r := range v.Resources {
-				if r.Host == gtmHost && !r.Failed {
-					sitesWithGTM[v.Site] = true
-					break
-				}
-			}
-		}
-	}
-
-	a.UniqueCPs = len(cps)
-	a.AnomalousSites = len(sitesWith)
-	a.SitesWithGTM = len(sitesWithGTM)
-	a.SameSecondLevelShare = stats.Share(a.SameSecondLevel, a.Calls)
-	a.JavaScriptShare = stats.Share(jsCalls, a.Calls)
-	a.GTMShare = stats.Share(a.SitesWithGTM, a.AnomalousSites)
-	return a
+	a := in.Index().anomaly
+	return &a
 }
 
 // Render prints the anomaly statistics.

@@ -33,48 +33,18 @@ var AllCallTypes = []dataset.CallType{
 
 // ComputeCallTypes runs experiment X1.
 func ComputeCallTypes(in *Input) *CallTypes {
+	pre := in.Index().callTypes
 	ct := &CallTypes{
-		ByPhase:         make(map[dataset.Phase]map[dataset.CallType]int),
-		LegitByType:     make(map[dataset.CallType]int),
-		AnomalousByType: make(map[dataset.CallType]int),
-		DominantPerCP:   make(map[string]dataset.CallType),
+		ByPhase:         make(map[dataset.Phase]map[dataset.CallType]int, len(pre.ByPhase)),
+		LegitByType:     copyTypeCounts(pre.LegitByType),
+		AnomalousByType: copyTypeCounts(pre.AnomalousByType),
+		DominantPerCP:   make(map[string]dataset.CallType, len(pre.DominantPerCP)),
 	}
-	perCP := make(map[string]map[dataset.CallType]int)
-
-	for i := range in.Data.Visits {
-		v := &in.Data.Visits[i]
-		for _, c := range v.Calls {
-			phase := ct.ByPhase[v.Phase]
-			if phase == nil {
-				phase = make(map[dataset.CallType]int)
-				ct.ByPhase[v.Phase] = phase
-			}
-			phase[c.Type]++
-			if v.Phase != dataset.AfterAccept {
-				continue
-			}
-			if in.allowed(c.Caller) {
-				ct.LegitByType[c.Type]++
-				m := perCP[c.Caller]
-				if m == nil {
-					m = make(map[dataset.CallType]int)
-					perCP[c.Caller] = m
-				}
-				m[c.Type]++
-			} else {
-				ct.AnomalousByType[c.Type]++
-			}
-		}
+	for phase, types := range pre.ByPhase {
+		ct.ByPhase[phase] = copyTypeCounts(types)
 	}
-
-	for cp, m := range perCP {
-		best, bestN := dataset.CallJavaScript, -1
-		for _, typ := range AllCallTypes {
-			if m[typ] > bestN {
-				best, bestN = typ, m[typ]
-			}
-		}
-		ct.DominantPerCP[cp] = best
+	for cp, typ := range pre.DominantPerCP {
+		ct.DominantPerCP[cp] = typ
 	}
 	return ct
 }

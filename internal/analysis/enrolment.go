@@ -27,21 +27,9 @@ type Enrolment struct {
 
 // ComputeEnrolment runs experiment E1 over the attestation checks.
 func ComputeEnrolment(in *Input) *Enrolment {
-	e := &Enrolment{ByMonth: make(map[string]int)}
-	for _, rec := range in.Attestations {
-		if !rec.Attested() || rec.IssuedAt.IsZero() {
-			continue
-		}
-		e.Total++
-		if e.First.IsZero() || rec.IssuedAt.Before(e.First) {
-			e.First = rec.IssuedAt
-		}
-		e.ByMonth[rec.IssuedAt.Format("2006-01")]++
-		if rec.HasEnrollmentSite {
-			e.WithEnrollmentSite++
-		}
-	}
-	return e
+	e := in.Index().enrolment
+	e.ByMonth = copyStringCounts(e.ByMonth)
+	return &e
 }
 
 // MonthlyPace returns the mean enrolments per month over the observed

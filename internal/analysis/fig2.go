@@ -2,7 +2,6 @@ package analysis
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"github.com/netmeasure/topicscope/internal/dataset"
@@ -27,21 +26,20 @@ type Figure2 struct {
 // ComputeFigure2 runs experiment F2. topN bounds the output (the paper
 // plots the top 15 most pervasive CPs); pass 0 for all.
 func ComputeFigure2(in *Input, topN int) *Figure2 {
-	// Candidates: every Allowed & Attested domain, whether it calls or
-	// not (google-analytics.com and bing.com appear precisely because
-	// they never call).
-	candidates := make(map[string]bool)
-	for _, d := range in.Allowlist.Domains() {
-		if rec, ok := in.Attestations[d]; ok && rec.Attested() {
-			candidates[d] = true
-		}
-	}
-
-	present := in.presentOn(dataset.AfterAccept, candidates)
-	called := in.calledOn(dataset.AfterAccept)
+	idx := in.Index()
+	present := idx.present[dataset.AfterAccept]
+	called := idx.called[dataset.AfterAccept]
 
 	f := &Figure2{}
-	for cp, sites := range present {
+	// Candidates: every Allowed & Attested domain, whether it calls or
+	// not (google-analytics.com and bing.com appear precisely because
+	// they never call); rows exist only for candidates embedded
+	// somewhere.
+	for _, cp := range idx.aaAllowlist {
+		sites := present[cp]
+		if len(sites) == 0 {
+			continue
+		}
 		row := CPPresence{CP: cp, Present: len(sites)}
 		for site := range called[cp] {
 			if sites[site] {
@@ -50,15 +48,7 @@ func ComputeFigure2(in *Input, topN int) *Figure2 {
 		}
 		f.Rows = append(f.Rows, row)
 	}
-	sort.Slice(f.Rows, func(i, j int) bool {
-		if f.Rows[i].Present != f.Rows[j].Present {
-			return f.Rows[i].Present > f.Rows[j].Present
-		}
-		return f.Rows[i].CP < f.Rows[j].CP
-	})
-	if topN > 0 && len(f.Rows) > topN {
-		f.Rows = f.Rows[:topN]
-	}
+	sortFigure2(f, topN)
 	return f
 }
 

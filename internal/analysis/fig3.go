@@ -2,7 +2,6 @@ package analysis
 
 import (
 	"math"
-	"sort"
 	"strings"
 
 	"github.com/netmeasure/topicscope/internal/dataset"
@@ -55,12 +54,17 @@ func ComputeFigure3(in *Input, minPresence, topN int) *Figure3 {
 	if minPresence <= 0 {
 		minPresence = 20
 	}
-	legit := in.legitCallers()
-	present := in.presentOn(dataset.AfterAccept, legit)
-	called := in.calledOn(dataset.AfterAccept)
+	idx := in.Index()
+	present := idx.present[dataset.AfterAccept]
+	called := idx.called[dataset.AfterAccept]
 
 	f := &Figure3{MinPresence: minPresence}
-	for cp := range legit {
+	// The subjects are the Allowed & Attested callers seen in D_AA — the
+	// keys of the After-Accept caller map, filtered by classification.
+	for cp := range called {
+		if facts := idx.callers[cp]; !facts.allowed || !facts.attested {
+			continue
+		}
 		sites := present[cp]
 		if len(sites) < minPresence {
 			continue
@@ -75,15 +79,7 @@ func ComputeFigure3(in *Input, minPresence, topN int) *Figure3 {
 		row.Cluster = NearestCluster(row.Rate)
 		f.Rows = append(f.Rows, row)
 	}
-	sort.Slice(f.Rows, func(i, j int) bool {
-		if f.Rows[i].Rate != f.Rows[j].Rate {
-			return f.Rows[i].Rate > f.Rows[j].Rate
-		}
-		return f.Rows[i].CP < f.Rows[j].CP
-	})
-	if topN > 0 && len(f.Rows) > topN {
-		f.Rows = f.Rows[:topN]
-	}
+	sortFigure3(f, topN)
 	return f
 }
 

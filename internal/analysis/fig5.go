@@ -1,7 +1,6 @@
 package analysis
 
 import (
-	"sort"
 	"strconv"
 	"strings"
 
@@ -36,13 +35,13 @@ type Figure5 struct {
 // ComputeFigure5 runs experiment F5; topN bounds the output (paper: 15),
 // 0 means all.
 func ComputeFigure5(in *Input, topN int) *Figure5 {
-	aa := func(caller string) bool { return in.allowed(caller) && in.attested(caller) }
-	before := in.calledOn(dataset.BeforeAccept)
-	after := in.calledOn(dataset.AfterAccept)
+	idx := in.Index()
+	before := idx.called[dataset.BeforeAccept]
+	after := idx.called[dataset.AfterAccept]
 
 	f := &Figure5{}
 	for cp, sites := range before {
-		if !aa(cp) {
+		if facts := idx.callers[cp]; !facts.allowed || !facts.attested {
 			continue
 		}
 		f.TotalQuestionableCPs++
@@ -52,15 +51,7 @@ func ComputeFigure5(in *Input, topN int) *Figure5 {
 			AfterSites: len(after[cp]),
 		})
 	}
-	sort.Slice(f.Rows, func(i, j int) bool {
-		if f.Rows[i].Sites != f.Rows[j].Sites {
-			return f.Rows[i].Sites > f.Rows[j].Sites
-		}
-		return f.Rows[i].CP < f.Rows[j].CP
-	})
-	if topN > 0 && len(f.Rows) > topN {
-		f.Rows = f.Rows[:topN]
-	}
+	sortFigure5(f, topN)
 	return f
 }
 

@@ -39,19 +39,15 @@ func ComputeFigure6(in *Input, cps []string) *Figure6 {
 			cps = append(cps, r.CP)
 		}
 	}
-	want := make(map[string]bool, len(cps))
-	for _, cp := range cps {
-		want[cp] = true
-	}
-
-	present := in.presentOn(dataset.BeforeAccept, want)
-	called := in.calledOn(dataset.BeforeAccept)
+	idx := in.Index()
+	present := idx.present[dataset.BeforeAccept]
+	called := idx.called[dataset.BeforeAccept]
 
 	f := &Figure6{CPs: cps, Regions: etld.Regions, Cells: make(map[string]map[etld.Region]RegionShare)}
 	for _, cp := range cps {
 		cells := make(map[etld.Region]RegionShare)
 		for site := range present[cp] {
-			region := etld.RegionOf(site)
+			region := idx.etld.RegionOf(site)
 			c := cells[region]
 			c.Present++
 			if called[cp][site] {

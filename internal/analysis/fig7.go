@@ -3,8 +3,6 @@ package analysis
 import (
 	"strings"
 
-	"github.com/netmeasure/topicscope/internal/cmpdb"
-	"github.com/netmeasure/topicscope/internal/dataset"
 	"github.com/netmeasure/topicscope/internal/stats"
 )
 
@@ -46,48 +44,9 @@ type Figure7 struct {
 
 // ComputeFigure7 runs experiment F7 over the Before-Accept dataset.
 func ComputeFigure7(in *Input) *Figure7 {
-	sitesByCMP := stats.Counter{}
-	questByCMP := stats.Counter{}
-	total, quest := 0, 0
-
-	for i := range in.Data.Visits {
-		v := &in.Data.Visits[i]
-		if v.Phase != dataset.BeforeAccept || !v.Success {
-			continue
-		}
-		total++
-		questionable := false
-		for _, c := range v.Calls {
-			if in.allowed(c.Caller) {
-				questionable = true
-				break
-			}
-		}
-		if questionable {
-			quest++
-		}
-		if v.CMP != "" {
-			sitesByCMP.Add(v.CMP)
-			if questionable {
-				questByCMP.Add(v.CMP)
-			}
-		}
-	}
-
-	f := &Figure7{TotalSites: total, TotalQuestionable: quest,
-		AvgQuestionableRate: stats.Share(quest, total)}
-	for _, c := range cmpdb.All() {
-		row := CMPRow{
-			CMP:                   c.Name,
-			Sites:                 sitesByCMP[c.Name],
-			QuestionableSites:     questByCMP[c.Name],
-			PCMP:                  stats.Share(sitesByCMP[c.Name], total),
-			PCMPGivenQuestionable: stats.Share(questByCMP[c.Name], quest),
-			PQuestionableGivenCMP: stats.Share(questByCMP[c.Name], sitesByCMP[c.Name]),
-		}
-		f.Rows = append(f.Rows, row)
-	}
-	return f
+	f := in.Index().figure7
+	f.Rows = append([]CMPRow(nil), f.Rows...)
+	return &f
 }
 
 // OverRepresentation returns P(CMP|questionable)/P(CMP) for a CMP — the

@@ -1,0 +1,700 @@
+package analysis
+
+import (
+	"runtime"
+	"sync"
+
+	"github.com/netmeasure/topicscope/internal/chaos"
+	"github.com/netmeasure/topicscope/internal/cmpdb"
+	"github.com/netmeasure/topicscope/internal/dataset"
+	"github.com/netmeasure/topicscope/internal/etld"
+	"github.com/netmeasure/topicscope/internal/stats"
+)
+
+// Index holds every aggregate the experiments query, built in one
+// parallel sharded pass over the dataset. Worker goroutines each consume
+// a contiguous stripe of visits into a private indexShard; the shards
+// then merge into one Index.
+//
+// Determinism invariant: every per-shard aggregate is either a counter
+// (merge = addition), a set (merge = union), or a max — all commutative
+// and associative — and every ordered output downstream is produced by a
+// sort with a total order (count desc, name asc tie-break). The merged
+// Index, and hence every table and figure, is therefore byte-identical
+// regardless of GOMAXPROCS or stripe boundaries. The parity test in
+// index_test.go checks this against the sequential legacy scan.
+//
+// All hostname splitting goes through one etld.Cache, so each distinct
+// hostname is normalized and split into eTLD+1/TLD/region exactly once
+// per campaign, and the cached strings are interned: aggregation maps
+// keyed by registrable domain share one backing string per domain.
+type Index struct {
+	etld *etld.Cache
+
+	// called[phase][caller] is the set of sites where the caller invoked
+	// the API, over all visits of the phase (failed ones included, as in
+	// the legacy calledOn scan).
+	called map[dataset.Phase]map[string]siteSet
+	// present[phase][registrable domain] is the set of sites embedding a
+	// non-failed resource of that domain, over successful visits.
+	present map[dataset.Phase]map[string]siteSet
+	// callers classifies every distinct caller seen in any phase.
+	callers map[string]callerFacts
+	// aaAllowlist lists the Allowed & Attested allow-list domains in
+	// Allowlist.Domains() order — Figure 2's candidate set.
+	aaAllowlist []string
+
+	// Precomputed parameterless experiments; the Compute* wrappers hand
+	// out defensive copies so callers can never corrupt the index.
+	overview    Overview
+	reliability Reliability
+	table1      Table1
+	anomaly     Anomaly
+	figure7     Figure7
+	callTypes   CallTypes
+	languages   Languages
+	enrolment   Enrolment
+}
+
+// siteSet is a set of website domains.
+type siteSet = map[string]bool
+
+// callerFacts is the classification every experiment keys on: allow-list
+// membership and attestation validity.
+type callerFacts struct {
+	allowed  bool
+	attested bool
+}
+
+// rankCount accumulates Before-Accept visit outcomes per Tranco rank, so
+// the rank-decile table can be assembled after the global max rank is
+// known.
+type rankCount struct {
+	attempted, succeeded int
+}
+
+// BuildIndex aggregates the dataset with one worker per CPU.
+func BuildIndex(in *Input) *Index {
+	return buildIndex(in, runtime.GOMAXPROCS(0))
+}
+
+// buildIndex is the worker-count-explicit core, separated so tests can
+// prove the output is independent of the worker count.
+func buildIndex(in *Input, workers int) *Index {
+	visits := in.Data.Visits
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(visits) {
+		workers = len(visits)
+	}
+	if workers == 0 {
+		workers = 1
+	}
+
+	cache := etld.NewCache()
+	shards := make([]*indexShard, workers)
+	var wg sync.WaitGroup
+	stripe := (len(visits) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		s := newIndexShard(in, cache)
+		shards[w] = s
+		lo := w * stripe
+		hi := lo + stripe
+		if hi > len(visits) {
+			hi = len(visits)
+		}
+		wg.Add(1)
+		go func(s *indexShard, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				s.add(&visits[i])
+			}
+		}(s, lo, hi)
+	}
+	wg.Wait()
+
+	agg := shards[0]
+	for _, s := range shards[1:] {
+		agg.absorb(s)
+	}
+
+	idx := &Index{
+		etld:    cache,
+		called:  agg.called,
+		present: agg.present,
+		callers: agg.callers,
+	}
+	idx.finalize(in, agg)
+	return idx
+}
+
+// indexShard accumulates one stripe of visits. Every field merges
+// commutatively (see the Index determinism invariant).
+type indexShard struct {
+	in    *Input
+	cache *etld.Cache
+
+	called  map[dataset.Phase]map[string]siteSet
+	present map[dataset.Phase]map[string]siteSet
+	callers map[string]callerFacts
+
+	// Overview (D1).
+	attempted, visited, accepted siteSet
+	banners                      int
+	thirdParties                 map[string]bool
+	daaSites, daaSitesWithCall   siteSet
+
+	// Reliability (D1r).
+	retries, circuitOpens                 int
+	relAttempted, relSucceeded, relFailed int
+	partialVisits                         int
+	byClass                               map[string]int
+	ranks                                 map[int]*rankCount
+	maxRank                               int
+
+	// Anomaly (A1).
+	anomCalls, sameSLD, jsCalls int
+	anomCPs                     map[string]bool
+	anomSites, gtmSites         siteSet
+
+	// Figure 7.
+	f7Total, f7Quest       int
+	sitesByCMP, questByCMP stats.Counter
+
+	// Call types (X1).
+	byPhase     map[dataset.Phase]map[dataset.CallType]int
+	legitByType map[dataset.CallType]int
+	anomByType  map[dataset.CallType]int
+	perCP       map[string]map[dataset.CallType]int
+
+	// Languages (D2).
+	langVisited, langNoBanner, langMissed int
+	acceptedByLang                        stats.Counter
+}
+
+func newIndexShard(in *Input, cache *etld.Cache) *indexShard {
+	return &indexShard{
+		in:    in,
+		cache: cache,
+		called: map[dataset.Phase]map[string]siteSet{
+			dataset.BeforeAccept: {},
+			dataset.AfterAccept:  {},
+		},
+		present: map[dataset.Phase]map[string]siteSet{
+			dataset.BeforeAccept: {},
+			dataset.AfterAccept:  {},
+		},
+		callers:          make(map[string]callerFacts),
+		attempted:        make(siteSet),
+		visited:          make(siteSet),
+		accepted:         make(siteSet),
+		thirdParties:     make(map[string]bool),
+		daaSites:         make(siteSet),
+		daaSitesWithCall: make(siteSet),
+		byClass:          make(map[string]int),
+		ranks:            make(map[int]*rankCount),
+		anomCPs:          make(map[string]bool),
+		anomSites:        make(siteSet),
+		gtmSites:         make(siteSet),
+		sitesByCMP:       stats.Counter{},
+		questByCMP:       stats.Counter{},
+		byPhase:          make(map[dataset.Phase]map[dataset.CallType]int),
+		legitByType:      make(map[dataset.CallType]int),
+		anomByType:       make(map[dataset.CallType]int),
+		perCP:            make(map[string]map[dataset.CallType]int),
+		acceptedByLang:   stats.Counter{},
+	}
+}
+
+// classify memoizes the (allowed, attested) facts per distinct caller.
+// The etld.Cache underneath memoizes the registrable-domain split, so
+// classification costs two map lookups after first sight.
+func (s *indexShard) classify(caller string) callerFacts {
+	if f, ok := s.callers[caller]; ok {
+		return f
+	}
+	f := callerFacts{allowed: s.in.Allowlist != nil && s.in.Allowlist.Contains(caller)}
+	if rec, ok := s.in.Attestations[s.cache.Registrable(caller)]; ok && rec.Attested() {
+		f.attested = true
+	}
+	s.callers[caller] = f
+	return f
+}
+
+// phaseSets returns the per-caller/per-CP site-set map of a phase,
+// creating it for phases beyond the standard two.
+func phaseSets(m map[dataset.Phase]map[string]siteSet, p dataset.Phase) map[string]siteSet {
+	sets := m[p]
+	if sets == nil {
+		sets = make(map[string]siteSet)
+		m[p] = sets
+	}
+	return sets
+}
+
+// add folds one visit into the shard: a single pass over its resources
+// and calls feeds every experiment's aggregate at once. Each branch
+// replicates the exact phase/success filter of the corresponding legacy
+// scan (legacy.go) — the filters differ per experiment on purpose, and
+// the parity test depends on matching them bit for bit.
+func (s *indexShard) add(v *dataset.Visit) {
+	ba := v.Phase == dataset.BeforeAccept
+	aa := v.Phase == dataset.AfterAccept
+	s.retries += v.Retries
+
+	if ba {
+		// Reliability: every Before-Accept visit, successful or not.
+		if v.Rank > s.maxRank {
+			s.maxRank = v.Rank
+		}
+		rc := s.ranks[v.Rank]
+		if rc == nil {
+			rc = &rankCount{}
+			s.ranks[v.Rank] = rc
+		}
+		rc.attempted++
+		s.relAttempted++
+		if v.Success {
+			s.relSucceeded++
+			rc.succeeded++
+			if v.Partial {
+				s.partialVisits++
+			}
+		} else {
+			s.relFailed++
+			class := v.ErrorClass
+			if class == "" {
+				class = string(chaos.ClassifyText(v.Error))
+			}
+			s.byClass[class]++
+		}
+
+		// Overview D_BA block.
+		s.attempted[v.Site] = true
+		if v.Success {
+			s.visited[v.Site] = true
+		}
+		if v.BannerDetected {
+			s.banners++
+		}
+		if v.Accepted {
+			s.accepted[v.Site] = true
+		}
+
+		// Languages: successful Before-Accept visits only.
+		if v.Success {
+			s.langVisited++
+			switch {
+			case !v.BannerDetected:
+				s.langNoBanner++
+			case v.Accepted:
+				lang := v.BannerLanguage
+				if lang == "" {
+					lang = "unknown"
+				}
+				s.acceptedByLang.Add(lang)
+			default:
+				s.langMissed++
+			}
+		}
+	}
+	if aa && v.Success {
+		s.daaSites[v.Site] = true
+	}
+
+	// Resources: presence (successful visits), third parties (D_BA, any
+	// outcome), circuit-breaker hits (any phase), GTM detection.
+	hasGTM := false
+	var pres map[string]siteSet
+	if v.Success {
+		pres = phaseSets(s.present, v.Phase)
+	}
+	for i := range v.Resources {
+		r := &v.Resources[i]
+		if r.Failed {
+			if r.Error == string(chaos.ClassCircuitOpen) {
+				s.circuitOpens++
+			}
+			continue
+		}
+		reg := s.cache.Registrable(r.Host)
+		if pres != nil {
+			set := pres[reg]
+			if set == nil {
+				set = make(siteSet)
+				pres[reg] = set
+			}
+			set[v.Site] = true
+		}
+		if ba && r.ThirdParty {
+			s.thirdParties[reg] = true
+		}
+		if r.Host == gtmHost {
+			hasGTM = true
+		}
+	}
+
+	// Calls: caller→site sets (any outcome), call types, anomaly and
+	// questionable classification.
+	calledPhase := phaseSets(s.called, v.Phase)
+	hasAnomalous, questionable := false, false
+	for i := range v.Calls {
+		c := &v.Calls[i]
+		facts := s.classify(c.Caller)
+
+		set := calledPhase[c.Caller]
+		if set == nil {
+			set = make(siteSet)
+			calledPhase[c.Caller] = set
+		}
+		set[v.Site] = true
+
+		types := s.byPhase[v.Phase]
+		if types == nil {
+			types = make(map[dataset.CallType]int)
+			s.byPhase[v.Phase] = types
+		}
+		types[c.Type]++
+
+		if ba && facts.allowed {
+			questionable = true
+		}
+		if !aa {
+			continue
+		}
+		if facts.allowed {
+			s.legitByType[c.Type]++
+			m := s.perCP[c.Caller]
+			if m == nil {
+				m = make(map[dataset.CallType]int)
+				s.perCP[c.Caller] = m
+			}
+			m[c.Type]++
+			if v.Success && facts.attested {
+				s.daaSitesWithCall[v.Site] = true
+			}
+		} else {
+			s.anomByType[c.Type]++
+			if v.Success {
+				s.anomCalls++
+				s.anomCPs[c.Caller] = true
+				hasAnomalous = true
+				if s.cache.SameSecondLevel(c.Caller, v.Site) {
+					s.sameSLD++
+				}
+				if c.Type == dataset.CallJavaScript {
+					s.jsCalls++
+				}
+			}
+		}
+	}
+	if aa && v.Success && hasAnomalous {
+		s.anomSites[v.Site] = true
+		if hasGTM {
+			s.gtmSites[v.Site] = true
+		}
+	}
+
+	// Figure 7: successful Before-Accept visits.
+	if ba && v.Success {
+		s.f7Total++
+		if questionable {
+			s.f7Quest++
+		}
+		if v.CMP != "" {
+			s.sitesByCMP.Add(v.CMP)
+			if questionable {
+				s.questByCMP.Add(v.CMP)
+			}
+		}
+	}
+}
+
+// absorb merges another shard into s. Every operation is commutative, so
+// the merge order cannot influence the result.
+func (s *indexShard) absorb(o *indexShard) {
+	for phase, sets := range o.called {
+		mergeSiteSets(phaseSets(s.called, phase), sets)
+	}
+	for phase, sets := range o.present {
+		mergeSiteSets(phaseSets(s.present, phase), sets)
+	}
+	for caller, facts := range o.callers {
+		s.callers[caller] = facts
+	}
+
+	unionSet(s.attempted, o.attempted)
+	unionSet(s.visited, o.visited)
+	unionSet(s.accepted, o.accepted)
+	unionSet(s.thirdParties, o.thirdParties)
+	unionSet(s.daaSites, o.daaSites)
+	unionSet(s.daaSitesWithCall, o.daaSitesWithCall)
+	s.banners += o.banners
+
+	s.retries += o.retries
+	s.circuitOpens += o.circuitOpens
+	s.relAttempted += o.relAttempted
+	s.relSucceeded += o.relSucceeded
+	s.relFailed += o.relFailed
+	s.partialVisits += o.partialVisits
+	for class, n := range o.byClass {
+		s.byClass[class] += n
+	}
+	for rank, rc := range o.ranks {
+		dst := s.ranks[rank]
+		if dst == nil {
+			s.ranks[rank] = rc
+			continue
+		}
+		dst.attempted += rc.attempted
+		dst.succeeded += rc.succeeded
+	}
+	if o.maxRank > s.maxRank {
+		s.maxRank = o.maxRank
+	}
+
+	s.anomCalls += o.anomCalls
+	s.sameSLD += o.sameSLD
+	s.jsCalls += o.jsCalls
+	unionSet(s.anomCPs, o.anomCPs)
+	unionSet(s.anomSites, o.anomSites)
+	unionSet(s.gtmSites, o.gtmSites)
+
+	s.f7Total += o.f7Total
+	s.f7Quest += o.f7Quest
+	addCounter(s.sitesByCMP, o.sitesByCMP)
+	addCounter(s.questByCMP, o.questByCMP)
+
+	for phase, types := range o.byPhase {
+		dst := s.byPhase[phase]
+		if dst == nil {
+			s.byPhase[phase] = types
+			continue
+		}
+		for t, n := range types {
+			dst[t] += n
+		}
+	}
+	for t, n := range o.legitByType {
+		s.legitByType[t] += n
+	}
+	for t, n := range o.anomByType {
+		s.anomByType[t] += n
+	}
+	for cp, types := range o.perCP {
+		dst := s.perCP[cp]
+		if dst == nil {
+			s.perCP[cp] = types
+			continue
+		}
+		for t, n := range types {
+			dst[t] += n
+		}
+	}
+
+	s.langVisited += o.langVisited
+	s.langNoBanner += o.langNoBanner
+	s.langMissed += o.langMissed
+	addCounter(s.acceptedByLang, o.acceptedByLang)
+}
+
+func mergeSiteSets(dst, src map[string]siteSet) {
+	for key, set := range src {
+		d := dst[key]
+		if d == nil {
+			dst[key] = set
+			continue
+		}
+		unionSet(d, set)
+	}
+}
+
+func unionSet(dst, src map[string]bool) {
+	for k := range src {
+		dst[k] = true
+	}
+}
+
+func addCounter(dst, src stats.Counter) {
+	for k, n := range src {
+		dst[k] += n
+	}
+}
+
+// finalize assembles the parameterless experiment results from the
+// merged aggregates, matching the legacy computations field for field.
+func (idx *Index) finalize(in *Input, agg *indexShard) {
+	// Table 1 allow-list block + Figure 2's candidate list.
+	t := Table1{}
+	if in.Allowlist != nil {
+		t.Allowed = in.Allowlist.Len()
+		for _, d := range in.Allowlist.Domains() {
+			if rec, ok := in.Attestations[d]; ok && rec.Attested() {
+				t.AllowedAttested++
+				idx.aaAllowlist = append(idx.aaAllowlist, d)
+			} else {
+				t.AllowedNotAttested++
+			}
+		}
+	}
+	for caller := range idx.called[dataset.AfterAccept] {
+		switch facts := idx.callers[caller]; {
+		case facts.allowed && facts.attested:
+			t.AAAllowedAttested++
+		case !facts.allowed && facts.attested:
+			t.AANotAllowedAttested++
+		case !facts.allowed:
+			t.AANotAllowed++
+		}
+	}
+	for caller := range idx.called[dataset.BeforeAccept] {
+		switch facts := idx.callers[caller]; {
+		case facts.allowed && facts.attested:
+			t.BAAllowedAttested++
+		case !facts.allowed:
+			t.BANotAllowed++
+		}
+	}
+	idx.table1 = t
+
+	// Overview.
+	idx.overview = Overview{
+		Attempted:          len(agg.attempted),
+		Visited:            len(agg.visited),
+		Accepted:           len(agg.accepted),
+		AcceptShare:        stats.Share(len(agg.accepted), len(agg.visited)),
+		UniqueThirdParties: len(agg.thirdParties),
+		BannersFound:       agg.banners,
+		SitesWithLegitCall: len(agg.daaSitesWithCall),
+		LegitCallShare:     stats.Share(len(agg.daaSitesWithCall), len(agg.daaSites)),
+	}
+
+	// Reliability, deciles reassembled from the per-rank counts now that
+	// the global max rank is known.
+	r := Reliability{
+		Attempted:     agg.relAttempted,
+		Succeeded:     agg.relSucceeded,
+		Failed:        agg.relFailed,
+		SuccessRate:   stats.Share(agg.relSucceeded, agg.relAttempted),
+		ByClass:       agg.byClass,
+		Retries:       agg.retries,
+		PartialVisits: agg.partialVisits,
+		CircuitOpens:  agg.circuitOpens,
+	}
+	deciles := make([]ReliabilityDecile, 10)
+	for i := range deciles {
+		deciles[i].Decile = i + 1
+	}
+	for rank, rc := range agg.ranks {
+		d := &deciles[decileOf(rank, agg.maxRank)]
+		d.Attempted += rc.attempted
+		d.Succeeded += rc.succeeded
+	}
+	for i := range deciles {
+		deciles[i].SuccessRate = stats.Share(deciles[i].Succeeded, deciles[i].Attempted)
+		if deciles[i].Attempted > 0 {
+			r.Deciles = append(r.Deciles, deciles[i])
+		}
+	}
+	idx.reliability = r
+
+	// Anomaly.
+	idx.anomaly = Anomaly{
+		UniqueCPs:            len(agg.anomCPs),
+		Calls:                agg.anomCalls,
+		SameSecondLevel:      agg.sameSLD,
+		SameSecondLevelShare: stats.Share(agg.sameSLD, agg.anomCalls),
+		JavaScriptShare:      stats.Share(agg.jsCalls, agg.anomCalls),
+		AnomalousSites:       len(agg.anomSites),
+		SitesWithGTM:         len(agg.gtmSites),
+		GTMShare:             stats.Share(len(agg.gtmSites), len(agg.anomSites)),
+	}
+
+	// Figure 7, rows in cmpdb order.
+	f7 := Figure7{
+		TotalSites:          agg.f7Total,
+		TotalQuestionable:   agg.f7Quest,
+		AvgQuestionableRate: stats.Share(agg.f7Quest, agg.f7Total),
+	}
+	for _, c := range cmpdb.All() {
+		f7.Rows = append(f7.Rows, CMPRow{
+			CMP:                   c.Name,
+			Sites:                 agg.sitesByCMP[c.Name],
+			QuestionableSites:     agg.questByCMP[c.Name],
+			PCMP:                  stats.Share(agg.sitesByCMP[c.Name], agg.f7Total),
+			PCMPGivenQuestionable: stats.Share(agg.questByCMP[c.Name], agg.f7Quest),
+			PQuestionableGivenCMP: stats.Share(agg.questByCMP[c.Name], agg.sitesByCMP[c.Name]),
+		})
+	}
+	idx.figure7 = f7
+
+	// Call types.
+	ct := CallTypes{
+		ByPhase:         agg.byPhase,
+		LegitByType:     agg.legitByType,
+		AnomalousByType: agg.anomByType,
+		DominantPerCP:   make(map[string]dataset.CallType, len(agg.perCP)),
+	}
+	for cp, m := range agg.perCP {
+		ct.DominantPerCP[cp] = dominantType(m)
+	}
+	idx.callTypes = ct
+
+	// Languages.
+	idx.languages = Languages{
+		Visited:            agg.langVisited,
+		NoBanner:           agg.langNoBanner,
+		AcceptedByLanguage: agg.acceptedByLang,
+		MissedBanner:       agg.langMissed,
+	}
+
+	// Enrolment reads the attestation checks, not the visits; computing
+	// it here lets ComputeEnrolment answer from a copy.
+	e := Enrolment{ByMonth: make(map[string]int)}
+	for _, rec := range in.Attestations {
+		if !rec.Attested() || rec.IssuedAt.IsZero() {
+			continue
+		}
+		e.Total++
+		if e.First.IsZero() || rec.IssuedAt.Before(e.First) {
+			e.First = rec.IssuedAt
+		}
+		e.ByMonth[rec.IssuedAt.Format("2006-01")]++
+		if rec.HasEnrollmentSite {
+			e.WithEnrollmentSite++
+		}
+	}
+	idx.enrolment = e
+}
+
+// Hosts returns the number of distinct hostnames interned by the index's
+// etld cache.
+func (idx *Index) Hosts() int { return idx.etld.Len() }
+
+// copy helpers for the Compute* wrappers: results share nothing with the
+// index, so concurrent queries and caller-side mutation stay safe.
+
+func copyTypeCounts(m map[dataset.CallType]int) map[dataset.CallType]int {
+	out := make(map[dataset.CallType]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func copyStringCounts(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func copyCounter(c stats.Counter) stats.Counter {
+	out := make(stats.Counter, len(c))
+	for k, v := range c {
+		out[k] = v
+	}
+	return out
+}

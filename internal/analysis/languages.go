@@ -3,7 +3,6 @@ package analysis
 import (
 	"strings"
 
-	"github.com/netmeasure/topicscope/internal/dataset"
 	"github.com/netmeasure/topicscope/internal/stats"
 )
 
@@ -27,27 +26,9 @@ type Languages struct {
 
 // ComputeLanguages runs experiment D2 over Before-Accept visits.
 func ComputeLanguages(in *Input) *Languages {
-	l := &Languages{AcceptedByLanguage: stats.Counter{}}
-	for i := range in.Data.Visits {
-		v := &in.Data.Visits[i]
-		if v.Phase != dataset.BeforeAccept || !v.Success {
-			continue
-		}
-		l.Visited++
-		switch {
-		case !v.BannerDetected:
-			l.NoBanner++
-		case v.Accepted:
-			lang := v.BannerLanguage
-			if lang == "" {
-				lang = "unknown"
-			}
-			l.AcceptedByLanguage.Add(lang)
-		default:
-			l.MissedBanner++
-		}
-	}
-	return l
+	l := in.Index().languages
+	l.AcceptedByLanguage = copyCounter(l.AcceptedByLanguage)
+	return &l
 }
 
 // AcceptRate is the share of visited sites ending with consent granted.

@@ -4,8 +4,6 @@ import (
 	"fmt"
 	"strings"
 
-	"github.com/netmeasure/topicscope/internal/dataset"
-	"github.com/netmeasure/topicscope/internal/etld"
 	"github.com/netmeasure/topicscope/internal/stats"
 )
 
@@ -31,56 +29,8 @@ type Overview struct {
 
 // ComputeOverview runs experiment D1.
 func ComputeOverview(in *Input) *Overview {
-	o := &Overview{}
-	attempted := make(map[string]bool)
-	visited := make(map[string]bool)
-	accepted := make(map[string]bool)
-	thirdParties := make(map[string]bool)
-
-	legit := in.legitCallers()
-	daaSites := make(map[string]bool)
-	daaSitesWithCall := make(map[string]bool)
-
-	for i := range in.Data.Visits {
-		v := &in.Data.Visits[i]
-		switch v.Phase {
-		case dataset.BeforeAccept:
-			attempted[v.Site] = true
-			if v.Success {
-				visited[v.Site] = true
-			}
-			if v.BannerDetected {
-				o.BannersFound++
-			}
-			if v.Accepted {
-				accepted[v.Site] = true
-			}
-			for _, r := range v.Resources {
-				if r.ThirdParty && !r.Failed {
-					thirdParties[etld.RegistrableDomain(r.Host)] = true
-				}
-			}
-		case dataset.AfterAccept:
-			if !v.Success {
-				continue
-			}
-			daaSites[v.Site] = true
-			for _, c := range v.Calls {
-				if legit[c.Caller] {
-					daaSitesWithCall[v.Site] = true
-				}
-			}
-		}
-	}
-
-	o.Attempted = len(attempted)
-	o.Visited = len(visited)
-	o.Accepted = len(accepted)
-	o.AcceptShare = stats.Share(o.Accepted, o.Visited)
-	o.UniqueThirdParties = len(thirdParties)
-	o.SitesWithLegitCall = len(daaSitesWithCall)
-	o.LegitCallShare = stats.Share(len(daaSitesWithCall), len(daaSites))
-	return o
+	o := in.Index().overview
+	return &o
 }
 
 // Render prints the overview.

@@ -4,7 +4,6 @@ import (
 	"strings"
 
 	"github.com/netmeasure/topicscope/internal/chaos"
-	"github.com/netmeasure/topicscope/internal/dataset"
 	"github.com/netmeasure/topicscope/internal/stats"
 )
 
@@ -42,55 +41,10 @@ type ReliabilityDecile struct {
 
 // ComputeReliability runs experiment D1r.
 func ComputeReliability(in *Input) *Reliability {
-	r := &Reliability{ByClass: make(map[string]int)}
-	maxRank := 0
-	for i := range in.Data.Visits {
-		v := &in.Data.Visits[i]
-		if v.Phase == dataset.BeforeAccept && v.Rank > maxRank {
-			maxRank = v.Rank
-		}
-	}
-	deciles := make([]ReliabilityDecile, 10)
-	for i := range deciles {
-		deciles[i].Decile = i + 1
-	}
-	for i := range in.Data.Visits {
-		v := &in.Data.Visits[i]
-		r.Retries += v.Retries
-		for _, res := range v.Resources {
-			if res.Failed && res.Error == string(chaos.ClassCircuitOpen) {
-				r.CircuitOpens++
-			}
-		}
-		if v.Phase != dataset.BeforeAccept {
-			continue
-		}
-		r.Attempted++
-		d := &deciles[decileOf(v.Rank, maxRank)]
-		d.Attempted++
-		if v.Success {
-			r.Succeeded++
-			d.Succeeded++
-			if v.Partial {
-				r.PartialVisits++
-			}
-			continue
-		}
-		r.Failed++
-		class := v.ErrorClass
-		if class == "" {
-			class = string(chaos.ClassifyText(v.Error))
-		}
-		r.ByClass[class]++
-	}
-	r.SuccessRate = stats.Share(r.Succeeded, r.Attempted)
-	for i := range deciles {
-		deciles[i].SuccessRate = stats.Share(deciles[i].Succeeded, deciles[i].Attempted)
-		if deciles[i].Attempted > 0 {
-			r.Deciles = append(r.Deciles, deciles[i])
-		}
-	}
-	return r
+	r := in.Index().reliability
+	r.ByClass = copyStringCounts(r.ByClass)
+	r.Deciles = append([]ReliabilityDecile(nil), r.Deciles...)
+	return &r
 }
 
 // decileOf maps a 1-based rank onto a 0-based decile index.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 )
 
 // Report bundles every dataset-driven experiment of the paper.
@@ -23,22 +24,35 @@ type Report struct {
 	Languages   *Languages
 }
 
-// Run executes all experiments over the input.
+// Run executes all experiments over the input. The index is built once
+// (one parallel pass over the dataset); the independent sections then
+// compute concurrently, each writing its own Report field.
 func Run(in *Input) *Report {
-	return &Report{
-		Overview:    ComputeOverview(in),
-		Reliability: ComputeReliability(in),
-		Table1:      ComputeTable1(in),
-		Figure2:     ComputeFigure2(in, 15),
-		Figure3:     ComputeFigure3(in, 0, 15),
-		Anomaly:     ComputeAnomaly(in),
-		Figure5:     ComputeFigure5(in, 15),
-		Figure6:     ComputeFigure6(in, nil),
-		Figure7:     ComputeFigure7(in),
-		Enrolment:   ComputeEnrolment(in),
-		CallTypes:   ComputeCallTypes(in),
-		Languages:   ComputeLanguages(in),
+	in.Index()
+
+	r := &Report{}
+	var wg sync.WaitGroup
+	section := func(f func()) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f()
+		}()
 	}
+	section(func() { r.Overview = ComputeOverview(in) })
+	section(func() { r.Reliability = ComputeReliability(in) })
+	section(func() { r.Table1 = ComputeTable1(in) })
+	section(func() { r.Figure2 = ComputeFigure2(in, 15) })
+	section(func() { r.Figure3 = ComputeFigure3(in, 0, 15) })
+	section(func() { r.Anomaly = ComputeAnomaly(in) })
+	section(func() { r.Figure5 = ComputeFigure5(in, 15) })
+	section(func() { r.Figure6 = ComputeFigure6(in, nil) })
+	section(func() { r.Figure7 = ComputeFigure7(in) })
+	section(func() { r.Enrolment = ComputeEnrolment(in) })
+	section(func() { r.CallTypes = ComputeCallTypes(in) })
+	section(func() { r.Languages = ComputeLanguages(in) })
+	wg.Wait()
+	return r
 }
 
 // Render prints every experiment, separated by blank lines, in the

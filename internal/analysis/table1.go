@@ -3,7 +3,6 @@ package analysis
 import (
 	"strings"
 
-	"github.com/netmeasure/topicscope/internal/dataset"
 	"github.com/netmeasure/topicscope/internal/stats"
 )
 
@@ -32,34 +31,8 @@ type Table1 struct {
 
 // ComputeTable1 runs experiment T1.
 func ComputeTable1(in *Input) *Table1 {
-	t := &Table1{Allowed: in.Allowlist.Len()}
-	for _, d := range in.Allowlist.Domains() {
-		if rec, ok := in.Attestations[d]; ok && rec.Attested() {
-			t.AllowedAttested++
-		} else {
-			t.AllowedNotAttested++
-		}
-	}
-
-	for caller := range in.callersIn(dataset.AfterAccept, nil) {
-		switch {
-		case in.allowed(caller) && in.attested(caller):
-			t.AAAllowedAttested++
-		case !in.allowed(caller) && in.attested(caller):
-			t.AANotAllowedAttested++
-		case !in.allowed(caller):
-			t.AANotAllowed++
-		}
-	}
-	for caller := range in.callersIn(dataset.BeforeAccept, nil) {
-		switch {
-		case in.allowed(caller) && in.attested(caller):
-			t.BAAllowedAttested++
-		case !in.allowed(caller):
-			t.BANotAllowed++
-		}
-	}
-	return t
+	t := in.Index().table1
+	return &t
 }
 
 // Render prints Table 1 in the paper's layout.

@@ -1,0 +1,111 @@
+package etld
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestNormalizeFastPath: hosts already in normal form must come back as
+// the identical string, without allocating.
+func TestNormalizeFastPath(t *testing.T) {
+	for _, host := range []string{
+		"foo.com", "www.foo.co.uk", "a-b_c.example", "123.net", "x",
+	} {
+		if got := Normalize(host); got != host {
+			t.Errorf("Normalize(%q) = %q, want unchanged", host, got)
+		}
+		if n := testing.AllocsPerRun(100, func() { Normalize(host) }); n != 0 {
+			t.Errorf("Normalize(%q) allocates %.1f times per run, want 0", host, n)
+		}
+	}
+	// The slow path still normalizes everything the fast path rejects.
+	for in, want := range map[string]string{
+		"WWW.Foo.COM":  "www.foo.com",
+		" foo.com ":    "foo.com",
+		"foo.com.":     "foo.com",
+		"foo.com:8080": "foo.com",
+		"":             "",
+	} {
+		if got := Normalize(in); got != want {
+			t.Errorf("Normalize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestCacheMatchesDirectFunctions: the memoized split must agree with
+// the underlying functions for every shape of host.
+func TestCacheMatchesDirectFunctions(t *testing.T) {
+	c := NewCache()
+	hosts := []string{
+		"www.foo.com", "foo.com", "ad.foo.co.uk", "WWW.BAR.DE",
+		"foo.com.", "sub.deep.example.org", "com", "", "foo.com:443",
+		"bar.msk.ru", "shop.com.br",
+	}
+	for _, h := range hosts {
+		p := c.Parts(h)
+		if p.Host != Normalize(h) {
+			t.Errorf("Parts(%q).Host = %q, want %q", h, p.Host, Normalize(h))
+		}
+		if p.Registrable != RegistrableDomain(h) {
+			t.Errorf("Parts(%q).Registrable = %q, want %q", h, p.Registrable, RegistrableDomain(h))
+		}
+		if p.Suffix != PublicSuffix(h) {
+			t.Errorf("Parts(%q).Suffix = %q, want %q", h, p.Suffix, PublicSuffix(h))
+		}
+		if p.TLD != TLD(h) {
+			t.Errorf("Parts(%q).TLD = %q, want %q", h, p.TLD, TLD(h))
+		}
+		if p.SecondLevel != SecondLevelLabel(h) {
+			t.Errorf("Parts(%q).SecondLevel = %q, want %q", h, p.SecondLevel, SecondLevelLabel(h))
+		}
+		if p.Region != RegionOf(h) {
+			t.Errorf("Parts(%q).Region = %v, want %v", h, p.Region, RegionOf(h))
+		}
+	}
+	for _, h := range hosts {
+		if a, b := c.SameSecondLevel(h, "foo.net"), SameSecondLevel(h, "foo.net"); a != b {
+			t.Errorf("Cache.SameSecondLevel(%q, foo.net) = %v, want %v", h, a, b)
+		}
+	}
+}
+
+// TestCachePointerStability: repeated lookups return the same *Parts, so
+// index maps share one interned string per distinct host.
+func TestCachePointerStability(t *testing.T) {
+	c := NewCache()
+	p1 := c.Parts("www.foo.com")
+	p2 := c.Parts("www.foo.com")
+	if p1 != p2 {
+		t.Error("second lookup returned a different *Parts")
+	}
+	if n := c.Len(); n != 1 {
+		t.Errorf("cache Len = %d after one distinct host, want 1", n)
+	}
+}
+
+// TestCacheConcurrent hammers one cache from many goroutines under the
+// race detector; every goroutine must observe consistent values.
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				h := fmt.Sprintf("host-%d.example.com", i%100)
+				if got := c.Registrable(h); got != "example.com" {
+					t.Errorf("Registrable(%q) = %q", h, got)
+				}
+				if !c.SameSecondLevel(h, "example.org") {
+					t.Errorf("SameSecondLevel(%q, example.org) = false", h)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := c.Len(); n != 101 {
+		t.Errorf("cache Len = %d, want 101 distinct hosts", n)
+	}
+}

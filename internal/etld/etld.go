@@ -49,6 +49,9 @@ func init() {
 
 // Normalize lowercases a hostname and strips a trailing dot and port.
 func Normalize(host string) string {
+	if normalized(host) {
+		return host
+	}
 	host = strings.ToLower(strings.TrimSpace(host))
 	if i := strings.LastIndexByte(host, ':'); i >= 0 && !strings.Contains(host[i+1:], ".") {
 		// Strip a ":port" suffix but not the tail of an IPv6 literal.
@@ -57,6 +60,25 @@ func Normalize(host string) string {
 		}
 	}
 	return strings.TrimSuffix(host, ".")
+}
+
+// normalized reports whether host is already in normal form — lowercase
+// ASCII with no whitespace, port, or trailing dot — so Normalize can
+// return it unchanged. This is the overwhelmingly common case on crawl
+// datasets (hostnames arrive normalized from the wire) and keeps the
+// per-hostname analysis path allocation-free.
+func normalized(host string) bool {
+	if host == "" || host[len(host)-1] == '.' {
+		return false
+	}
+	for i := 0; i < len(host); i++ {
+		switch c := host[i]; {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '-', c == '.', c == '_':
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 func atoiOK(s string) (int, bool) {

@@ -17,6 +17,7 @@ import (
 	"github.com/netmeasure/topicscope/internal/adcatalog"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/netmeasure/topicscope/internal/attestation"
@@ -53,6 +54,29 @@ type Server struct {
 	Now func() time.Time
 
 	metrics Metrics
+
+	// pages caches rendered landing pages by (site, consent, vantage).
+	// A site's page is a pure function of those three — the world is
+	// immutable once generated — so a double crawl renders each page
+	// variant once instead of millions of times.
+	pages sync.Map
+}
+
+// pageKey identifies one cached rendering of a site's landing page.
+type pageKey struct {
+	domain    string
+	consented bool
+	eu        bool
+}
+
+// cachedSitePage returns the memoized landing page, rendering on miss.
+func (s *Server) cachedSitePage(site *webworld.Site, host string, consented, eu bool) string {
+	key := pageKey{domain: site.Domain, consented: consented, eu: eu}
+	if page, ok := s.pages.Load(key); ok {
+		return page.(string)
+	}
+	page, _ := s.pages.LoadOrStore(key, s.sitePage(site, host, consented, eu))
+	return page.(string)
 }
 
 // New builds a Server over a world.
@@ -162,7 +186,7 @@ func (s *Server) serveSite(w http.ResponseWriter, r *http.Request, site *webworl
 	switch {
 	case r.URL.Path == "/":
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
-		fmt.Fprint(w, s.sitePage(site, host, hasConsent(r), euVisitor(r)))
+		fmt.Fprint(w, s.cachedSitePage(site, host, hasConsent(r), euVisitor(r)))
 	case strings.HasPrefix(r.URL.Path, "/static/"):
 		serveStatic(w, r.URL.Path)
 	case r.URL.Path == "/js/ads-lib.js":

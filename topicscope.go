@@ -84,6 +84,10 @@ type Results struct {
 	Attestations []AttestationRecord
 	// Report holds every computed experiment.
 	Report *Report
+	// Analysis is the input the report was computed from, carrying the
+	// already-built analysis index: further Compute* calls on it reuse
+	// the one dataset pass the campaign already paid for.
+	Analysis *AnalysisInput
 }
 
 // Run executes the campaign.
@@ -147,6 +151,7 @@ func (c Campaign) Run(ctx context.Context) (*Results, error) {
 		Stats:        res.Stats,
 		Attestations: recs,
 		Report:       analysis.Run(in),
+		Analysis:     in,
 	}, nil
 }
 

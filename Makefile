@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test race race-core cover bench bench-json fuzz report clean
+.PHONY: all build test race race-core cover bench bench-json fuzz report lint clean
 
-all: build test race-core
+all: build lint test race-core
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,16 @@ race:
 # concurrent reads — fast enough to ride in `make all`.
 race-core:
 	$(GO) test -race ./internal/analysis/ ./internal/crawler/ ./internal/webserver/
+
+# Static analysis: go vet plus the repo's own invariant suite
+# (cmd/topicslint: determinism, vclock, etld, errwrap — see DESIGN.md
+# "Machine-enforced invariants"). The binary is compiled once (cached by
+# the go build cache) and then run over every package; topicslint loads
+# packages from source, so it needs no module proxy or network.
+lint:
+	$(GO) vet ./...
+	$(GO) build -o $(CURDIR)/.bin/topicslint ./cmd/topicslint
+	$(CURDIR)/.bin/topicslint ./...
 
 cover:
 	$(GO) test -cover ./...
@@ -48,3 +58,4 @@ report:
 
 clean:
 	rm -f report_full.txt report_full.json test_output.txt bench_output.txt
+	rm -rf .bin

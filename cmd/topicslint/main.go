@@ -1,0 +1,118 @@
+// Command topicslint is the repo's custom static-analysis multichecker.
+// It loads every module package from source (no module proxy needed)
+// and runs the internal/lint analyzer suite over it:
+//
+//	determinism — no wall clock / global RNG / unsorted map output in
+//	              the determinism-critical packages
+//	vclock      — no wall-clock timers outside internal/vclock
+//	etld        — no ad-hoc hostname surgery outside internal/etld
+//	errwrap     — %w wrapping in the crawler/chaos error paths
+//
+// Usage:
+//
+//	topicslint [-C dir] [-run names] [-v] [packages...]
+//
+// With no package arguments (or "./...") the whole module is analyzed.
+// Explicit arguments are module-relative package directories, e.g.
+// "internal/analysis". Exit status: 0 clean, 1 diagnostics, 2 usage or
+// load failure.
+//
+// Findings are suppressed per line with a justified comment:
+//
+//	//topicslint:ignore <analyzer> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/netmeasure/topicscope/internal/lint"
+)
+
+func main() {
+	var (
+		chdir   = flag.String("C", ".", "module root (or any directory inside it)")
+		run     = flag.String("run", "", "comma-separated analyzer names to run (default all)")
+		list    = flag.Bool("list", false, "list analyzers and exit")
+		verbose = flag.Bool("v", false, "also print suppressed findings and type-check warnings")
+	)
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%s: %s\n\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *run != "" {
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*run, ",") {
+			a := lint.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fatalf("unknown analyzer %q (try -list)", name)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	loader, err := lint.NewLoader(*chdir)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	var pkgs []*lint.Package
+	args := flag.Args()
+	if len(args) == 0 || (len(args) == 1 && (args[0] == "./..." || args[0] == "...")) {
+		pkgs, err = loader.LoadAll()
+		if err != nil {
+			fatalf("%v", err)
+		}
+	} else {
+		for _, arg := range args {
+			rel := strings.TrimSuffix(strings.TrimPrefix(arg, "./"), "/")
+			p, err := loader.Load(rel)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			pkgs = append(pkgs, p)
+		}
+	}
+
+	bad := 0
+	suppressedTotal := 0
+	for _, pkg := range pkgs {
+		if *verbose {
+			for _, terr := range pkg.TypeErrors {
+				fmt.Fprintf(os.Stderr, "topicslint: %s: type-check: %v\n", pkg.ImportPath, terr)
+			}
+		}
+		kept, suppressed := lint.RunAnalyzers(pkg, analyzers)
+		suppressedTotal += len(suppressed)
+		for _, d := range kept {
+			fmt.Println(d)
+			bad++
+		}
+		if *verbose {
+			for _, d := range suppressed {
+				fmt.Printf("%s [suppressed]\n", d)
+			}
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "topicslint: %d finding(s) across %d package(s) (%d suppressed)\n",
+			bad, len(pkgs), suppressedTotal)
+		os.Exit(1)
+	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "topicslint: clean: %d package(s), %d suppression(s)\n",
+			len(pkgs), suppressedTotal)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "topicslint: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,57 @@
+package topicscope_test
+
+import (
+	"bytes"
+	"context"
+	"runtime"
+	"testing"
+
+	"github.com/netmeasure/topicscope"
+)
+
+// TestReportDeterminismAcrossGOMAXPROCS is the repo-level face of the
+// index-determinism invariant that topicslint enforces statically and
+// TestIndexWorkerDeterminism proves for the index alone: a whole seeded
+// campaign — world generation, chaos-injected crawl, attestation
+// checks, every table and figure — emits byte-identical report JSON
+// (the report_full.json artifact) no matter the GOMAXPROCS setting or
+// the crawl worker count.
+func TestReportDeterminismAcrossGOMAXPROCS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping full-campaign determinism smoke test")
+	}
+	run := func(procs, workers int) []byte {
+		t.Helper()
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+		results, err := topicscope.Campaign{
+			Seed:      7,
+			Sites:     400,
+			Workers:   workers,
+			Chaos:     true,
+			ChaosSeed: 3,
+		}.Run(context.Background())
+		if err != nil {
+			t.Fatalf("campaign (GOMAXPROCS=%d workers=%d): %v", procs, workers, err)
+		}
+		var buf bytes.Buffer
+		if err := results.Report.WriteJSON(&buf); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		return buf.Bytes()
+	}
+
+	serial := run(1, 2)
+	parallel := run(runtime.NumCPU(), 8)
+	if bytes.Equal(serial, parallel) {
+		return
+	}
+	aLines := bytes.Split(serial, []byte("\n"))
+	bLines := bytes.Split(parallel, []byte("\n"))
+	for i := 0; i < len(aLines) && i < len(bLines); i++ {
+		if !bytes.Equal(aLines[i], bLines[i]) {
+			t.Fatalf("report JSON diverges at line %d:\n GOMAXPROCS=1: %s\n GOMAXPROCS=%d: %s",
+				i+1, aLines[i], runtime.NumCPU(), bLines[i])
+		}
+	}
+	t.Fatalf("report JSON lengths diverge: %d vs %d bytes", len(serial), len(parallel))
+}

@@ -5,6 +5,8 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+
+	"github.com/netmeasure/topicscope/internal/etld"
 )
 
 // Injector is a client-side http.RoundTripper that applies the fault
@@ -65,14 +67,12 @@ func requestHost(req *http.Request) string {
 	return req.Host
 }
 
-// normalizeHost lowercases and strips a port suffix, matching the
-// world's host normalisation without importing it.
+// normalizeHost canonicalizes a request host the same way every other
+// package does: through etld.Normalize (lowercase, port and
+// trailing-dot strip), so per-host fault profiles match regardless of
+// how the host was spelled on the wire.
 func normalizeHost(host string) string {
-	host = strings.ToLower(host)
-	if i := strings.LastIndexByte(host, ':'); i >= 0 && !strings.Contains(host[i:], "]") && !strings.Contains(host[i:], ".") {
-		host = host[:i]
-	}
-	return strings.TrimSuffix(host, ".")
+	return etld.Normalize(host)
 }
 
 // synthesize5xx builds an injected server-error response without

@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"strings"
+
+	"github.com/netmeasure/topicscope/internal/etld"
 )
 
 // CMP describes one consent-management platform.
@@ -86,7 +88,7 @@ func ByName(name string) (CMP, bool) {
 // Wappalyzer-style fingerprinting the paper uses ("We rely on the list of
 // the most widespread CMPs (identified by their domain name)").
 func ByDomain(domain string) (CMP, bool) {
-	domain = strings.ToLower(domain)
+	domain = etld.Normalize(domain)
 	for _, c := range catalog {
 		if domain == c.Domain || strings.HasSuffix(domain, "."+c.Domain) {
 			return c, true

@@ -179,6 +179,7 @@ type siteResult struct {
 // Run crawls every entry of the list. It honours ctx cancellation,
 // returning the partial result and ctx.Err().
 func (c *Crawler) Run(ctx context.Context, list *tranco.List) (*Result, error) {
+	//topicslint:ignore determinism Stats.Elapsed is wall-clock operator telemetry; it never enters the dataset or the report JSON
 	started := time.Now()
 	cfg := c.cfg
 	res := &Result{}
@@ -235,7 +236,8 @@ func (c *Crawler) Run(ctx context.Context, list *tranco.List) (*Result, error) {
 			}
 		}()
 	}
-	res.Stats.Elapsed = time.Since(started)
+	res.Stats.Elapsed = time.Since(started) //topicslint:ignore determinism wall-clock crawl duration, logged for operators only
+
 	if cfg.Logger != nil {
 		cfg.Logger.Info("crawl finished", "stats", res.Stats.String())
 	}

@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ErrWrap requires %w when fmt.Errorf carries an error in the crawler,
+// chaos and browser paths. The PR 1 error taxonomy (chaos.Classify)
+// walks wrapped chains with errors.Is/As; a %v or %s flattens the chain
+// to text and silently reclassifies the failure as ClassOther.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc: `require %w (not %v/%s) for error arguments of fmt.Errorf in
+internal/crawler, internal/chaos and internal/browser: the error
+taxonomy classifies failures with errors.Is/As over the wrapped chain,
+and a flattened error degrades to ClassOther in the failure breakdown.`,
+	AppliesTo: inPackages("internal/crawler", "internal/chaos", "internal/browser"),
+	Run:       runErrWrap,
+}
+
+func runErrWrap(pass *Pass) {
+	errType := types.Universe.Lookup("error").Type()
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pkgPath, name, pkgLevel, ok := funcOf(pass.TypesInfo, call.Fun)
+		if !ok || !pkgLevel || pkgPath != "fmt" || name != "Errorf" || len(call.Args) < 2 {
+			return true
+		}
+		lit, ok := call.Args[0].(*ast.BasicLit)
+		if !ok {
+			return true
+		}
+		format, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return true
+		}
+		verbs, ok := formatVerbs(format)
+		if !ok {
+			return true
+		}
+		for i, verb := range verbs {
+			argIdx := 1 + i
+			if argIdx >= len(call.Args) {
+				break
+			}
+			arg := call.Args[argIdx]
+			tv, ok := pass.TypesInfo.Types[arg]
+			if !ok || tv.Type == nil || !types.AssignableTo(tv.Type, errType) {
+				continue
+			}
+			if verb == 'v' || verb == 's' {
+				pass.Reportf(arg.Pos(),
+					"error %s formatted with %%%c flattens the chain: chaos.Classify uses errors.Is/As, so wrap with %%w", ExprString(arg), verb)
+			}
+		}
+		return true
+	})
+}
+
+// formatVerbs returns the verb consuming each successive argument of a
+// Printf-style format. A '*' width or precision consumes an argument
+// and is recorded as '*'. Indexed arguments (%[1]v) are rare and
+// disable the check (ok=false) rather than risk a mismapped verb.
+func formatVerbs(format string) (verbs []rune, ok bool) {
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+	spec:
+		for ; i < len(format); i++ {
+			switch c := format[i]; {
+			case c == '%':
+				break spec
+			case c == '[':
+				return nil, false
+			case c == '*':
+				verbs = append(verbs, '*')
+			case strings.ContainsRune("+-# .0123456789", rune(c)):
+				// flags, width, precision
+			default:
+				verbs = append(verbs, rune(c))
+				break spec
+			}
+		}
+	}
+	return verbs, true
+}

@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ETLD flags ad-hoc hostname surgery outside internal/etld: splitting a
+// host on dots, hand-lowercasing it, or trimming its trailing dot. All
+// of that belongs to etld.Normalize / PublicSuffix / RegistrableDomain,
+// memoized and interned by etld.Cache — a second implementation is both
+// slower (no interning) and a drift risk for the eTLD tables.
+var ETLD = &Analyzer{
+	Name: "etld",
+	Doc: `flag ad-hoc hostname parsing outside internal/etld:
+strings.Split(host, "."), strings.ToLower(host) and
+strings.TrimSuffix(host, ".") on host-like operands must go through
+etld.Normalize and the memoized etld.Cache so every package agrees on
+one normal form and interned splits.`,
+	AppliesTo: notPackage("internal/etld"),
+	Run:       runETLD,
+}
+
+// hostLikeWords mark an operand as (probably) a hostname. The check is
+// textual on purpose: hostnames are plain strings, so only the variable
+// naming carries the intent.
+var hostLikeWords = []string{"host", "domain", "site", "origin", "etld", "authority"}
+
+func hostLike(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		name := strings.ToLower(id.Name)
+		for _, w := range hostLikeWords {
+			if strings.Contains(name, w) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// stringArg returns the compile-time value of a string literal or
+// constant expression, if any.
+func stringArg(info *types.Info, e ast.Expr) (string, bool) {
+	if tv, ok := info.Types[e]; ok && tv.Value != nil {
+		if s, err := strconv.Unquote(tv.Value.ExactString()); err == nil {
+			return s, true
+		}
+	}
+	return "", false
+}
+
+func runETLD(pass *Pass) {
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pkgPath, name, pkgLevel, ok := funcOf(pass.TypesInfo, call.Fun)
+		if !ok || !pkgLevel || pkgPath != "strings" {
+			return true
+		}
+		switch name {
+		case "Split", "SplitN", "SplitAfter", "SplitAfterN":
+			if len(call.Args) < 2 || !hostLike(call.Args[0]) {
+				return true
+			}
+			if sep, ok := stringArg(pass.TypesInfo, call.Args[1]); ok && sep == "." {
+				pass.Reportf(call.Pos(),
+					"ad-hoc hostname split of %s: label surgery belongs to internal/etld (PublicSuffix, RegistrableDomain, TLD), memoized by etld.Cache", ExprString(call.Args[0]))
+			}
+		case "ToLower":
+			if len(call.Args) == 1 && hostLike(call.Args[0]) {
+				pass.Reportf(call.Pos(),
+					"manual lowercasing of %s: use etld.Normalize (lowercase + port/trailing-dot strip, allocation-free when already normal)", ExprString(call.Args[0]))
+			}
+		case "TrimSuffix":
+			if len(call.Args) == 2 && hostLike(call.Args[0]) {
+				if suf, ok := stringArg(pass.TypesInfo, call.Args[1]); ok && suf == "." {
+					pass.Reportf(call.Pos(),
+						"manual trailing-dot strip of %s: use etld.Normalize so every package agrees on one hostname normal form", ExprString(call.Args[0]))
+				}
+			}
+		}
+		return true
+	})
+}

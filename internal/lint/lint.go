@@ -1,0 +1,259 @@
+// Package lint implements topicslint, the repo's custom static-analysis
+// suite. It machine-enforces the invariants the measurement pipeline
+// depends on but that ordinary Go tooling cannot see:
+//
+//   - determinism: the index-determinism invariant (DESIGN.md) — no wall
+//     clock, no global RNG, and no map-iteration order leaking into
+//     reports inside the determinism-critical packages;
+//   - vclock: all timing flows through the virtual clock so chaos and
+//     retry schedules stay simulable;
+//   - etld: hostname surgery happens in internal/etld only, so every
+//     caller shares the memoized, interned etld.Cache splits;
+//   - errwrap: fmt.Errorf wraps errors with %w in the crawler/chaos
+//     paths, so the PR 1 error taxonomy survives errors.Is/As.
+//
+// The package mirrors the golang.org/x/tools/go/analysis API (Analyzer,
+// Pass, Diagnostic) but is self-contained: the build environment has no
+// module proxy, so the framework runs on go/ast + go/types with a
+// source-level importer (see load.go). cmd/topicslint is the
+// multichecker binary; `make lint` runs it over ./...
+//
+// Any diagnostic can be suppressed at the offending line (or the line
+// above it) with:
+//
+//	//topicslint:ignore <analyzer> <reason>
+//
+// The reason is mandatory — a bare ignore is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //topicslint:ignore comments.
+	Name string
+	// Doc is a one-paragraph description: what it forbids and why.
+	Doc string
+	// AppliesTo filters packages by module-relative import path
+	// ("internal/analysis", "cmd/topics-crawl", "" for the root
+	// package). A nil AppliesTo runs everywhere.
+	AppliesTo func(relPath string) bool
+	// Run inspects one package and reports diagnostics on the pass.
+	Run func(*Pass)
+}
+
+// A Pass carries one (analyzer, package) unit of work, mirroring
+// analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// A Diagnostic is one finding, positioned and attributed.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Inspect walks every file of the pass in source order.
+func (p *Pass) Inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}
+
+// funcOf resolves expr to a package-level function or method object.
+// It returns the defining package path, the function name, and whether
+// the receiver is nil (package-level) — the distinction between
+// rand.IntN (global, unseeded) and rng.IntN (instance, caller-seeded).
+func funcOf(info *types.Info, expr ast.Expr) (pkgPath, name string, pkgLevel, ok bool) {
+	var obj types.Object
+	switch e := expr.(type) {
+	case *ast.SelectorExpr:
+		obj = info.Uses[e.Sel]
+	case *ast.Ident:
+		obj = info.Uses[e]
+	default:
+		return "", "", false, false
+	}
+	fn, isFn := obj.(*types.Func)
+	if !isFn || fn.Pkg() == nil {
+		return "", "", false, false
+	}
+	sig, isSig := fn.Type().(*types.Signature)
+	pkgLevel = !isSig || sig.Recv() == nil
+	return fn.Pkg().Path(), fn.Name(), pkgLevel, true
+}
+
+// ExprString renders an expression compactly for matching and messages.
+func ExprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return ExprString(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		args := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = ExprString(a)
+		}
+		return ExprString(e.Fun) + "(" + strings.Join(args, ", ") + ")"
+	case *ast.IndexExpr:
+		return ExprString(e.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + ExprString(e.X)
+	case *ast.ParenExpr:
+		return ExprString(e.X)
+	case *ast.BasicLit:
+		return e.Value
+	}
+	return "?"
+}
+
+// inPackages builds an AppliesTo filter from module-relative paths.
+func inPackages(paths ...string) func(string) bool {
+	set := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		set[p] = true
+	}
+	return func(rel string) bool { return set[rel] }
+}
+
+// notPackage builds an AppliesTo filter excluding one package.
+func notPackage(path string) func(string) bool {
+	return func(rel string) bool { return rel != path }
+}
+
+// All returns every analyzer of the suite, in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, VClock, ETLD, ErrWrap}
+}
+
+// ByName resolves an analyzer name, for -run filters and ignore
+// comments.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// A Suppression is one parsed //topicslint:ignore comment.
+type Suppression struct {
+	// File and Line locate the comment.
+	File string
+	Line int
+	// Analyzer is the suppressed analyzer name; Reason the mandatory
+	// justification.
+	Analyzer string
+	Reason   string
+	// Malformed is set when the comment lacks an analyzer or reason;
+	// such comments suppress nothing and are themselves reported.
+	Malformed bool
+}
+
+var ignoreRe = regexp.MustCompile(`^//topicslint:ignore(?:\s+(\S+))?(?:\s+(.+?))?\s*$`)
+
+// parseSuppressions extracts every topicslint:ignore comment of a file.
+func parseSuppressions(fset *token.FileSet, f *ast.File) []Suppression {
+	var out []Suppression
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, "//topicslint:ignore") {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			m := ignoreRe.FindStringSubmatch(c.Text)
+			s := Suppression{File: pos.Filename, Line: pos.Line}
+			if m == nil || m[1] == "" || m[2] == "" || ByName(m[1]) == nil {
+				s.Malformed = true
+			} else {
+				s.Analyzer, s.Reason = m[1], m[2]
+			}
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Filter splits diagnostics into kept and suppressed according to the
+// package's ignore comments, and reports malformed ignores as fresh
+// diagnostics. A suppression covers its own source line and the line
+// immediately below it (so it works both trailing the offender and on
+// a line of its own above it).
+func Filter(diags []Diagnostic, sups []Suppression) (kept, suppressed []Diagnostic) {
+	type key struct {
+		file string
+		line int
+		name string
+	}
+	covered := make(map[key]bool)
+	for _, s := range sups {
+		if s.Malformed {
+			kept = append(kept, Diagnostic{
+				Pos:      token.Position{Filename: s.File, Line: s.Line, Column: 1},
+				Analyzer: "topicslint",
+				Message:  "malformed suppression: want //topicslint:ignore <analyzer> <reason> with a known analyzer",
+			})
+			continue
+		}
+		covered[key{s.File, s.Line, s.Analyzer}] = true
+		covered[key{s.File, s.Line + 1, s.Analyzer}] = true
+	}
+	for _, d := range diags {
+		if covered[key{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+			suppressed = append(suppressed, d)
+		} else {
+			kept = append(kept, d)
+		}
+	}
+	sortDiags(kept)
+	sortDiags(suppressed)
+	return kept, suppressed
+}
+
+func sortDiags(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+}

@@ -1,0 +1,281 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// A Package is one loaded, type-checked module package plus everything
+// the analyzers and the suppression filter need.
+type Package struct {
+	// ImportPath is the full path; RelPath is module-relative ("" for
+	// the module root package).
+	ImportPath string
+	RelPath    string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	// Suppressions collects every //topicslint:ignore in the package.
+	Suppressions []Suppression
+	// TypeErrors holds any type-check errors. Analyzers still run (the
+	// Info maps are partially filled), but the driver surfaces them.
+	TypeErrors []error
+}
+
+// Loader discovers, parses and type-checks module packages. It has no
+// dependency on the go command or a module proxy: module-internal
+// imports resolve from source under the module root, and standard
+// library imports resolve through go/importer's source compiler, which
+// type-checks GOROOT/src directly.
+type Loader struct {
+	ModuleDir  string
+	ModulePath string
+
+	fset     *token.FileSet
+	stdlib   types.Importer
+	checked  map[string]*types.Package // by import path, incl. deps
+	packages map[string]*Package       // fully-loaded roots, by rel path
+}
+
+// NewLoader builds a Loader for the module rooted at or above dir.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root, modPath, err := findModule(abs)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		ModuleDir:  root,
+		ModulePath: modPath,
+		fset:       fset,
+		stdlib:     importer.ForCompiler(fset, "source", nil),
+		checked:    make(map[string]*types.Package),
+		packages:   make(map[string]*Package),
+	}, nil
+}
+
+func findModule(dir string) (root, modPath string, err error) {
+	for d := dir; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					p := strings.TrimSpace(rest)
+					if unq, err := strconv.Unquote(p); err == nil {
+						p = unq
+					}
+					return d, p, nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: no module line in %s/go.mod", d)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("lint: no go.mod at or above %s", dir)
+		}
+	}
+}
+
+// LoadAll discovers every package under the module root (skipping
+// testdata, vendor and hidden directories), loads them in dependency
+// order, and returns them sorted by import path.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.ModuleDir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.ModuleDir && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	var pkgs []*Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(l.ModuleDir, dir)
+		if err != nil {
+			return nil, err
+		}
+		if rel == "." {
+			rel = ""
+		}
+		p, err := l.load(filepath.ToSlash(rel))
+		if err != nil {
+			return nil, fmt.Errorf("lint: loading %s: %w", dir, err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Load loads the single package at the module-relative path (after
+// loading its module-internal dependencies).
+func (l *Loader) Load(relPath string) (*Package, error) {
+	return l.load(filepath.ToSlash(relPath))
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+func (l *Loader) load(rel string) (*Package, error) {
+	if p, ok := l.packages[rel]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(l.ModuleDir, filepath.FromSlash(rel))
+	importPath := l.ModulePath
+	if rel != "" {
+		importPath += "/" + rel
+	}
+
+	// Parse the non-test sources, with comments for suppressions. The
+	// suite analyzes production code only; tests may legitimately use
+	// the wall clock and wall-clock sleeps.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no buildable Go files in %s", dir)
+	}
+
+	// Load module-internal dependencies first so the type checker finds
+	// them in l.checked (one types.Package instance per path — mixing
+	// instances would make identical types unassignable).
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if sub, ok := l.relOf(path); ok && sub != rel {
+				if _, err := l.load(sub); err != nil {
+					return nil, fmt.Errorf("dependency %s: %w", path, err)
+				}
+			}
+		}
+	}
+
+	pkg := &Package{
+		ImportPath: importPath,
+		RelPath:    rel,
+		Dir:        dir,
+		Fset:       l.fset,
+		Files:      files,
+		Info: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		},
+	}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, _ := conf.Check(importPath, l.fset, files, pkg.Info) // errors collected above
+	pkg.Types = tpkg
+	for _, f := range files {
+		pkg.Suppressions = append(pkg.Suppressions, parseSuppressions(l.fset, f)...)
+	}
+	l.checked[importPath] = tpkg
+	l.packages[rel] = pkg
+	return pkg, nil
+}
+
+// relOf maps an import path to its module-relative form.
+func (l *Loader) relOf(importPath string) (string, bool) {
+	if importPath == l.ModulePath {
+		return "", true
+	}
+	if rest, ok := strings.CutPrefix(importPath, l.ModulePath+"/"); ok {
+		return rest, true
+	}
+	return "", false
+}
+
+// Import implements types.Importer: module packages come from the
+// loader's own cache (loaded from source), everything else from the
+// standard library's source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if p, ok := l.checked[path]; ok {
+		return p, nil
+	}
+	if rel, ok := l.relOf(path); ok {
+		pkg, err := l.load(rel)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.stdlib.Import(path)
+}
+
+// RunAnalyzers applies every in-scope analyzer to the package and
+// returns kept and suppressed diagnostics, sorted by position.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) (kept, suppressed []Diagnostic) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if a.AppliesTo != nil && !a.AppliesTo(pkg.RelPath) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			diags:     &diags,
+		}
+		a.Run(pass)
+	}
+	return Filter(diags, pkg.Suppressions)
+}

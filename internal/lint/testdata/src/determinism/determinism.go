@@ -1,0 +1,98 @@
+// Package determinism is analyzer test input: every `// want` comment
+// is a regexp the determinism analyzer must report on that line, and
+// every unannotated line must stay silent.
+package determinism
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// wallClock exercises the time.Now / time.Since rules.
+func wallClock(start time.Time) time.Duration {
+	t := time.Now()        // want `time\.Now reads the wall clock`
+	d := time.Since(start) // want `time\.Since reads the wall clock`
+	_ = t
+	return d
+}
+
+// injectedClock is the approved pattern: the clock comes in from the
+// caller, so nothing here reads the wall.
+func injectedClock(now func() time.Time) time.Time {
+	return now()
+}
+
+// globalRand exercises the global math/rand rules.
+func globalRand() int {
+	n := rand.IntN(10)                 // want `global rand\.IntN draws from the process-wide unseeded source`
+	rand.Shuffle(n, func(i, j int) {}) // want `global rand\.Shuffle`
+	return n
+}
+
+// seededRand is the approved pattern: an instance seeded by the caller.
+func seededRand(seed uint64) int {
+	rng := rand.New(rand.NewPCG(seed, 1))
+	return rng.IntN(10)
+}
+
+// unsortedAppend leaks map order into the returned slice.
+func unsortedAppend(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `range over map m appends to out, which is never sorted afterwards`
+		out = append(out, k)
+	}
+	return out
+}
+
+// sortedAppend is the false-positive guard: the append is followed by a
+// sort, so iteration order is laundered away and nothing is reported.
+func sortedAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// helperSorted launders order through a repo-local sorting helper, like
+// the analysis figures do with sortFigure3 — also not reported.
+type figure struct{ Rows []string }
+
+func helperSorted(m map[string]int) *figure {
+	f := &figure{}
+	for k := range m {
+		f.Rows = append(f.Rows, k)
+	}
+	sortFigure(f)
+	return f
+}
+
+func sortFigure(f *figure) { sort.Strings(f.Rows) }
+
+// directWrite emits inside the loop: no later sort can fix that.
+func directWrite(m map[string]int, b *strings.Builder) {
+	for k := range m { // want `range over map m writes via WriteString`
+		b.WriteString(k)
+	}
+}
+
+// printedWrite feeds fmt output from inside the loop.
+func printedWrite(m map[string]int) {
+	for k, v := range m { // want `range over map m feeds fmt\.Fprintf output`
+		fmt.Fprintf(os.Stderr, "%s=%d\n", k, v)
+	}
+}
+
+// sliceRange ranges over a slice — ordered, never reported.
+func sliceRange(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}

@@ -1,0 +1,22 @@
+// Package errwrap is analyzer test input for the %w-wrapping rule.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBase = errors.New("base")
+
+func wrapping(err error, site string, n int) {
+	_ = fmt.Errorf("loading %s: %v", site, err)  // want `error err formatted with %v flattens the chain`
+	_ = fmt.Errorf("loading %s: %s", site, err)  // want `error err formatted with %s flattens the chain`
+	_ = fmt.Errorf("attempt %d: %v", n, errBase) // want `error errBase formatted with %v flattens the chain`
+
+	// The approved pattern: %w keeps the chain for errors.Is/As.
+	_ = fmt.Errorf("loading %s: %w", site, err)
+	// Non-error operands may use any verb.
+	_ = fmt.Errorf("loading %s failed %d times: %q", site, n, site)
+	// A * width consumes an argument; the error still maps to %w.
+	_ = fmt.Errorf("%*d attempts: %w", 5, n, err)
+}

@@ -1,0 +1,27 @@
+// Package etld is analyzer test input for the hostname-surgery rule.
+package etld
+
+import "strings"
+
+func surgery(host, domain string) {
+	_ = strings.Split(host, ".")                 // want `ad-hoc hostname split of host`
+	_ = strings.SplitN(domain, ".", 2)           // want `ad-hoc hostname split of domain`
+	_ = strings.ToLower(host)                    // want `manual lowercasing of host`
+	_ = strings.TrimSuffix(host, ".")            // want `manual trailing-dot strip of host`
+	_ = strings.ToLower(strings.TrimSpace(host)) // want `manual lowercasing of strings\.TrimSpace\(host\)`
+}
+
+// notHosts shows the analyzer keys on host-like naming: generic string
+// work stays silent.
+func notHosts(path, text string) {
+	_ = strings.Split(path, "/")
+	_ = strings.Split(text, ".")
+	_ = strings.ToLower(text)
+	_ = strings.TrimSuffix(path, ".")
+}
+
+// otherSeparators on hosts are not label surgery.
+func otherSeparators(host string) {
+	_ = strings.Split(host, ",")
+	_ = strings.TrimSuffix(host, "/")
+}

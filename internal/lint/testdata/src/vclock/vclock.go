@@ -1,0 +1,27 @@
+// Package vclock is analyzer test input for the wall-clock-timer rule.
+package vclock
+
+import "time"
+
+func sleepy() {
+	time.Sleep(time.Second)         // want `time\.Sleep schedules on the wall clock`
+	<-time.After(time.Second)       // want `time\.After schedules on the wall clock`
+	t := time.NewTimer(time.Second) // want `time\.NewTimer schedules on the wall clock`
+	t.Stop()
+	tick := time.NewTicker(time.Second) // want `time\.NewTicker schedules on the wall clock`
+	tick.Stop()
+}
+
+// suppressed shows the escape hatch: a justified ignore comment keeps
+// the diagnostic out of the kept set (the harness asserts it lands in
+// the suppressed set instead).
+func suppressed() {
+	//topicslint:ignore vclock testdata example of a justified wall-clock sleep
+	time.Sleep(time.Millisecond)
+}
+
+// durations alone are fine: only the scheduling entry points are
+// forbidden, not the time types.
+func durations(d time.Duration) time.Duration {
+	return d * 2
+}

@@ -1,0 +1,39 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// wallTimers are the time-package entry points that schedule against
+// the wall clock.
+var wallTimers = map[string]bool{
+	"Sleep": true, "After": true, "AfterFunc": true,
+	"NewTimer": true, "NewTicker": true, "Tick": true,
+}
+
+// VClock forbids wall-clock timers everywhere outside internal/vclock.
+// Retry backoff, A/B-test slots and chaos fault windows all advance on
+// the virtual clock so a 50k-site campaign replays in milliseconds and
+// byte-identically; one time.Sleep makes that schedule unsimulable.
+var VClock = &Analyzer{
+	Name: "vclock",
+	Doc: `forbid time.Sleep, time.After, time.AfterFunc, time.NewTimer,
+time.NewTicker and time.Tick outside internal/vclock: all campaign
+timing advances on the virtual clock (vclock.Clock) so retries, chaos
+windows and A/B slots are simulable and deterministic.`,
+	AppliesTo: notPackage("internal/vclock"),
+	Run: func(pass *Pass) {
+		pass.Inspect(func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, name, pkgLevel, ok := funcOf(pass.TypesInfo, sel)
+			if ok && pkgLevel && pkgPath == "time" && wallTimers[name] {
+				pass.Reportf(sel.Pos(),
+					"time.%s schedules on the wall clock; advance an internal/vclock Clock instead so campaign timing stays simulable", name)
+			}
+			return true
+		})
+	},
+}

@@ -11,6 +11,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"github.com/netmeasure/topicscope/internal/etld"
 )
 
 // Entry is one ranked site.
@@ -75,7 +77,7 @@ func Parse(r io.Reader) (*List, error) {
 		if err != nil {
 			return nil, fmt.Errorf("tranco: line %d: bad rank: %w", line, err)
 		}
-		domain = strings.ToLower(strings.TrimSpace(domain))
+		domain = etld.Normalize(domain)
 		if rank <= prevRank {
 			return nil, fmt.Errorf("tranco: line %d: rank %d not increasing", line, rank)
 		}

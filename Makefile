@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-core cover bench bench-json fuzz report lint clean
+.PHONY: all build test race race-core cover bench bench-json bench-gate fuzz golden report lint clean
 
 all: build lint test race-core
 
@@ -18,10 +18,11 @@ race:
 
 # Focused race pass over the packages with real concurrency: the
 # crawler's worker pool + reorder buffer, the webserver (chaos handler
-# and page cache included), and the analysis index's sharded build +
-# concurrent reads — fast enough to ride in `make all`.
+# and page cache included), the analysis index's sharded build +
+# concurrent reads, and the obs registry/summary sinks that crawl
+# workers feed concurrently — fast enough to ride in `make all`.
 race-core:
-	$(GO) test -race ./internal/analysis/ ./internal/crawler/ ./internal/webserver/
+	$(GO) test -race ./internal/analysis/ ./internal/crawler/ ./internal/webserver/ ./internal/obs/
 
 # Static analysis: go vet plus the repo's own invariant suite
 # (cmd/topicslint: determinism, vclock, etld, errwrap — see DESIGN.md
@@ -44,12 +45,29 @@ bench:
 bench-json:
 	$(GO) test -run '^$$' -bench=. -benchmem . | $(GO) run ./cmd/benchjson > BENCH_report.json
 
+# Benchmark regression gate: re-run the suite and fail when allocs/op
+# or B/op regressed more than 20% against the committed baseline
+# (ns/op is advisory — it depends on the host). The short -benchtime
+# keeps CI cheap; allocation counts stabilise within a few iterations.
+bench-gate:
+	$(GO) test -run '^$$' -bench=. -benchtime=0.2s -benchmem . \
+		| $(GO) run ./cmd/benchjson -check BENCH_report.json -tol 0.2
+
 # Short fuzz pass over every parser.
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/htmlx/
 	$(GO) test -fuzz=FuzzReadAllowlist -fuzztime=10s ./internal/attestation/
 	$(GO) test -fuzz=FuzzParseAttestation -fuzztime=10s ./internal/attestation/
 	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/tranco/
+	$(GO) test -fuzz=FuzzTraceDecode -fuzztime=10s ./internal/obs/
+	$(GO) test -fuzz=FuzzCompletedSites -fuzztime=10s ./internal/dataset/
+	$(GO) test -fuzz=FuzzReadVisits -fuzztime=10s ./internal/dataset/
+
+# Regenerate the committed end-to-end pipeline fixture
+# (testdata/golden_pipeline.json) after an intentional output change;
+# review the diff before committing.
+golden:
+	UPDATE_GOLDEN=1 $(GO) test -run '^TestPipelineGolden$$' .
 
 # The canonical full-scale reproduction run (EXPERIMENTS.md).
 report:

@@ -16,6 +16,7 @@ import (
 	"github.com/netmeasure/topicscope/internal/crawler"
 	"github.com/netmeasure/topicscope/internal/dataset"
 	"github.com/netmeasure/topicscope/internal/etld"
+	"github.com/netmeasure/topicscope/internal/obs"
 	"github.com/netmeasure/topicscope/internal/reident"
 	"github.com/netmeasure/topicscope/internal/taxonomy"
 	"github.com/netmeasure/topicscope/internal/topics"
@@ -120,11 +121,52 @@ func ClassifyError(err error) ChaosClass { return chaos.Classify(err) }
 // MetricsPath is the debug endpoint topics-serve exposes.
 const MetricsPath = webserver.MetricsPath
 
-// MetricsHandler renders server and chaos counters in Prometheus text
-// format (chaosStats may be nil).
-func MetricsHandler(s *Server, chaosStats *ChaosStats) http.Handler {
-	return webserver.MetricsHandler(s, chaosStats)
+// MetricsHandler renders server, chaos and observability counters in
+// Prometheus text format (chaosStats and reg may be nil).
+func MetricsHandler(s *Server, chaosStats *ChaosStats, reg *MetricsRegistry) http.Handler {
+	return webserver.MetricsHandler(s, chaosStats, reg)
 }
+
+// ---- Observability ----
+
+// Deterministic tracing and metrics (internal/obs): spans are timed on
+// a per-visit stage clock, so trace JSONL is byte-identical across runs
+// and GOMAXPROCS; registries merge commutatively like analysis shards.
+type (
+	MetricsRegistry = obs.Registry
+	TraceSpan       = obs.Span
+	TraceAttr       = obs.Attr
+	TraceRecord     = obs.VisitTrace
+	TraceSink       = obs.Sink
+	TraceTee        = obs.Tee
+	TraceWriter     = obs.TraceWriter
+	TraceSummary    = obs.Summary
+	StageSummary    = obs.StageSummary
+	StageRow        = obs.StageRow
+)
+
+// NewMetricsRegistry builds an empty observability registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewTraceWriter streams trace records as deterministic JSONL.
+func NewTraceWriter(w io.Writer) *TraceWriter { return obs.NewTraceWriter(w) }
+
+// NewTraceSummary builds an empty trace summary (a TraceSink that folds
+// traces into campaign-level aggregates).
+func NewTraceSummary() *TraceSummary { return obs.NewSummary() }
+
+// ReadTraces streams every record of a trace JSONL reader to fn.
+func ReadTraces(r io.Reader, fn func(*TraceRecord) error) error {
+	return obs.ReadTraces(r, fn)
+}
+
+// ObsHandler serves a registry in Prometheus text format (the
+// crawler-side /__metrics endpoint).
+func ObsHandler(reg *MetricsRegistry) http.Handler { return obs.Handler(reg) }
+
+// DebugMux serves a registry at /__metrics plus net/http/pprof under
+// /debug/pprof/ — the handler behind the -pprof flags.
+func DebugMux(reg *MetricsRegistry) *http.ServeMux { return obs.DebugMux(reg) }
 
 // ---- Browser & crawling ----
 

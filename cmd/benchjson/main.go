@@ -9,11 +9,20 @@
 // reports from machines with different core counts stay comparable.
 // Standard measurements (ns/op, B/op, allocs/op, MB/s) get dedicated
 // fields; every custom b.ReportMetric unit lands under "metrics".
+//
+// With -check it becomes the regression gate (`make bench-gate`):
+// instead of printing a report it compares the parsed run against a
+// committed baseline and exits non-zero when a machine-independent
+// metric — allocs/op or B/op — regressed by more than -tol. Wall-clock
+// ns/op varies with the host, so it is reported but never gates.
+//
+//	go test -run '^$' -bench . -benchmem . | benchjson -check BENCH_report.json -tol 0.2
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"sort"
@@ -32,6 +41,10 @@ type entry struct {
 }
 
 func main() {
+	check := flag.String("check", "", "baseline JSON to gate against instead of printing a report")
+	tol := flag.Float64("tol", 0.2, "with -check: allowed fractional regression on allocs/op and B/op")
+	flag.Parse()
+
 	report, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -41,12 +54,79 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
 	}
+	if *check != "" {
+		if err := gate(report, *check, *tol, os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	out, err := marshalSorted(report)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 	os.Stdout.Write(out)
+}
+
+// gate compares the current run to the committed baseline. allocs/op
+// and B/op are stable across machines, so they gate hard; ns/op drift
+// is printed for context only. Benchmarks present only on one side are
+// reported but do not fail the gate — adding or retiring a benchmark is
+// handled by regenerating the baseline (`make bench-json`).
+func gate(report map[string]*entry, baselinePath string, tol float64, w *os.File) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	baseline := map[string]*entry{}
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+	}
+
+	names := make([]string, 0, len(report))
+	for name := range report {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failures := 0
+	for _, name := range names {
+		got := report[name]
+		base, ok := baseline[name]
+		if !ok {
+			fmt.Fprintf(w, "new benchmark (not in baseline): %s\n", name)
+			continue
+		}
+		for _, m := range []struct {
+			metric    string
+			got, base float64
+		}{
+			{"allocs/op", got.AllocsPerOp, base.AllocsPerOp},
+			{"B/op", got.BytesPerOp, base.BytesPerOp},
+		} {
+			if m.base <= 0 || m.got <= m.base*(1+tol) {
+				continue
+			}
+			failures++
+			fmt.Fprintf(w, "REGRESSION %s %s: %.0f -> %.0f (+%.1f%%, tolerance %.0f%%)\n",
+				name, m.metric, m.base, m.got, (m.got/m.base-1)*100, tol*100)
+		}
+		if base.NsPerOp > 0 {
+			fmt.Fprintf(w, "%s ns/op: %.0f -> %.0f (%+.1f%%, advisory)\n",
+				name, base.NsPerOp, got.NsPerOp, (got.NsPerOp/base.NsPerOp-1)*100)
+		}
+	}
+	for name := range baseline {
+		if _, ok := report[name]; !ok {
+			fmt.Fprintf(w, "baseline benchmark missing from run: %s\n", name)
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d metric(s) regressed beyond %.0f%% (regenerate the baseline with `make bench-json` if intentional)", failures, tol*100)
+	}
+	fmt.Fprintln(w, "bench gate: ok")
+	return nil
 }
 
 // parse consumes benchmark output lines; non-benchmark lines (package

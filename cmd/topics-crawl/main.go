@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -44,6 +45,8 @@ func main() {
 		useChaos   = flag.Bool("chaos", false, "inject the paper-calibrated fault profile client-side")
 		chaosSeed  = flag.Uint64("chaos-seed", 1, "fault-injection seed (independent of the world seed)")
 		retries    = flag.Int("retries", 2, "extra attempts per navigation/fetch; 0 disables retries")
+		tracePath  = flag.String("trace", "", "write per-visit span trees here (JSONL, .gz transparently); tail with topics-monitor -tail")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and live crawl metrics at /__metrics on this address")
 	)
 	flag.Parse()
 
@@ -106,6 +109,45 @@ func main() {
 	}
 	writer := topicscope.NewDatasetWriter(sink)
 
+	// Observability: every crawl folds its traces into a summary; -trace
+	// additionally streams them as JSONL, -pprof serves the registry live.
+	reg := topicscope.NewMetricsRegistry()
+	summary := topicscope.NewTraceSummary()
+	traces := topicscope.TraceTee{summary}
+	var traceWriter *topicscope.TraceWriter
+	var traceClose func() error
+	if *tracePath != "" {
+		traceRaw, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		var traceSink io.Writer = traceRaw
+		traceClose = traceRaw.Close
+		if strings.HasSuffix(*tracePath, ".gz") {
+			zw := gzip.NewWriter(traceRaw)
+			traceSink = zw
+			traceClose = func() error {
+				if err := zw.Close(); err != nil {
+					return err
+				}
+				return traceRaw.Close()
+			}
+		}
+		traceWriter = topicscope.NewTraceWriter(traceSink)
+		traces = append(traces, traceWriter)
+	}
+	if *pprofAddr != "" {
+		dbg, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("pprof on http://%s/debug/pprof/ (metrics at %s)\n", dbg.Addr(), topicscope.MetricsPath)
+		go func() {
+			srv := &http.Server{Handler: topicscope.DebugMux(reg), ReadHeaderTimeout: 10 * time.Second}
+			srv.Serve(dbg) //nolint:errcheck // best-effort debug endpoint
+		}()
+	}
+
 	attempts := *retries + 1
 	if attempts < 1 {
 		attempts = 1
@@ -121,6 +163,8 @@ func main() {
 		Scheme:             scheme,
 		Attempts:           attempts,
 		Logger:             logger,
+		Metrics:            reg,
+		Traces:             traces,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -135,6 +179,17 @@ func main() {
 		fmt.Printf("chaos: %s\n", injector.Stats().Snapshot())
 	}
 	fmt.Printf("dataset: %s (%d visit records)\n", *out, res.Data.Len())
+	fmt.Printf("success rate: %.1f%% (paper: 86.8%%)\n", summary.SuccessRate()*100)
+	if traceWriter != nil {
+		if err := traceWriter.Flush(); err != nil {
+			fatal(err)
+		}
+		if err := traceClose(); err != nil {
+			fatal(err)
+		}
+		nTraces, _, _, _, _ := summary.Counts()
+		fmt.Printf("traces: %s (%d records)\n", *tracePath, nTraces)
+	}
 
 	// Attestation checks for every allow-listed domain plus every
 	// calling party the crawl observed.

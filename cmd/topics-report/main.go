@@ -6,12 +6,17 @@
 package main
 
 import (
+	"compress/gzip"
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -33,6 +38,8 @@ func main() {
 		useChaos  = flag.Bool("chaos", false, "inject the paper-calibrated fault profile during the crawl")
 		chaosSeed = flag.Uint64("chaos-seed", 1, "fault-injection seed (independent of the world seed)")
 		retries   = flag.Int("retries", 2, "extra attempts per navigation/fetch; 0 disables retries")
+		tracePath = flag.String("trace", "", "write the campaign's span trees here (JSONL, .gz transparently)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and live campaign metrics at /__metrics on this address")
 	)
 	flag.Parse()
 
@@ -53,6 +60,38 @@ func main() {
 		}
 	}
 
+	reg := topicscope.NewMetricsRegistry()
+	if *pprofAddr != "" {
+		dbg, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("pprof on http://%s/debug/pprof/ (metrics at %s)\n", dbg.Addr(), topicscope.MetricsPath)
+		go func() {
+			srv := &http.Server{Handler: topicscope.DebugMux(reg), ReadHeaderTimeout: 10 * time.Second}
+			srv.Serve(dbg) //nolint:errcheck // best-effort debug endpoint
+		}()
+	}
+	var traceOut io.Writer
+	var traceClose func() error
+	if *tracePath != "" {
+		raw, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		traceOut, traceClose = raw, raw.Close
+		if strings.HasSuffix(*tracePath, ".gz") {
+			zw := gzip.NewWriter(raw)
+			traceOut = zw
+			traceClose = func() error {
+				if err := zw.Close(); err != nil {
+					return err
+				}
+				return raw.Close()
+			}
+		}
+	}
+
 	campaignRetries := *retries
 	if campaignRetries <= 0 {
 		campaignRetries = -1 // Campaign: negative disables, 0 = default
@@ -69,9 +108,18 @@ func main() {
 		ChaosSeed:  *chaosSeed,
 		Retries:    campaignRetries,
 		Logger:     logger,
+		Trace:      traceOut,
+		Metrics:    reg,
 	}.Run(ctx)
 	if err != nil {
 		fatal(err)
+	}
+	if traceClose != nil {
+		if err := traceClose(); err != nil {
+			fatal(err)
+		}
+		nTraces, _, _, _, _ := results.TraceSummary.Counts()
+		fmt.Fprintf(os.Stderr, "traces: %s (%d records)\n", *tracePath, nTraces)
 	}
 
 	if *jsonOut != "" {

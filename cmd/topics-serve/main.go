@@ -31,6 +31,7 @@ func main() {
 		caOut     = flag.String("ca-cert", "topicscope-ca.pem", "with -tls: write the CA certificate PEM here for crawlers to trust")
 		useChaos  = flag.Bool("chaos", false, "inject the paper-calibrated fault profile (5xx, resets, truncation, hard-down hosts)")
 		chaosSeed = flag.Uint64("chaos-seed", 1, "fault-injection seed (independent of the world seed)")
+		pprofAddr = flag.String("pprof", "", "also serve net/http/pprof and /__metrics on this address (e.g. 127.0.0.1:6060)")
 	)
 	flag.Parse()
 
@@ -45,9 +46,21 @@ func main() {
 		handler = ch
 		fmt.Printf("chaos enabled (seed %d)\n", *chaosSeed)
 	}
+	if *pprofAddr != "" {
+		dbg, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("pprof on http://%s/debug/pprof/\n", dbg.Addr())
+		go func() {
+			srv := &http.Server{Handler: topicscope.DebugMux(nil), ReadHeaderTimeout: 10 * time.Second}
+			srv.Serve(dbg) //nolint:errcheck // best-effort debug endpoint
+		}()
+	}
+
 	// The metrics endpoint sits in front of the injector so scrapes are
 	// never fault-injected.
-	metrics := topicscope.MetricsHandler(server, chaosStats)
+	metrics := topicscope.MetricsHandler(server, chaosStats, nil)
 	root := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path == topicscope.MetricsPath {
 			metrics.ServeHTTP(w, r)

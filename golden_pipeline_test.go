@@ -1,0 +1,103 @@
+package topicscope_test
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/netmeasure/topicscope"
+)
+
+// goldenPath holds the committed end-to-end pipeline fixture.
+// Regenerate with `make golden` after an intentional output change.
+const goldenPath = "testdata/golden_pipeline.json"
+
+// goldenPipeline is the committed shape: the full report plus the trace
+// summary and a digest pinning the trace JSONL byte format.
+type goldenPipeline struct {
+	Report       *topicscope.Report       `json:"report"`
+	TraceSummary *topicscope.TraceSummary `json:"traceSummary"`
+	TraceRecords int                      `json:"traceRecords"`
+	TraceSHA256  string                   `json:"traceSha256"`
+}
+
+// TestPipelineGolden runs the whole pipeline in-process — world
+// generation, serving, the chaos-injected two-phase crawl of 1k sites,
+// attestation checks, analysis, report — and compares every output
+// (report JSON, trace summary, trace-stream digest) against the
+// committed golden file. Any behaviour change anywhere in the pipeline
+// shows up as a diff here; if the change is intentional, regenerate
+// with `make golden` and review the diff in version control.
+func TestPipelineGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping full-pipeline golden test")
+	}
+	var traces bytes.Buffer
+	results, err := topicscope.Campaign{
+		Seed:      11,
+		Sites:     1000,
+		Workers:   8,
+		Chaos:     true,
+		ChaosSeed: 5,
+		Trace:     &traces,
+	}.Run(context.Background())
+	if err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+
+	sum := sha256.Sum256(traces.Bytes())
+	nTraces, _, _, _, _ := results.TraceSummary.Counts()
+	got := goldenPipeline{
+		Report:       results.Report,
+		TraceSummary: results.TraceSummary,
+		TraceRecords: nTraces,
+		TraceSHA256:  hex.EncodeToString(sum[:]),
+	}
+	gotJSON, err := json.MarshalIndent(&got, "", "  ")
+	if err != nil {
+		t.Fatalf("encoding golden: %v", err)
+	}
+	gotJSON = append(gotJSON, '\n')
+
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, gotJSON, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden regenerated: %s (%d bytes)", goldenPath, len(gotJSON))
+		return
+	}
+
+	wantJSON, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading %s: %v (regenerate with `make golden`)", goldenPath, err)
+	}
+	var gotAny, wantAny any
+	if err := json.Unmarshal(gotJSON, &gotAny); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(wantJSON, &wantAny); err != nil {
+		t.Fatalf("parsing %s: %v (regenerate with `make golden`)", goldenPath, err)
+	}
+	if reflect.DeepEqual(gotAny, wantAny) {
+		return
+	}
+	gotLines := bytes.Split(gotJSON, []byte("\n"))
+	wantLines := bytes.Split(wantJSON, []byte("\n"))
+	for i := 0; i < len(gotLines) && i < len(wantLines); i++ {
+		if !bytes.Equal(gotLines[i], wantLines[i]) {
+			t.Fatalf("pipeline output diverges from %s at line %d:\n got: %s\nwant: %s\n(if intentional, regenerate with `make golden`)",
+				goldenPath, i+1, gotLines[i], wantLines[i])
+		}
+	}
+	t.Fatalf("pipeline output length diverges from %s: %d vs %d lines (if intentional, regenerate with `make golden`)",
+		goldenPath, len(gotLines), len(wantLines))
+}

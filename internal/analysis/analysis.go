@@ -22,6 +22,7 @@ import (
 	"github.com/netmeasure/topicscope/internal/attestation"
 	"github.com/netmeasure/topicscope/internal/dataset"
 	"github.com/netmeasure/topicscope/internal/etld"
+	"github.com/netmeasure/topicscope/internal/obs"
 )
 
 // Input bundles what the analyses need.
@@ -33,6 +34,9 @@ type Input struct {
 	Allowlist *attestation.Allowlist
 	// Attestations indexes well-known attestation checks by domain.
 	Attestations map[string]dataset.AttestationRecord
+	// Metrics, when set, counts index and report activity in the shared
+	// observability registry. Nil disables counting.
+	Metrics *obs.Registry
 
 	indexOnce sync.Once
 	index     *Index

@@ -113,6 +113,8 @@ func buildIndex(in *Input, workers int) *Index {
 		}(s, lo, hi)
 	}
 	wg.Wait()
+	in.Metrics.Add("analysis_visits_indexed_total", int64(len(visits)))
+	in.Metrics.Add("analysis_index_shards_total", int64(workers))
 
 	agg := shards[0]
 	for _, s := range shards[1:] {

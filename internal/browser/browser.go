@@ -33,6 +33,7 @@ import (
 	"github.com/netmeasure/topicscope/internal/dataset"
 	"github.com/netmeasure/topicscope/internal/etld"
 	"github.com/netmeasure/topicscope/internal/htmlx"
+	"github.com/netmeasure/topicscope/internal/obs"
 	"github.com/netmeasure/topicscope/internal/topics"
 )
 
@@ -186,6 +187,7 @@ type PageVisit struct {
 
 	visitedSite string         // rank-list domain the visit is attributed to
 	failures    map[string]int // per-host failed fetches, for the breaker
+	trace       *obs.Trace     // stage-clock trace; nil disables tracing
 }
 
 // SetConsent marks the user as having accepted the privacy policy of the
@@ -218,10 +220,20 @@ func (b *Browser) ClearConsent() {
 // fetched, scripts and iframes are executed with correct origin
 // semantics, Topics API calls are gated, executed and recorded.
 func (b *Browser) LoadPage(ctx context.Context, site string) (*PageVisit, error) {
+	return b.LoadPageTraced(ctx, site, nil)
+}
+
+// LoadPageTraced is LoadPage with an observability trace attached:
+// every sub-resource fetch, script execution, nested frame and Topics
+// API call opens a span on the trace's stage clock. A nil trace
+// disables tracing with zero per-call checks (obs.Trace methods are
+// nil-safe).
+func (b *Browser) LoadPageTraced(ctx context.Context, site string, tr *obs.Trace) (*PageVisit, error) {
 	v := &PageVisit{
 		RequestedURL: b.cfg.Scheme + "://" + site + "/",
 		visitedSite:  site,
 		failures:     make(map[string]int),
+		trace:        tr,
 	}
 	resp, body, finalURL, err := b.navigate(ctx, v, v.RequestedURL)
 	if err != nil {
@@ -288,6 +300,8 @@ func (b *Browser) navigate(ctx context.Context, v *PageVisit, rawURL string) (*h
 // headers. It honours Observe-Browsing-Topics responses.
 func (b *Browser) fetch(ctx context.Context, v *PageVisit, u *url.URL, referer string, extra http.Header) (*http.Response, string, error) {
 	host := etld.Normalize(u.Host)
+	v.trace.Start("fetch", obs.A("host", host), obs.A("path", u.Path))
+	defer v.trace.End()
 	record := func(err error) {
 		res := dataset.Resource{
 			URL:        u.String(),
@@ -306,6 +320,7 @@ func (b *Browser) fetch(ctx context.Context, v *PageVisit, u *url.URL, referer s
 
 	if b.cfg.BreakerThreshold > 0 && v.failures[host] >= b.cfg.BreakerThreshold {
 		err := &chaos.Error{Class: chaos.ClassCircuitOpen, Host: host}
+		v.trace.Annotate(obs.A("error", string(chaos.ClassCircuitOpen)))
 		record(err)
 		return nil, "", err
 	}
@@ -316,21 +331,61 @@ func (b *Browser) fetch(ctx context.Context, v *PageVisit, u *url.URL, referer s
 		err  error
 	)
 	for attempt := 0; ; attempt++ {
+		v.trace.Advance(obs.FetchCost)
 		resp, body, err = b.fetchOnce(ctx, v, u, referer, extra, attempt)
+		chargeChaosLatency(v.trace, resp, err)
 		if err == nil && resp.StatusCode >= http.StatusInternalServerError {
 			err = &StatusError{Host: host, Status: resp.StatusCode}
 		}
 		if err == nil || attempt+1 >= b.cfg.Attempts ||
 			!chaos.Retryable(chaos.Classify(err)) || ctx.Err() != nil {
+			if attempt > 0 {
+				v.trace.Annotate(obs.A("attempts", strconv.Itoa(attempt+1)))
+			}
 			break
 		}
 		v.Retries++
+	}
+	if err != nil {
+		v.trace.Annotate(obs.A("error", string(chaos.Classify(err))))
 	}
 	record(err)
 	if err != nil {
 		return nil, "", err
 	}
 	return resp, body, nil
+}
+
+// chargeChaosLatency advances the stage clock by any deterministic
+// latency the chaos layer injected on this attempt: sub-timeout delays
+// arrive via the response's chaos.LatencyHeader, timeout failures carry
+// theirs on the typed error.
+func chargeChaosLatency(tr *obs.Trace, resp *http.Response, err error) {
+	if tr == nil {
+		return
+	}
+	if resp != nil {
+		if h := resp.Header.Get(chaos.LatencyHeader); h != "" {
+			if ns, perr := strconv.ParseInt(h, 10, 64); perr == nil && ns > 0 {
+				tr.Advance(time.Duration(ns))
+			}
+		}
+	}
+	if err != nil {
+		for e := err; e != nil; e = unwrapErr(e) {
+			if ce, ok := e.(*chaos.Error); ok && ce.Latency > 0 {
+				tr.Advance(ce.Latency)
+				return
+			}
+		}
+	}
+}
+
+func unwrapErr(err error) error {
+	if u, ok := err.(interface{ Unwrap() error }); ok {
+		return u.Unwrap()
+	}
+	return nil
 }
 
 // fetchOnce performs one fetch attempt. The attempt number is stamped

@@ -9,6 +9,7 @@ import (
 	"github.com/netmeasure/topicscope/internal/dataset"
 	"github.com/netmeasure/topicscope/internal/etld"
 	"github.com/netmeasure/topicscope/internal/htmlx"
+	"github.com/netmeasure/topicscope/internal/obs"
 )
 
 // execCtx is one browsing context: the page's root context, or an
@@ -98,6 +99,9 @@ func (b *Browser) loadFrame(ctx context.Context, parent *execCtx, src string, br
 	if !ok {
 		return
 	}
+	parent.visit.trace.Start("frame", obs.A("host", etld.Normalize(u.Host)))
+	parent.visit.trace.Advance(obs.FrameCost)
+	defer parent.visit.trace.End()
 	var extra http.Header
 	if browsingTopics {
 		caller := etld.RegistrableDomain(u.Host)

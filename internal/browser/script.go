@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"github.com/netmeasure/topicscope/internal/dataset"
 	"github.com/netmeasure/topicscope/internal/etld"
+	"github.com/netmeasure/topicscope/internal/obs"
 )
 
 // The synthetic web's scripts carry their behaviour as directive lines
@@ -27,6 +29,9 @@ const directivePrefix = "#ts "
 
 // execScript interprets a script body within a browsing context.
 func (b *Browser) execScript(ctx context.Context, ec *execCtx, body string) {
+	ec.visit.trace.Start("script", obs.A("origin", ec.origin))
+	ec.visit.trace.Advance(obs.ScriptCost)
+	defer ec.visit.trace.End()
 	for _, line := range strings.Split(body, "\n") {
 		line = strings.TrimSpace(line)
 		if !strings.HasPrefix(line, directivePrefix) {
@@ -115,7 +120,11 @@ func (b *Browser) jsTopicsCall(v *PageVisit, caller, contextOrigin string) {
 // returns the Sec-Browsing-Topics header value for fetch/iframe calls
 // and whether the call was allowed to proceed.
 func (b *Browser) topicsCall(v *PageVisit, typ dataset.CallType, caller, contextOrigin string) (headerValue string, allowed bool) {
+	v.trace.Start("topics_call", obs.A("caller", caller), obs.A("type", string(typ)))
+	v.trace.Advance(obs.TopicsCallCost)
+	defer v.trace.End()
 	decision := b.cfg.Gate.Check(caller)
+	v.trace.Annotate(obs.A("allowed", strconv.FormatBool(decision.Allowed)))
 	if !decision.Allowed {
 		// A healthy browser silently blocks the call; nothing is
 		// recorded, nothing is returned.

@@ -32,6 +32,11 @@ const (
 	// AttemptHeader carries the fetch attempt number (0-based); a
 	// same-instant retry redraws the fault coin through it.
 	AttemptHeader = "X-Topicscope-Attempt"
+	// LatencyHeader is stamped on responses that had latency injected
+	// but still succeeded (sub-timeout delay), carrying the delay in
+	// nanoseconds. The browser's observability layer charges it to the
+	// fetch span, so trace durations reflect the simulated weather.
+	LatencyHeader = "X-Topicscope-Chaos-Latency"
 	// wellKnownPath is the attestation endpoint, which gets its own
 	// flakiness profile (mirrors attestation.WellKnownPath).
 	wellKnownPath = "/.well-known/privacy-sandbox-attestations.json"

@@ -45,7 +45,14 @@ func (in *Injector) RoundTrip(req *http.Request) (*http.Response, error) {
 	in.stats.observe(d)
 	switch d.Class {
 	case ClassNone:
-		return in.next.RoundTrip(req)
+		resp, err := in.next.RoundTrip(req)
+		if err == nil && d.Latency > 0 {
+			if resp.Header == nil {
+				resp.Header = make(http.Header)
+			}
+			resp.Header.Set(LatencyHeader, strconv.FormatInt(int64(d.Latency), 10))
+		}
+		return resp, err
 	case ClassHTTP5xx:
 		return synthesize5xx(req, d.Status), nil
 	case ClassTruncated:
@@ -155,6 +162,9 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	h.stats.observe(d)
 	switch d.Class {
 	case ClassNone:
+		if d.Latency > 0 {
+			w.Header().Set(LatencyHeader, strconv.FormatInt(int64(d.Latency), 10))
+		}
 		h.next.ServeHTTP(w, r)
 	case ClassHTTP5xx:
 		http.Error(w, "chaos: injected fault", d.Status)

@@ -30,6 +30,7 @@ import (
 	"github.com/netmeasure/topicscope/internal/chaos"
 	"github.com/netmeasure/topicscope/internal/dataset"
 	"github.com/netmeasure/topicscope/internal/etld"
+	"github.com/netmeasure/topicscope/internal/obs"
 	"github.com/netmeasure/topicscope/internal/privaccept"
 	"github.com/netmeasure/topicscope/internal/topics"
 	"github.com/netmeasure/topicscope/internal/tranco"
@@ -89,6 +90,14 @@ type Config struct {
 	Logger *slog.Logger
 	// ProgressEvery logs progress each N sites (default 1000).
 	ProgressEvery int
+	// Metrics, when set, receives crawl counters and per-stage latency
+	// histograms (visits by phase/outcome, Topics calls, retries,
+	// circuit opens) — the registry behind the crawler's /__metrics.
+	Metrics *obs.Registry
+	// Traces, when set, receives one obs.VisitTrace per visit, in rank
+	// order from the single consumer goroutine, so a JSONL sink emits a
+	// byte-deterministic file.
+	Traces obs.Sink
 }
 
 func (c Config) withDefaults() Config {
@@ -140,7 +149,10 @@ type Stats struct {
 	Retries, CircuitOpens, PartialVisits int
 	// FailedByClass breaks Failed down by error-taxonomy class.
 	FailedByClass map[chaos.Class]int
-	// Elapsed is the wall-clock duration of the crawl.
+	// Elapsed is the stage-clock span of the campaign: the latest
+	// trace-root end minus Config.Start. Being virtual, it is identical
+	// across runs, GOMAXPROCS and worker counts, like everything else in
+	// the result.
 	Elapsed time.Duration
 }
 
@@ -169,18 +181,17 @@ func New(cfg Config) *Crawler {
 	return &Crawler{cfg: cfg.withDefaults()}
 }
 
-// siteResult carries one site's visit records to the rank-ordered
-// writer.
+// siteResult carries one site's visit records (and their stage-clock
+// traces, one per visit) to the rank-ordered writer.
 type siteResult struct {
 	rank   int
 	visits []dataset.Visit
+	traces []*obs.VisitTrace
 }
 
 // Run crawls every entry of the list. It honours ctx cancellation,
 // returning the partial result and ctx.Err().
 func (c *Crawler) Run(ctx context.Context, list *tranco.List) (*Result, error) {
-	//topicslint:ignore determinism Stats.Elapsed is wall-clock operator telemetry; it never enters the dataset or the report JSON
-	started := time.Now()
 	cfg := c.cfg
 	res := &Result{}
 	if cfg.Collect {
@@ -197,11 +208,12 @@ func (c *Crawler) Run(ctx context.Context, list *tranco.List) (*Result, error) {
 			defer wg.Done()
 			for entry := range jobs {
 				var visits []dataset.Visit
+				var traces []*obs.VisitTrace
 				if !cfg.SkipSites[entry.Domain] {
-					visits = c.crawlSite(ctx, entry)
+					visits, traces = c.crawlSite(ctx, entry)
 				}
 				select {
-				case results <- siteResult{rank: entry.Rank, visits: visits}:
+				case results <- siteResult{rank: entry.Rank, visits: visits, traces: traces}:
 				case <-ctx.Done():
 					return
 				}
@@ -236,7 +248,6 @@ func (c *Crawler) Run(ctx context.Context, list *tranco.List) (*Result, error) {
 			}
 		}()
 	}
-	res.Stats.Elapsed = time.Since(started) //topicslint:ignore determinism wall-clock crawl duration, logged for operators only
 
 	if cfg.Logger != nil {
 		cfg.Logger.Info("crawl finished", "stats", res.Stats.String())
@@ -246,14 +257,15 @@ func (c *Crawler) Run(ctx context.Context, list *tranco.List) (*Result, error) {
 
 func (c *Crawler) consume(ctx context.Context, list *tranco.List, results <-chan siteResult, res *Result) error {
 	cfg := c.cfg
-	pending := make(map[int][]dataset.Visit)
+	pending := make(map[int]siteResult)
 	if len(list.Entries) == 0 {
 		return nil
 	}
 	nextIdx := 0
-	emit := func(visits []dataset.Visit) error {
-		for i := range visits {
-			v := &visits[i]
+	var lastStage time.Time // latest stage-clock instant seen, for Elapsed
+	emit := func(sr siteResult) error {
+		for i := range sr.visits {
+			v := &sr.visits[i]
 			c.accumulate(res, v)
 			if cfg.Writer != nil {
 				if err := cfg.Writer.Write(v); err != nil {
@@ -264,18 +276,33 @@ func (c *Crawler) consume(ctx context.Context, list *tranco.List, results <-chan
 				res.Data.Append(*v)
 			}
 		}
+		for _, tr := range sr.traces {
+			if tr.Root.End.After(lastStage) {
+				lastStage = tr.Root.End
+			}
+			if cfg.Metrics != nil {
+				tr.Root.Walk(func(s *obs.Span) {
+					cfg.Metrics.Observe("crawl_stage_seconds", s.Duration(), "stage", s.Name)
+				})
+			}
+			if cfg.Traces != nil {
+				if err := cfg.Traces.WriteTrace(tr); err != nil {
+					return err
+				}
+			}
+		}
 		return nil
 	}
 	done := 0
 	for sr := range results {
-		pending[sr.rank] = sr.visits
+		pending[sr.rank] = sr
 		for nextIdx < len(list.Entries) {
-			visits, ok := pending[list.Entries[nextIdx].Rank]
+			sr, ok := pending[list.Entries[nextIdx].Rank]
 			if !ok {
 				break
 			}
 			delete(pending, list.Entries[nextIdx].Rank)
-			if err := emit(visits); err != nil {
+			if err := emit(sr); err != nil {
 				return err
 			}
 			nextIdx++
@@ -284,6 +311,9 @@ func (c *Crawler) consume(ctx context.Context, list *tranco.List, results <-chan
 				cfg.Logger.Info("crawl progress", "sites", done, "of", len(list.Entries))
 			}
 		}
+	}
+	if !lastStage.IsZero() {
+		res.Stats.Elapsed = lastStage.Sub(cfg.Start)
 	}
 	if ctx.Err() != nil {
 		return ctx.Err()
@@ -298,6 +328,13 @@ func (c *Crawler) consume(ctx context.Context, list *tranco.List, results <-chan
 
 func (c *Crawler) accumulate(res *Result, v *dataset.Visit) {
 	st := &res.Stats
+	m := c.cfg.Metrics
+	m.Add("crawl_visits_total", 1, "phase", string(v.Phase), "outcome", visitOutcome(v))
+	m.Add("crawl_topics_calls_total", int64(len(v.Calls)), "phase", string(v.Phase))
+	m.Add("crawl_retries_total", int64(v.Retries))
+	if v.ErrorClass != "" {
+		m.Add("crawl_failures_total", 1, "class", v.ErrorClass)
+	}
 	st.Retries += v.Retries
 	if v.Partial {
 		st.PartialVisits++
@@ -305,6 +342,7 @@ func (c *Crawler) accumulate(res *Result, v *dataset.Visit) {
 	for _, r := range v.Resources {
 		if r.Failed && r.Error == string(chaos.ClassCircuitOpen) {
 			st.CircuitOpens++
+			m.Add("crawl_circuit_opens_total", 1)
 		}
 	}
 	switch v.Phase {
@@ -332,8 +370,11 @@ func (c *Crawler) accumulate(res *Result, v *dataset.Visit) {
 }
 
 // crawlSite performs the Before-Accept visit, the Priv-Accept consent
-// interaction and — on success — the After-Accept visit.
-func (c *Crawler) crawlSite(ctx context.Context, entry tranco.Entry) []dataset.Visit {
+// interaction and — on success — the After-Accept visit. Each visit
+// builds an obs trace on its own stage clock; the traces flow through
+// the same rank-ordered path as the visit records, and always exist
+// (even with no Traces sink) because Stats.Elapsed derives from them.
+func (c *Crawler) crawlSite(ctx context.Context, entry tranco.Entry) ([]dataset.Visit, []*obs.VisitTrace) {
 	cfg := c.cfg
 	visitTime := cfg.Start.Add(time.Duration(entry.Rank-1) * cfg.VisitSpacing)
 
@@ -359,21 +400,41 @@ func (c *Crawler) crawlSite(ctx context.Context, entry tranco.Entry) []dataset.V
 	// loadPage navigates with bounded retries: each retry backs the
 	// virtual clock off exponentially (with seeded jitter), so the
 	// chaos injector redraws its fault coin through the time header and
-	// the dataset stays byte-identical under any worker scheduling.
-	loadPage := func() (*browser.PageVisit, int, error) {
+	// the dataset stays byte-identical under any worker scheduling. The
+	// backoff is also charged to the visit's stage clock, so the trace
+	// shows the virtual time a retried navigation consumed.
+	loadPage := func(tr *obs.Trace) (*browser.PageVisit, int, error) {
+		tr.Start("navigate", obs.A("site", entry.Domain))
+		defer tr.End()
 		var pv *browser.PageVisit
 		var err error
 		retries := 0
 		for attempt := 0; ; attempt++ {
 			loadCtx, cancel := context.WithTimeout(ctx, cfg.PageTimeout)
-			pv, err = b.LoadPage(loadCtx, entry.Domain)
+			pv, err = b.LoadPageTraced(loadCtx, entry.Domain, tr)
 			cancel()
 			if err == nil || attempt+1 >= cfg.Attempts ||
 				!chaos.Retryable(chaos.Classify(err)) || ctx.Err() != nil {
+				if retries > 0 {
+					tr.Annotate(obs.A("retries", strconv.Itoa(retries)))
+				}
 				return pv, retries, err
 			}
 			retries++
-			clock = clock.Add(navBackoff(cfg.RetryBackoff, entry.Domain, attempt))
+			back := navBackoff(cfg.RetryBackoff, entry.Domain, attempt)
+			clock = clock.Add(back)
+			tr.Start("retry_backoff", obs.A("attempt", strconv.Itoa(attempt)))
+			tr.Advance(back)
+			tr.End()
+		}
+	}
+	mkTrace := func(tr *obs.Trace, v *dataset.Visit) *obs.VisitTrace {
+		return &obs.VisitTrace{
+			Site:    entry.Domain,
+			Rank:    entry.Rank,
+			Phase:   string(v.Phase),
+			Outcome: visitOutcome(v),
+			Root:    tr.Finish(),
 		}
 	}
 
@@ -384,11 +445,12 @@ func (c *Crawler) crawlSite(ctx context.Context, entry tranco.Entry) []dataset.V
 		Phase:     dataset.BeforeAccept,
 		FetchedAt: visitTime,
 	}
-	pv, navRetries, err := loadPage()
+	trBefore := obs.NewTrace("visit", visitTime)
+	pv, navRetries, err := loadPage(trBefore)
 	fillVisit(&before, pv, err)
 	before.Retries += navRetries
 	if err != nil {
-		return []dataset.Visit{before}
+		return []dataset.Visit{before}, []*obs.VisitTrace{mkTrace(trBefore, &before)}
 	}
 
 	// Priv-Accept: find the banner and its accept control.
@@ -399,12 +461,15 @@ func (c *Crawler) crawlSite(ctx context.Context, entry tranco.Entry) []dataset.V
 	if !det.AcceptFound {
 		// No banner, or Priv-Accept missed language/keyword: no
 		// After-Accept visit (§2.2).
-		return []dataset.Visit{before}
+		return []dataset.Visit{before}, []*obs.VisitTrace{mkTrace(trBefore, &before)}
 	}
 	before.Accepted = true
 
 	// Click accept: consent attaches to the page's origin (the sister
 	// domain for redirecting sites).
+	trBefore.Start("consent_click", obs.A("cmp", before.CMP))
+	trBefore.Advance(obs.ConsentClickCost)
+	trBefore.End()
 	b.SetConsent(pv.PageOrigin)
 
 	// After-Accept visit, cache cleared ("We delete the browser cache to
@@ -417,7 +482,8 @@ func (c *Crawler) crawlSite(ctx context.Context, entry tranco.Entry) []dataset.V
 		FetchedAt: clock,
 		Accepted:  true,
 	}
-	pv2, navRetries2, err2 := loadPage()
+	trAfter := obs.NewTrace("visit", clock)
+	pv2, navRetries2, err2 := loadPage(trAfter)
 	fillVisit(&after, pv2, err2)
 	after.Retries += navRetries2
 	if err2 == nil {
@@ -425,7 +491,21 @@ func (c *Crawler) crawlSite(ctx context.Context, entry tranco.Entry) []dataset.V
 		after.BannerLanguage = det.Language
 		after.CMP = cmpOf(pv2)
 	}
-	return []dataset.Visit{before, after}
+	return []dataset.Visit{before, after},
+		[]*obs.VisitTrace{mkTrace(trBefore, &before), mkTrace(trAfter, &after)}
+}
+
+// visitOutcome classifies a visit record for traces and metrics: "ok",
+// "partial" (loaded with failed subresources) or "error".
+func visitOutcome(v *dataset.Visit) string {
+	switch {
+	case !v.Success:
+		return "error"
+	case v.Partial:
+		return "partial"
+	default:
+		return "ok"
+	}
 }
 
 // fillVisit copies a browser PageVisit into a dataset record.

@@ -1,0 +1,148 @@
+package dataset
+
+import (
+	"bytes"
+	"compress/gzip"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// FuzzCompletedSites drives the resume path with arbitrary file
+// contents, in both the plain and the gzip-transparent form. Two
+// properties: no input may panic the scanner, and the gzip wrapper must
+// be fully transparent — the same bytes behind a .gz suffix yield the
+// same resume set (or both fail).
+func FuzzCompletedSites(f *testing.F) {
+	f.Add([]byte(`{"site":"a.com","phase":"before_accept"}` + "\n"))
+	f.Add([]byte(`{"site":"a.com","phase":"after_accept"}
+{"site":"b.com","phase":"before_accept"}
+`))
+	f.Add([]byte(`{"site":`))
+	f.Add([]byte("\n\n"))
+	f.Add([]byte{})
+	f.Add([]byte{0x1f, 0x8b, 0x08, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		plain := filepath.Join(dir, "crawl.jsonl")
+		if err := os.WriteFile(plain, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		gz := filepath.Join(dir, "crawl.jsonl.gz")
+		var buf bytes.Buffer
+		zw := gzip.NewWriter(&buf)
+		if _, err := zw.Write(data); err != nil {
+			t.Fatal(err)
+		}
+		if err := zw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(gz, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		plainSites, plainErr := CompletedSites(plain)
+		gzSites, gzErr := CompletedSites(gz)
+		if (plainErr == nil) != (gzErr == nil) {
+			t.Fatalf("gzip transparency broken: plain err=%v, gz err=%v", plainErr, gzErr)
+		}
+		if plainErr == nil && !reflect.DeepEqual(plainSites, gzSites) {
+			t.Fatalf("gzip transparency broken: plain=%v gz=%v", plainSites, gzSites)
+		}
+	})
+}
+
+// FuzzReadVisits round-trips arbitrary bytes through the JSONL visit
+// reader: it must never panic, and once parsed, the stream must be a
+// byte-level fixed point — encoding the parsed visits and re-parsing
+// that output encodes to the same bytes again. (Struct-level DeepEqual
+// is deliberately not the property: JSON cannot distinguish a nil
+// slice from an empty one under omitempty, and need not.)
+func FuzzReadVisits(f *testing.F) {
+	f.Add([]byte(`{"site":"a.com","rank":1,"phase":"before_accept","success":true}` + "\n"))
+	f.Add([]byte(`{"resources":[{"host":"cdn.a.com","failed":true}]}` + "\n"))
+	f.Add([]byte(`not json`))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var first []Visit
+		if err := Read(bytes.NewReader(data), func(v *Visit) error {
+			first = append(first, *v)
+			return nil
+		}); err != nil {
+			return
+		}
+		encode := func(visits []Visit) []byte {
+			t.Helper()
+			var buf bytes.Buffer
+			w := NewWriter(&buf)
+			for i := range visits {
+				if err := w.Write(&visits[i]); err != nil {
+					t.Fatalf("encoding visit: %v", err)
+				}
+			}
+			if err := w.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			return buf.Bytes()
+		}
+		once := encode(first)
+		var second []Visit
+		if err := Read(bytes.NewReader(once), func(v *Visit) error {
+			second = append(second, *v)
+			return nil
+		}); err != nil {
+			t.Fatalf("re-decoding encoded visits: %v", err)
+		}
+		twice := encode(second)
+		if !bytes.Equal(once, twice) {
+			t.Fatalf("visit stream not a fixed point:\nonce:  %s\ntwice: %s", once, twice)
+		}
+	})
+}
+
+// TestCompletedSitesAppendedGzipMembers pins the resume contract
+// topics-crawl relies on: appending a fresh gzip member to an existing
+// .gz dataset (what -resume does) is valid gzip, and CompletedSites
+// sees the sites of every member.
+func TestCompletedSitesAppendedGzipMembers(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "crawl.jsonl.gz")
+
+	writeMember := func(flags int, sites ...string) {
+		t.Helper()
+		f, err := os.OpenFile(path, flags, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		zw := gzip.NewWriter(f)
+		w := NewWriter(zw)
+		for _, s := range sites {
+			if err := w.Write(&Visit{Site: s, Phase: BeforeAccept}); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Write(&Visit{Site: s, Phase: AfterAccept}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if err := zw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeMember(os.O_CREATE|os.O_WRONLY|os.O_TRUNC, "a.com", "b.com")
+	writeMember(os.O_CREATE|os.O_WRONLY|os.O_APPEND, "c.com")
+
+	got, err := CompletedSites(path)
+	if err != nil {
+		t.Fatalf("CompletedSites: %v", err)
+	}
+	want := map[string]bool{"a.com": true, "b.com": true, "c.com": true}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("resume set = %v, want %v", got, want)
+	}
+}

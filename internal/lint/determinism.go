@@ -14,16 +14,18 @@ var Determinism = &Analyzer{
 	Name: "determinism",
 	Doc: `forbid nondeterminism sources in the determinism-critical packages
 (internal/analysis, internal/webworld, internal/chaos, internal/crawler,
-internal/dataset): time.Now and time.Since read the wall clock; global
-math/rand functions draw from a process-wide unseeded source; ranging
-over a map while appending to a slice (without sorting it afterwards) or
-while writing output bakes random iteration order into the result.`,
+internal/dataset, internal/obs): time.Now and time.Since read the wall
+clock; global math/rand functions draw from a process-wide unseeded
+source; ranging over a map while appending to a slice (without sorting
+it afterwards) or while writing output bakes random iteration order into
+the result.`,
 	AppliesTo: inPackages(
 		"internal/analysis",
 		"internal/webworld",
 		"internal/chaos",
 		"internal/crawler",
 		"internal/dataset",
+		"internal/obs",
 	),
 	Run: runDeterminism,
 }

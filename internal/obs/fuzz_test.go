@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// FuzzTraceDecode feeds arbitrary bytes through DecodeTrace and, for
+// every input that decodes, asserts the encode→decode→encode round trip
+// is a fixed point: re-encoding the decoded trace and decoding again
+// must yield byte-identical JSON. This is the property the trace
+// determinism test relies on at campaign scale.
+func FuzzTraceDecode(f *testing.F) {
+	seed := func(v *VisitTrace) {
+		b, err := json.Marshal(v)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	start := time.Date(2024, 3, 30, 6, 0, 0, 0, time.UTC)
+	tr := NewTrace("visit", start, A("site", "example.com"))
+	tr.Start("fetch", A("path", "/index.html"))
+	tr.Advance(FetchCost)
+	tr.Start("script")
+	tr.Advance(ScriptCost)
+	tr.End()
+	tr.End()
+	seed(&VisitTrace{Site: "example.com", Rank: 1, Phase: "before_accept", Outcome: "ok", Root: tr.Finish()})
+	seed(&VisitTrace{Root: &Span{Name: "analysis", Start: start, End: start.Add(time.Second)}})
+	f.Add([]byte(`{"root":null}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"site":"x","root":{"name":"visit","start":"2024-03-30T06:00:00Z","end":"2024-03-30T06:00:01Z","children":[{"name":"fetch"}]}}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := DecodeTrace(data)
+		if err != nil {
+			return // malformed inputs must fail cleanly, never panic
+		}
+		if v.Root == nil {
+			t.Fatal("DecodeTrace returned nil root without error")
+		}
+		first, err := json.Marshal(v)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		v2, err := DecodeTrace(first)
+		if err != nil {
+			t.Fatalf("decode of own encoding failed: %v\n%s", err, first)
+		}
+		second, err := json.Marshal(v2)
+		if err != nil {
+			t.Fatalf("second re-encode: %v", err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Fatalf("round trip not a fixed point:\n%s\n%s", first, second)
+		}
+		// The summary must digest anything that decodes.
+		if err := NewSummary().WriteTrace(v); err != nil {
+			t.Fatalf("summary rejected decoded trace: %v", err)
+		}
+	})
+}

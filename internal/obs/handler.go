@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+)
+
+// promSuffix splices a Prometheus sample suffix into a canonical metric
+// key, before the label braces: promSuffix(`lat{stage="fetch"}`, "_sum")
+// → `lat_sum{stage="fetch"}`.
+func promSuffix(key, suffix string) string {
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		return key[:i] + suffix + key[i:]
+	}
+	return key + suffix
+}
+
+// WriteProm renders the registry in the Prometheus text exposition
+// format. Counters become counter samples; histograms are exported as
+// summaries (count, sum, max, and p50/p90 decile estimates in seconds).
+// Output is sorted, hence deterministic.
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	snap := r.Snapshot()
+	for _, c := range snap.Counters {
+		if _, err := fmt.Fprintf(w, "%s %d\n", c.Name, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range snap.Histograms {
+		if _, err := fmt.Fprintf(w, "%s %d\n", promSuffix(h.Name, "_count"), h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %g\n", promSuffix(h.Name, "_sum"), float64(h.SumNS)/1e9); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %g\n", promSuffix(h.Name, "_max"), float64(h.MaxNS)/1e9); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %g\n", promSuffix(h.Name, "_p50"), float64(h.Deciles[4])/1e9); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %g\n", promSuffix(h.Name, "_p90"), float64(h.Deciles[8])/1e9); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler serves the registry at a /__metrics-style endpoint in the
+// Prometheus text format.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteProm(w)
+	})
+}
+
+// DebugMux returns a mux exposing the registry at /__metrics and the
+// standard pprof profiles under /debug/pprof/ — the handler behind the
+// -pprof flag on the cmd binaries.
+func DebugMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/__metrics", Handler(r))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,170 @@
+// Package obs is the deterministic observability layer of the
+// measurement pipeline: spans wrap every stage of a campaign — page
+// navigation, sub-resource fetches, script execution, Topics API calls,
+// consent clicks, retry backoffs, attestation checks, and the analysis
+// index/figure passes — and counters/histograms aggregate crawl-side
+// telemetry for a /__metrics endpoint.
+//
+// Unlike conventional tracing, every timestamp comes from a *stage
+// clock* (a vclock.Clock layered on the visit's virtual time) advanced
+// by an explicit deterministic cost model, never from the wall clock.
+// Two runs of the same seeded campaign therefore emit byte-identical
+// trace JSONL at any GOMAXPROCS or worker count — the same invariant
+// the analysis index upholds, and the reason this package sits on the
+// topicslint determinism analyzer's watch list.
+//
+// The stage clock is deliberately separate from the virtual clock the
+// browser stamps on requests: request virtual time stays frozen within
+// a page load (the chaos injector's fault coins key on it), while the
+// stage clock accumulates per-stage costs so latency histograms and
+// span durations carry signal. Costs are nominal virtual durations plus
+// real deterministic components (chaos-injected latency, retry
+// backoff), documented in DESIGN.md "Observability".
+package obs
+
+import (
+	"time"
+
+	"github.com/netmeasure/topicscope/internal/vclock"
+)
+
+// Nominal stage costs of the virtual cost model. They only feed span
+// durations and latency histograms — never request timing — so they can
+// be tuned freely without disturbing datasets.
+const (
+	// FetchCost is the base cost of one sub-resource fetch attempt;
+	// chaos-injected latency is added on top.
+	FetchCost = 10 * time.Millisecond
+	// ScriptCost is the cost of interpreting one script body.
+	ScriptCost = time.Millisecond
+	// TopicsCallCost is the cost of one Topics API invocation.
+	TopicsCallCost = time.Millisecond
+	// FrameCost is the cost of instantiating one nested browsing
+	// context (on top of its fetch and script costs).
+	FrameCost = 2 * time.Millisecond
+	// ConsentClickCost is the cost of the Priv-Accept banner
+	// interaction.
+	ConsentClickCost = 5 * time.Millisecond
+	// AttestCost is the cost of one well-known attestation check.
+	AttestCost = 10 * time.Millisecond
+	// IndexVisitCost is the per-visit cost of the analysis index pass.
+	IndexVisitCost = 2 * time.Microsecond
+	// SectionCost is the nominal cost of one report section computed
+	// from the index.
+	SectionCost = time.Millisecond
+)
+
+// Attr is one key/value annotation on a span. Values are strings so the
+// JSONL stays schema-free and greppable.
+type Attr struct {
+	Key   string `json:"k"`
+	Value string `json:"v"`
+}
+
+// A builds an Attr; instrumentation sites read better with a short
+// constructor.
+func A(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Span is one timed pipeline stage. Start and End are stage-clock
+// virtual times; children nest in execution order.
+type Span struct {
+	Name     string    `json:"name"`
+	Start    time.Time `json:"start"`
+	End      time.Time `json:"end"`
+	Attrs    []Attr    `json:"attrs,omitempty"`
+	Children []*Span   `json:"children,omitempty"`
+}
+
+// Duration is the span's stage-clock extent.
+func (s *Span) Duration() time.Duration { return s.End.Sub(s.Start) }
+
+// Walk visits the span and every descendant in depth-first order.
+func (s *Span) Walk(fn func(*Span)) {
+	if s == nil {
+		return
+	}
+	fn(s)
+	for _, c := range s.Children {
+		c.Walk(fn)
+	}
+}
+
+// Trace builds one span tree on a private stage clock. It is used by a
+// single goroutine (the crawl worker driving one visit); every method
+// is nil-receiver safe so instrumented code needs no tracing-enabled
+// checks.
+type Trace struct {
+	clock *vclock.Clock
+	root  *Span
+	open  []*Span // stack of started-but-unfinished spans, root first
+}
+
+// NewTrace opens a trace whose root span starts at the given virtual
+// time.
+func NewTrace(name string, start time.Time, attrs ...Attr) *Trace {
+	root := &Span{Name: name, Start: start.UTC(), Attrs: attrs}
+	return &Trace{clock: vclock.New(start), root: root, open: []*Span{root}}
+}
+
+// Start opens a child span of the innermost open span at the current
+// stage time.
+func (t *Trace) Start(name string, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	s := &Span{Name: name, Start: t.clock.Now(), Attrs: attrs}
+	parent := t.open[len(t.open)-1]
+	parent.Children = append(parent.Children, s)
+	t.open = append(t.open, s)
+}
+
+// Advance charges a cost to the current span: the stage clock moves
+// forward, so every open span's eventual End moves with it.
+func (t *Trace) Advance(cost time.Duration) {
+	if t == nil || cost <= 0 {
+		return
+	}
+	t.clock.Advance(cost)
+}
+
+// Annotate appends attributes to the innermost open span.
+func (t *Trace) Annotate(attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	s := t.open[len(t.open)-1]
+	s.Attrs = append(s.Attrs, attrs...)
+}
+
+// End closes the innermost open span at the current stage time. The
+// root span can only be closed by Finish.
+func (t *Trace) End() {
+	if t == nil || len(t.open) <= 1 {
+		return
+	}
+	s := t.open[len(t.open)-1]
+	s.End = t.clock.Now()
+	t.open = t.open[:len(t.open)-1]
+}
+
+// Now returns the current stage time.
+func (t *Trace) Now() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.clock.Now()
+}
+
+// Finish closes every open span (innermost first) and returns the root.
+// The trace must not be used afterwards.
+func (t *Trace) Finish() *Span {
+	if t == nil {
+		return nil
+	}
+	now := t.clock.Now()
+	for i := len(t.open) - 1; i >= 0; i-- {
+		t.open[i].End = now
+	}
+	t.open = t.open[:1]
+	return t.root
+}

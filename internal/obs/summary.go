@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// StageSummary aggregates every span that shares a name across a trace
+// stream: how often the stage ran and how much stage-clock time it
+// consumed. All fields merge commutatively.
+type StageSummary struct {
+	Count   int64 `json:"count"`
+	TotalNS int64 `json:"totalNs"`
+	MaxNS   int64 `json:"maxNs"`
+}
+
+// Mean is the average stage-clock duration.
+func (s *StageSummary) Mean() time.Duration {
+	if s == nil || s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.TotalNS / s.Count)
+}
+
+// Summary is a Sink that folds a trace stream into campaign-level
+// aggregates: visit counts by outcome and per-stage time. It backs both
+// Results.TraceSummary and the topics-monitor dashboard.
+type Summary struct {
+	mu sync.Mutex
+	// Traces is the number of trace records seen.
+	Traces int `json:"traces"`
+	// Sites is the number of distinct visit traces (site != "").
+	Sites map[string]int `json:"-"`
+	// Visits counts visit traces (excludes campaign-level records).
+	Visits int `json:"visits"`
+	// Succeeded / Partial / Failed classify visit outcomes.
+	Succeeded int `json:"succeeded"`
+	Partial   int `json:"partial"`
+	Failed    int `json:"failed"`
+	// Stages maps span name → aggregate.
+	Stages map[string]*StageSummary `json:"stages"`
+}
+
+// NewSummary returns an empty summary.
+func NewSummary() *Summary {
+	return &Summary{Sites: make(map[string]int), Stages: make(map[string]*StageSummary)}
+}
+
+// WriteTrace folds one trace into the summary. Safe for concurrent use;
+// the result is order-independent because every update is an addition
+// or max.
+func (s *Summary) WriteTrace(v *VisitTrace) error {
+	if s == nil || v == nil || v.Root == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Traces++
+	if v.Site != "" {
+		s.Sites[v.Site]++
+		s.Visits++
+		switch v.Outcome {
+		case "ok":
+			s.Succeeded++
+		case "partial":
+			s.Partial++
+		default:
+			s.Failed++
+		}
+	}
+	v.Root.Walk(func(sp *Span) {
+		st := s.Stages[sp.Name]
+		if st == nil {
+			st = &StageSummary{}
+			s.Stages[sp.Name] = st
+		}
+		st.Count++
+		d := int64(sp.Duration())
+		if d < 0 {
+			d = 0
+		}
+		st.TotalNS += d
+		if d > st.MaxNS {
+			st.MaxNS = d
+		}
+	})
+	return nil
+}
+
+// Counts returns the record totals: traces seen, visit traces, and the
+// ok/partial/failed outcome split.
+func (s *Summary) Counts() (traces, visits, ok, partial, failed int) {
+	if s == nil {
+		return 0, 0, 0, 0, 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Traces, s.Visits, s.Succeeded, s.Partial, s.Failed
+}
+
+// SiteCount is the number of distinct sites seen.
+func (s *Summary) SiteCount() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.Sites)
+}
+
+// SuccessRate is the fraction of visit traces that loaded a page —
+// outcome "ok" or "partial" (a partial visit rendered with some failed
+// subresources). This matches crawler.Stats.Succeeded/Attempted, the
+// number calibrated to the paper's 86.8%.
+func (s *Summary) SuccessRate() float64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.Visits == 0 {
+		return 0
+	}
+	return float64(s.Succeeded+s.Partial) / float64(s.Visits)
+}
+
+// StageRow is one line of the sorted stage breakdown.
+type StageRow struct {
+	Name  string
+	Count int64
+	Total time.Duration
+	Max   time.Duration
+	Mean  time.Duration
+}
+
+// StageBreakdown returns the stages sorted by total stage-clock time,
+// largest first (ties broken by name for determinism).
+func (s *Summary) StageBreakdown() []StageRow {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rows := make([]StageRow, 0, len(s.Stages))
+	for name, st := range s.Stages {
+		rows = append(rows, StageRow{
+			Name:  name,
+			Count: st.Count,
+			Total: time.Duration(st.TotalNS),
+			Max:   time.Duration(st.MaxNS),
+			Mean:  st.Mean(),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Total != rows[j].Total {
+			return rows[i].Total > rows[j].Total
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	return rows
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// VisitTrace is one exported trace record: the span tree of a single
+// page visit (or a campaign-level stage such as the attestation sweep
+// or the analysis pass), plus enough identity to join it back to the
+// dataset rows. One VisitTrace per JSONL line.
+type VisitTrace struct {
+	// Site is the visited eTLD+1 ("" for campaign-level traces).
+	Site string `json:"site,omitempty"`
+	// Rank is the site's Tranco-style rank (0 for campaign-level).
+	Rank int `json:"rank,omitempty"`
+	// Phase is "before_accept", "after_accept", or a campaign-level
+	// stage name ("attestation", "analysis").
+	Phase string `json:"phase,omitempty"`
+	// Outcome mirrors the visit's dataset outcome ("ok", "partial",
+	// "error", …) so the monitor can compute success rates without
+	// loading the dataset.
+	Outcome string `json:"outcome,omitempty"`
+	// Root is the span tree.
+	Root *Span `json:"root"`
+}
+
+// Sink receives finished traces. Implementations must tolerate being
+// called from a single goroutine only (the crawler's ordered consumer);
+// TraceWriter relies on that to keep the JSONL byte-deterministic.
+type Sink interface {
+	WriteTrace(*VisitTrace) error
+}
+
+// TraceWriter streams traces as JSONL — one compact JSON object per
+// line, keys in struct order — so a fixed-seed campaign reproduces the
+// file byte for byte.
+type TraceWriter struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewTraceWriter wraps w; call Flush when the campaign ends.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	bw := bufio.NewWriter(w)
+	return &TraceWriter{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// WriteTrace appends one JSONL line.
+func (w *TraceWriter) WriteTrace(t *VisitTrace) error {
+	if w == nil || t == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.enc.Encode(t)
+}
+
+// Flush drains the buffer to the underlying writer.
+func (w *TraceWriter) Flush() error {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.bw.Flush()
+}
+
+// Tee fans one trace stream out to several sinks (e.g. a TraceWriter
+// and a Summary).
+type Tee []Sink
+
+// WriteTrace forwards to every non-nil sink, returning the first error.
+func (t Tee) WriteTrace(v *VisitTrace) error {
+	var first error
+	for _, s := range t {
+		if s == nil {
+			continue
+		}
+		if err := s.WriteTrace(v); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// DecodeTrace parses one JSONL line into a VisitTrace, rejecting
+// records without a root span.
+func DecodeTrace(line []byte) (*VisitTrace, error) {
+	var v VisitTrace
+	if err := json.Unmarshal(line, &v); err != nil {
+		return nil, fmt.Errorf("decode trace: %w", err)
+	}
+	if v.Root == nil {
+		return nil, fmt.Errorf("decode trace: missing root span")
+	}
+	return &v, nil
+}
+
+// ReadTraces streams every trace in a JSONL reader to fn, stopping at
+// the first decode error or fn error. Blank lines are skipped.
+func ReadTraces(r io.Reader, fn func(*VisitTrace) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		v, err := DecodeTrace(b)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", line, err)
+		}
+		if err := fn(v); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("read traces: %w", err)
+	}
+	return nil
+}

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"github.com/netmeasure/topicscope/internal/classifier"
+	"github.com/netmeasure/topicscope/internal/obs"
 	"github.com/netmeasure/topicscope/internal/taxonomy"
 )
 
@@ -71,6 +72,10 @@ type Config struct {
 	// Now supplies the clock; defaults to time.Now. Tests and the
 	// simulator inject virtual time here.
 	Now func() time.Time
+	// Metrics, when set, counts engine activity (visits recorded,
+	// observations, calls answered, topics returned, noise replacements)
+	// in the shared observability registry. Nil disables counting.
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -176,6 +181,7 @@ func (e *Engine) Config() Config { return e.cfg }
 // RecordVisit informs the engine of a page load on site. The page is
 // classified and contributes to the current epoch's topic frequencies.
 func (e *Engine) RecordVisit(site string) {
+	e.cfg.Metrics.Add("engine_visits_total", 1)
 	ids := e.cl.ClassifyIDs(site)
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -189,6 +195,7 @@ func (e *Engine) RecordVisit(site string) {
 // current epoch (Chrome marks this when the caller invokes the API or
 // receives the Sec-Browsing-Topics headers on that page).
 func (e *Engine) Observe(site, caller string) {
+	e.cfg.Metrics.Add("engine_observations_total", 1)
 	ids := e.cl.ClassifyIDs(site)
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -235,7 +242,15 @@ func (e *Engine) BrowsingTopics(caller, site string) []Result {
 			out = append(out, res)
 		}
 	}
-	return dedupeResults(out)
+	out = dedupeResults(out)
+	e.cfg.Metrics.Add("engine_calls_total", 1)
+	e.cfg.Metrics.Add("engine_topics_returned_total", int64(len(out)))
+	for _, r := range out {
+		if r.Noised {
+			e.cfg.Metrics.Add("engine_noised_total", 1)
+		}
+	}
+	return out
 }
 
 // epochTopicLocked picks the (epoch, site) topic and applies noise and

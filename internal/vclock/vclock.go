@@ -5,6 +5,7 @@
 package vclock
 
 import (
+	"context"
 	"sync/atomic"
 	"time"
 )
@@ -35,4 +36,35 @@ func (c *Clock) Advance(d time.Duration) time.Time {
 // Set jumps the clock to t.
 func (c *Clock) Set(t time.Time) {
 	c.nanos.Store(t.UnixNano())
+}
+
+// Since reports the virtual time elapsed from t to the clock's current
+// reading.
+func (c *Clock) Since(t time.Time) time.Duration {
+	return c.Now().Sub(t)
+}
+
+// Poll invokes fn every interval of *wall-clock* time until the context
+// is cancelled or fn returns false. It exists so interactive consumers
+// (the topics-monitor tail loop) have one sanctioned place to wait on
+// real time: the vclock lint analyzer bans time tickers everywhere
+// outside this package, keeping measurement code on virtual time while
+// UI refresh — which users experience in real time by definition —
+// lives here.
+func Poll(ctx context.Context, every time.Duration, fn func() bool) {
+	if every <= 0 {
+		every = time.Second
+	}
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		if !fn() {
+			return
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+	}
 }

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"github.com/netmeasure/topicscope/internal/chaos"
+	"github.com/netmeasure/topicscope/internal/obs"
 	"github.com/netmeasure/topicscope/internal/webworld"
 )
 
@@ -42,11 +43,13 @@ func (s Snapshot) String() string {
 const MetricsPath = "/__metrics"
 
 // MetricsHandler renders the server's request counters — plus the
-// chaos injector's, when one is attached — in the Prometheus text
-// exposition format. chaosStats may be nil.
-func MetricsHandler(s *Server, chaosStats *chaos.Stats) http.Handler {
+// chaos injector's when one is attached, plus an obs registry's crawl
+// counters and latency summaries when one is shared — in the
+// Prometheus text exposition format. chaosStats and reg may be nil.
+func MetricsHandler(s *Server, chaosStats *chaos.Stats, reg *obs.Registry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		defer reg.WriteProm(w) //nolint:errcheck // best-effort debug endpoint
 		snap := s.Metrics()
 		fmt.Fprintln(w, "# HELP topicscope_requests_total Requests served, by host kind.")
 		fmt.Fprintln(w, "# TYPE topicscope_requests_total counter")

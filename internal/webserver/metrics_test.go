@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"github.com/netmeasure/topicscope/internal/chaos"
+	"github.com/netmeasure/topicscope/internal/obs"
 	"github.com/netmeasure/topicscope/internal/webworld"
 )
 
@@ -26,7 +27,7 @@ func TestMetricsHandler(t *testing.T) {
 
 	// Without chaos stats: host-kind counters only.
 	rec := httptest.NewRecorder()
-	MetricsHandler(srv, nil).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, MetricsPath, nil))
+	MetricsHandler(srv, nil, nil).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, MetricsPath, nil))
 	body := rec.Body.String()
 	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
 		t.Errorf("content type %q", ct)
@@ -49,12 +50,17 @@ func TestMetricsHandler(t *testing.T) {
 		}()
 	}
 	rec = httptest.NewRecorder()
-	MetricsHandler(srv, ch.Stats()).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, MetricsPath, nil))
+	reg := obs.NewRegistry()
+	reg.Add("crawl_visits_total", 2, "phase", "before_accept", "outcome", "ok")
+	MetricsHandler(srv, ch.Stats(), reg).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, MetricsPath, nil))
 	body = rec.Body.String()
 	if !strings.Contains(body, "topicscope_chaos_requests_total 20") {
 		t.Errorf("chaos request counter missing:\n%s", body)
 	}
 	if !strings.Contains(body, "# TYPE topicscope_chaos_injected_total counter") {
 		t.Errorf("chaos injected type line missing:\n%s", body)
+	}
+	if !strings.Contains(body, `crawl_visits_total{outcome="ok",phase="before_accept"} 2`) {
+		t.Errorf("obs registry counters missing:\n%s", body)
 	}
 }

@@ -21,7 +21,9 @@ package topicscope
 import (
 	"context"
 	"fmt"
+	"io"
 	"log/slog"
+	"strconv"
 	"time"
 
 	"github.com/netmeasure/topicscope/internal/analysis"
@@ -29,6 +31,7 @@ import (
 	"github.com/netmeasure/topicscope/internal/chaos"
 	"github.com/netmeasure/topicscope/internal/crawler"
 	"github.com/netmeasure/topicscope/internal/dataset"
+	"github.com/netmeasure/topicscope/internal/obs"
 	"github.com/netmeasure/topicscope/internal/webserver"
 	"github.com/netmeasure/topicscope/internal/webworld"
 )
@@ -68,6 +71,18 @@ type Campaign struct {
 	Retries int
 	// Logger receives progress (nil = silent).
 	Logger *slog.Logger
+	// Trace, when set, receives the campaign's span trees as JSONL: one
+	// record per visit (in rank order) plus one each for the attestation
+	// sweep and the analysis pass. All timestamps sit on deterministic
+	// stage clocks, so the stream is byte-identical for a given seed
+	// regardless of GOMAXPROCS or worker count.
+	Trace io.Writer
+	// Metrics, when set, is the registry the campaign records into
+	// (counters and stage histograms); nil means a fresh one, returned
+	// in Results.Metrics either way. Sharing a registry lets a caller
+	// serve it live (DebugMux) while the campaign runs, or merge several
+	// campaigns' metrics into one.
+	Metrics *MetricsRegistry
 	// WorldConfig overrides the generated world entirely (optional).
 	WorldConfig *WorldConfig
 }
@@ -88,6 +103,15 @@ type Results struct {
 	// already-built analysis index: further Compute* calls on it reuse
 	// the one dataset pass the campaign already paid for.
 	Analysis *AnalysisInput
+	// Metrics is the campaign's observability registry: crawl, engine,
+	// attestation and analysis counters plus per-stage latency
+	// histograms. Serve it with ObsHandler or merge it into another
+	// registry.
+	Metrics *MetricsRegistry
+	// TraceSummary aggregates the campaign's traces: visit outcomes and
+	// per-stage stage-clock time (the data behind topics-monitor's
+	// breakdown), populated whether or not Campaign.Trace was set.
+	TraceSummary *TraceSummary
 }
 
 // Run executes the campaign.
@@ -110,6 +134,17 @@ func (c Campaign) Run(ctx context.Context) (*Results, error) {
 	} else if c.Retries < 0 {
 		attempts = 1
 	}
+	reg := c.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	summary := obs.NewSummary()
+	sink := obs.Tee{summary}
+	var traceWriter *obs.TraceWriter
+	if c.Trace != nil {
+		traceWriter = obs.NewTraceWriter(c.Trace)
+		sink = append(sink, traceWriter)
+	}
 	ccfg := crawler.Config{
 		Client:             client,
 		ReferenceAllowlist: allow,
@@ -120,6 +155,8 @@ func (c Campaign) Run(ctx context.Context) (*Results, error) {
 		Vantage:            c.Vantage,
 		Attempts:           attempts,
 		Logger:             c.Logger,
+		Metrics:            reg,
+		Traces:             sink,
 	}
 	if c.OutputPath != "" {
 		f, err := dataset.OpenWriter(c.OutputPath) // .gz transparently
@@ -140,19 +177,66 @@ func (c Campaign) Run(ctx context.Context) (*Results, error) {
 	domains = append(domains, crawler.CallerDomains(res.Data)...)
 	recs := cr.CheckAttestations(ctx, domains)
 
+	// Campaign-level traces: the attestation sweep (one span per domain,
+	// built from the already-sorted records) and the analysis pass, both
+	// on stage clocks picking up where the crawl's virtual time ended.
+	start := c.Start
+	if start.IsZero() {
+		start = DefaultCrawlStart
+	}
+	attTrace := attestationTrace(recs, reg, start.Add(res.Stats.Elapsed))
+	if err := sink.WriteTrace(attTrace); err != nil {
+		return nil, fmt.Errorf("topicscope: writing attestation trace: %w", err)
+	}
+
 	in := &analysis.Input{
 		Data:         res.Data,
 		Allowlist:    allow,
 		Attestations: dataset.AttestationIndex(recs),
+		Metrics:      reg,
+	}
+	report := analysis.Run(in)
+	if err := sink.WriteTrace(analysis.BuildTrace(in, attTrace.Root.End)); err != nil {
+		return nil, fmt.Errorf("topicscope: writing analysis trace: %w", err)
+	}
+	if traceWriter != nil {
+		if err := traceWriter.Flush(); err != nil {
+			return nil, fmt.Errorf("topicscope: flushing traces: %w", err)
+		}
 	}
 	return &Results{
 		World:        world,
 		Data:         res.Data,
 		Stats:        res.Stats,
 		Attestations: recs,
-		Report:       analysis.Run(in),
+		Report:       report,
 		Analysis:     in,
+		Metrics:      reg,
+		TraceSummary: summary,
 	}, nil
+}
+
+// attestationTrace renders the well-known attestation sweep as one span
+// per domain on a stage clock, charging obs.AttestCost each. Built from
+// the sorted records after the fact, it is deterministic no matter how
+// the concurrent checks interleaved.
+func attestationTrace(recs []AttestationRecord, reg *obs.Registry, start time.Time) *obs.VisitTrace {
+	tr := obs.NewTrace("attestation", start, obs.A("domains", strconv.Itoa(len(recs))))
+	for i := range recs {
+		rec := &recs[i]
+		outcome := "missing"
+		switch {
+		case rec.Valid:
+			outcome = "valid"
+		case rec.Present:
+			outcome = "invalid"
+		}
+		tr.Start("attest_check", obs.A("domain", rec.Domain), obs.A("outcome", outcome))
+		tr.Advance(obs.AttestCost)
+		tr.End()
+		reg.Add("attestation_checks_total", 1, "outcome", outcome)
+	}
+	return &obs.VisitTrace{Phase: "attestation", Root: tr.Finish()}
 }
 
 // DefaultCrawlStart is the virtual time campaigns begin at — the paper's

@@ -1,0 +1,64 @@
+package topicscope_test
+
+import (
+	"bytes"
+	"context"
+	"runtime"
+	"testing"
+
+	"github.com/netmeasure/topicscope"
+)
+
+// TestTraceDeterminismAcrossGOMAXPROCS is the trace-stream counterpart
+// of TestReportDeterminismAcrossGOMAXPROCS: a seeded chaos-injected
+// campaign emits byte-identical trace JSONL across repeated runs and
+// across GOMAXPROCS/worker settings. Every span sits on a deterministic
+// stage clock and traces leave the crawler through the same rank-ordered
+// consumer as the dataset, so scheduling must never reach the bytes.
+func TestTraceDeterminismAcrossGOMAXPROCS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping full-campaign trace determinism test")
+	}
+	run := func(procs, workers int) []byte {
+		t.Helper()
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+		var traces bytes.Buffer
+		_, err := topicscope.Campaign{
+			Seed:      7,
+			Sites:     400,
+			Workers:   workers,
+			Chaos:     true,
+			ChaosSeed: 3,
+			Trace:     &traces,
+		}.Run(context.Background())
+		if err != nil {
+			t.Fatalf("campaign (GOMAXPROCS=%d workers=%d): %v", procs, workers, err)
+		}
+		return traces.Bytes()
+	}
+
+	serial := run(1, 2)
+	parallel := run(8, 8)
+	repeat := run(8, 8)
+
+	diff := func(label string, a, b []byte) {
+		t.Helper()
+		if bytes.Equal(a, b) {
+			return
+		}
+		aLines := bytes.Split(a, []byte("\n"))
+		bLines := bytes.Split(b, []byte("\n"))
+		for i := 0; i < len(aLines) && i < len(bLines); i++ {
+			if !bytes.Equal(aLines[i], bLines[i]) {
+				t.Fatalf("%s: trace JSONL diverges at line %d:\n a: %s\n b: %s", label, i+1, aLines[i], bLines[i])
+			}
+		}
+		t.Fatalf("%s: trace JSONL lengths diverge: %d vs %d bytes", label, len(a), len(b))
+	}
+	diff("GOMAXPROCS=1/workers=2 vs GOMAXPROCS=8/workers=8", serial, parallel)
+	diff("repeated identical runs", parallel, repeat)
+
+	if len(serial) == 0 {
+		t.Fatal("campaign emitted no trace bytes")
+	}
+}

@@ -17,15 +17,18 @@ race:
 	$(GO) test -race ./...
 
 # Focused race pass over the packages with real concurrency: the
-# crawler's worker pool + reorder buffer, the webserver (chaos handler
+# crawler's worker pool + reorder buffer (including the kill-and-resume
+# crash matrix and graceful-drain tests), the webserver (chaos handler
 # and page cache included), the analysis index's sharded build +
-# concurrent reads, and the obs registry/summary sinks that crawl
-# workers feed concurrently — fast enough to ride in `make all`.
+# concurrent reads, the obs registry/summary sinks that crawl workers
+# feed concurrently, and the durable journal the crawl writes through —
+# fast enough to ride in `make all`.
 race-core:
-	$(GO) test -race ./internal/analysis/ ./internal/crawler/ ./internal/webserver/ ./internal/obs/
+	$(GO) test -race ./internal/analysis/ ./internal/crawler/ ./internal/webserver/ ./internal/obs/ ./internal/durable/ ./internal/dataset/
 
 # Static analysis: go vet plus the repo's own invariant suite
-# (cmd/topicslint: determinism, vclock, etld, errwrap — see DESIGN.md
+# (cmd/topicslint: determinism, vclock, etld, errwrap, atomicwrite —
+# see DESIGN.md
 # "Machine-enforced invariants"). The binary is compiled once (cached by
 # the go build cache) and then run over every package; topicslint loads
 # packages from source, so it needs no module proxy or network.
@@ -62,6 +65,8 @@ fuzz:
 	$(GO) test -fuzz=FuzzTraceDecode -fuzztime=10s ./internal/obs/
 	$(GO) test -fuzz=FuzzCompletedSites -fuzztime=10s ./internal/dataset/
 	$(GO) test -fuzz=FuzzReadVisits -fuzztime=10s ./internal/dataset/
+	$(GO) test -fuzz=FuzzScanRecords -fuzztime=10s ./internal/durable/
+	$(GO) test -fuzz=FuzzManifestDecode -fuzztime=10s ./internal/durable/
 
 # Regenerate the committed end-to-end pipeline fixture
 # (testdata/golden_pipeline.json) after an intentional output change;

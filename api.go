@@ -15,6 +15,7 @@ import (
 	"github.com/netmeasure/topicscope/internal/classifier"
 	"github.com/netmeasure/topicscope/internal/crawler"
 	"github.com/netmeasure/topicscope/internal/dataset"
+	"github.com/netmeasure/topicscope/internal/durable"
 	"github.com/netmeasure/topicscope/internal/etld"
 	"github.com/netmeasure/topicscope/internal/obs"
 	"github.com/netmeasure/topicscope/internal/reident"
@@ -222,8 +223,50 @@ const (
 func LoadDataset(path string) (*Dataset, error) { return dataset.LoadFile(path) }
 
 // CompletedSites returns the sites already recorded in a JSONL crawl
-// file, for resuming an interrupted campaign.
+// file, for resuming an interrupted campaign. Truncated or corrupt
+// trailing records are salvaged, never fatal: the valid prefix decides.
 func CompletedSites(path string) (map[string]bool, error) { return dataset.CompletedSites(path) }
+
+// ---- Crash-safe persistence ----
+
+// Crash-safe journal types (see DESIGN.md, "Crash safety"): a
+// DatasetJournal is a Visit sink whose writes are framed, checkpointed
+// and recoverable after kill -9; the Manifest is the fsync'd checkpoint
+// record that makes resume O(tail).
+type (
+	DatasetJournal = dataset.JournalWriter
+	JournalOptions = dataset.JournalOptions
+	ResumeState    = dataset.ResumeState
+	Manifest       = durable.Manifest
+)
+
+// DefaultCheckpointEvery is the journal's default checkpoint cadence:
+// sites completed between durable checkpoints.
+const DefaultCheckpointEvery = dataset.DefaultCheckpointEvery
+
+// CreateJournal starts a fresh crash-safe dataset journal at path
+// (gzip-compressed when the path ends in .gz).
+func CreateJournal(path string, opts JournalOptions) (*DatasetJournal, error) {
+	return dataset.CreateJournal(path, opts)
+}
+
+// ResumeJournal reopens an interrupted journal: it truncates to the
+// last checkpoint, replays the tail, drops torn site groups, and
+// returns the writer positioned to append plus what survived.
+func ResumeJournal(path string, opts JournalOptions) (*DatasetJournal, *ResumeState, error) {
+	return dataset.ResumeJournal(path, opts)
+}
+
+// LoadManifest reads the checkpoint manifest beside a journal; nil
+// means no usable manifest (resume falls back to a full scan).
+func LoadManifest(journalPath string) *Manifest { return durable.LoadManifest(journalPath) }
+
+// WriteFileAtomic writes a whole-file artifact via the
+// temp-file/fsync/rename discipline, so readers observe either the old
+// file or the complete new one — never a torn write.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	return durable.WriteFileAtomic(path, write)
+}
 
 // ---- Topics engine ----
 
@@ -350,19 +393,19 @@ func AttestationIndex(recs []AttestationRecord) map[string]AttestationRecord {
 	return dataset.AttestationIndex(recs)
 }
 
-// SaveAllowlist writes an allow-list in the browser's .dat format.
-func SaveAllowlist(path string, list *Allowlist) (err error) {
-	f, err := os.Create(path)
+// SaveAllowlist writes an allow-list in the browser's .dat format,
+// atomically: a crash mid-write leaves the previous file intact instead
+// of a torn database (which the browser treats as corrupted — see
+// LoadAllowlist).
+func SaveAllowlist(path string, list *Allowlist) error {
+	err := durable.WriteFileAtomic(path, func(w io.Writer) error {
+		_, werr := list.WriteTo(w)
+		return werr
+	})
 	if err != nil {
-		return fmt.Errorf("topicscope: creating %s: %w", path, err)
+		return fmt.Errorf("topicscope: writing %s: %w", path, err)
 	}
-	defer func() {
-		if cerr := f.Close(); cerr != nil && err == nil {
-			err = fmt.Errorf("topicscope: closing %s: %w", path, cerr)
-		}
-	}()
-	_, err = list.WriteTo(f)
-	return err
+	return nil
 }
 
 // LoadAllowlist reads an allow-list .dat file; the error is an

@@ -56,15 +56,7 @@ func main() {
 	report := topicscope.Analyze(in)
 
 	if *csvOut != "" {
-		f, err := os.Create(*csvOut)
-		if err != nil {
-			fatal(err)
-		}
-		if err := data.WriteCallsCSV(f); err != nil {
-			f.Close()
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
+		if err := topicscope.WriteFileAtomic(*csvOut, data.WriteCallsCSV); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "calls CSV written to %s\n", *csvOut)

@@ -5,13 +5,20 @@
 // attestation records (JSONL) and the healthy allow-list (.dat) that
 // topics-analyze needs.
 //
+// The dataset is written through a crash-safe journal: a kill -9 or a
+// SIGTERM-triggered graceful drain both leave a file that -resume picks
+// up from its last checkpoint, and the finished dataset is byte-for-byte
+// what an uninterrupted run would have produced.
+//
 //	topics-crawl -seed 1 -sites 50000 -out crawl.jsonl -attest attest.jsonl -allowlist allow.dat
 //	topics-crawl -connect 127.0.0.1:8080 ...   # crawl a topics-serve instance over TCP
+//	topics-crawl -resume -out crawl.jsonl ...  # continue an interrupted campaign
 package main
 
 import (
 	"compress/gzip"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -40,7 +47,9 @@ func main() {
 		allowOut   = flag.String("allowlist", "allow.dat", "healthy allow-list output (.dat)")
 		enforce    = flag.Bool("enforce", false, "run the healthy-gate ablation instead of the corrupted gate")
 		quiet      = flag.Bool("quiet", false, "suppress progress logging")
-		resume     = flag.Bool("resume", false, "skip sites already present in -out and append to it")
+		resume     = flag.Bool("resume", false, "resume an interrupted campaign from -out's last checkpoint")
+		ckptEvery  = flag.Int("checkpoint-every", topicscope.DefaultCheckpointEvery, "sites between durable checkpoints (fsync + manifest)")
+		budgetMS   = flag.Int("visit-budget-ms", 0, "per-visit deadline on the virtual clock; 0 disables the watchdog")
 		timeoutMS  = flag.Int("timeout-ms", 10000, "per-request timeout for -connect mode")
 		useChaos   = flag.Bool("chaos", false, "inject the paper-calibrated fault profile client-side")
 		chaosSeed  = flag.Uint64("chaos-seed", 1, "fault-injection seed (independent of the world seed)")
@@ -81,43 +90,61 @@ func main() {
 		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
 
+	// Observability first: the journal reports its recovery and
+	// checkpoint counters through the same registry as the crawl.
+	reg := topicscope.NewMetricsRegistry()
+
+	list := world.List()
+	rankSite := make(map[int]string, len(list.Entries))
+	for _, e := range list.Entries {
+		rankSite[e.Rank] = e.Domain
+	}
+
+	// The dataset is a crash-safe journal: framed records, periodic
+	// fsync'd checkpoints, and a manifest that makes -resume O(tail).
 	skip := map[string]bool{}
-	flags := os.O_CREATE | os.O_WRONLY | os.O_TRUNC
+	jopts := topicscope.JournalOptions{
+		CheckpointEvery: *ckptEvery,
+		Metrics:         reg,
+		Skip:            func(rank int) bool { return skip[rankSite[rank]] },
+	}
+	var journal *topicscope.DatasetJournal
 	if *resume {
+		var st *topicscope.ResumeState
 		var err error
-		if skip, err = topicscope.CompletedSites(*out); err != nil {
+		journal, st, err = topicscope.ResumeJournal(*out, jopts)
+		if err != nil {
 			fatal(err)
 		}
-		flags = os.O_CREATE | os.O_WRONLY | os.O_APPEND
-		fmt.Printf("resume: skipping %d already-crawled sites\n", len(skip))
-		if strings.HasSuffix(*out, ".gz") {
-			// Appending concatenated gzip members is valid gzip; open raw
-			// and wrap below.
-			fmt.Println("resume: appending a new gzip member")
+		for site := range st.Completed {
+			skip[site] = true
+		}
+		for _, e := range list.Entries {
+			if e.Rank <= st.WatermarkRank {
+				skip[e.Domain] = true
+			}
+		}
+		fmt.Printf("resume: %d records kept, skipping %d already-crawled sites (%d tail bytes replayed)\n",
+			st.RecordsKept, len(skip), st.BytesRead)
+		if st.RecordsDropped > 0 {
+			fmt.Printf("resume: dropped %d torn trailing records; their sites recrawl\n", st.RecordsDropped)
+		}
+	} else {
+		var err error
+		journal, err = topicscope.CreateJournal(*out, jopts)
+		if err != nil {
+			fatal(err)
 		}
 	}
-	raw, err := os.OpenFile(*out, flags, 0o644)
-	if err != nil {
-		fatal(err)
-	}
-	defer raw.Close()
-	var sink io.Writer = raw
-	if strings.HasSuffix(*out, ".gz") {
-		zw := gzip.NewWriter(raw)
-		defer zw.Close()
-		sink = zw
-	}
-	writer := topicscope.NewDatasetWriter(sink)
 
-	// Observability: every crawl folds its traces into a summary; -trace
-	// additionally streams them as JSONL, -pprof serves the registry live.
-	reg := topicscope.NewMetricsRegistry()
+	// Every crawl folds its traces into a summary; -trace additionally
+	// streams them as JSONL, -pprof serves the registry live.
 	summary := topicscope.NewTraceSummary()
 	traces := topicscope.TraceTee{summary}
 	var traceWriter *topicscope.TraceWriter
 	var traceClose func() error
 	if *tracePath != "" {
-		traceRaw, err := os.Create(*tracePath)
+		traceRaw, err := os.Create(*tracePath) //topicslint:ignore atomicwrite streaming trace sink, tailed live by topics-monitor; cannot be written atomically
 		if err != nil {
 			fatal(err)
 		}
@@ -157,11 +184,12 @@ func main() {
 		ReferenceAllowlist: allow,
 		Enforce:            *enforce,
 		Workers:            *workers,
-		Writer:             writer,
+		Writer:             journal,
 		Collect:            true,
 		SkipSites:          skip,
 		Scheme:             scheme,
 		Attempts:           attempts,
+		VisitBudget:        time.Duration(*budgetMS) * time.Millisecond,
 		Logger:             logger,
 		Metrics:            reg,
 		Traces:             traces,
@@ -170,8 +198,15 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	res, err := cr.Run(ctx, world.List())
-	if err != nil {
+	// SIGTERM / Ctrl-C cancels the context; the crawler drains — stops
+	// dispatching, finishes what it can, flushes a final checkpoint —
+	// and Run returns the partial result with ctx.Err().
+	res, err := cr.Run(ctx, list)
+	drained := errors.Is(err, context.Canceled)
+	if err != nil && !drained {
+		fatal(err)
+	}
+	if err := journal.Close(); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("crawl: %s\n", res.Stats)
@@ -189,6 +224,10 @@ func main() {
 		}
 		nTraces, _, _, _, _ := summary.Counts()
 		fmt.Printf("traces: %s (%d records)\n", *tracePath, nTraces)
+	}
+	if drained {
+		fmt.Println("crawl drained: dataset is durable through its final checkpoint; rerun with -resume to continue")
+		os.Exit(130)
 	}
 
 	// Attestation checks for every allow-listed domain plus every

@@ -11,6 +11,12 @@
 // latency breakdown. -follow keeps re-rendering while a crawl appends.
 //
 //	topics-monitor -tail crawl-traces.jsonl -follow
+//
+// With -checkpoint it renders the durable state of a crash-safe dataset
+// journal — committed records, watermark rank, uncommitted tail bytes —
+// from the manifest topics-crawl maintains beside the file.
+//
+//	topics-monitor -checkpoint crawl.jsonl.gz
 package main
 
 import (
@@ -43,8 +49,16 @@ func main() {
 		tail    = flag.String("tail", "", "render a campaign dashboard from this trace JSONL file instead of crawling")
 		follow  = flag.Bool("follow", false, "with -tail: re-read and re-render every -every until interrupted")
 		every   = flag.Duration("every", 2*time.Second, "with -follow: refresh interval")
+		ckpt    = flag.String("checkpoint", "", "render the checkpoint state of this crash-safe dataset journal and exit")
 	)
 	flag.Parse()
+
+	if *ckpt != "" {
+		if err := renderCheckpoint(*ckpt); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *tail != "" {
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -162,6 +176,35 @@ func dashboard(path string, s *obs.Summary) string {
 		w.Flush() //nolint:errcheck // strings.Builder cannot fail
 	}
 	return b.String()
+}
+
+// renderCheckpoint prints the durable state of a crash-safe dataset
+// journal: what the manifest commits to, and how much uncommitted tail
+// a resume would replay.
+func renderCheckpoint(path string) error {
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	m := topicscope.LoadManifest(path)
+	fmt.Printf("journal: %s (%d bytes on disk)\n", path, info.Size())
+	if m == nil {
+		fmt.Println("checkpoint: no usable manifest — resume falls back to a full salvaging scan")
+		return nil
+	}
+	fmt.Printf("checkpoint: %d records committed through %d bytes (payload crc %08x)\n",
+		m.Records, m.Offset, m.PayloadCRC)
+	if m.WatermarkRank > 0 {
+		fmt.Printf("watermark: rank %d (%s) — every earlier rank is durably recorded\n",
+			m.WatermarkRank, m.WatermarkSite)
+	}
+	fmt.Printf("sites recorded: %d\n", m.Sites)
+	if tail := info.Size() - m.Offset; tail > 0 {
+		fmt.Printf("uncommitted tail: %d bytes (replayed on resume; torn site groups recrawl)\n", tail)
+	} else {
+		fmt.Println("uncommitted tail: none — the file is durable end to end")
+	}
+	return nil
 }
 
 func fatal(err error) {

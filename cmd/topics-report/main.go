@@ -75,7 +75,7 @@ func main() {
 	var traceOut io.Writer
 	var traceClose func() error
 	if *tracePath != "" {
-		raw, err := os.Create(*tracePath)
+		raw, err := os.Create(*tracePath) //topicslint:ignore atomicwrite streaming trace sink, tailed live by topics-monitor; cannot be written atomically
 		if err != nil {
 			fatal(err)
 		}
@@ -123,15 +123,7 @@ func main() {
 	}
 
 	if *jsonOut != "" {
-		f, err := os.Create(*jsonOut)
-		if err != nil {
-			fatal(err)
-		}
-		if err := results.Report.WriteJSON(f); err != nil {
-			f.Close()
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
+		if err := topicscope.WriteFileAtomic(*jsonOut, results.Report.WriteJSON); err != nil {
 			fatal(err)
 		}
 	}
@@ -146,7 +138,11 @@ func main() {
 		fmt.Print(text)
 		return
 	}
-	if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
+	err = topicscope.WriteFileAtomic(*out, func(w io.Writer) error {
+		_, werr := io.WriteString(w, text)
+		return werr
+	})
+	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("report written to %s\n", *out)

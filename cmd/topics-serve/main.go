@@ -12,6 +12,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -77,7 +78,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := os.WriteFile(*caOut, ca.CertPEM(), 0o644); err != nil {
+		err = topicscope.WriteFileAtomic(*caOut, func(w io.Writer) error {
+			_, werr := w.Write(ca.CertPEM())
+			return werr
+		})
+		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("serving %s on https://%s (CA cert: %s)\n", world.Stats(), ln.Addr(), *caOut)

@@ -8,8 +8,10 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"github.com/netmeasure/topicscope"
@@ -36,15 +38,10 @@ func main() {
 		fmt.Printf("rank list: %s (%d entries)\n", *listPath, world.List().Len())
 	}
 	if *specPath != "" {
-		f, err := os.Create(*specPath)
+		err := topicscope.WriteFileAtomic(*specPath, func(w io.Writer) error {
+			return topicscope.SaveWorld(world, w)
+		})
 		if err != nil {
-			fatal(err)
-		}
-		if err := topicscope.SaveWorld(world, f); err != nil {
-			f.Close()
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("world spec: %s\n", *specPath)
@@ -63,26 +60,19 @@ func main() {
 
 func writeAllowlist(world *topicscope.World, path string, corrupt bool) error {
 	list := topicscope.NewAllowlist(world.Catalog.AllowedDomains()...)
-	f, err := os.Create(path)
-	if err != nil {
+	var buf bytes.Buffer
+	if _, err := list.WriteTo(&buf); err != nil {
 		return err
 	}
-	defer f.Close()
-	if _, err := list.WriteTo(f); err != nil {
-		return err
-	}
+	raw := buf.Bytes()
 	if corrupt {
 		// Flip one byte mid-file, as the paper did on purpose.
-		info, err := f.Stat()
-		if err != nil {
-			return err
-		}
-		buf := []byte{0xFF}
-		if _, err := f.WriteAt(buf, info.Size()/2); err != nil {
-			return err
-		}
+		raw[len(raw)/2] ^= 0xFF
 	}
-	return nil
+	return topicscope.WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := w.Write(raw)
+		return err
+	})
 }
 
 func fatal(err error) {

@@ -8,6 +8,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
@@ -47,7 +48,11 @@ func main() {
 		log.Fatal(err)
 	}
 	raw[len(raw)/2] ^= 0xFF
-	if err := os.WriteFile(path, raw, 0o644); err != nil {
+	err = topicscope.WriteFileAtomic(path, func(w io.Writer) error {
+		_, werr := w.Write(raw)
+		return werr
+	})
+	if err != nil {
 		log.Fatal(err)
 	}
 

@@ -57,17 +57,24 @@ const (
 	ClassHTTP5xx     Class = "http5xx"
 	ClassTruncated   Class = "truncated"
 	ClassCircuitOpen Class = "circuit-open"
-	ClassOther       Class = "other"
+	// ClassDeadline marks a visit abandoned by the crawler's per-visit
+	// deadline watchdog: the stage-clock budget ran out mid-visit.
+	ClassDeadline Class = "deadline_exceeded"
+	// ClassAborted marks a visit abandoned by a graceful drain
+	// (SIGTERM / context cancellation), recorded as partial.
+	ClassAborted Class = "aborted"
+	ClassOther   Class = "other"
 )
 
 // Classes lists every non-empty class in rendering order.
 var Classes = []Class{
 	ClassTimeout, ClassRefused, ClassDNS, ClassReset,
-	ClassHTTP5xx, ClassTruncated, ClassCircuitOpen, ClassOther,
+	ClassHTTP5xx, ClassTruncated, ClassCircuitOpen,
+	ClassDeadline, ClassAborted, ClassOther,
 }
 
 // numClasses must track len(Classes); the Stats array needs a constant.
-const numClasses = 8
+const numClasses = 10
 
 // Retryable reports whether a failure class is worth retrying:
 // transient faults are, while DNS failures, refused connections
@@ -102,6 +109,10 @@ func (e *Error) Error() string {
 		return fmt.Sprintf("reading %s: unexpected EOF (truncated body)", e.Host)
 	case ClassCircuitOpen:
 		return fmt.Sprintf("%s: circuit breaker open", e.Host)
+	case ClassDeadline:
+		return fmt.Sprintf("%s: visit deadline exceeded (budget %s)", e.Host, e.Latency.Round(time.Millisecond))
+	case ClassAborted:
+		return fmt.Sprintf("%s: visit aborted by drain", e.Host)
 	default:
 		return fmt.Sprintf("%s: injected %s", e.Host, e.Class)
 	}
@@ -169,6 +180,10 @@ func ClassifyText(msg string) Class {
 		return ClassNone
 	case strings.Contains(msg, "circuit breaker"):
 		return ClassCircuitOpen
+	case strings.Contains(msg, "visit deadline exceeded"):
+		return ClassDeadline
+	case strings.Contains(msg, "aborted by drain"):
+		return ClassAborted
 	case strings.Contains(msg, "timeout") || strings.Contains(msg, "deadline exceeded"):
 		return ClassTimeout
 	case strings.Contains(msg, "connection refused"):

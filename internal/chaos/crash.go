@@ -1,0 +1,88 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// ErrInjectedCrash is the sentinel every crash injector returns (wrapped
+// with position detail). A writer seeing it must treat the process as
+// dead: the kill-and-resume harness stops the campaign at that instant
+// and restarts from the on-disk state.
+var ErrInjectedCrash = errors.New("chaos: injected crash")
+
+// IsCrash reports whether an error chain contains an injected crash.
+func IsCrash(err error) bool { return errors.Is(err, ErrInjectedCrash) }
+
+// CrashPlan is a deterministic crashpoint on the durable write path:
+// the process "dies" before appending record AfterRecords (0-based), or
+// after AfterBytes raw bytes have reached the journal file — whichever
+// hook is armed. Zero values disarm a dimension. The plan is pure
+// configuration: the same plan against the same campaign crashes at the
+// same byte every time, which is what lets the resume harness assert
+// byte-identical final reports.
+type CrashPlan struct {
+	// AfterRecords, when > 0, crashes the append of record index
+	// AfterRecords (so exactly AfterRecords records survive in the
+	// journal's buffers; fewer may be committed).
+	AfterRecords int64
+	// AfterBytes, when > 0, tears the raw byte stream: the write that
+	// crosses the threshold persists only partially and every later
+	// write fails — simulating a kill -9 mid-write().
+	AfterBytes int64
+}
+
+// BeforeAppend adapts the plan to durable.Options.BeforeAppend.
+// Returns nil when AfterRecords is disarmed.
+func (p CrashPlan) BeforeAppend() func(recordIndex int64) error {
+	if p.AfterRecords <= 0 {
+		return nil
+	}
+	return func(i int64) error {
+		if i >= p.AfterRecords {
+			return fmt.Errorf("%w before record %d", ErrInjectedCrash, i)
+		}
+		return nil
+	}
+}
+
+// Wrap adapts the plan to durable.Options.Wrap. Returns nil when
+// AfterBytes is disarmed.
+func (p CrashPlan) Wrap() func(io.Writer) io.Writer {
+	if p.AfterBytes <= 0 {
+		return nil
+	}
+	return func(w io.Writer) io.Writer {
+		return &crashWriter{w: w, remaining: p.AfterBytes}
+	}
+}
+
+// crashWriter passes bytes through until the budget is spent; the
+// crossing write is torn (a partial prefix is written, mimicking a
+// mid-write kill) and everything after fails permanently.
+type crashWriter struct {
+	w         io.Writer
+	remaining int64
+	dead      atomic.Bool
+}
+
+func (cw *crashWriter) Write(p []byte) (int, error) {
+	if cw.dead.Load() {
+		return 0, fmt.Errorf("%w (writer already dead)", ErrInjectedCrash)
+	}
+	if int64(len(p)) <= cw.remaining {
+		cw.remaining -= int64(len(p))
+		return cw.w.Write(p)
+	}
+	cw.dead.Store(true)
+	n := int(cw.remaining)
+	cw.remaining = 0
+	if n > 0 {
+		if m, err := cw.w.Write(p[:n]); err != nil {
+			return m, err
+		}
+	}
+	return n, fmt.Errorf("%w after partial write of %d/%d bytes", ErrInjectedCrash, n, len(p))
+}

@@ -21,6 +21,7 @@ import (
 	"log/slog"
 	"math/rand/v2"
 	"net/http"
+	"reflect"
 	"strconv"
 	"sync"
 	"time"
@@ -35,6 +36,22 @@ import (
 	"github.com/netmeasure/topicscope/internal/topics"
 	"github.com/netmeasure/topicscope/internal/tranco"
 )
+
+// VisitWriter receives the campaign's visit records in rank order.
+// *dataset.Writer is the plain JSONL implementation;
+// *dataset.JournalWriter adds crash-safe framing and checkpoints.
+type VisitWriter interface {
+	Write(*dataset.Visit) error
+	Flush() error
+}
+
+// SiteCompleter is implemented by checkpointing writers
+// (dataset.JournalWriter): the crawler notifies it after a site's full
+// record group has been written, in rank order, so the completed-site
+// watermark can advance and a checkpoint can be cut at a site boundary.
+type SiteCompleter interface {
+	SiteCompleted(rank int, site string) error
+}
 
 // Config parameterises a crawl.
 type Config struct {
@@ -68,8 +85,10 @@ type Config struct {
 	// Scheme is "http" (default) or "https" — with a TLS client from
 	// webserver.NewTLSClient the whole campaign runs over HTTPS/2.
 	Scheme string
-	// Writer, when set, receives every visit record in rank order.
-	Writer *dataset.Writer
+	// Writer, when set, receives every visit record in rank order. If it
+	// also implements SiteCompleter, the crawler reports each completed
+	// site so the writer can checkpoint at site boundaries.
+	Writer VisitWriter
 	// Collect keeps all visits in memory and returns them from Run.
 	Collect bool
 	// SkipSites lists sites already crawled (resume support): they are
@@ -86,6 +105,12 @@ type Config struct {
 	// BreakerThreshold is the per-host circuit-breaker threshold within
 	// one page load (default 3; negative disables the breaker).
 	BreakerThreshold int
+	// VisitBudget bounds one visit's stage-clock time (navigation plus
+	// retry backoffs): when the budget is spent, remaining attempts are
+	// abandoned and the visit records a deadline_exceeded failure
+	// instead of wedging a worker. 0 (the default) disables the
+	// watchdog. Being a virtual-clock bound, it is deterministic.
+	VisitBudget time.Duration
 	// Logger receives progress; nil disables logging.
 	Logger *slog.Logger
 	// ProgressEvery logs progress each N sites (default 1000).
@@ -130,6 +155,11 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BreakerThreshold == 0 {
 		c.BreakerThreshold = 3
+	}
+	// A typed-nil writer (a nil *dataset.Writer handed to the interface
+	// field) means "no writer", not "call methods on nil".
+	if w := reflect.ValueOf(c.Writer); c.Writer != nil && w.Kind() == reflect.Pointer && w.IsNil() {
+		c.Writer = nil
 	}
 	return c
 }
@@ -212,11 +242,11 @@ func (c *Crawler) Run(ctx context.Context, list *tranco.List) (*Result, error) {
 				if !cfg.SkipSites[entry.Domain] {
 					visits, traces = c.crawlSite(ctx, entry)
 				}
-				select {
-				case results <- siteResult{rank: entry.Rank, visits: visits, traces: traces}:
-				case <-ctx.Done():
-					return
-				}
+				// Deliver unconditionally, even mid-drain: the consumer
+				// reads until every worker exits, and abandoned visits
+				// must reach it to be counted (their records carry the
+				// aborted class and are kept out of the journal).
+				results <- siteResult{rank: entry.Rank, visits: visits, traces: traces}
 			}
 		}()
 	}
@@ -263,17 +293,50 @@ func (c *Crawler) consume(ctx context.Context, list *tranco.List, results <-chan
 	}
 	nextIdx := 0
 	var lastStage time.Time // latest stage-clock instant seen, for Elapsed
-	emit := func(sr siteResult) error {
+	// Drain discipline: from the first site carrying a drain-aborted
+	// record onward, nothing reaches the writer (or Collect) — the
+	// journal stays rank-contiguous and holds only finished sites, so a
+	// resumed campaign recrawls the abandoned tail and reproduces the
+	// uninterrupted dataset byte for byte. Stats, metrics and traces
+	// still see the abandoned visits.
+	suppress := false
+	abandoned := 0
+	var drainStart time.Time
+	siteAborted := func(sr siteResult) bool {
+		for i := range sr.visits {
+			if sr.visits[i].ErrorClass == string(chaos.ClassAborted) {
+				return true
+			}
+		}
+		return false
+	}
+	emit := func(sr siteResult, site string) error {
+		if !suppress && siteAborted(sr) {
+			suppress = true
+			if len(sr.traces) > 0 {
+				drainStart = sr.traces[0].Root.Start
+			}
+		}
+		if suppress && len(sr.visits) > 0 {
+			abandoned++
+		}
 		for i := range sr.visits {
 			v := &sr.visits[i]
 			c.accumulate(res, v)
-			if cfg.Writer != nil {
+			if cfg.Writer != nil && !suppress {
 				if err := cfg.Writer.Write(v); err != nil {
 					return err
 				}
 			}
-			if cfg.Collect {
+			if cfg.Collect && !suppress {
 				res.Data.Append(*v)
+			}
+		}
+		if cfg.Writer != nil && !suppress && len(sr.visits) > 0 {
+			if sc, ok := cfg.Writer.(SiteCompleter); ok {
+				if err := sc.SiteCompleted(sr.rank, site); err != nil {
+					return err
+				}
 			}
 		}
 		for _, tr := range sr.traces {
@@ -302,7 +365,7 @@ func (c *Crawler) consume(ctx context.Context, list *tranco.List, results <-chan
 				break
 			}
 			delete(pending, list.Entries[nextIdx].Rank)
-			if err := emit(sr); err != nil {
+			if err := emit(sr, list.Entries[nextIdx].Domain); err != nil {
 				return err
 			}
 			nextIdx++
@@ -315,13 +378,24 @@ func (c *Crawler) consume(ctx context.Context, list *tranco.List, results <-chan
 	if !lastStage.IsZero() {
 		res.Stats.Elapsed = lastStage.Sub(cfg.Start)
 	}
-	if ctx.Err() != nil {
-		return ctx.Err()
-	}
+	// The flush (for a journal writer: the final checkpoint) happens
+	// even on cancellation — a graceful drain's whole point is that the
+	// finished prefix is durable before the process exits.
 	if cfg.Writer != nil {
 		if err := cfg.Writer.Flush(); err != nil {
 			return err
 		}
+	}
+	if ctx.Err() != nil {
+		cfg.Metrics.Add("crawl_drain_total", 1)
+		cfg.Metrics.Add("crawl_drain_abandoned_total", int64(abandoned))
+		if !drainStart.IsZero() && lastStage.After(drainStart) {
+			cfg.Metrics.Observe("crawl_drain_seconds", lastStage.Sub(drainStart))
+		}
+		if cfg.Logger != nil {
+			cfg.Logger.Info("crawl drained", "completed", done-abandoned, "abandoned", abandoned)
+		}
+		return ctx.Err()
 	}
 	return nil
 }
@@ -403,13 +477,24 @@ func (c *Crawler) crawlSite(ctx context.Context, entry tranco.Entry) ([]dataset.
 	// the dataset stays byte-identical under any worker scheduling. The
 	// backoff is also charged to the visit's stage clock, so the trace
 	// shows the virtual time a retried navigation consumed.
-	loadPage := func(tr *obs.Trace) (*browser.PageVisit, int, error) {
+	loadPage := func(tr *obs.Trace, visitStart time.Time) (*browser.PageVisit, int, error) {
 		tr.Start("navigate", obs.A("site", entry.Domain))
 		defer tr.End()
 		var pv *browser.PageVisit
 		var err error
 		retries := 0
 		for attempt := 0; ; attempt++ {
+			// Deadline watchdog: once the visit's stage-clock budget is
+			// spent (navigation plus accumulated retry backoff), stop
+			// attempting and record the visit as deadline_exceeded
+			// instead of wedging the worker on a hung host. Stage time
+			// is virtual, so the cut-off is deterministic.
+			if cfg.VisitBudget > 0 && attempt > 0 && tr.Now().Sub(visitStart) >= cfg.VisitBudget {
+				tr.Annotate(obs.A("deadline", "exceeded"))
+				return pv, retries, &chaos.Error{
+					Class: chaos.ClassDeadline, Host: entry.Domain, Latency: cfg.VisitBudget,
+				}
+			}
 			loadCtx, cancel := context.WithTimeout(ctx, cfg.PageTimeout)
 			pv, err = b.LoadPageTraced(loadCtx, entry.Domain, tr)
 			cancel()
@@ -446,8 +531,9 @@ func (c *Crawler) crawlSite(ctx context.Context, entry tranco.Entry) ([]dataset.
 		FetchedAt: visitTime,
 	}
 	trBefore := obs.NewTrace("visit", visitTime)
-	pv, navRetries, err := loadPage(trBefore)
+	pv, navRetries, err := loadPage(trBefore, visitTime)
 	fillVisit(&before, pv, err)
+	markAborted(ctx, &before, entry.Domain)
 	before.Retries += navRetries
 	if err != nil {
 		return []dataset.Visit{before}, []*obs.VisitTrace{mkTrace(trBefore, &before)}
@@ -483,8 +569,9 @@ func (c *Crawler) crawlSite(ctx context.Context, entry tranco.Entry) ([]dataset.
 		Accepted:  true,
 	}
 	trAfter := obs.NewTrace("visit", clock)
-	pv2, navRetries2, err2 := loadPage(trAfter)
+	pv2, navRetries2, err2 := loadPage(trAfter, clock)
 	fillVisit(&after, pv2, err2)
+	markAborted(ctx, &after, entry.Domain)
 	after.Retries += navRetries2
 	if err2 == nil {
 		after.BannerDetected = det.BannerFound
@@ -493,6 +580,19 @@ func (c *Crawler) crawlSite(ctx context.Context, entry tranco.Entry) ([]dataset.
 	}
 	return []dataset.Visit{before, after},
 		[]*obs.VisitTrace{mkTrace(trBefore, &before), mkTrace(trAfter, &after)}
+}
+
+// markAborted reclassifies a visit that failed because the campaign is
+// draining (context cancelled, SIGTERM): whatever error the collapsing
+// page load surfaced, the truthful class is "aborted" — the site was
+// not given a fair visit and must be recrawled on resume.
+func markAborted(ctx context.Context, v *dataset.Visit, site string) {
+	if v.Success || ctx.Err() == nil {
+		return
+	}
+	e := &chaos.Error{Class: chaos.ClassAborted, Host: site}
+	v.Error = e.Error()
+	v.ErrorClass = string(chaos.ClassAborted)
 }
 
 // visitOutcome classifies a visit record for traces and metrics: "ok",

@@ -4,8 +4,11 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"time"
+
+	"github.com/netmeasure/topicscope/internal/durable"
 )
 
 // AttestationRecord is the outcome of checking one domain's well-known
@@ -42,25 +45,22 @@ func AttestationIndex(recs []AttestationRecord) map[string]AttestationRecord {
 	return m
 }
 
-// SaveAttestations writes attestation records as JSONL.
-func SaveAttestations(path string, recs []AttestationRecord) (err error) {
-	f, err := os.Create(path)
+// SaveAttestations writes attestation records as JSONL, atomically: the
+// file appears complete or not at all, never torn.
+func SaveAttestations(path string, recs []AttestationRecord) error {
+	err := durable.WriteFileAtomic(path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		for i := range recs {
+			if err := enc.Encode(&recs[i]); err != nil {
+				return fmt.Errorf("dataset: encoding attestation %s: %w", recs[i].Domain, err)
+			}
+		}
+		return nil
+	})
 	if err != nil {
-		return fmt.Errorf("dataset: creating %s: %w", path, err)
+		return fmt.Errorf("dataset: writing %s: %w", path, err)
 	}
-	defer func() {
-		if cerr := f.Close(); cerr != nil && err == nil {
-			err = fmt.Errorf("dataset: closing %s: %w", path, cerr)
-		}
-	}()
-	bw := bufio.NewWriter(f)
-	enc := json.NewEncoder(bw)
-	for i := range recs {
-		if err := enc.Encode(&recs[i]); err != nil {
-			return fmt.Errorf("dataset: encoding attestation %s: %w", recs[i].Domain, err)
-		}
-	}
-	return bw.Flush()
+	return nil
 }
 
 // LoadAttestations reads attestation records from JSONL.

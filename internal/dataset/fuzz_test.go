@@ -23,6 +23,13 @@ func FuzzCompletedSites(f *testing.F) {
 	f.Add([]byte("\n\n"))
 	f.Add([]byte{})
 	f.Add([]byte{0x1f, 0x8b, 0x08, 0x00})
+	// Torn-tail corpora: a crashed writer leaves a valid prefix plus a
+	// half-written record, frame header, or framed record with a bad
+	// CRC. Salvage must keep the prefix in every case.
+	f.Add([]byte(`{"site":"a.com","phase":"before_accept"}` + "\n" + `{"site":"b.c`))
+	f.Add([]byte("#r 16 0\n" + `{"site":"a.com"}` + "\n"))
+	f.Add([]byte("#r 28 5f0e3ad1\n" + `{"site":"a.com","phase":"bef`))
+	f.Add([]byte(`{"site":"a.com","phase":"before_accept"}` + "\n#r 99999 zz\n"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dir := t.TempDir()
 		plain := filepath.Join(dir, "crawl.jsonl")

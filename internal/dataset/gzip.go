@@ -48,9 +48,11 @@ func (g *gzipReadCloser) Close() error {
 
 // OpenWriter creates a dataset file for writing, transparently
 // compressing when the path ends in .gz. Close the returned WriteCloser
-// to flush everything.
+// to flush everything. The sink streams records as they arrive, so it
+// cannot be written atomically; crash-safe campaigns use CreateJournal
+// instead, which checkpoints the stream (see internal/durable).
 func OpenWriter(path string) (io.WriteCloser, error) {
-	f, err := os.Create(path)
+	f, err := os.Create(path) //topicslint:ignore atomicwrite streaming record sink; crash safety comes from the journal layer, not rename
 	if err != nil {
 		return nil, fmt.Errorf("dataset: creating %s: %w", path, err)
 	}

@@ -1,0 +1,318 @@
+package dataset
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+
+	"github.com/netmeasure/topicscope/internal/durable"
+	"github.com/netmeasure/topicscope/internal/obs"
+)
+
+// DefaultCheckpointEvery is the checkpoint cadence (completed sites per
+// manifest) when the caller does not choose one. Small enough that a
+// crash replays seconds of work, large enough that fsyncs stay off the
+// hot path.
+const DefaultCheckpointEvery = 25
+
+// JournalOptions configure a crash-safe dataset journal.
+type JournalOptions struct {
+	// CheckpointEvery is the number of completed sites between
+	// checkpoints (journal fsync + manifest rewrite); <= 0 selects
+	// DefaultCheckpointEvery.
+	CheckpointEvery int
+	// Metrics receives the recovery/checkpoint counters; nil is fine.
+	Metrics *obs.Registry
+	// Skip reports ranks accounted for outside this run (sites resumed
+	// or deliberately skipped), so the completed-site watermark can
+	// advance across them. Nil means no rank is skipped.
+	Skip func(rank int) bool
+	// Durable carries the low-level hooks (chaos crash injection).
+	Durable durable.Options
+}
+
+func (o *JournalOptions) every() int {
+	if o.CheckpointEvery <= 0 {
+		return DefaultCheckpointEvery
+	}
+	return o.CheckpointEvery
+}
+
+// JournalWriter writes visit records through a durable.Journal with
+// checkpoint discipline: records buffer between checkpoints, and every
+// CheckpointEvery completed sites the journal is fsync'd and the
+// companion manifest atomically rewritten with the new completed-site
+// watermark. It satisfies the crawler's VisitWriter and SiteCompleter.
+type JournalWriter struct {
+	j    *durable.Journal
+	path string
+	opts JournalOptions
+
+	watermarkRank int
+	watermarkSite string
+	sites         int
+	sinceCkpt     int
+	// done holds (rank -> site) for sites completed this run that the
+	// watermark has not yet swept over. Emission is rank-ordered, so it
+	// stays near-empty.
+	done map[int]string
+}
+
+// ResumeState reports what resuming a journal found and recovered.
+type ResumeState struct {
+	// Completed is the set of sites whose record groups survived in the
+	// scanned region (the tail past the checkpoint, or the whole file
+	// when no manifest existed). Sites at or below WatermarkRank are
+	// complete but not listed here — that is the point of the manifest.
+	Completed map[string]bool
+	// WatermarkRank is the manifest's completed-site watermark: every
+	// rank <= WatermarkRank was fully recorded (or deliberately
+	// skipped) before the checkpoint. 0 without a manifest.
+	WatermarkRank int
+	// RecordsKept / RecordsDropped count salvaged tail records and
+	// trailing incomplete-group records discarded during repair.
+	RecordsKept    int64
+	RecordsDropped int64
+	// BytesRead is the raw (compressed) bytes read off disk during
+	// resume — the O(tail) guarantee, asserted by tests.
+	BytesRead int64
+	// Truncated/TruncatedBytes report a torn tail (decompressed bytes
+	// discarded past the last valid record).
+	Truncated      bool
+	TruncatedBytes int64
+}
+
+// CreateJournal creates (or truncates) a crash-safe dataset journal.
+func CreateJournal(path string, opts JournalOptions) (*JournalWriter, error) {
+	j, err := durable.Create(path, opts.Durable)
+	if err != nil {
+		return nil, err
+	}
+	durable.RemoveManifest(path)
+	return &JournalWriter{j: j, path: path, opts: opts, done: map[int]string{}}, nil
+}
+
+// errCorrupt marks the first undecodable record during a resume scan:
+// everything from there on is treated as a torn tail.
+var errCorrupt = errors.New("dataset: corrupt record")
+
+// tailGroup is one site's record group salvaged from the journal tail.
+type tailGroup struct {
+	site     string
+	rank     int
+	payloads [][]byte
+	complete bool
+}
+
+// groupComplete reports whether a site's record group can still grow: a
+// successful, accepted Before-Accept visit is followed by an
+// After-Accept record, so a group ending there was torn mid-site. A
+// drain-aborted record likewise marks the site unfinished.
+func groupComplete(last *Visit) bool {
+	if last.ErrorClass == "aborted" {
+		return false
+	}
+	if last.Phase == AfterAccept {
+		return true
+	}
+	return !last.Success || !last.Accepted
+}
+
+// ResumeJournal reopens a journal for appending after a crash or
+// interrupt. It loads the checkpoint manifest (absent or invalid ⇒
+// a full salvaging scan from byte 0), scans only the tail past the
+// committed offset, drops any trailing record group whose site was torn
+// mid-write, repairs the file in place (truncate to the checkpoint,
+// re-append the kept tail), writes a fresh manifest, and returns the
+// writer positioned for the next site.
+func ResumeJournal(path string, opts JournalOptions) (*JournalWriter, *ResumeState, error) {
+	if _, err := os.Stat(path); os.IsNotExist(err) {
+		w, err := CreateJournal(path, opts)
+		return w, &ResumeState{Completed: map[string]bool{}}, err
+	}
+	var ck durable.Checkpoint
+	st := &ResumeState{Completed: map[string]bool{}}
+	m := durable.LoadManifest(path)
+	if m != nil {
+		ck = m.Checkpoint()
+		st.WatermarkRank = m.WatermarkRank
+	}
+
+	// Salvage the tail past the checkpoint.
+	rc, cr, err := durable.OpenTail(path, ck.Offset)
+	if err != nil {
+		return nil, nil, err
+	}
+	var groups []*tailGroup
+	scan, err := durable.ScanRecords(rc, func(payload []byte) error {
+		var v Visit
+		if uerr := json.Unmarshal(payload, &v); uerr != nil {
+			return errCorrupt
+		}
+		g := (*tailGroup)(nil)
+		if len(groups) > 0 {
+			g = groups[len(groups)-1]
+		}
+		if g == nil || g.site != v.Site {
+			g = &tailGroup{site: v.Site, rank: v.Rank}
+			groups = append(groups, g)
+		}
+		g.payloads = append(g.payloads, append([]byte(nil), payload...))
+		g.complete = groupComplete(&v)
+		return nil
+	})
+	st.BytesRead = cr.BytesRead()
+	rc.Close()
+	if err != nil && !errors.Is(err, errCorrupt) {
+		return nil, nil, err
+	}
+	corrupt := errors.Is(err, errCorrupt)
+	st.Truncated = scan.Truncated || corrupt
+	st.TruncatedBytes = scan.TruncatedBytes
+
+	// Keep complete groups up to the first incomplete one: emission is
+	// rank-ordered and group-atomic, so anything after a torn group
+	// cannot be trusted to be contiguous.
+	var kept []*tailGroup
+	for _, g := range groups {
+		if !g.complete {
+			break
+		}
+		kept = append(kept, g)
+	}
+	for _, g := range kept {
+		st.RecordsKept += int64(len(g.payloads))
+		st.Completed[g.site] = true
+	}
+	st.RecordsDropped = scan.Records - st.RecordsKept
+
+	// Repair in place: truncate to the committed checkpoint and
+	// re-append exactly the kept groups as a fresh committed state.
+	j, err := durable.OpenAt(path, ck, opts.Durable)
+	if err != nil {
+		return nil, nil, err
+	}
+	w := &JournalWriter{
+		j: j, path: path, opts: opts,
+		watermarkRank: st.WatermarkRank,
+		sites:         0,
+		done:          map[int]string{},
+	}
+	if m != nil {
+		w.watermarkSite = m.WatermarkSite
+		w.sites = m.Sites
+	}
+	for _, g := range kept {
+		for _, p := range g.payloads {
+			if err := j.Append(p); err != nil {
+				j.Close()
+				return nil, nil, err
+			}
+		}
+		w.noteCompleted(g.rank, g.site)
+	}
+	if err := w.checkpoint(); err != nil {
+		j.Close()
+		return nil, nil, err
+	}
+
+	reg := opts.Metrics
+	reg.Add("dataset_records_salvaged_total", st.RecordsKept)
+	reg.Add("dataset_records_dropped_total", st.RecordsDropped)
+	reg.Add("dataset_truncated_bytes_total", st.TruncatedBytes)
+	if st.Truncated {
+		reg.Add("dataset_torn_tails_total", 1)
+	}
+	return w, st, nil
+}
+
+// Write appends one visit record. Durable at the next checkpoint.
+func (w *JournalWriter) Write(v *Visit) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("dataset: encoding visit %q: %w", v.Site, err)
+	}
+	return w.j.Append(payload)
+}
+
+// Count returns the total record count, including records salvaged or
+// committed before this run.
+func (w *JournalWriter) Count() int { return int(w.j.Records()) }
+
+// Watermark returns the current completed-site watermark.
+func (w *JournalWriter) Watermark() (rank int, site string) {
+	return w.watermarkRank, w.watermarkSite
+}
+
+// SiteCompleted records that a site's full record group has been
+// written, advances the watermark, and checkpoints every
+// CheckpointEvery completed sites.
+func (w *JournalWriter) SiteCompleted(rank int, site string) error {
+	w.noteCompleted(rank, site)
+	w.sinceCkpt++
+	if w.sinceCkpt >= w.opts.every() {
+		return w.checkpoint()
+	}
+	return nil
+}
+
+func (w *JournalWriter) noteCompleted(rank int, site string) {
+	w.sites++
+	w.done[rank] = site
+	skip := w.opts.Skip
+	for {
+		if s, ok := w.done[w.watermarkRank+1]; ok {
+			w.watermarkRank++
+			w.watermarkSite = s
+			delete(w.done, w.watermarkRank)
+			continue
+		}
+		if skip != nil && skip(w.watermarkRank+1) {
+			w.watermarkRank++
+			continue
+		}
+		return
+	}
+}
+
+// checkpoint commits buffered records and atomically rewrites the
+// manifest to the new committed state.
+func (w *JournalWriter) checkpoint() error {
+	ck, err := w.j.Sync()
+	if err != nil {
+		return err
+	}
+	m := &durable.Manifest{
+		Offset:        ck.Offset,
+		Records:       ck.Records,
+		PayloadCRC:    ck.PayloadCRC,
+		WatermarkRank: w.watermarkRank,
+		WatermarkSite: w.watermarkSite,
+		Sites:         w.sites,
+	}
+	if err := m.Store(w.path); err != nil {
+		return err
+	}
+	w.sinceCkpt = 0
+	w.opts.Metrics.Add("dataset_checkpoints_written_total", 1)
+	return nil
+}
+
+// Flush writes a final checkpoint; the crawler calls it once at the end
+// of a campaign (or of a drain).
+func (w *JournalWriter) Flush() error { return w.checkpoint() }
+
+// Abort closes the journal without flushing or checkpointing — what a
+// kill -9 leaves behind. Test harnesses use it to stand in for process
+// death after an injected crash.
+func (w *JournalWriter) Abort() error { return w.j.Abort() }
+
+// Close flushes a final checkpoint and closes the journal file.
+func (w *JournalWriter) Close() error {
+	if err := w.checkpoint(); err != nil {
+		w.j.Close()
+		return err
+	}
+	return w.j.Close()
+}

@@ -1,0 +1,212 @@
+package dataset
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/netmeasure/topicscope/internal/durable"
+	"github.com/netmeasure/topicscope/internal/obs"
+)
+
+// TestCompletedSitesSalvagesTornTail pins the satellite fix: a crawl
+// file whose tail was torn mid-record yields the valid prefix's resume
+// set instead of an error, and the truncation is surfaced via obs.
+func TestCompletedSitesSalvagesTornTail(t *testing.T) {
+	valid := `{"site":"a.com","phase":"before_accept"}` + "\n" +
+		`{"site":"a.com","phase":"after_accept"}` + "\n" +
+		`{"site":"b.com","phase":"before_accept"}` + "\n"
+	want := map[string]bool{"a.com": true, "b.com": true}
+
+	t.Run("plain-torn-line", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "crawl.jsonl")
+		if err := os.WriteFile(path, []byte(valid+`{"site":"c.c`), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		reg := obs.NewRegistry()
+		got, err := CompletedSitesObserved(path, reg)
+		if err != nil {
+			t.Fatalf("torn tail blocked resume: %v", err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("resume set = %v, want %v", got, want)
+		}
+		if reg.Snapshot().Counter("dataset_torn_tails_total") != 1 {
+			t.Error("truncation not counted")
+		}
+	})
+
+	t.Run("plain-corrupt-json", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "crawl.jsonl")
+		if err := os.WriteFile(path, []byte(valid+"{\x00garbage}\n"+`{"site":"d.com","phase":"before_accept"}`+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, err := CompletedSites(path)
+		if err != nil {
+			t.Fatalf("corrupt record blocked resume: %v", err)
+		}
+		// Everything past the first corrupt record is untrusted.
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("resume set = %v, want %v", got, want)
+		}
+	})
+
+	t.Run("gzip-torn-member", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "crawl.jsonl.gz")
+		var buf bytes.Buffer
+		zw := gzip.NewWriter(&buf)
+		if _, err := zw.Write([]byte(valid)); err != nil {
+			t.Fatal(err)
+		}
+		if err := zw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		whole := buf.Len()
+		// A second member, torn mid-stream by the crash.
+		zw = gzip.NewWriter(&buf)
+		if _, err := zw.Write([]byte(`{"site":"c.com","phase":"before_accept"}` + "\n")); err != nil {
+			t.Fatal(err)
+		}
+		if err := zw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		torn := buf.Bytes()[:whole+(buf.Len()-whole)/2]
+		if err := os.WriteFile(path, torn, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, err := CompletedSites(path)
+		if err != nil {
+			t.Fatalf("torn gzip member blocked resume: %v", err)
+		}
+		for site := range want {
+			if !got[site] {
+				t.Fatalf("salvage lost site %s: %v", site, got)
+			}
+		}
+		if got["c.com"] {
+			// Depending on where flate buffered, c.com may or may not
+			// survive; if it does, it must have decoded exactly.
+			t.Log("torn member still yielded its record intact")
+		}
+	})
+}
+
+// TestResumeJournalDropsTornSiteGroup pins the repair rule: a site
+// whose Before-Accept record promises an After-Accept one (success +
+// accepted) but was torn before it arrived is dropped entirely, so the
+// resumed campaign recrawls it and the dataset stays byte-identical.
+func TestResumeJournalDropsTornSiteGroup(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "crawl.jsonl.gz")
+	jw, err := CreateJournal(path, JournalOptions{CheckpointEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jw.Write(&Visit{Site: "a.com", Rank: 1, Phase: BeforeAccept, Success: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := jw.SiteCompleted(1, "a.com"); err != nil {
+		t.Fatal(err)
+	}
+	jw.Abort()
+	// The crash spilled b.com's Before-Accept record to disk (a buffer
+	// flush mid-site) but died before its promised After-Accept record:
+	// an uncommitted tail past the checkpoint, holding an orphan group.
+	orphan, err := json.Marshal(&Visit{Site: "b.com", Rank: 2, Phase: BeforeAccept, Success: true, Accepted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zw := gzip.NewWriter(f)
+	if _, err := zw.Write(durable.AppendFrame(nil, orphan)); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	jw2, st, err := ResumeJournal(path, JournalOptions{CheckpointEvery: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jw2.Close()
+	if st.Completed["b.com"] {
+		t.Fatal("torn site group counted as completed")
+	}
+	if st.RecordsDropped != 1 {
+		t.Fatalf("dropped %d records, want 1 (the orphan Before-Accept)", st.RecordsDropped)
+	}
+	d, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range d.Visits {
+		if v.Site == "b.com" {
+			t.Fatal("orphan record survived the repair")
+		}
+	}
+}
+
+// TestResumeJournalLegacyUnframedFile resumes a pre-durable dataset: no
+// manifest, no frames — a full salvaging scan that then upgrades the
+// file to a committed journal state.
+func TestResumeJournalLegacyUnframedFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "crawl.jsonl.gz")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zw := gzip.NewWriter(f)
+	w := NewWriter(zw)
+	for _, site := range []string{"a.com", "b.com"} {
+		if err := w.Write(&Visit{Site: site, Phase: BeforeAccept, Success: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	jw, st, err := ResumeJournal(path, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Completed["a.com"] || !st.Completed["b.com"] {
+		t.Fatalf("legacy records not salvaged: %+v", st)
+	}
+	if st.RecordsKept != 2 {
+		t.Fatalf("kept %d records, want 2", st.RecordsKept)
+	}
+	if err := jw.Write(&Visit{Site: "c.com", Rank: 3, Phase: BeforeAccept}); err != nil {
+		t.Fatal(err)
+	}
+	if err := jw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if durable.LoadManifest(path) == nil {
+		t.Fatal("no manifest after legacy upgrade")
+	}
+	got, err := CompletedSites(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSet := map[string]bool{"a.com": true, "b.com": true, "c.com": true}
+	if !reflect.DeepEqual(got, wantSet) {
+		t.Fatalf("resume set = %v, want %v", got, wantSet)
+	}
+}

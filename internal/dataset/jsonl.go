@@ -2,10 +2,15 @@ package dataset
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 )
+
+// frameHeaderPrefix marks durable record-frame header lines; JSON
+// records never start with '#'.
+var frameHeaderPrefix = []byte("#r ")
 
 // Writer streams visit records as JSON Lines, the on-disk format of the
 // crawl. It is not safe for concurrent use; the crawler serialises
@@ -43,7 +48,9 @@ func (w *Writer) Flush() error {
 }
 
 // Read streams visit records from a JSONL stream into fn; it stops on
-// the first malformed line or when fn returns an error.
+// the first malformed line or when fn returns an error. Record-frame
+// header lines (`#r <len> <crc>`, written by the durable journal) are
+// skipped, so framed and legacy unframed files read identically.
 func Read(r io.Reader, fn func(*Visit) error) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
@@ -51,6 +58,9 @@ func Read(r io.Reader, fn func(*Visit) error) error {
 	for sc.Scan() {
 		line++
 		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		if bytes.HasPrefix(sc.Bytes(), frameHeaderPrefix) {
 			continue
 		}
 		var v Visit

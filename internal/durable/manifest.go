@@ -1,0 +1,105 @@
+package durable
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// ManifestVersion is the current checkpoint-manifest schema version.
+const ManifestVersion = 1
+
+// Manifest is the checkpoint companion of a journal: an atomically
+// replaced JSON file recording the last committed state. Resume seeks
+// the journal to Offset and replays only the tail, O(checkpoint)
+// instead of O(file). The manifest deliberately carries no wall-clock
+// timestamps — it participates in the repo's byte-identical-output
+// invariant.
+type Manifest struct {
+	Version int `json:"version"`
+	// Journal is the base name of the journal file the manifest
+	// describes (a consistency check, not a path: the pair moves
+	// together).
+	Journal string `json:"journal"`
+	// Offset/Records/PayloadCRC mirror the committed Checkpoint.
+	Offset     int64  `json:"offset"`
+	Records    int64  `json:"records"`
+	PayloadCRC uint32 `json:"payload_crc"`
+	// WatermarkRank is the highest rank R such that every site with
+	// rank <= R is fully recorded in the committed prefix; 0 when no
+	// site is complete yet. WatermarkSite names that rank's site.
+	WatermarkRank int    `json:"watermark_rank"`
+	WatermarkSite string `json:"watermark_site,omitempty"`
+	// Sites counts completed sites in the committed prefix.
+	Sites int `json:"sites"`
+}
+
+// ManifestPath derives the checkpoint-manifest path for a journal.
+func ManifestPath(journalPath string) string { return journalPath + ".ckpt" }
+
+// Checkpoint extracts the journal checkpoint a manifest commits to.
+func (m *Manifest) Checkpoint() Checkpoint {
+	return Checkpoint{Offset: m.Offset, Records: m.Records, PayloadCRC: m.PayloadCRC}
+}
+
+// Store atomically writes the manifest for the given journal path.
+func (m *Manifest) Store(journalPath string) error {
+	m.Version = ManifestVersion
+	m.Journal = filepath.Base(journalPath)
+	return WriteFileAtomic(ManifestPath(journalPath), func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		return enc.Encode(m)
+	})
+}
+
+// DecodeManifest strictly decodes and validates manifest bytes.
+func DecodeManifest(data []byte) (*Manifest, error) {
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("durable: manifest: %w", err)
+	}
+	if m.Version != ManifestVersion {
+		return nil, fmt.Errorf("durable: manifest: unsupported version %d", m.Version)
+	}
+	if m.Offset < 0 || m.Records < 0 || m.Sites < 0 || m.WatermarkRank < 0 {
+		return nil, fmt.Errorf("durable: manifest: negative field")
+	}
+	if m.Records == 0 && m.Offset != 0 {
+		return nil, fmt.Errorf("durable: manifest: offset %d with zero records", m.Offset)
+	}
+	if m.Records > 0 && m.Offset == 0 {
+		return nil, fmt.Errorf("durable: manifest: %d records at offset 0", m.Records)
+	}
+	return &m, nil
+}
+
+// LoadManifest reads the manifest for a journal path. A missing,
+// unreadable or invalid manifest returns nil: the manifest is an
+// accelerator, and resume must never be blocked by its absence — the
+// caller falls back to a full salvaging scan. A manifest whose offset
+// exceeds the journal's size (a journal replaced out from under it) is
+// likewise treated as absent.
+func LoadManifest(journalPath string) *Manifest {
+	data, err := os.ReadFile(ManifestPath(journalPath))
+	if err != nil {
+		return nil
+	}
+	m, err := DecodeManifest(data)
+	if err != nil {
+		return nil
+	}
+	if m.Journal != filepath.Base(journalPath) {
+		return nil
+	}
+	if fi, err := os.Stat(journalPath); err != nil || fi.Size() < m.Offset {
+		return nil
+	}
+	return m
+}
+
+// RemoveManifest deletes a journal's manifest if present.
+func RemoveManifest(journalPath string) {
+	os.Remove(ManifestPath(journalPath))
+}

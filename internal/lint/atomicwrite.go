@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"go/ast"
+	"path"
+	"strings"
+)
+
+// Atomicwrite flags raw os.Create / os.WriteFile / os.OpenFile calls on
+// artifact-like paths outside internal/durable. Every dataset, report,
+// trace or checkpoint artifact must reach disk through the durable
+// layer (WriteFileAtomic's write-temp/fsync/rename discipline, or a
+// checkpointed Journal), so a crash mid-write can never leave a torn
+// half-artifact behind. Streaming sinks that cannot be written
+// atomically (a JSONL trace stream, the gzip dataset writer) carry an
+// explicit //topicslint:ignore with their justification.
+var Atomicwrite = &Analyzer{
+	Name: "atomicwrite",
+	Doc: `flag raw os.Create/os.WriteFile/os.OpenFile of dataset, report
+or checkpoint artifacts outside internal/durable: artifact writes go
+through durable.WriteFileAtomic (temp + fsync + rename) or a
+durable.Journal so a crash never tears a file readers depend on.`,
+	AppliesTo: notPackage("internal/durable"),
+	Run:       runAtomicwrite,
+}
+
+// artifactWords mark a path operand as (probably) a persisted artifact.
+// Like the etld analyzer's host heuristic, this is textual on purpose:
+// paths are plain strings, so the variable naming carries the intent.
+var artifactWords = []string{
+	"out", "path", "dataset", "report", "trace", "manifest",
+	"allowlist", "attest", "spec", "csv", "json", "artifact",
+}
+
+// artifactExts are file extensions of on-disk artifacts the pipeline
+// reads back (so a torn write poisons a later stage).
+var artifactExts = []string{".json", ".jsonl", ".gz", ".csv", ".dat", ".pem", ".txt"}
+
+func artifactLike(pass *Pass, e ast.Expr) bool {
+	if s, ok := stringArg(pass.TypesInfo, e); ok {
+		ext := path.Ext(s)
+		for _, want := range artifactExts {
+			if ext == want {
+				return true
+			}
+		}
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		name := strings.ToLower(id.Name)
+		for _, w := range artifactWords {
+			if strings.Contains(name, w) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func runAtomicwrite(pass *Pass) {
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pkgPath, name, pkgLevel, ok := funcOf(pass.TypesInfo, call.Fun)
+		if !ok || !pkgLevel || pkgPath != "os" {
+			return true
+		}
+		switch name {
+		case "Create", "WriteFile", "OpenFile":
+		default:
+			return true
+		}
+		if len(call.Args) == 0 || !artifactLike(pass, call.Args[0]) {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"raw os.%s of artifact %s: artifact writes go through internal/durable (WriteFileAtomic, or a Journal for record streams) so a crash cannot tear the file", name, ExprString(call.Args[0]))
+		return true
+	})
+}

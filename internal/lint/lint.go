@@ -10,7 +10,10 @@
 //   - etld: hostname surgery happens in internal/etld only, so every
 //     caller shares the memoized, interned etld.Cache splits;
 //   - errwrap: fmt.Errorf wraps errors with %w in the crawler/chaos
-//     paths, so the PR 1 error taxonomy survives errors.Is/As.
+//     paths, so the PR 1 error taxonomy survives errors.Is/As;
+//   - atomicwrite: dataset/report/checkpoint artifacts reach disk
+//     through internal/durable (atomic rename or a checkpointed
+//     journal), never a raw os.Create that a crash can tear.
 //
 // The package mirrors the golang.org/x/tools/go/analysis API (Analyzer,
 // Pass, Diagnostic) but is self-contained: the build environment has no
@@ -154,7 +157,7 @@ func notPackage(path string) func(string) bool {
 
 // All returns every analyzer of the suite, in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, VClock, ETLD, ErrWrap}
+	return []*Analyzer{Determinism, VClock, ETLD, ErrWrap, Atomicwrite}
 }
 
 // ByName resolves an analyzer name, for -run filters and ignore

@@ -130,6 +130,14 @@ func TestErrWrapAnalyzer(t *testing.T) {
 	checkWants(t, pkg, kept)
 }
 
+func TestAtomicwriteAnalyzer(t *testing.T) {
+	kept, suppressed, pkg := runOnTestdata(t, Atomicwrite, "atomicwrite")
+	checkWants(t, pkg, kept)
+	if len(suppressed) != 1 {
+		t.Errorf("suppressed = %v, want exactly the justified streaming sink", suppressed)
+	}
+}
+
 func TestSuppressionParsing(t *testing.T) {
 	diags := []Diagnostic{
 		{Pos: token.Position{Filename: "f.go", Line: 10}, Analyzer: "vclock", Message: "m"},
@@ -177,6 +185,9 @@ func TestAnalyzerScopes(t *testing.T) {
 		{ErrWrap, "internal/crawler", true},
 		{ErrWrap, "internal/chaos", true},
 		{ErrWrap, "internal/analysis", false},
+		{Atomicwrite, "internal/durable", false},
+		{Atomicwrite, "internal/dataset", true},
+		{Atomicwrite, "cmd/topics-report", true},
 	}
 	for _, c := range cases {
 		if got := c.a.AppliesTo(c.rel); got != c.want {

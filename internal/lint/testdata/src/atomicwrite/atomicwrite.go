@@ -1,0 +1,30 @@
+// Package atomicwrite is analyzer test input for the raw-artifact-write
+// rule.
+package atomicwrite
+
+import "os"
+
+func artifacts(outPath, reportPath string, raw []byte) {
+	_, _ = os.Create(outPath)                                   // want `raw os\.Create of artifact outPath`
+	_ = os.WriteFile(reportPath, raw, 0o644)                    // want `raw os\.WriteFile of artifact reportPath`
+	_, _ = os.OpenFile(outPath, os.O_CREATE|os.O_WRONLY, 0o644) // want `raw os\.OpenFile of artifact outPath`
+	_, _ = os.Create("crawl.jsonl.gz")                          // want `raw os\.Create of artifact "crawl\.jsonl\.gz"`
+	_ = os.WriteFile("report.json", raw, 0o644)                 // want `raw os\.WriteFile of artifact "report\.json"`
+	_, _ = os.Create(datasetFile())                             // want `raw os\.Create of artifact datasetFile\(\)`
+}
+
+func datasetFile() string { return "d.jsonl" }
+
+// notArtifacts shows the analyzer keys on artifact-like naming and
+// extensions: scratch files and sockets stay silent.
+func notArtifacts(tmp, sock string, raw []byte) {
+	_, _ = os.Create(tmp)
+	_ = os.WriteFile(sock, raw, 0o644)
+	_, _ = os.Create("scratch.tmp")
+	_, _ = os.Open("report.json") // reading is fine
+}
+
+// suppressed writes carry a justification.
+func suppressed(tracePath string) {
+	_, _ = os.Create(tracePath) //topicslint:ignore atomicwrite streaming JSONL sink, cannot be written atomically
+}

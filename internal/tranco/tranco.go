@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 
+	"github.com/netmeasure/topicscope/internal/durable"
 	"github.com/netmeasure/topicscope/internal/etld"
 )
 
@@ -117,16 +118,11 @@ func LoadFile(path string) (*List, error) {
 	return Parse(f)
 }
 
-// SaveFile writes the list to disk.
-func (l *List) SaveFile(path string) (err error) {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("tranco: creating %s: %w", path, err)
+// SaveFile writes the list to disk atomically, so a crash mid-write
+// cannot leave a truncated rank list behind.
+func (l *List) SaveFile(path string) error {
+	if err := durable.WriteFileAtomic(path, l.Write); err != nil {
+		return fmt.Errorf("tranco: writing %s: %w", path, err)
 	}
-	defer func() {
-		if cerr := f.Close(); cerr != nil && err == nil {
-			err = fmt.Errorf("tranco: closing %s: %w", path, cerr)
-		}
-	}()
-	return l.Write(f)
+	return nil
 }

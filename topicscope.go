@@ -51,8 +51,15 @@ type Campaign struct {
 	// Enforce runs the healthy-gate ablation instead of the paper's
 	// corrupted-gate configuration.
 	Enforce bool
-	// OutputPath, when set, streams the visit records there as JSONL.
+	// OutputPath, when set, streams the visit records there as JSONL
+	// (.gz transparently) through a crash-safe journal: framed records,
+	// periodic fsync'd checkpoints and a manifest, so an interrupted
+	// campaign resumes with topics-crawl -resume or ResumeJournal.
 	OutputPath string
+	// CheckpointEvery is the journal checkpoint cadence in completed
+	// sites (0 = DefaultCheckpointEvery). Only meaningful with
+	// OutputPath.
+	CheckpointEvery int
 	// Start is the virtual date of the first visit (zero = the paper's
 	// March 30th 2024). Earlier dates observe fewer active callers —
 	// platforms cannot call before their enrolment.
@@ -158,19 +165,37 @@ func (c Campaign) Run(ctx context.Context) (*Results, error) {
 		Metrics:            reg,
 		Traces:             sink,
 	}
+	var journal *dataset.JournalWriter
 	if c.OutputPath != "" {
-		f, err := dataset.OpenWriter(c.OutputPath) // .gz transparently
+		var err error
+		journal, err = dataset.CreateJournal(c.OutputPath, dataset.JournalOptions{
+			CheckpointEvery: c.CheckpointEvery,
+			Metrics:         reg,
+		})
 		if err != nil {
 			return nil, err
 		}
-		defer f.Close()
-		ccfg.Writer = dataset.NewWriter(f)
+		defer journal.Abort() // no-op after Close
+		ccfg.Writer = journal
 	}
 	cr := crawler.New(ccfg)
 
 	res, err := cr.Run(ctx, world.List())
 	if err != nil {
+		// On cancellation the crawler has already drained and flushed a
+		// final checkpoint; close the journal so the manifest is durable
+		// before reporting the interruption.
+		if journal != nil {
+			if cerr := journal.Close(); cerr != nil && ctx.Err() == nil {
+				return nil, fmt.Errorf("topicscope: closing dataset: %w", cerr)
+			}
+		}
 		return nil, fmt.Errorf("topicscope: crawling: %w", err)
+	}
+	if journal != nil {
+		if err := journal.Close(); err != nil {
+			return nil, fmt.Errorf("topicscope: closing dataset: %w", err)
+		}
 	}
 
 	domains := allow.Domains()

@@ -21,10 +21,11 @@ race:
 # crash matrix and graceful-drain tests), the webserver (chaos handler
 # and page cache included), the analysis index's sharded build +
 # concurrent reads, the obs registry/summary sinks that crawl workers
-# feed concurrently, and the durable journal the crawl writes through —
-# fast enough to ride in `make all`.
+# feed concurrently, the durable journal the crawl writes through, and
+# the orchestrator's coordinator (concurrent shard supervision +
+# restart accounting) — fast enough to ride in `make all`.
 race-core:
-	$(GO) test -race ./internal/analysis/ ./internal/crawler/ ./internal/webserver/ ./internal/obs/ ./internal/durable/ ./internal/dataset/
+	$(GO) test -race ./internal/analysis/ ./internal/crawler/ ./internal/webserver/ ./internal/obs/ ./internal/durable/ ./internal/dataset/ ./internal/orchestrator/
 
 # Static analysis: go vet plus the repo's own invariant suite
 # (cmd/topicslint: determinism, vclock, etld, errwrap, atomicwrite —

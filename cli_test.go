@@ -1,11 +1,14 @@
 package topicscope_test
 
 import (
+	"bytes"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/netmeasure/topicscope/internal/durable"
 )
 
 // TestCLIPipeline builds the real binaries and drives the decomposed
@@ -89,6 +92,74 @@ func TestCLIPipeline(t *testing.T) {
 		"-attest", attest, "-allowlist", allow)
 	if !strings.Contains(out, "max drift: 0.0%") {
 		t.Errorf("self-comparison should have zero drift:\n%s", out)
+	}
+}
+
+// TestCLIShardedCampaign drives the distributed pipeline end to end
+// with real worker processes: topics-orch -worker-bin spawns
+// topics-crawl -shard workers, merges their journals, and the merged
+// dataset must be byte-identical to a plain single-process topics-crawl
+// of the same campaign. topics-monitor -shards then renders the status
+// files the workers left behind.
+func TestCLIShardedCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping sharded CLI campaign")
+	}
+	dir := t.TempDir()
+	bin := func(name string) string { return filepath.Join(dir, name) }
+	for _, tool := range []string{"topics-crawl", "topics-orch", "topics-monitor"} {
+		cmd := exec.Command("go", "build", "-o", bin(tool), "./cmd/"+tool)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", tool, err, out)
+		}
+	}
+	run := func(name string, args ...string) string {
+		t.Helper()
+		cmd := exec.Command(bin(name), args...)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+		}
+		return string(out)
+	}
+
+	campaign := []string{"-seed", "9", "-sites", "120", "-quiet", "-chaos", "-chaos-seed", "5"}
+
+	single := filepath.Join(dir, "single.jsonl")
+	run("topics-crawl", append(campaign,
+		"-out", single,
+		"-attest", filepath.Join(dir, "sa.jsonl"),
+		"-allowlist", filepath.Join(dir, "sal.dat"))...)
+
+	merged := filepath.Join(dir, "merged.jsonl")
+	report := filepath.Join(dir, "report.json")
+	out := run("topics-orch", append(campaign,
+		"-shards", "4", "-worker-bin", bin("topics-crawl"),
+		"-out", merged, "-report", report,
+		"-attest", filepath.Join(dir, "ma.jsonl"),
+		"-allowlist", filepath.Join(dir, "mal.dat"))...)
+	if !strings.Contains(out, "4 shards, 0 restarts") {
+		t.Errorf("topics-orch output: %s", out)
+	}
+
+	singleBytes, err := durable.CanonicalBytes(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mergedBytes, err := durable.CanonicalBytes(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(singleBytes) == 0 || !bytes.Equal(singleBytes, mergedBytes) {
+		t.Fatalf("exec-sharded dataset differs from single-process crawl (%d vs %d bytes)", len(mergedBytes), len(singleBytes))
+	}
+	if fi, err := os.Stat(report); err != nil || fi.Size() == 0 {
+		t.Fatalf("report artifact missing: %v", err)
+	}
+
+	out = run("topics-monitor", "-shards", merged)
+	if !strings.Contains(out, "(4 shards)") || !strings.Contains(out, "done") {
+		t.Errorf("topics-monitor -shards output: %s", out)
 	}
 }
 

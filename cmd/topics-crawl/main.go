@@ -13,6 +13,16 @@
 //	topics-crawl -seed 1 -sites 50000 -out crawl.jsonl -attest attest.jsonl -allowlist allow.dat
 //	topics-crawl -connect 127.0.0.1:8080 ...   # crawl a topics-serve instance over TCP
 //	topics-crawl -resume -out crawl.jsonl ...  # continue an interrupted campaign
+//
+// With -shard i/N it runs as one worker of a distributed campaign
+// (normally under topics-orch): it generates only its contiguous rank
+// window of the world, crawls it into <out>.shard-i with independent
+// checkpoints, and leaves dataset merge, attestation checks and
+// analysis to the coordinator. Exit codes are the worker protocol: 0
+// done, 130 drained (resumable), anything else a crash the coordinator
+// restarts from the shard checkpoint.
+//
+//	topics-crawl -shard 2/8 -seed 1 -sites 500000 -out crawl.jsonl
 package main
 
 import (
@@ -32,6 +42,7 @@ import (
 	"time"
 
 	"github.com/netmeasure/topicscope"
+	"github.com/netmeasure/topicscope/internal/orchestrator"
 )
 
 func main() {
@@ -56,8 +67,23 @@ func main() {
 		retries    = flag.Int("retries", 2, "extra attempts per navigation/fetch; 0 disables retries")
 		tracePath  = flag.String("trace", "", "write per-visit span trees here (JSONL, .gz transparently); tail with topics-monitor -tail")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and live crawl metrics at /__metrics on this address")
+		shard      = flag.String("shard", "", "run as shard i/N of a distributed campaign (see topics-orch); writes <out>.shard-i")
 	)
 	flag.Parse()
+
+	if *shard != "" {
+		if *connect != "" || *connectTLS != "" || *tracePath != "" {
+			fatal(errors.New("-shard workers crawl their world window in-process: -connect, -connect-tls and -trace are unsupported"))
+		}
+		runShardWorker(shardWorkerFlags{
+			shard: *shard, seed: *seed, sites: *sites, workers: *workers,
+			out: *out, enforce: *enforce, quiet: *quiet, resume: *resume,
+			ckptEvery: *ckptEvery, budgetMS: *budgetMS,
+			chaos: *useChaos, chaosSeed: *chaosSeed, retries: *retries,
+			pprofAddr: *pprofAddr,
+		})
+		return
+	}
 
 	world := topicscope.GenerateWorld(topicscope.WorldConfig{Seed: *seed, NumSites: *sites})
 	allow := topicscope.NewAllowlist(world.Catalog.AllowedDomains()...)
@@ -244,6 +270,86 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("allow-list: %s (%d domains)\n", *allowOut, allow.Len())
+}
+
+// shardWorkerFlags carries the flag subset a -shard worker honours.
+type shardWorkerFlags struct {
+	shard             string
+	seed, chaosSeed   uint64
+	sites, workers    int
+	out               string
+	enforce, quiet    bool
+	resume, chaos     bool
+	ckptEvery         int
+	budgetMS, retries int
+	pprofAddr         string
+}
+
+// runShardWorker is the -shard i/N mode: one worker of a distributed
+// campaign, crawling only its contiguous rank window into its own
+// journal shard. The coordinator owns everything downstream (merge,
+// attestations, analysis), so this path writes no -attest/-allowlist
+// artifacts.
+func runShardWorker(f shardWorkerFlags) {
+	index, count, err := orchestrator.ParseShard(f.shard)
+	if err != nil {
+		fatal(err)
+	}
+	specs, err := orchestrator.Partition(f.sites, count)
+	if err != nil {
+		fatal(err)
+	}
+	if count != len(specs) {
+		fatal(fmt.Errorf("%d shards over %d sites: at most one shard per site", count, f.sites))
+	}
+	spec := specs[index]
+
+	reg := topicscope.NewMetricsRegistry()
+	metricsURL := ""
+	if f.pprofAddr != "" {
+		dbg, err := net.Listen("tcp", f.pprofAddr)
+		if err != nil {
+			fatal(err)
+		}
+		metricsURL = fmt.Sprintf("http://%s%s", dbg.Addr(), topicscope.MetricsPath)
+		fmt.Printf("pprof on http://%s/debug/pprof/ (metrics at %s)\n", dbg.Addr(), topicscope.MetricsPath)
+		go func() {
+			srv := &http.Server{Handler: topicscope.DebugMux(reg), ReadHeaderTimeout: 10 * time.Second}
+			srv.Serve(dbg) //nolint:errcheck // best-effort debug endpoint
+		}()
+	}
+	var logger *slog.Logger
+	if !f.quiet {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	retries := f.retries
+	if retries <= 0 {
+		retries = -1 // ShardCampaign uses the Campaign convention: negative disables
+	}
+
+	sc := orchestrator.ShardCampaign{
+		Seed: f.seed, Sites: f.sites, Workers: f.workers,
+		Enforce: f.enforce, Chaos: f.chaos, ChaosSeed: f.chaosSeed,
+		Retries:     retries,
+		VisitBudget: time.Duration(f.budgetMS) * time.Millisecond,
+		OutputPath:  f.out, CheckpointEvery: f.ckptEvery,
+		Shard: spec, Resume: f.resume,
+		Logger: logger, Metrics: reg, MetricsURL: metricsURL,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := sc.Run(ctx)
+	switch {
+	case err == nil:
+		fmt.Printf("shard %s: %s\n", spec, res.Stats)
+		fmt.Printf("shard journal: %s\n", res.Path)
+	case errors.Is(err, context.Canceled):
+		fmt.Printf("shard %s drained: journal durable through its final checkpoint; rerun with -resume (or let topics-orch -resume)\n", spec)
+		os.Exit(130)
+	default:
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

@@ -17,14 +17,26 @@
 // from the manifest topics-crawl maintains beside the file.
 //
 //	topics-monitor -checkpoint crawl.jsonl.gz
+//
+// With -shards it renders a distributed campaign (topics-orch): one row
+// per shard from the worker status files beside the shard journals,
+// per-shard checkpoint progress, and the campaign-wide metrics
+// aggregated by fetching every live worker's /__metrics registry in its
+// lossless JSON form and merging them (Registry.Merge is commutative,
+// so the aggregate is exactly what one shared registry would hold).
+//
+//	topics-monitor -shards crawl.jsonl -follow
 package main
 
 import (
 	"compress/gzip"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"io/fs"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -35,6 +47,7 @@ import (
 	"github.com/netmeasure/topicscope"
 	"github.com/netmeasure/topicscope/internal/analysis"
 	"github.com/netmeasure/topicscope/internal/obs"
+	"github.com/netmeasure/topicscope/internal/orchestrator"
 	"github.com/netmeasure/topicscope/internal/vclock"
 )
 
@@ -50,11 +63,21 @@ func main() {
 		follow  = flag.Bool("follow", false, "with -tail: re-read and re-render every -every until interrupted")
 		every   = flag.Duration("every", 2*time.Second, "with -follow: refresh interval")
 		ckpt    = flag.String("checkpoint", "", "render the checkpoint state of this crash-safe dataset journal and exit")
+		shards  = flag.String("shards", "", "render a distributed campaign: shard status + aggregated worker /__metrics for this -out path")
 	)
 	flag.Parse()
 
 	if *ckpt != "" {
 		if err := renderCheckpoint(*ckpt); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *shards != "" {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		if err := shardsDashboard(ctx, *shards, *follow, *every); err != nil {
 			fatal(err)
 		}
 		return
@@ -116,11 +139,22 @@ func tailDashboard(ctx context.Context, path string, follow bool, every time.Dur
 	render := func() error {
 		sum := obs.NewSummary()
 		err := foldTraces(path, sum)
-		if err != nil && !follow {
-			return err
+		if err != nil {
+			if !follow {
+				return err
+			}
+			// A file that doesn't exist yet is normal when following a
+			// crawl that hasn't started (shard workers create their
+			// journals at staggered times): say so and keep polling
+			// instead of rendering a misleading empty dashboard.
+			if errors.Is(err, fs.ErrNotExist) {
+				fmt.Printf("topics-monitor — %s: waiting for the file to appear\n", path)
+				return nil
+			}
+			// Any other error in follow mode (a decode error on the last
+			// line usually means the crawler is mid-write): render what
+			// folded and keep going.
 		}
-		// In follow mode a decode error on the last line usually means
-		// the crawler is mid-write: render what folded and keep going.
 		fmt.Print(dashboard(path, sum))
 		return nil
 	}
@@ -205,6 +239,103 @@ func renderCheckpoint(path string) error {
 		fmt.Println("uncommitted tail: none — the file is durable end to end")
 	}
 	return nil
+}
+
+// shardsDashboard renders a distributed campaign from the worker
+// status files and shard checkpoint manifests beside out's shard
+// journals, plus the merged metrics of every worker serving a live
+// /__metrics endpoint. With follow it re-renders on a wall-clock
+// cadence, tolerating shards whose journals haven't appeared yet.
+func shardsDashboard(ctx context.Context, out string, follow bool, every time.Duration) error {
+	client := &http.Client{Timeout: 2 * time.Second}
+	render := func() error {
+		view, err := renderShards(out, client)
+		if err != nil {
+			if !follow {
+				return err
+			}
+			fmt.Printf("topics-monitor — %s: waiting for shard status files to appear\n", out)
+			return nil
+		}
+		fmt.Print(view)
+		return nil
+	}
+	if !follow {
+		return render()
+	}
+	vclock.Poll(ctx, every, func() bool {
+		return render() == nil && ctx.Err() == nil
+	})
+	return nil
+}
+
+func renderShards(out string, client *http.Client) (string, error) {
+	first, err := orchestrator.ReadStatus(orchestrator.ShardPath(out, 0))
+	if err != nil {
+		return "", fmt.Errorf("no shard status beside %s: %w", out, err)
+	}
+	count := first.Shard.Count
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "topics-monitor — %s (%d shards)\n", out, count)
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "  SHARD\tRANKS\tSTATE\tPID\tPROGRESS\tMETRICS")
+	agg := obs.NewRegistry()
+	live := 0
+	for i := 0; i < count; i++ {
+		path := orchestrator.ShardPath(out, i)
+		st, err := orchestrator.ReadStatus(path)
+		if err != nil {
+			fmt.Fprintf(w, "  %d\t?\tno status yet\t-\t-\t-\n", i)
+			continue
+		}
+		state := st.State
+		if st.Error != "" {
+			state += ": " + st.Error
+		}
+		progress := "-"
+		if m := topicscope.LoadManifest(path); m != nil {
+			done := m.WatermarkRank - st.Shard.FromRank + 1
+			if done < 0 {
+				done = 0
+			}
+			progress = fmt.Sprintf("%d/%d sites", done, st.Shard.Sites())
+		}
+		metrics := "-"
+		if st.MetricsURL != "" {
+			if reg, err := fetchRegistry(client, st.MetricsURL); err != nil {
+				metrics = "offline"
+			} else {
+				agg.Merge(reg)
+				live++
+				metrics = "live"
+			}
+		}
+		fmt.Fprintf(w, "  %d\t[%d,%d]\t%s\t%d\t%s\t%s\n",
+			i, st.Shard.FromRank, st.Shard.ToRank, state, st.PID, progress, metrics)
+	}
+	w.Flush() //nolint:errcheck // strings.Builder cannot fail
+
+	if live > 0 {
+		fmt.Fprintf(&b, "aggregated worker metrics (%d live registries, commutative merge):\n", live)
+		agg.WriteProm(&b) //nolint:errcheck // strings.Builder cannot fail
+	}
+	return b.String(), nil
+}
+
+// fetchRegistry pulls a worker's registry in the lossless JSON wire
+// form — the Prometheus text rendering would drop histogram buckets and
+// make the merge lossy.
+func fetchRegistry(client *http.Client, url string) (*obs.Registry, error) {
+	resp, err := client.Get(url + "?format=json")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("metrics endpoint returned %s", resp.Status)
+	}
+	return obs.ReadRegistry(resp.Body)
 }
 
 func fatal(err error) {

@@ -28,6 +28,11 @@ type JournalOptions struct {
 	// or deliberately skipped), so the completed-site watermark can
 	// advance across them. Nil means no rank is skipped.
 	Skip func(rank int) bool
+	// Shard, when set, stamps every checkpoint manifest with the
+	// journal's shard position. Resume refuses a journal whose manifest
+	// carries different shard geometry — a shard restarted with the
+	// wrong rank window would silently corrupt the merged campaign.
+	Shard *durable.ShardInfo
 	// Durable carries the low-level hooks (chaos crash injection).
 	Durable durable.Options
 }
@@ -135,6 +140,9 @@ func ResumeJournal(path string, opts JournalOptions) (*JournalWriter, *ResumeSta
 	st := &ResumeState{Completed: map[string]bool{}}
 	m := durable.LoadManifest(path)
 	if m != nil {
+		if !m.Shard.Equal(opts.Shard) {
+			return nil, nil, fmt.Errorf("dataset: resuming %s: manifest shard %+v does not match %+v", path, m.Shard, opts.Shard)
+		}
 		ck = m.Checkpoint()
 		st.WatermarkRank = m.WatermarkRank
 	}
@@ -290,6 +298,7 @@ func (w *JournalWriter) checkpoint() error {
 		WatermarkRank: w.watermarkRank,
 		WatermarkSite: w.watermarkSite,
 		Sites:         w.sites,
+		Shard:         w.opts.Shard,
 	}
 	if err := m.Store(w.path); err != nil {
 		return err

@@ -210,3 +210,42 @@ func TestResumeJournalLegacyUnframedFile(t *testing.T) {
 		t.Fatalf("resume set = %v, want %v", got, wantSet)
 	}
 }
+
+// TestResumeJournalShardIdentity pins the sharded-campaign guard: a
+// shard journal resumes only under its own shard geometry, and the
+// checkpoint manifests it writes carry that geometry.
+func TestResumeJournalShardIdentity(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "crawl.jsonl.shard-1")
+	shard := &durable.ShardInfo{Index: 1, Count: 4, FromRank: 26, ToRank: 50}
+	w, err := CreateJournal(path, JournalOptions{Shard: shard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := &Visit{Site: "a.com", Rank: 26, Phase: BeforeAccept}
+	if err := w.Write(v); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SiteCompleted(26, "a.com"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m := durable.LoadManifest(path)
+	if m == nil || !m.Shard.Equal(shard) {
+		t.Fatalf("manifest shard = %+v, want %+v", m, shard)
+	}
+
+	// Matching geometry resumes; mismatched or absent geometry refuses.
+	w2, _, err := ResumeJournal(path, JournalOptions{Shard: shard})
+	if err != nil {
+		t.Fatalf("matching shard resume failed: %v", err)
+	}
+	w2.Close()
+	if _, _, err := ResumeJournal(path, JournalOptions{Shard: &durable.ShardInfo{Index: 0, Count: 4, FromRank: 1, ToRank: 25}}); err == nil {
+		t.Fatal("mismatched shard geometry resumed")
+	}
+	if _, _, err := ResumeJournal(path, JournalOptions{}); err == nil {
+		t.Fatal("shard journal resumed as single-process journal")
+	}
+}

@@ -2,6 +2,7 @@ package durable
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -454,4 +455,79 @@ func fileSize(t *testing.T, path string) int64 {
 		t.Fatal(err)
 	}
 	return fi.Size()
+}
+
+func TestManifestShardRoundTripAndValidation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "crawl.jsonl")
+	if err := os.WriteFile(path, bytes.Repeat([]byte("x"), 200), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	shard := &ShardInfo{Index: 2, Count: 4, FromRank: 51, ToRank: 75}
+	m := &Manifest{Offset: 100, Records: 3, Shard: shard}
+	if err := m.Store(path); err != nil {
+		t.Fatal(err)
+	}
+	got := LoadManifest(path)
+	if got == nil || !got.Shard.Equal(shard) {
+		t.Fatalf("shard did not round trip: %+v", got)
+	}
+	if !(*ShardInfo)(nil).Equal(nil) {
+		t.Fatal("nil shards should be equal")
+	}
+	if shard.Equal(nil) || shard.Equal(&ShardInfo{Index: 1, Count: 4, FromRank: 51, ToRank: 75}) {
+		t.Fatal("distinct shards reported equal")
+	}
+
+	for _, bad := range []*ShardInfo{
+		{Index: 4, Count: 4, FromRank: 1, ToRank: 2},
+		{Index: -1, Count: 4, FromRank: 1, ToRank: 2},
+		{Index: 0, Count: 0, FromRank: 1, ToRank: 2},
+		{Index: 0, Count: 1, FromRank: 0, ToRank: 2},
+		{Index: 0, Count: 1, FromRank: 5, ToRank: 4},
+	} {
+		data, err := json.Marshal(&Manifest{Version: ManifestVersion, Journal: "j", Offset: 100, Records: 3, Shard: bad})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := DecodeManifest(data); err == nil {
+			t.Errorf("invalid shard %+v decoded", bad)
+		}
+	}
+}
+
+func TestCanonicalBytes(t *testing.T) {
+	for _, name := range []string{"j.jsonl", "j.jsonl.gz"} {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), name)
+			j, err := Create(path, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want []byte
+			for i, rec := range []string{`{"a":1}`, `{"b":2}`, `{"c":3}`} {
+				if err := j.Append([]byte(rec)); err != nil {
+					t.Fatal(err)
+				}
+				want = AppendFrame(want, []byte(rec))
+				// Checkpoint between records so the .gz journal holds
+				// several gzip members.
+				if i < 2 {
+					if _, err := j.Sync(); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			if err := j.Close(); err != nil {
+				t.Fatal(err)
+			}
+			got, err := CanonicalBytes(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("canonical bytes differ:\n got %q\nwant %q", got, want)
+			}
+		})
+	}
 }

@@ -34,6 +34,29 @@ type Manifest struct {
 	WatermarkSite string `json:"watermark_site,omitempty"`
 	// Sites counts completed sites in the committed prefix.
 	Sites int `json:"sites"`
+	// Shard, when present, marks the journal as one shard of a
+	// distributed campaign and records its position. A single-process
+	// journal omits it; resume refuses to continue a shard journal with
+	// mismatched shard geometry.
+	Shard *ShardInfo `json:"shard,omitempty"`
+}
+
+// ShardInfo identifies one contiguous-rank shard of a sharded campaign.
+type ShardInfo struct {
+	// Index is the 0-based shard number; Count is the total shards.
+	Index int `json:"index"`
+	Count int `json:"count"`
+	// FromRank/ToRank bound the shard's global site ranks, inclusive.
+	FromRank int `json:"from_rank"`
+	ToRank   int `json:"to_rank"`
+}
+
+// Equal reports whether two shard descriptors match exactly.
+func (s *ShardInfo) Equal(o *ShardInfo) bool {
+	if s == nil || o == nil {
+		return s == o
+	}
+	return *s == *o
 }
 
 // ManifestPath derives the checkpoint-manifest path for a journal.
@@ -71,6 +94,14 @@ func DecodeManifest(data []byte) (*Manifest, error) {
 	}
 	if m.Records > 0 && m.Offset == 0 {
 		return nil, fmt.Errorf("durable: manifest: %d records at offset 0", m.Records)
+	}
+	if s := m.Shard; s != nil {
+		if s.Count < 1 || s.Index < 0 || s.Index >= s.Count {
+			return nil, fmt.Errorf("durable: manifest: shard %d/%d out of range", s.Index, s.Count)
+		}
+		if s.FromRank < 1 || s.ToRank < s.FromRank {
+			return nil, fmt.Errorf("durable: manifest: shard ranks [%d,%d] invalid", s.FromRank, s.ToRank)
+		}
 	}
 	return &m, nil
 }

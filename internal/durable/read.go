@@ -36,6 +36,40 @@ type errReader struct{ err error }
 
 func (e errReader) Read([]byte) (int, error) { return 0, e.err }
 
+// CanonicalBytes returns the journal's framed-record stream: the raw
+// file bytes for a plain journal, the fully decompressed multistream
+// for a .gz journal. Gzip member boundaries fall at checkpoint syncs,
+// so two journals holding the same records can differ in compressed
+// bytes while being the same journal; the canonical stream is the
+// byte-identity the merge invariant is stated over.
+func CanonicalBytes(path string) ([]byte, error) {
+	if !Compressed(path) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("durable: reading %s: %w", path, err)
+		}
+		return data, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("durable: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		if err == io.EOF { // empty journal
+			return nil, nil
+		}
+		return nil, fmt.Errorf("durable: decompressing %s: %w", path, err)
+	}
+	zr.Multistream(true)
+	data, err := io.ReadAll(zr)
+	if err != nil {
+		return nil, fmt.Errorf("durable: decompressing %s: %w", path, err)
+	}
+	return data, nil
+}
+
 // OpenTail opens a journal for reading at a committed checkpoint
 // offset and returns a reader over the (decompressed) tail, plus the
 // raw-byte counter beneath it. Committed offsets are gzip member

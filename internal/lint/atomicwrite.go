@@ -30,15 +30,27 @@ durable.Journal so a crash never tears a file readers depend on.`,
 var artifactWords = []string{
 	"out", "path", "dataset", "report", "trace", "manifest",
 	"allowlist", "attest", "spec", "csv", "json", "artifact",
+	"shard", "status", "ckpt", "checkpoint",
 }
 
 // artifactExts are file extensions of on-disk artifacts the pipeline
-// reads back (so a torn write poisons a later stage).
-var artifactExts = []string{".json", ".jsonl", ".gz", ".csv", ".dat", ".pem", ".txt"}
+// reads back (so a torn write poisons a later stage). ".ckpt" and
+// ".status" are the orchestrator's shard sidecars: a torn manifest
+// silently discards a checkpoint (resume falls back to a salvage scan)
+// and a torn status file blinds topics-monitor -shards mid-campaign.
+var artifactExts = []string{
+	".json", ".jsonl", ".gz", ".csv", ".dat", ".pem", ".txt",
+	".ckpt", ".status",
+}
 
 func artifactLike(pass *Pass, e ast.Expr) bool {
 	if s, ok := stringArg(pass.TypesInfo, e); ok {
 		ext := path.Ext(s)
+		// Shard journals interpose ".shard-i" between the dataset name
+		// and its sidecar suffixes (crawl.jsonl.shard-2, …shard-2.gz).
+		if strings.HasPrefix(ext, ".shard-") {
+			return true
+		}
 		for _, want := range artifactExts {
 			if ext == want {
 				return true

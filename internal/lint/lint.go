@@ -135,6 +135,8 @@ func ExprString(e ast.Expr) string {
 		return "*" + ExprString(e.X)
 	case *ast.ParenExpr:
 		return ExprString(e.X)
+	case *ast.BinaryExpr:
+		return ExprString(e.X) + e.Op.String() + ExprString(e.Y)
 	case *ast.BasicLit:
 		return e.Value
 	}

@@ -13,6 +13,20 @@ func artifacts(outPath, reportPath string, raw []byte) {
 	_, _ = os.Create(datasetFile())                             // want `raw os\.Create of artifact datasetFile\(\)`
 }
 
+// shardSidecars covers the orchestrator's per-shard artifacts: the
+// journal shard itself, its checkpoint manifest, and the worker status
+// file a monitor polls concurrently.
+func shardSidecars(shardPath, statusPath string, raw []byte) {
+	_ = os.WriteFile(shardPath+".status", raw, 0o644) // want `raw os\.WriteFile of artifact shardPath\+"\.status"`
+	_ = os.WriteFile(statusPath, raw, 0o644)          // want `raw os\.WriteFile of artifact statusPath`
+	_, _ = os.Create("crawl.jsonl.shard-2")           // want `raw os\.Create of artifact "crawl\.jsonl\.shard-2"`
+	_ = os.WriteFile("crawl.jsonl.ckpt", raw, 0o644)  // want `raw os\.WriteFile of artifact "crawl\.jsonl\.ckpt"`
+	_ = os.WriteFile("shard-1.status", raw, 0o644)    // want `raw os\.WriteFile of artifact "shard-1\.status"`
+	_, _ = os.Create(checkpointName())                // want `raw os\.Create of artifact checkpointName\(\)`
+}
+
+func checkpointName() string { return "c.ckpt" }
+
 func datasetFile() string { return "d.jsonl" }
 
 // notArtifacts shows the analyzer keys on artifact-like naming and

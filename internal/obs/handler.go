@@ -52,10 +52,17 @@ func (r *Registry) WriteProm(w io.Writer) error {
 	return nil
 }
 
-// Handler serves the registry at a /__metrics-style endpoint in the
-// Prometheus text format.
+// Handler serves the registry at a /__metrics-style endpoint: the
+// Prometheus text format by default, or the lossless JSON wire form
+// with ?format=json (what topics-monitor -shards and the orchestrator
+// fetch, since the text form's histograms are lossy).
 func Handler(r *Registry) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = r.WriteJSON(w)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = r.WriteProm(w)
 	})

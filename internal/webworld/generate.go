@@ -12,10 +12,33 @@ import (
 // Config.Seed.
 func Generate(cfg Config) *World {
 	cfg = cfg.withDefaults()
+	return GenerateRange(cfg, 1, cfg.NumSites)
+}
+
+// GenerateRange builds the world window covering ranks [from, to]: the
+// generator streams through ranks 1..to exactly as Generate would —
+// site generation shares sequential namer state, so rank r's domain
+// depends on every earlier rank's collisions — but only the sites
+// inside the window are materialized and indexed. The retained sites
+// are byte-identical to the same ranks of a full Generate, which is
+// what lets a campaign shard hold just its slice of a 500k-site world
+// (plus the O(1)-per-rank namer state) instead of the whole thing.
+//
+// World-level host universes (ad catalog, CMP hosts, long-tail pool)
+// are global and fully present, so Classify and serving work unchanged
+// for every host a shard's pages can reference.
+func GenerateRange(cfg Config, from, to int) *World {
+	cfg = cfg.withDefaults()
+	if from < 1 {
+		from = 1
+	}
+	if to > cfg.NumSites {
+		to = cfg.NumSites
+	}
 	w := &World{
 		Cfg:      cfg,
 		Catalog:  adcatalog.New(),
-		byDomain: make(map[string]*Site, cfg.NumSites*2),
+		byDomain: make(map[string]*Site, (to-from+1)*2+1),
 		longTail: make(map[string]bool, cfg.LongTailPool),
 		cmpHosts: make(map[string]string, 16),
 	}
@@ -28,13 +51,31 @@ func Generate(cfg Config) *World {
 		w.longTail[h] = true
 	}
 
+	stream(cfg, pool, to, func(site *Site) {
+		if site.Rank < from {
+			return // generated for namer state only; not retained
+		}
+		w.Sites = append(w.Sites, site)
+		w.byDomain[site.Domain] = site
+		if site.RedirectTo != "" {
+			w.byDomain[site.RedirectTo] = site
+		}
+	})
+	return w
+}
+
+// stream generates sites of ranks 1..to in rank order, invoking visit
+// for each. It is the sequential core shared by Generate and
+// GenerateRange; cfg must already carry defaults.
+func stream(cfg Config, pool *longTailPool, to int, visit func(*Site)) {
+	catalog := adcatalog.New()
 	nm := newNamer()
-	reserveKnownDomains(nm, w)
+	reserveKnownDomains(nm, catalog)
 
 	meanIntensity := meanAdIntensity(cfg.AdIntensityWeights)
-	embeddable := w.Catalog.Embeddable()
+	embeddable := catalog.Embeddable()
 
-	for rank := 1; rank <= cfg.NumSites; rank++ {
+	for rank := 1; rank <= to; rank++ {
 		rng := rand.New(rand.NewPCG(cfg.Seed, uint64(rank)*0x9E3779B97F4A7C15+0xD1B54A32D192ED03))
 		var site *Site
 		if rank == cfg.DistilleryRank {
@@ -42,23 +83,18 @@ func Generate(cfg Config) *World {
 		} else {
 			site = genSite(rank, rng, cfg, nm, pool, embeddable, meanIntensity)
 		}
-		w.Sites = append(w.Sites, site)
-		w.byDomain[site.Domain] = site
-		if site.RedirectTo != "" {
-			w.byDomain[site.RedirectTo] = site
-		}
+		visit(site)
 	}
-	return w
 }
 
 // reserveKnownDomains prevents the namer from generating a site that
 // collides with a platform, CMP or infrastructure domain.
-func reserveKnownDomains(nm *namer, w *World) {
-	for _, p := range w.Catalog.All() {
+func reserveKnownDomains(nm *namer, catalog *adcatalog.Catalog) {
+	for _, p := range catalog.All() {
 		nm.used[p.Domain] = true
 	}
-	for host := range w.cmpHosts {
-		nm.used[host] = true
+	for _, c := range cmpdb.All() {
+		nm.used[c.Domain] = true
 	}
 	nm.used[GTMDomain] = true
 }

@@ -145,13 +145,15 @@ type World struct {
 	cmpHosts map[string]string // consent host -> CMP name
 }
 
-// List returns the world's rank list.
+// List returns the world's rank list. Entries carry each site's global
+// rank, so a GenerateRange window yields the same entries as the
+// corresponding slice of the full world's list.
 func (w *World) List() *tranco.List {
-	domains := make([]string, len(w.Sites))
+	entries := make([]tranco.Entry, len(w.Sites))
 	for i, s := range w.Sites {
-		domains[i] = s.Domain
+		entries[i] = tranco.Entry{Rank: s.Rank, Domain: s.Domain}
 	}
-	return tranco.FromDomains(domains)
+	return &tranco.List{Entries: entries}
 }
 
 // SiteByDomain resolves a ranked site (or one of its sister domains).

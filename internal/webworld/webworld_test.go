@@ -346,3 +346,56 @@ func TestWorldSpecRejectsDamage(t *testing.T) {
 		}
 	}
 }
+
+func TestGenerateRangeMatchesFull(t *testing.T) {
+	cfg := Config{Seed: 7, NumSites: 8000}
+	full := testWorld
+	const lo, hi = 3001, 4500
+	win := GenerateRange(cfg, lo, hi)
+
+	if len(win.Sites) != hi-lo+1 {
+		t.Fatalf("window sites = %d, want %d", len(win.Sites), hi-lo+1)
+	}
+	for i, got := range win.Sites {
+		want := full.Sites[lo-1+i]
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("rank %d differs:\n got %+v\nwant %+v", want.Rank, got, want)
+		}
+	}
+
+	// The window's rank list is the corresponding slice of the full list.
+	wantEntries := full.List().Entries[lo-1 : hi]
+	if !reflect.DeepEqual(win.List().Entries, wantEntries) {
+		t.Fatal("window rank list differs from full list slice")
+	}
+
+	// Global host universes stay intact: classification of any host the
+	// window's pages reference matches the full world's view, except for
+	// sites outside the window (unknown to the shard, by design).
+	for _, s := range win.Sites {
+		if win.Classify(s.Domain) != HostSite {
+			t.Errorf("window misclassifies own site %q", s.Domain)
+		}
+		for _, p := range s.Platforms {
+			if got, want := win.Classify(p), full.Classify(p); got != want {
+				t.Errorf("platform %q: window %v, full %v", p, got, want)
+			}
+		}
+		for _, h := range s.LongTail {
+			if got, want := win.Classify(h), full.Classify(h); got != want {
+				t.Errorf("long-tail %q: window %v, full %v", h, got, want)
+			}
+		}
+	}
+}
+
+func TestGenerateRangeClamps(t *testing.T) {
+	cfg := Config{Seed: 3, NumSites: 50}
+	w := GenerateRange(cfg, -5, 500)
+	if len(w.Sites) != 50 {
+		t.Fatalf("clamped range sites = %d, want 50", len(w.Sites))
+	}
+	if !reflect.DeepEqual(w.Sites, Generate(cfg).Sites) {
+		t.Fatal("clamped full range differs from Generate")
+	}
+}

@@ -11,6 +11,8 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"net/http"
+	"net/url"
 	"sync"
 	"testing"
 	"time"
@@ -288,8 +290,9 @@ func BenchmarkPageLoad(b *testing.B) {
 	}
 }
 
-// BenchmarkTopicsEngineCall measures a browsingTopics() answer.
-func BenchmarkTopicsEngineCall(b *testing.B) {
+// benchEngine builds a warmed Topics engine with three epochs of
+// history, shared by the engine benchmarks.
+func benchEngine() *topicscope.Engine {
 	tx := topicscope.NewTaxonomy()
 	cl := topicscope.NewClassifier(tx)
 	clock := time.Date(2024, 3, 1, 0, 0, 0, 0, time.UTC)
@@ -304,10 +307,115 @@ func BenchmarkTopicsEngineCall(b *testing.B) {
 		}
 		clock = clock.Add(7 * 24 * time.Hour)
 	}
+	return eng
+}
+
+// benchCallerSites are pregenerated so the benchmark loop measures the
+// engine call, not fmt.Sprintf.
+func benchCallerSites() []string {
+	sites := make([]string, 512)
+	for i := range sites {
+		sites[i] = fmt.Sprintf("pub-%d.com", i)
+	}
+	return sites
+}
+
+// BenchmarkTopicsEngineCall measures a browsingTopics() answer through
+// the allocating convenience API (result slice per call).
+func BenchmarkTopicsEngineCall(b *testing.B) {
+	eng := benchEngine()
+	sites := benchCallerSites()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		eng.BrowsingTopics("adtech.example", fmt.Sprintf("pub-%d.com", i%512))
+		eng.BrowsingTopics("adtech.example", sites[i%len(sites)])
 	}
+}
+
+// BenchmarkTopicsEngineAppend measures the serving-path variant: the
+// caller reuses a result buffer, so a warm engine answers without
+// allocating (pinned at zero by TestAppendBrowsingTopicsZeroAlloc).
+func BenchmarkTopicsEngineAppend(b *testing.B) {
+	eng := benchEngine()
+	sites := benchCallerSites()
+	// Warm the per-site classification cache so the loop measures the
+	// steady state.
+	for _, s := range sites {
+		eng.AppendBrowsingTopics(nil, "adtech.example", s)
+	}
+	buf := make([]topicscope.TopicResult, 0, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = eng.AppendBrowsingTopics(buf[:0], "adtech.example", sites[i%len(sites)])
+	}
+	_ = buf
+}
+
+// benchResponseWriter is a header-reusing sink so BenchmarkServePage
+// measures the handler, not the recorder.
+type benchResponseWriter struct {
+	header http.Header
+	bytes  int64
+}
+
+func (w *benchResponseWriter) Header() http.Header { return w.header }
+func (w *benchResponseWriter) WriteHeader(int)     {}
+func (w *benchResponseWriter) Write(p []byte) (int, error) {
+	w.bytes += int64(len(p))
+	return len(p), nil
+}
+
+// BenchmarkServePage measures a cached landing-page render through
+// Server.ServeHTTP — the load harness's page path, allocation-free once
+// the page cache is warm (pinned by TestServeSitePageZeroAlloc).
+func BenchmarkServePage(b *testing.B) {
+	_, res := benchInput(b)
+	server := topicscope.NewServer(res.World, nil)
+	var site string
+	for _, s := range res.World.Sites {
+		if s.Reachable && s.RedirectTo == "" {
+			site = s.Domain
+			break
+		}
+	}
+	req := &http.Request{
+		Method: "GET",
+		Host:   site,
+		URL:    &url.URL{Path: "/"},
+		Header: http.Header{"Cookie": []string{"consent=1"}},
+	}
+	w := &benchResponseWriter{header: make(http.Header, 4)}
+	server.ServeHTTP(w, req) // warm the page cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		server.ServeHTTP(w, req)
+	}
+}
+
+// BenchmarkLoadServing runs the deterministic load harness at a fixed
+// seed and reports its virtual SLO metrics. These are virtual-time
+// quantities — identical on every host and for any GOMAXPROCS — so
+// benchjson -check gates them hard: p50_ms/p99_ms/p999_ms must not
+// rise past tolerance and req_s must not fall.
+func BenchmarkLoadServing(b *testing.B) {
+	world := topicscope.GenerateWorld(topicscope.WorldConfig{Seed: 1, NumSites: 600})
+	var rep *topicscope.LoadReport
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := topicscope.RunLoad(topicscope.LoadConfig{
+			World: world, Seed: 1, Requests: 8000, Rate: 4000, Users: 16,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep = r
+	}
+	b.ReportMetric(rep.Overall.P50MS, "p50_ms")
+	b.ReportMetric(rep.Overall.P99MS, "p99_ms")
+	b.ReportMetric(rep.Overall.P999MS, "p999_ms")
+	b.ReportMetric(rep.ReqPerSec, "req_s")
 }
 
 // BenchmarkReidentification measures the §2.1-cited re-identification

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: github.com/netmeasure/topicscope
+BenchmarkPageLoad-8         	    1234	    912345 ns/op	  133299 B/op	    1551 allocs/op
+BenchmarkTopicsEngineCall-8 	  500000	      2100 ns/op	    1084 B/op	      42 allocs/op
+BenchmarkLoadServing-8      	       1	 512345678 ns/op	      16.000 p50_ms	     260.000 p99_ms	     270.000 p999_ms	    3900.0 req_s	 4096 B/op	  12 allocs/op
+PASS
+ok  	github.com/netmeasure/topicscope	3.210s
+`
+
+func parseSample(t *testing.T, text string) map[string]*entry {
+	t.Helper()
+	report, err := parse(bufio.NewScanner(strings.NewReader(text)))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return report
+}
+
+func TestParseStripsProcsAndCollectsMetrics(t *testing.T) {
+	report := parseSample(t, sampleBench)
+	if len(report) != 3 {
+		t.Fatalf("parsed %d entries, want 3: %v", len(report), report)
+	}
+	page, ok := report["BenchmarkPageLoad"]
+	if !ok {
+		t.Fatal("GOMAXPROCS suffix not stripped from BenchmarkPageLoad-8")
+	}
+	if page.AllocsPerOp != 1551 || page.BytesPerOp != 133299 {
+		t.Errorf("BenchmarkPageLoad parsed wrong: %+v", page)
+	}
+	loadRep, ok := report["BenchmarkLoadServing"]
+	if !ok {
+		t.Fatal("BenchmarkLoadServing missing")
+	}
+	want := map[string]float64{"p50_ms": 16, "p99_ms": 260, "p999_ms": 270, "req_s": 3900}
+	for unit, v := range want {
+		if got := loadRep.Metrics[unit]; got != v {
+			t.Errorf("metric %s = %v, want %v", unit, got, v)
+		}
+	}
+}
+
+// writeBaseline marshals a report to a temp baseline file for gate().
+func writeBaseline(t *testing.T, report map[string]*entry) string {
+	t.Helper()
+	raw, err := json.Marshal(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func gateOutput(t *testing.T, report map[string]*entry, baseline string, tol float64) (string, error) {
+	t.Helper()
+	var sb strings.Builder
+	err := gate(report, baseline, tol, &sb)
+	return sb.String(), err
+}
+
+// TestGateNewBenchmarkIsAdvisory pins the satellite behavior: a
+// benchmark absent from the committed baseline must not fail the gate.
+func TestGateNewBenchmarkIsAdvisory(t *testing.T) {
+	baseline := parseSample(t, sampleBench)
+	delete(baseline, "BenchmarkLoadServing")
+	path := writeBaseline(t, baseline)
+
+	out, err := gateOutput(t, parseSample(t, sampleBench), path, 0.2)
+	if err != nil {
+		t.Fatalf("new benchmark failed the gate: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "new benchmark (not in baseline, advisory): BenchmarkLoadServing") {
+		t.Errorf("missing advisory line:\n%s", out)
+	}
+	if !strings.Contains(out, "bench gate: ok") {
+		t.Errorf("gate did not report ok:\n%s", out)
+	}
+}
+
+func TestGateAllocsRegressionFails(t *testing.T) {
+	path := writeBaseline(t, parseSample(t, sampleBench))
+	run := parseSample(t, sampleBench)
+	run["BenchmarkPageLoad"].AllocsPerOp = 3000 // ~2x the baseline's 1551
+
+	out, err := gateOutput(t, run, path, 0.2)
+	if err == nil {
+		t.Fatalf("allocs/op regression passed the gate:\n%s", out)
+	}
+	if !strings.Contains(out, "REGRESSION BenchmarkPageLoad allocs/op") {
+		t.Errorf("missing regression line:\n%s", out)
+	}
+}
+
+func TestGateSLOLatencyRegressionFails(t *testing.T) {
+	path := writeBaseline(t, parseSample(t, sampleBench))
+	run := parseSample(t, sampleBench)
+	run["BenchmarkLoadServing"].Metrics["p99_ms"] = 400 // baseline 260, tol 20%
+
+	out, err := gateOutput(t, run, path, 0.2)
+	if err == nil {
+		t.Fatalf("p99_ms regression passed the gate:\n%s", out)
+	}
+	if !strings.Contains(out, "REGRESSION BenchmarkLoadServing p99_ms") {
+		t.Errorf("missing p99_ms regression line:\n%s", out)
+	}
+}
+
+func TestGateSLOThroughputRegressionFails(t *testing.T) {
+	path := writeBaseline(t, parseSample(t, sampleBench))
+	run := parseSample(t, sampleBench)
+	run["BenchmarkLoadServing"].Metrics["req_s"] = 1000 // baseline 3900, tol 20%
+
+	out, err := gateOutput(t, run, path, 0.2)
+	if err == nil {
+		t.Fatalf("req_s regression passed the gate:\n%s", out)
+	}
+	if !strings.Contains(out, "REGRESSION BenchmarkLoadServing req_s") {
+		t.Errorf("missing req_s regression line:\n%s", out)
+	}
+}
+
+func TestGateSLOMetricMissingFromRunFails(t *testing.T) {
+	path := writeBaseline(t, parseSample(t, sampleBench))
+	run := parseSample(t, sampleBench)
+	delete(run["BenchmarkLoadServing"].Metrics, "p999_ms")
+
+	out, err := gateOutput(t, run, path, 0.2)
+	if err == nil {
+		t.Fatalf("missing SLO metric passed the gate:\n%s", out)
+	}
+	if !strings.Contains(out, "p999_ms") || !strings.Contains(out, "missing from run") {
+		t.Errorf("missing metric not reported:\n%s", out)
+	}
+}
+
+// TestGateWithinToleranceOK: small drift in both directions passes.
+func TestGateWithinToleranceOK(t *testing.T) {
+	path := writeBaseline(t, parseSample(t, sampleBench))
+	run := parseSample(t, sampleBench)
+	run["BenchmarkLoadServing"].Metrics["p99_ms"] = 280 // +7.7%
+	run["BenchmarkLoadServing"].Metrics["req_s"] = 3600 // -7.7%
+	run["BenchmarkTopicsEngineCall"].AllocsPerOp = 46   // +9.5%
+
+	out, err := gateOutput(t, run, path, 0.2)
+	if err != nil {
+		t.Fatalf("within-tolerance drift failed the gate: %v\n%s", err, out)
+	}
+}

@@ -1,0 +1,116 @@
+// Command topics-load drives the serving path with the deterministic
+// open-loop load harness: seeded arrivals on the virtual clock, a
+// page/topics/attest mix over the world model, latency recorded into
+// exponential histograms. The report (virtual req/s, p50/p99/p999 per
+// path) is byte-identical for a given seed regardless of -workers or
+// GOMAXPROCS; wall-clock throughput is printed separately since it
+// depends on the host.
+//
+//	topics-load -seed 1 -sites 1500 -requests 20000 -rate 5000
+//	topics-load -seed 1 -slo-p99-ms 300 -slo-req-s 1000   # exit 1 on violation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/netmeasure/topicscope"
+)
+
+func main() {
+	var (
+		seed     = flag.Uint64("seed", 1, "schedule and world-mix seed")
+		sites    = flag.Int("sites", 1500, "number of ranked sites in the generated world")
+		requests = flag.Int("requests", 20000, "number of requests to issue")
+		rate     = flag.Float64("rate", 5000, "offered load in arrivals per virtual second")
+		arrival  = flag.String("arrival", "poisson", "inter-arrival process: poisson or uniform")
+		workers  = flag.Int("workers", 0, "request-executing goroutines (0 = GOMAXPROCS; report is identical for any value)")
+		users    = flag.Int("users", 32, "simulated browser-engine pool answering topics calls")
+		mix      = flag.String("mix", "", "page,topics,attest weights (default 60,30,10)")
+		out      = flag.String("out", "", "write the report JSON here (atomic); default stdout")
+
+		sloP50  = flag.Float64("slo-p50-ms", 0, "fail when overall p50 exceeds this many virtual ms (0 = unchecked)")
+		sloP99  = flag.Float64("slo-p99-ms", 0, "fail when overall p99 exceeds this many virtual ms (0 = unchecked)")
+		sloP999 = flag.Float64("slo-p999-ms", 0, "fail when overall p999 exceeds this many virtual ms (0 = unchecked)")
+		sloReqS = flag.Float64("slo-req-s", 0, "fail when virtual req/s falls below this (0 = unchecked)")
+	)
+	flag.Parse()
+
+	cfg := topicscope.LoadConfig{
+		Seed:     *seed,
+		Requests: *requests,
+		Rate:     *rate,
+		Arrival:  topicscope.LoadArrival(*arrival),
+		Workers:  *workers,
+		Users:    *users,
+	}
+	if *mix != "" {
+		m, err := parseMix(*mix)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Mix = m
+	}
+
+	cfg.World = topicscope.GenerateWorld(topicscope.WorldConfig{Seed: *seed, NumSites: *sites})
+
+	wallStart := time.Now()
+	rep, err := topicscope.RunLoad(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	wall := time.Since(wallStart)
+
+	if *out != "" {
+		if err := topicscope.WriteFileAtomic(*out, rep.WriteJSON); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("report: %s\n", *out)
+	} else if err := rep.WriteJSON(os.Stdout); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wall: %d requests in %v (%.0f req/s real, %.0f req/s virtual)\n",
+		rep.Requests, wall.Round(time.Millisecond), float64(rep.Requests)/wall.Seconds(), rep.ReqPerSec)
+
+	slo := topicscope.LoadSLO{
+		MaxP50:       time.Duration(*sloP50 * float64(time.Millisecond)),
+		MaxP99:       time.Duration(*sloP99 * float64(time.Millisecond)),
+		MaxP999:      time.Duration(*sloP999 * float64(time.Millisecond)),
+		MinReqPerSec: *sloReqS,
+	}
+	if violations := rep.Check(slo); len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "SLO violation:", v)
+		}
+		os.Exit(1)
+	}
+}
+
+// parseMix parses "page,topics,attest" weights, e.g. "60,30,10".
+func parseMix(s string) (topicscope.LoadMix, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return topicscope.LoadMix{}, fmt.Errorf("topics-load: -mix wants page,topics,attest weights, got %q", s)
+	}
+	var w [3]float64
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || v < 0 {
+			return topicscope.LoadMix{}, fmt.Errorf("topics-load: bad -mix weight %q", p)
+		}
+		w[i] = v
+	}
+	if w[0]+w[1]+w[2] == 0 {
+		return topicscope.LoadMix{}, fmt.Errorf("topics-load: -mix weights sum to zero")
+	}
+	return topicscope.LoadMix{Page: w[0], Topics: w[1], Attest: w[2]}, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "topics-load:", err)
+	os.Exit(1)
+}

@@ -203,13 +203,24 @@ func dashboard(path string, s *obs.Summary) string {
 	if len(rows) > 0 {
 		fmt.Fprintln(&b, "stage breakdown (stage-clock time):")
 		w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
-		fmt.Fprintln(w, "  STAGE\tCOUNT\tTOTAL\tMEAN\tMAX")
+		fmt.Fprintln(w, "  STAGE\tCOUNT\tTOTAL\tMEAN\tP50\tP99\tP999\tMAX")
 		for _, r := range rows {
-			fmt.Fprintf(w, "  %s\t%d\t%s\t%s\t%s\n", r.Name, r.Count, r.Total, r.Mean, r.Max)
+			fmt.Fprintf(w, "  %s\t%d\t%s\t%s\t%s\t%s\t%s\t%s\n",
+				r.Name, r.Count, r.Total, r.Mean, quantileCell(r.P50), quantileCell(r.P99), quantileCell(r.P999), r.Max)
 		}
 		w.Flush() //nolint:errcheck // strings.Builder cannot fail
 	}
 	return b.String()
+}
+
+// quantileCell renders a stage quantile, or "-" when the summary holds
+// no distribution (a StageSummary rebuilt from its serialized form
+// carries totals only).
+func quantileCell(d time.Duration) string {
+	if d == 0 {
+		return "-"
+	}
+	return d.String()
 }
 
 // renderCheckpoint prints the durable state of a crash-safe dataset
@@ -319,8 +330,27 @@ func renderShards(out string, client *http.Client) (string, error) {
 	if live > 0 {
 		fmt.Fprintf(&b, "aggregated worker metrics (%d live registries, commutative merge):\n", live)
 		agg.WriteProm(&b) //nolint:errcheck // strings.Builder cannot fail
+		writeLatencyTable(&b, agg.Snapshot())
 	}
 	return b.String(), nil
+}
+
+// writeLatencyTable renders the campaign-wide latency quantiles from
+// the merged registry snapshot — the p50/p99/p999 a single shared
+// registry would report, because histogram buckets merge exactly.
+func writeLatencyTable(b *strings.Builder, snap obs.Snapshot) {
+	if len(snap.Histograms) == 0 {
+		return
+	}
+	fmt.Fprintln(b, "campaign latency quantiles (merged histograms):")
+	w := tabwriter.NewWriter(b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "  HISTOGRAM\tCOUNT\tP50\tP99\tP999\tMAX")
+	for _, h := range snap.Histograms {
+		fmt.Fprintf(w, "  %s\t%d\t%s\t%s\t%s\t%s\n",
+			h.Name, h.Count,
+			time.Duration(h.P50NS), time.Duration(h.P99NS), time.Duration(h.P999NS), time.Duration(h.MaxNS))
+	}
+	w.Flush() //nolint:errcheck // strings.Builder cannot fail
 }
 
 // fetchRegistry pulls a worker's registry in the lossless JSON wire

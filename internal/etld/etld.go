@@ -98,6 +98,28 @@ func atoiOK(s string) (int, bool) {
 	return n, true
 }
 
+// suffixStart returns the byte offset where host's public suffix
+// begins: the start of the matching multi-label suffix (e.g. "co.uk"),
+// the start of the final label otherwise, and 0 when the host is itself
+// a public suffix. host must already be normalized. Everything here is
+// index arithmetic on the input string — the eTLD split is on the
+// serving path's per-request budget (attestation gate, host
+// classification), so it must not allocate.
+func suffixStart(host string) int {
+	last := strings.LastIndexByte(host, '.')
+	if last < 0 {
+		return 0
+	}
+	prev := strings.LastIndexByte(host[:last], '.')
+	if multiLabelSuffixes[host[prev+1:]] {
+		// prev is -1 when host has exactly two labels, making
+		// host[prev+1:] the whole host — a host that IS a multi-label
+		// suffix maps to offset 0.
+		return prev + 1
+	}
+	return last + 1
+}
+
 // PublicSuffix returns the effective TLD of host: either the matching
 // multi-label suffix (e.g. "co.uk") or the final label. It returns "" for
 // empty or label-free input.
@@ -106,15 +128,7 @@ func PublicSuffix(host string) string {
 	if host == "" {
 		return ""
 	}
-	labels := strings.Split(host, ".")
-	if len(labels) == 1 {
-		return labels[0]
-	}
-	last2 := strings.Join(labels[len(labels)-2:], ".")
-	if multiLabelSuffixes[last2] {
-		return last2
-	}
-	return labels[len(labels)-1]
+	return host[suffixStart(host):]
 }
 
 // TLD returns the final DNS label of host (the country-code or generic
@@ -138,16 +152,15 @@ func RegistrableDomain(host string) string {
 	if host == "" {
 		return ""
 	}
-	suffix := PublicSuffix(host)
-	if host == suffix {
+	s := suffixStart(host)
+	if s == 0 {
+		// host is itself a public suffix.
 		return host
 	}
-	rest := strings.TrimSuffix(host, "."+suffix)
-	if rest == host {
-		return host
-	}
-	labels := strings.Split(rest, ".")
-	return labels[len(labels)-1] + "." + suffix
+	// One label left of the suffix: host[s-1] is the dot separating the
+	// registrable label from the suffix.
+	p := strings.LastIndexByte(host[:s-1], '.')
+	return host[p+1:]
 }
 
 // SecondLevelLabel returns the label immediately left of the public

@@ -14,11 +14,11 @@ var Determinism = &Analyzer{
 	Name: "determinism",
 	Doc: `forbid nondeterminism sources in the determinism-critical packages
 (internal/analysis, internal/webworld, internal/chaos, internal/crawler,
-internal/dataset, internal/obs): time.Now and time.Since read the wall
-clock; global math/rand functions draw from a process-wide unseeded
-source; ranging over a map while appending to a slice (without sorting
-it afterwards) or while writing output bakes random iteration order into
-the result.`,
+internal/dataset, internal/obs, internal/load): time.Now and time.Since
+read the wall clock; global math/rand functions draw from a process-wide
+unseeded source; ranging over a map while appending to a slice (without
+sorting it afterwards) or while writing output bakes random iteration
+order into the result.`,
 	AppliesTo: inPackages(
 		"internal/analysis",
 		"internal/webworld",
@@ -26,6 +26,9 @@ the result.`,
 		"internal/crawler",
 		"internal/dataset",
 		"internal/obs",
+		// The load harness promises a byte-identical report for any
+		// worker count, so it is determinism-critical end to end.
+		"internal/load",
 	),
 	Run: runDeterminism,
 }

@@ -1,0 +1,376 @@
+// Package load is a deterministic open-loop load generator for the
+// serving path: the webserver's page render, the topics engine's
+// browsingTopics() answer, and the attestation gate.
+//
+// Open-loop means arrivals are scheduled ahead of time from the offered
+// rate — a request's start time never depends on when earlier requests
+// finished, so the harness measures the service-time distribution the
+// paper's measurement loop would see at a given traffic level rather
+// than the closed-loop "as fast as one caller can go" number.
+//
+// Everything runs on virtual time. The arrival schedule is drawn
+// single-threaded from a seeded PCG source, per-request latency is a
+// pure function of the request (the obs stage-clock cost model plus a
+// deterministic heavy-tail jitter), and every recorded aggregate —
+// latency histograms, counters, the virtual makespan — merges
+// commutatively across workers. The resulting report is therefore
+// byte-identical across GOMAXPROCS and worker counts, the same
+// invariant the crawler and analysis index already hold
+// (TestLoadReportDeterministicAcrossWorkers proves it).
+package load
+
+import (
+	"fmt"
+	"math/bits"
+	"net/http"
+	"net/url"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/netmeasure/topicscope/internal/attestation"
+	"github.com/netmeasure/topicscope/internal/classifier"
+	"github.com/netmeasure/topicscope/internal/obs"
+	"github.com/netmeasure/topicscope/internal/taxonomy"
+	"github.com/netmeasure/topicscope/internal/topics"
+	"github.com/netmeasure/topicscope/internal/vclock"
+	"github.com/netmeasure/topicscope/internal/webserver"
+	"github.com/netmeasure/topicscope/internal/webworld"
+)
+
+// DefaultStart anchors the virtual run epoch. Any fixed instant works;
+// it only has to be the same for every worker and every run.
+var DefaultStart = time.Date(2024, 4, 1, 0, 0, 0, 0, time.UTC)
+
+// Config parameterises one load run.
+type Config struct {
+	// World is the synthetic web to serve. Required.
+	World *webworld.World
+	// Seed derives the schedule, the request mix, and every per-user
+	// browsing history.
+	Seed uint64
+	// Requests is the number of requests to issue (default 10000).
+	Requests int
+	// Rate is the offered load in arrivals per virtual second
+	// (default 2000).
+	Rate float64
+	// Arrival selects the inter-arrival process (default poisson).
+	Arrival Arrival
+	// Workers is the number of request-executing goroutines. It shapes
+	// wall-clock speed only — the report is byte-identical for any
+	// value (default GOMAXPROCS).
+	Workers int
+	// Users is the size of the simulated browser-engine pool answering
+	// topics calls, each prewarmed with three epochs of seeded browsing
+	// history (default 32).
+	Users int
+	// Mix weighs the request paths; zero means the 60/30/10
+	// page/topics/attest default.
+	Mix Mix
+	// Start anchors virtual time (default DefaultStart).
+	Start time.Time
+	// Registry, when set, receives a merged copy of the run's counters
+	// and latency histograms (topics-serve feeds its /__metrics
+	// registry this way). Nil keeps the run self-contained.
+	Registry *obs.Registry
+}
+
+// Mix weighs the three serving paths in the request schedule.
+type Mix struct {
+	Page   float64
+	Topics float64
+	Attest float64
+}
+
+func (m Mix) orDefault() Mix {
+	if m.Page <= 0 && m.Topics <= 0 && m.Attest <= 0 {
+		return Mix{Page: 0.6, Topics: 0.3, Attest: 0.1}
+	}
+	return m
+}
+
+func (c Config) withDefaults() Config {
+	if c.Requests <= 0 {
+		c.Requests = 10000
+	}
+	if c.Rate <= 0 {
+		c.Rate = 2000
+	}
+	if c.Arrival == "" {
+		c.Arrival = ArrivalPoisson
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Users <= 0 {
+		c.Users = 32
+	}
+	c.Mix = c.Mix.orDefault()
+	if c.Start.IsZero() {
+		c.Start = DefaultStart
+	}
+	return c
+}
+
+// Virtual service-cost model: each path's latency is the obs
+// stage-clock base cost, plus work actually performed (bytes rendered,
+// topics returned), plus a deterministic heavy-tail jitter.
+const (
+	// pageByteCost charges for shipping the rendered page body.
+	pageByteCost = 500 * time.Nanosecond
+	// topicsResultCost charges per topic assembled into the response.
+	topicsResultCost = 500 * time.Microsecond
+	// jitterUnit scales the heavy-tail jitter; jitterMaxExp caps its
+	// exponent, bounding the tail at jitterUnit << jitterMaxExp.
+	jitterUnit   = 250 * time.Microsecond
+	jitterMaxExp = 10
+)
+
+// jitterFor derives the request's tail jitter from its schedule index:
+// a geometric exponent from the trailing-zero count of a mixed hash.
+// P(exponent = k) = 2^-(k+1), so the median request pays one unit while
+// one in a thousand pays ~2^9 units — a realistic tail, reproducible on
+// every platform because it never touches the floating-point math that
+// makes log-based samplers architecture-sensitive.
+func jitterFor(seed uint64, i int) time.Duration {
+	h := (uint64(i) + 1) * 0x9E3779B97F4A7C15
+	h ^= seed
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	k := bits.TrailingZeros64(h | 1<<jitterMaxExp)
+	return jitterUnit << k
+}
+
+// discardWriter is a reusable http.ResponseWriter that counts body
+// bytes. One lives per worker; the header map persists across requests
+// so the steady-state serving path allocates nothing.
+type discardWriter struct {
+	h      http.Header
+	status int
+	bytes  int64
+}
+
+func (w *discardWriter) Header() http.Header { return w.h }
+func (w *discardWriter) Write(p []byte) (int, error) {
+	w.bytes += int64(len(p))
+	return len(p), nil
+}
+func (w *discardWriter) WriteHeader(code int) { w.status = code }
+
+// Run executes the load schedule and returns the aggregated report.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if cfg.World == nil {
+		return nil, fmt.Errorf("load: Config.World is required")
+	}
+
+	var sites []string
+	for _, s := range cfg.World.Sites {
+		if s.Reachable && s.RedirectTo == "" {
+			sites = append(sites, s.Domain)
+		}
+	}
+	if len(sites) == 0 {
+		return nil, fmt.Errorf("load: world has no reachable sites")
+	}
+	var callers []string
+	for _, p := range cfg.World.Catalog.All() {
+		callers = append(callers, p.Domain)
+	}
+
+	plans := planUsers(cfg, sites, callers)
+	schedule := buildSchedule(cfg, sites, callers, plans)
+	engines := prewarmEngines(cfg, plans)
+
+	// The serving clock is frozen at the run epoch: requests carry
+	// virtual offsets, and the engines' current epoch never rotates
+	// mid-run (witness-set updates are commutative, so concurrent calls
+	// cannot change any answer).
+	clk := vclock.New(cfg.Start)
+	server := webserver.New(cfg.World, clk.Now)
+	gate := attestation.NewEnforcingGate(
+		attestation.NewAllowlist(cfg.World.Catalog.AllowedDomains()...))
+
+	agg := obs.NewRegistry()
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		mergeMu sync.Mutex
+		maxEnd  time.Duration
+		totals  workerTotals
+	)
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st := runWorker(cfg, schedule, server, gate, engines, &next)
+			mergeMu.Lock()
+			agg.Merge(st.reg)
+			if st.maxEnd > maxEnd {
+				maxEnd = st.maxEnd
+			}
+			totals.add(st.totals)
+			mergeMu.Unlock()
+		}()
+	}
+	wg.Wait()
+	// Fold the run totals into the registry so shard aggregation
+	// (topics-monitor -shards) sees them alongside the histograms.
+	totals.publish(agg)
+	clk.Set(cfg.Start.Add(maxEnd))
+
+	if cfg.Registry != nil {
+		cfg.Registry.Merge(agg)
+	}
+	return buildReport(cfg, len(sites), agg, maxEnd), nil
+}
+
+// workerTotals are the plain counters a worker accumulates locally (a
+// registry Add per request would re-render the metric key every time).
+type workerTotals struct {
+	requests       [pathCount]int64
+	attestAllowed  int64
+	attestBlocked  int64
+	topicsReturned int64
+	pageBytes      int64
+}
+
+func (t *workerTotals) add(o workerTotals) {
+	for i := range t.requests {
+		t.requests[i] += o.requests[i]
+	}
+	t.attestAllowed += o.attestAllowed
+	t.attestBlocked += o.attestBlocked
+	t.topicsReturned += o.topicsReturned
+	t.pageBytes += o.pageBytes
+}
+
+func (t *workerTotals) publish(reg *obs.Registry) {
+	for p, n := range t.requests {
+		reg.Add("load_requests_total", n, "path", pathKind(p).String())
+	}
+	reg.Add("load_attest_allowed_total", t.attestAllowed)
+	reg.Add("load_attest_blocked_total", t.attestBlocked)
+	reg.Add("load_topics_returned_total", t.topicsReturned)
+	reg.Add("load_page_bytes_total", t.pageBytes)
+}
+
+// workerState is one worker's run result, merged after the pool drains.
+type workerState struct {
+	reg    *obs.Registry
+	maxEnd time.Duration
+	totals workerTotals
+}
+
+// runWorker pulls requests off the shared schedule until it is drained.
+// Every mutation it performs — histogram observes, counter adds, engine
+// witness marks, page-cache fills — is commutative, which is what makes
+// the merged result independent of how requests land on workers.
+func runWorker(cfg Config, schedule []request, server *webserver.Server, gate *attestation.Gate, engines []*topics.Engine, next *atomic.Int64) workerState {
+	st := workerState{reg: obs.NewRegistry()}
+	hists := [pathCount]*obs.Histogram{}
+	for p := range hists {
+		hists[p] = st.reg.Hist("load_latency", "path", pathKind(p).String())
+	}
+	all := st.reg.Hist("load_latency_all")
+
+	w := &discardWriter{h: make(http.Header)}
+	req := &http.Request{
+		Method: "GET",
+		URL:    &url.URL{Path: "/"},
+		Header: make(http.Header),
+	}
+	resBuf := make([]topics.Result, 0, topics.DefaultEpochsToShare)
+
+	for {
+		i := int(next.Add(1)) - 1
+		if i >= len(schedule) {
+			return st
+		}
+		r := &schedule[i]
+		var lat time.Duration
+		switch r.path {
+		case pathPage:
+			w.bytes = 0
+			req.Host = r.site
+			if r.consent {
+				req.Header["Cookie"] = cookieConsent
+			} else {
+				delete(req.Header, "Cookie")
+			}
+			if r.eu {
+				delete(req.Header, webserver.VantageHeader)
+			} else {
+				req.Header[webserver.VantageHeader] = vantageNonEU
+			}
+			server.ServeHTTP(w, req)
+			st.totals.pageBytes += w.bytes
+			lat = obs.FetchCost + time.Duration(w.bytes)*pageByteCost
+		case pathTopics:
+			resBuf = engines[r.user].AppendBrowsingTopics(resBuf[:0], r.caller, r.site)
+			st.totals.topicsReturned += int64(len(resBuf))
+			lat = obs.TopicsCallCost + time.Duration(len(resBuf))*topicsResultCost
+		case pathAttest:
+			d := gate.Check(r.caller)
+			if d.Allowed {
+				st.totals.attestAllowed++
+			} else {
+				st.totals.attestBlocked++
+			}
+			lat = obs.AttestCost
+		}
+		lat += jitterFor(cfg.Seed, i)
+		hists[r.path].Observe(lat)
+		all.Observe(lat)
+		st.totals.requests[r.path]++
+		if end := r.at + lat; end > st.maxEnd {
+			st.maxEnd = end
+		}
+	}
+}
+
+// Shared, never-mutated header values (see webserver.contentTypeHTML
+// for the pattern): assigning them avoids Header().Set's per-call
+// slice allocation.
+var (
+	cookieConsent = []string{webserver.ConsentCookie + "=1"}
+	vantageNonEU  = []string{"us"}
+)
+
+// prewarmEngines builds the per-user engine pool: each engine gets
+// three completed epochs of the user's planned browsing, with the
+// user's callers witnessing every visit, then its clock freezes at the
+// run epoch. Engines are independent, so the pool warms in parallel
+// regardless of the final worker count.
+func prewarmEngines(cfg Config, plans []userPlan) []*topics.Engine {
+	tx := taxonomy.NewV2()
+	cl := classifier.New(tx)
+	engines := make([]*topics.Engine, len(plans))
+	var wg sync.WaitGroup
+	for u := range plans {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			clk := vclock.New(cfg.Start.Add(-time.Duration(topics.DefaultEpochsToShare) * topics.DefaultEpochDuration))
+			eng := topics.NewEngine(tx, cl, topics.Config{
+				Seed: cfg.Seed ^ (uint64(u)+1)*0x9E3779B97F4A7C15,
+				Now:  clk.Now,
+			})
+			for epoch := 0; epoch < topics.DefaultEpochsToShare; epoch++ {
+				for _, site := range plans[u].sites {
+					eng.RecordVisit(site)
+					for _, caller := range plans[u].callers {
+						eng.Observe(site, caller)
+					}
+				}
+				clk.Advance(topics.DefaultEpochDuration)
+				eng.AdvanceEpoch()
+			}
+			engines[u] = eng
+		}(u)
+	}
+	wg.Wait()
+	return engines
+}

@@ -1,0 +1,201 @@
+package load
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/netmeasure/topicscope/internal/obs"
+	"github.com/netmeasure/topicscope/internal/webworld"
+)
+
+var testWorld = webworld.Generate(webworld.Config{Seed: 21, NumSites: 600})
+
+func runJSON(t *testing.T, cfg Config) ([]byte, *Report) {
+	t.Helper()
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	return buf.Bytes(), rep
+}
+
+// TestLoadReportDeterministicAcrossWorkers is the harness's core
+// contract: the serialized report is byte-identical no matter how many
+// workers execute the schedule or how many CPUs the runtime uses.
+func TestLoadReportDeterministicAcrossWorkers(t *testing.T) {
+	base := Config{World: testWorld, Seed: 9, Requests: 4000, Rate: 3000, Users: 8}
+
+	run := func(procs, workers int) []byte {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+		cfg := base
+		cfg.Workers = workers
+		b, _ := runJSON(t, cfg)
+		return b
+	}
+
+	serial := run(1, 1)
+	for _, workers := range []int{2, 8} {
+		parallel := run(runtime.NumCPU(), workers)
+		if !bytes.Equal(serial, parallel) {
+			aLines := bytes.Split(serial, []byte("\n"))
+			bLines := bytes.Split(parallel, []byte("\n"))
+			for i := 0; i < len(aLines) && i < len(bLines); i++ {
+				if !bytes.Equal(aLines[i], bLines[i]) {
+					t.Fatalf("report diverges at line %d (workers=%d):\n 1 worker: %s\n %d workers: %s",
+						i+1, workers, aLines[i], workers, bLines[i])
+				}
+			}
+			t.Fatalf("report lengths diverge (workers=%d): %d vs %d bytes", workers, len(serial), len(parallel))
+		}
+	}
+}
+
+// TestLoadReportShape sanity-checks the aggregates: counts add up,
+// quantiles are ordered, all three paths saw traffic, both gate
+// outcomes occurred.
+func TestLoadReportShape(t *testing.T) {
+	_, rep := runJSON(t, Config{World: testWorld, Seed: 3, Requests: 5000, Workers: 4, Users: 8})
+
+	if rep.Overall.Requests != int64(rep.Requests) {
+		t.Errorf("overall requests %d != %d", rep.Overall.Requests, rep.Requests)
+	}
+	var sum int64
+	for _, p := range rep.Paths {
+		sum += p.Requests
+		if p.Requests == 0 {
+			t.Errorf("path %s saw no traffic", p.Path)
+		}
+		if !(p.P50MS <= p.P99MS && p.P99MS <= p.P999MS && p.P999MS <= p.MaxMS) {
+			t.Errorf("path %s quantiles unordered: p50=%v p99=%v p999=%v max=%v",
+				p.Path, p.P50MS, p.P99MS, p.P999MS, p.MaxMS)
+		}
+		if p.MeanMS <= 0 {
+			t.Errorf("path %s mean %v", p.Path, p.MeanMS)
+		}
+	}
+	if sum != int64(rep.Requests) {
+		t.Errorf("per-path requests sum %d != %d", sum, rep.Requests)
+	}
+	if rep.AttestAllowed == 0 || rep.AttestBlocked == 0 {
+		t.Errorf("gate outcomes not both exercised: allowed=%d blocked=%d", rep.AttestAllowed, rep.AttestBlocked)
+	}
+	if rep.TopicsReturned == 0 {
+		t.Error("no topics returned — engine prewarm or caller mix broken")
+	}
+	if rep.PageBytes == 0 {
+		t.Error("no page bytes served")
+	}
+	if rep.ReqPerSec <= 0 || rep.MakespanMS <= 0 {
+		t.Errorf("throughput not computed: req/s=%v makespan=%vms", rep.ReqPerSec, rep.MakespanMS)
+	}
+	// The offered rate should roughly bound the makespan: 5000 requests
+	// at 2000/s is 2.5 virtual seconds of arrivals plus tail latency.
+	if rep.MakespanMS > 10000 {
+		t.Errorf("makespan %vms implausible for %d requests at %v/s", rep.MakespanMS, rep.Requests, rep.RatePerSec)
+	}
+}
+
+// TestLoadRegistryMergesIntoExternal: topics-serve hands the harness
+// its /__metrics registry; the run's histograms and counters must land
+// there with commutative-merge semantics.
+func TestLoadRegistryMergesIntoExternal(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Add("preexisting_total", 5)
+	_, rep := runJSON(t, Config{World: testWorld, Seed: 3, Requests: 1000, Workers: 2, Users: 4, Registry: reg})
+	snap := reg.Snapshot()
+	if got := snap.Counter("preexisting_total"); got != 5 {
+		t.Errorf("merge clobbered existing counter: %d", got)
+	}
+	var total int64
+	for _, p := range []string{"attest", "page", "topics"} {
+		total += snap.Counter("load_requests_total", "path", p)
+	}
+	if total != int64(rep.Requests) {
+		t.Errorf("external registry holds %d requests, want %d", total, rep.Requests)
+	}
+	found := false
+	for _, h := range snap.Histograms {
+		if h.Name == "load_latency_all" {
+			found = true
+			if h.Count != int64(rep.Requests) {
+				t.Errorf("load_latency_all count %d, want %d", h.Count, rep.Requests)
+			}
+			if h.P50NS <= 0 || h.P99NS < h.P50NS || h.P999NS < h.P99NS {
+				t.Errorf("quantiles unordered: %d/%d/%d", h.P50NS, h.P99NS, h.P999NS)
+			}
+		}
+	}
+	if !found {
+		t.Error("load_latency_all histogram missing from external registry")
+	}
+}
+
+// TestScheduleArrivals pins the two arrival processes: monotone
+// non-decreasing offsets, the uniform process exactly at i/rate, the
+// poisson process averaging 1/rate.
+func TestScheduleArrivals(t *testing.T) {
+	cfg := Config{World: testWorld, Seed: 11, Requests: 8000, Rate: 1000}.withDefaults()
+	sites := []string{"a.com", "b.com"}
+	callers := []string{"x.com"}
+	plans := planUsers(cfg, sites, callers)
+
+	for _, arrival := range []Arrival{ArrivalPoisson, ArrivalUniform} {
+		cfg.Arrival = arrival
+		sched := buildSchedule(cfg, sites, callers, plans)
+		if len(sched) != cfg.Requests {
+			t.Fatalf("%s: %d requests, want %d", arrival, len(sched), cfg.Requests)
+		}
+		var prev time.Duration
+		for i, r := range sched {
+			if r.at < prev {
+				t.Fatalf("%s: arrival %d at %v before %v", arrival, i, r.at, prev)
+			}
+			prev = r.at
+		}
+		span := sched[len(sched)-1].at.Seconds()
+		wantSpan := float64(cfg.Requests) / cfg.Rate
+		if span < wantSpan*0.9 || span > wantSpan*1.1 {
+			t.Errorf("%s: schedule spans %.2fs, want ≈%.2fs", arrival, span, wantSpan)
+		}
+	}
+}
+
+// TestSLOCheck covers both sides of every objective.
+func TestSLOCheck(t *testing.T) {
+	rep := &Report{
+		ReqPerSec: 1500,
+		Overall:   PathStats{P50MS: 12, P99MS: 140, P999MS: 300},
+	}
+	if v := rep.Check(SLO{MaxP50: 20 * time.Millisecond, MaxP99: 200 * time.Millisecond, MaxP999: 400 * time.Millisecond, MinReqPerSec: 1000}); len(v) != 0 {
+		t.Errorf("healthy report flagged: %v", v)
+	}
+	v := rep.Check(SLO{MaxP50: 10 * time.Millisecond, MaxP99: 100 * time.Millisecond, MaxP999: 200 * time.Millisecond, MinReqPerSec: 2000})
+	if len(v) != 4 {
+		t.Errorf("want 4 violations, got %d: %v", len(v), v)
+	}
+	for _, msg := range v {
+		if !strings.Contains(msg, "SLO") {
+			t.Errorf("violation %q lacks context", msg)
+		}
+	}
+	if v := rep.Check(SLO{}); len(v) != 0 {
+		t.Errorf("zero SLO must check nothing, got %v", v)
+	}
+}
+
+// TestLoadConcurrentStress drives many workers over one run (race-core
+// runs this under -race): the shared page cache, etld cache, engine
+// pool, and per-worker registries must be data-race free.
+func TestLoadConcurrentStress(t *testing.T) {
+	_, rep := runJSON(t, Config{World: testWorld, Seed: 5, Requests: 3000, Workers: 16, Users: 4})
+	if rep.Overall.Requests != 3000 {
+		t.Fatalf("requests %d", rep.Overall.Requests)
+	}
+}

@@ -1,0 +1,145 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/netmeasure/topicscope/internal/obs"
+)
+
+// PathStats summarizes one serving path's latency distribution. All
+// durations are virtual milliseconds.
+type PathStats struct {
+	Path     string  `json:"path"`
+	Requests int64   `json:"requests"`
+	MeanMS   float64 `json:"meanMs"`
+	P50MS    float64 `json:"p50Ms"`
+	P99MS    float64 `json:"p99Ms"`
+	P999MS   float64 `json:"p999Ms"`
+	MaxMS    float64 `json:"maxMs"`
+}
+
+// Report is the aggregated outcome of one load run. Field order is the
+// serialized order; the whole struct is derived from commutative
+// aggregates, so WriteJSON emits byte-identical output for any worker
+// count or GOMAXPROCS setting.
+type Report struct {
+	Seed     uint64 `json:"seed"`
+	Sites    int    `json:"sites"`
+	Users    int    `json:"users"`
+	Requests int    `json:"requests"`
+	Arrival  string `json:"arrival"`
+	// RatePerSec is the offered arrival rate.
+	RatePerSec float64 `json:"ratePerSec"`
+	// MakespanMS is the virtual time from the first arrival to the last
+	// completion.
+	MakespanMS float64 `json:"makespanMs"`
+	// ReqPerSec is the virtual throughput: requests / makespan.
+	ReqPerSec float64 `json:"reqPerSec"`
+	// Overall aggregates every request; Paths breaks the distribution
+	// down by serving path, sorted by path name.
+	Overall PathStats   `json:"overall"`
+	Paths   []PathStats `json:"paths"`
+	// Serving-path outcome counters.
+	AttestAllowed  int64 `json:"attestAllowed"`
+	AttestBlocked  int64 `json:"attestBlocked"`
+	TopicsReturned int64 `json:"topicsReturned"`
+	PageBytes      int64 `json:"pageBytes"`
+}
+
+func ms(ns int64) float64 { return float64(ns) / 1e6 }
+
+func statsFrom(snap obs.Snapshot, name string, path string, requests int64) PathStats {
+	st := PathStats{Path: path, Requests: requests}
+	for _, h := range snap.Histograms {
+		if h.Name != name {
+			continue
+		}
+		if h.Count > 0 {
+			st.MeanMS = ms(h.SumNS / h.Count)
+		}
+		st.P50MS = ms(h.P50NS)
+		st.P99MS = ms(h.P99NS)
+		st.P999MS = ms(h.P999NS)
+		st.MaxMS = ms(h.MaxNS)
+		return st
+	}
+	return st
+}
+
+func buildReport(cfg Config, sites int, agg *obs.Registry, makespan time.Duration) *Report {
+	snap := agg.Snapshot()
+	rep := &Report{
+		Seed:           cfg.Seed,
+		Sites:          sites,
+		Users:          cfg.Users,
+		Requests:       cfg.Requests,
+		Arrival:        string(cfg.Arrival),
+		RatePerSec:     cfg.Rate,
+		MakespanMS:     ms(int64(makespan)),
+		AttestAllowed:  snap.Counter("load_attest_allowed_total"),
+		AttestBlocked:  snap.Counter("load_attest_blocked_total"),
+		TopicsReturned: snap.Counter("load_topics_returned_total"),
+		PageBytes:      snap.Counter("load_page_bytes_total"),
+	}
+	if makespan > 0 {
+		rep.ReqPerSec = float64(cfg.Requests) / makespan.Seconds()
+	}
+	rep.Overall = statsFrom(snap, "load_latency_all", "all", int64(cfg.Requests))
+	// pathKind iterates in declaration order; the rendered names
+	// (attest < page < topics) are re-sorted by the fixed order below
+	// so the serialized report never depends on iteration details.
+	for _, p := range []pathKind{pathAttest, pathPage, pathTopics} {
+		name := p.String()
+		count := snap.Counter("load_requests_total", "path", name)
+		key := obs.MetricKey("load_latency", "path", name)
+		rep.Paths = append(rep.Paths, statsFrom(snap, key, name, count))
+	}
+	return rep
+}
+
+// WriteJSON renders the report as indented JSON with a trailing
+// newline. Equal reports serialize to equal bytes.
+func (r *Report) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("load: encoding report: %w", err)
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// SLO is a set of serving-path objectives checked against a report —
+// the virtual-time analogue of a production latency budget. Zero
+// fields are unchecked.
+type SLO struct {
+	// MaxP50 / MaxP99 / MaxP999 bound the overall latency quantiles.
+	MaxP50  time.Duration
+	MaxP99  time.Duration
+	MaxP999 time.Duration
+	// MinReqPerSec bounds the virtual throughput from below.
+	MinReqPerSec float64
+}
+
+// Check returns one violation message per missed objective, empty when
+// the report meets the SLO.
+func (r *Report) Check(slo SLO) []string {
+	var violations []string
+	check := func(name string, gotMS float64, max time.Duration) {
+		if max > 0 && gotMS > ms(int64(max)) {
+			violations = append(violations,
+				fmt.Sprintf("%s %.3fms exceeds SLO %.3fms", name, gotMS, ms(int64(max))))
+		}
+	}
+	check("p50", r.Overall.P50MS, slo.MaxP50)
+	check("p99", r.Overall.P99MS, slo.MaxP99)
+	check("p999", r.Overall.P999MS, slo.MaxP999)
+	if slo.MinReqPerSec > 0 && r.ReqPerSec < slo.MinReqPerSec {
+		violations = append(violations,
+			fmt.Sprintf("req/s %.1f below SLO %.1f", r.ReqPerSec, slo.MinReqPerSec))
+	}
+	return violations
+}

@@ -1,0 +1,146 @@
+package load
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+// Arrival selects the inter-arrival process of the open-loop schedule.
+type Arrival string
+
+const (
+	// ArrivalPoisson draws exponential inter-arrival gaps — memoryless
+	// traffic, the standard open-loop model.
+	ArrivalPoisson Arrival = "poisson"
+	// ArrivalUniform spaces arrivals evenly at 1/rate.
+	ArrivalUniform Arrival = "uniform"
+)
+
+// pathKind enumerates the serving paths the harness drives.
+type pathKind uint8
+
+const (
+	pathPage pathKind = iota
+	pathTopics
+	pathAttest
+	pathCount = 3
+)
+
+func (p pathKind) String() string {
+	switch p {
+	case pathPage:
+		return "page"
+	case pathTopics:
+		return "topics"
+	default:
+		return "attest"
+	}
+}
+
+// request is one pre-scheduled unit of work. The whole schedule is
+// drawn single-threaded before any worker starts, so the only thing
+// workers race over is which of them executes a request — and every
+// execution effect is commutative.
+type request struct {
+	at      time.Duration // arrival offset from the run epoch
+	path    pathKind
+	site    string // page, topics: the first-party site
+	caller  string // topics, attest: the calling party
+	user    int    // topics: index into the engine pool
+	consent bool   // page: send the consent cookie
+	eu      bool   // page: EU vantage
+}
+
+// userPlan is one simulated user's browsing history blueprint: the
+// sites visited each warm-up epoch and the callers witnessing those
+// visits. Plans are drawn before the schedule so topics requests can
+// prefer callers that actually observed the user (otherwise the
+// per-caller filter would blank almost every answer).
+type userPlan struct {
+	sites   []string
+	callers []string
+}
+
+// scheduleStream seeds the schedule-drawing PCG; userStream seeds the
+// per-user plan PCG. Distinct constants keep the streams independent.
+const (
+	scheduleStream = 0x10ad5c4ed
+	userStream     = 0x10adc5e7
+)
+
+func planUsers(cfg Config, sites, callers []string) []userPlan {
+	plans := make([]userPlan, cfg.Users)
+	for u := range plans {
+		rng := rand.New(rand.NewPCG(cfg.Seed, userStream+uint64(u)))
+		nSites := 8 + rng.IntN(8)
+		p := userPlan{sites: make([]string, 0, nSites), callers: make([]string, 0, 2)}
+		for i := 0; i < nSites; i++ {
+			p.sites = append(p.sites, sites[rng.IntN(len(sites))])
+		}
+		for i := 0; i < 2 && len(callers) > 0; i++ {
+			p.callers = append(p.callers, callers[rng.IntN(len(callers))])
+		}
+		plans[u] = p
+	}
+	return plans
+}
+
+// buildSchedule draws the full request sequence: arrival offsets from
+// the configured process and a per-request (path, target) sample.
+func buildSchedule(cfg Config, sites, callers []string, plans []userPlan) []request {
+	rng := rand.New(rand.NewPCG(cfg.Seed, scheduleStream))
+	total := cfg.Mix.Page + cfg.Mix.Topics + cfg.Mix.Attest
+	pPage := cfg.Mix.Page / total
+	pTopics := cfg.Mix.Topics / total
+
+	schedule := make([]request, cfg.Requests)
+	var at float64 // seconds
+	for i := range schedule {
+		switch cfg.Arrival {
+		case ArrivalUniform:
+			at = float64(i) / cfg.Rate
+		default:
+			at += rng.ExpFloat64() / cfg.Rate
+		}
+		r := request{at: time.Duration(at * float64(time.Second))}
+		switch f := rng.Float64(); {
+		case f < pPage:
+			r.path = pathPage
+			r.site = sites[rng.IntN(len(sites))]
+			r.consent = rng.Float64() < 0.4
+			r.eu = rng.Float64() < 0.8
+		case f < pPage+pTopics:
+			r.path = pathTopics
+			r.user = rng.IntN(len(plans))
+			r.site = sites[rng.IntN(len(sites))]
+			// 70% of calls come from a caller that witnessed this user
+			// during the warm-up epochs; the rest sample the full
+			// catalog and mostly hit the per-caller filter.
+			if own := plans[r.user].callers; len(own) > 0 && rng.Float64() < 0.7 {
+				r.caller = own[rng.IntN(len(own))]
+			} else {
+				r.caller = callers[rng.IntN(len(callers))]
+			}
+		default:
+			r.path = pathAttest
+			// One in five checks comes from a rogue (never-enrolled)
+			// host so the blocked path is exercised too.
+			if rng.Float64() < 0.2 {
+				r.caller = rogueCallers[rng.IntN(len(rogueCallers))]
+			} else {
+				r.caller = callers[rng.IntN(len(callers))]
+			}
+		}
+		schedule[i] = r
+	}
+	return schedule
+}
+
+// rogueCallers are unenrolled callers used to exercise the gate's
+// blocked path.
+var rogueCallers = []string{
+	"rogue-ads.example",
+	"shady-tracker.example",
+	"unattested.example",
+	"popunder.example",
+}

@@ -42,10 +42,16 @@ func (r *Registry) WriteProm(w io.Writer) error {
 		if _, err := fmt.Fprintf(w, "%s %g\n", promSuffix(h.Name, "_max"), float64(h.MaxNS)/1e9); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(w, "%s %g\n", promSuffix(h.Name, "_p50"), float64(h.Deciles[4])/1e9); err != nil {
+		if _, err := fmt.Fprintf(w, "%s %g\n", promSuffix(h.Name, "_p50"), float64(h.P50NS)/1e9); err != nil {
 			return err
 		}
 		if _, err := fmt.Fprintf(w, "%s %g\n", promSuffix(h.Name, "_p90"), float64(h.Deciles[8])/1e9); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %g\n", promSuffix(h.Name, "_p99"), float64(h.P99NS)/1e9); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %g\n", promSuffix(h.Name, "_p999"), float64(h.P999NS)/1e9); err != nil {
 			return err
 		}
 	}

@@ -92,15 +92,61 @@ func (h *histogram) quantile(q float64) time.Duration {
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]int64
-	hists    map[string]*histogram
+	hists    map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]int64),
-		hists:    make(map[string]*histogram),
+		hists:    make(map[string]*Histogram),
 	}
+}
+
+// Histogram is a stable handle to one named histogram inside a
+// registry. Hot paths resolve the handle once (paying the metricKey
+// render and registry-map lookup a single time) and then Observe
+// through it with only a per-histogram lock — the load harness records
+// every request latency this way without contending on the registry
+// mutex.
+type Histogram struct {
+	mu sync.Mutex
+	h  histogram
+}
+
+// Observe records one duration. Nil-safe, like Registry.Observe.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.h.observe(d)
+	h.mu.Unlock()
+}
+
+// snapshotLocked copies the underlying distribution under the
+// histogram's own lock.
+func (h *Histogram) snapshot() histogram {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.h
+}
+
+// Hist returns the handle for a named histogram, creating it if absent.
+// Returns nil (a no-op handle) on a nil registry.
+func (r *Registry) Hist(name string, kv ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	key := metricKey(name, kv)
+	r.mu.Lock()
+	h := r.hists[key]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[key] = h
+	}
+	r.mu.Unlock()
+	return h
 }
 
 // metricKey renders name plus key/value label pairs in sorted-by-key
@@ -129,6 +175,14 @@ func metricKey(name string, kv []string) string {
 	return b.String()
 }
 
+// MetricKey renders the canonical metric key for a name and label
+// pairs — the form Snapshot entries are named by. It lets consumers
+// (the load report, dashboards) look up snapshot entries without
+// duplicating the rendering rules.
+func MetricKey(name string, kv ...string) string {
+	return metricKey(name, kv)
+}
+
 // Add increments a counter by delta. kv are alternating label
 // key/value pairs.
 func (r *Registry) Add(name string, delta int64, kv ...string) {
@@ -143,18 +197,7 @@ func (r *Registry) Add(name string, delta int64, kv ...string) {
 
 // Observe records one duration into a histogram.
 func (r *Registry) Observe(name string, d time.Duration, kv ...string) {
-	if r == nil {
-		return
-	}
-	key := metricKey(name, kv)
-	r.mu.Lock()
-	h := r.hists[key]
-	if h == nil {
-		h = &histogram{}
-		r.hists[key] = h
-	}
-	h.observe(d)
-	r.mu.Unlock()
+	r.Hist(name, kv...).Observe(d)
 }
 
 // Merge folds another registry into r. Addition and max are commutative
@@ -173,10 +216,13 @@ func (r *Registry) Merge(o *Registry) {
 	for k, h := range o.hists {
 		dst := r.hists[k]
 		if dst == nil {
-			dst = &histogram{}
+			dst = &Histogram{}
 			r.hists[k] = dst
 		}
-		dst.merge(h)
+		src := h.snapshot()
+		dst.mu.Lock()
+		dst.h.merge(&src)
+		dst.mu.Unlock()
 	}
 }
 
@@ -188,12 +234,16 @@ type CounterValue struct {
 }
 
 // HistogramValue is one histogram in a snapshot, with decile estimates
-// (P[0] = p10 … P[8] = p90) in nanoseconds.
+// (P[0] = p10 … P[8] = p90) and serving-path tail quantiles (p50, p99,
+// p999) in nanoseconds.
 type HistogramValue struct {
 	Name    string   `json:"name"`
 	Count   int64    `json:"count"`
 	SumNS   int64    `json:"sumNs"`
 	MaxNS   int64    `json:"maxNs"`
+	P50NS   int64    `json:"p50Ns"`
+	P99NS   int64    `json:"p99Ns"`
+	P999NS  int64    `json:"p999Ns"`
 	Deciles [9]int64 `json:"decilesNs"`
 }
 
@@ -227,8 +277,14 @@ func (r *Registry) Snapshot() Snapshot {
 		out.Counters = append(out.Counters, CounterValue{Name: k, Value: v})
 	}
 	sort.Slice(out.Counters, func(i, j int) bool { return out.Counters[i].Name < out.Counters[j].Name })
-	for k, h := range r.hists {
-		hv := HistogramValue{Name: k, Count: h.count, SumNS: h.sumNS, MaxNS: h.maxNS}
+	for k, hh := range r.hists {
+		h := hh.snapshot()
+		hv := HistogramValue{
+			Name: k, Count: h.count, SumNS: h.sumNS, MaxNS: h.maxNS,
+			P50NS:  int64(h.quantile(0.5)),
+			P99NS:  int64(h.quantile(0.99)),
+			P999NS: int64(h.quantile(0.999)),
+		}
 		for d := 1; d <= 9; d++ {
 			hv.Deciles[d-1] = int64(h.quantile(float64(d) / 10))
 		}

@@ -13,6 +13,14 @@ type StageSummary struct {
 	Count   int64 `json:"count"`
 	TotalNS int64 `json:"totalNs"`
 	MaxNS   int64 `json:"maxNs"`
+
+	// hist carries the full latency distribution for quantile
+	// extraction (p50/p99/p999 in the topics-monitor dashboard). It is
+	// deliberately unexported: the serialized StageSummary shape is
+	// pinned by the golden pipeline fixture. A summary rebuilt from
+	// JSON has an empty hist (Count > 0, hist.count == 0); renderers
+	// must treat its quantiles as unknown.
+	hist histogram
 }
 
 // Mean is the average stage-clock duration.
@@ -84,6 +92,7 @@ func (s *Summary) WriteTrace(v *VisitTrace) error {
 		if d > st.MaxNS {
 			st.MaxNS = d
 		}
+		st.hist.observe(time.Duration(d))
 	})
 	return nil
 }
@@ -125,13 +134,18 @@ func (s *Summary) SuccessRate() float64 {
 	return float64(s.Succeeded+s.Partial) / float64(s.Visits)
 }
 
-// StageRow is one line of the sorted stage breakdown.
+// StageRow is one line of the sorted stage breakdown. The quantiles are
+// zero when the summary was rebuilt from serialized form (which does
+// not carry bucket data) — render them as unknown, not as 0s.
 type StageRow struct {
 	Name  string
 	Count int64
 	Total time.Duration
 	Max   time.Duration
 	Mean  time.Duration
+	P50   time.Duration
+	P99   time.Duration
+	P999  time.Duration
 }
 
 // StageBreakdown returns the stages sorted by total stage-clock time,
@@ -150,6 +164,9 @@ func (s *Summary) StageBreakdown() []StageRow {
 			Total: time.Duration(st.TotalNS),
 			Max:   time.Duration(st.MaxNS),
 			Mean:  st.Mean(),
+			P50:   st.hist.quantile(0.5),
+			P99:   st.hist.quantile(0.99),
+			P999:  st.hist.quantile(0.999),
 		})
 	}
 	sort.Slice(rows, func(i, j int) bool {

@@ -43,7 +43,8 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 		for k, v := range r.counters {
 			wire.Counters[k] = v
 		}
-		for k, h := range r.hists {
+		for k, hh := range r.hists {
+			h := hh.snapshot()
 			wire.Hists[k] = wireHistogram{
 				Count:   h.count,
 				SumNS:   h.sumNS,
@@ -76,8 +77,8 @@ func ReadRegistry(rd io.Reader) (*Registry, error) {
 		if len(wh.Buckets) > histBuckets {
 			return nil, fmt.Errorf("obs: histogram %q has %d buckets, max %d", k, len(wh.Buckets), histBuckets)
 		}
-		h := &histogram{count: wh.Count, sumNS: wh.SumNS, maxNS: wh.MaxNS}
-		copy(h.buckets[:], wh.Buckets)
+		h := &Histogram{h: histogram{count: wh.Count, sumNS: wh.SumNS, maxNS: wh.MaxNS}}
+		copy(h.h.buckets[:], wh.Buckets)
 		r.hists[k] = h
 	}
 	return r, nil

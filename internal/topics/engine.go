@@ -25,8 +25,7 @@
 package topics
 
 import (
-	"fmt"
-	"hash/fnv"
+	"strconv"
 	"sync"
 	"time"
 
@@ -125,6 +124,14 @@ type Engine struct {
 	start   time.Time // start of the current (accumulating) epoch
 	current *accumulator
 	history []*Epoch // completed epochs, most recent first
+
+	// siteIDs interns per-site classification results: classifying a
+	// host runs the token model and allocates, but the answer is a pure
+	// function of the hostname, so every path through the engine
+	// (RecordVisit, Observe, the BrowsingTopics side effect) shares one
+	// cached ID slice per site. Guarded by mu; entries are never
+	// mutated after insertion.
+	siteIDs map[string][]int
 }
 
 // accumulator gathers one in-progress epoch.
@@ -170,7 +177,7 @@ type TopTopic struct {
 // NewEngine builds an Engine over the given taxonomy and classifier.
 func NewEngine(tx *taxonomy.Taxonomy, cl *classifier.Classifier, cfg Config) *Engine {
 	cfg = cfg.withDefaults()
-	e := &Engine{cfg: cfg, tx: tx, cl: cl, current: newAccumulator()}
+	e := &Engine{cfg: cfg, tx: tx, cl: cl, current: newAccumulator(), siteIDs: make(map[string][]int)}
 	e.start = cfg.Now()
 	return e
 }
@@ -182,13 +189,23 @@ func (e *Engine) Config() Config { return e.cfg }
 // classified and contributes to the current epoch's topic frequencies.
 func (e *Engine) RecordVisit(site string) {
 	e.cfg.Metrics.Add("engine_visits_total", 1)
-	ids := e.cl.ClassifyIDs(site)
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.rotateLocked()
-	for _, id := range ids {
+	for _, id := range e.classifyLocked(site) {
 		e.current.visits[id]++
 	}
+}
+
+// classifyLocked returns the interned classification for site, running
+// the model once per distinct hostname.
+func (e *Engine) classifyLocked(site string) []int {
+	ids, ok := e.siteIDs[site]
+	if !ok {
+		ids = e.cl.ClassifyIDs(site)
+		e.siteIDs[site] = ids
+	}
+	return ids
 }
 
 // Observe records that caller observed the user on site during the
@@ -196,11 +213,17 @@ func (e *Engine) RecordVisit(site string) {
 // receives the Sec-Browsing-Topics headers on that page).
 func (e *Engine) Observe(site, caller string) {
 	e.cfg.Metrics.Add("engine_observations_total", 1)
-	ids := e.cl.ClassifyIDs(site)
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.rotateLocked()
-	for _, id := range ids {
+	e.witnessLocked(site, caller)
+}
+
+// witnessLocked marks caller as having observed the user on site during
+// the current epoch. Steady-state it only sets existing map keys, so
+// concurrent serving traffic does not allocate.
+func (e *Engine) witnessLocked(site, caller string) {
+	for _, id := range e.classifyLocked(site) {
 		set := e.current.witnessed[id]
 		if set == nil {
 			set = make(map[string]bool)
@@ -216,21 +239,30 @@ func (e *Engine) Observe(site, caller string) {
 // an observation of site by caller in the current epoch, mirroring the
 // real API's side effect.
 func (e *Engine) BrowsingTopics(caller, site string) []Result {
+	out := e.AppendBrowsingTopics(nil, caller, site)
+	if len(out) == 0 {
+		// Preserve the historical nil-for-empty contract (serialized
+		// datasets distinguish null from []).
+		return nil
+	}
+	return out
+}
+
+// AppendBrowsingTopics is BrowsingTopics without the per-call result
+// allocation: results are appended to dst (grown at most once, sized
+// exactly) and the extended slice returned. Serving paths that answer
+// millions of calls reuse one buffer across requests and stay
+// allocation-free.
+func (e *Engine) AppendBrowsingTopics(dst []Result, caller, site string) []Result {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.rotateLocked()
 
 	// Side effect first: calling the API marks the caller as observing
 	// the user on this page.
-	for _, id := range e.cl.ClassifyIDs(site) {
-		set := e.current.witnessed[id]
-		if set == nil {
-			set = make(map[string]bool)
-			e.current.witnessed[id] = set
-		}
-		set[caller] = true
-	}
-	var out []Result
+	e.witnessLocked(site, caller)
+
+	base := len(dst)
 	n := min(e.cfg.EpochsToShare, len(e.history))
 	for idx := 0; idx < n; idx++ {
 		ep := e.history[idx]
@@ -238,19 +270,25 @@ func (e *Engine) BrowsingTopics(caller, site string) []Result {
 			continue
 		}
 		res, ok := e.epochTopicLocked(idx, ep, caller, site)
-		if ok {
-			out = append(out, res)
+		if !ok {
+			continue
 		}
+		if cap(dst)-len(dst) < n-idx {
+			grown := make([]Result, len(dst), len(dst)+n-idx)
+			copy(grown, dst)
+			dst = grown
+		}
+		dst = append(dst, res)
 	}
-	out = dedupeResults(out)
+	dst = dedupeAppended(dst, base)
 	e.cfg.Metrics.Add("engine_calls_total", 1)
-	e.cfg.Metrics.Add("engine_topics_returned_total", int64(len(out)))
-	for _, r := range out {
+	e.cfg.Metrics.Add("engine_topics_returned_total", int64(len(dst)-base))
+	for _, r := range dst[base:] {
 		if r.Noised {
 			e.cfg.Metrics.Add("engine_noised_total", 1)
 		}
 	}
-	return out
+	return dst
 }
 
 // epochTopicLocked picks the (epoch, site) topic and applies noise and
@@ -390,22 +428,68 @@ func topK(visits map[int]int, k int) []TopTopic {
 	return out
 }
 
-// hash derives a stable 64-bit value from the engine seed and the given
-// discriminators.
-func (e *Engine) hash(kind string, idx int, epochStart time.Time, site string) uint64 {
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%d|%s|%d|%d|%s", e.cfg.Seed, kind, idx, epochStart.UnixNano(), site)
-	return h.Sum64()
+// FNV-1a parameters (hash/fnv's 64a variant).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
 }
 
-func dedupeResults(in []Result) []Result {
-	seen := make(map[int]bool, len(in))
-	out := in[:0]
-	for _, r := range in {
-		if !seen[r.Topic.ID] {
-			seen[r.Topic.ID] = true
-			out = append(out, r)
+func fnvBytes(h uint64, b []byte) uint64 {
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// hash derives a stable 64-bit value from the engine seed and the given
+// discriminators. It folds the exact byte stream
+// "<seed>|<kind>|<idx>|<epochStart unix ns>|<site>" through FNV-1a
+// without constructing it — the stream layout is load-bearing: the same
+// bytes were historically fed through hash/fnv via fmt.Fprintf, and
+// every serialized dataset depends on the resulting values
+// (TestHashMatchesFormattedFNV pins the equivalence).
+func (e *Engine) hash(kind string, idx int, epochStart time.Time, site string) uint64 {
+	var buf [20]byte // fits any int64/uint64 decimal rendering
+	h := uint64(fnvOffset64)
+	h = fnvBytes(h, strconv.AppendUint(buf[:0], e.cfg.Seed, 10))
+	h = fnvString(h, "|")
+	h = fnvString(h, kind)
+	h = fnvString(h, "|")
+	h = fnvBytes(h, strconv.AppendInt(buf[:0], int64(idx), 10))
+	h = fnvString(h, "|")
+	h = fnvBytes(h, strconv.AppendInt(buf[:0], epochStart.UnixNano(), 10))
+	h = fnvString(h, "|")
+	h = fnvString(h, site)
+	return h
+}
+
+// dedupeAppended drops duplicate topic IDs from dst[base:] in place,
+// keeping first occurrences. A call appends at most EpochsToShare
+// (three) results, so the quadratic scan beats a map: no allocation, no
+// hashing.
+func dedupeAppended(dst []Result, base int) []Result {
+	kept := base
+	for i := base; i < len(dst); i++ {
+		dup := false
+		for j := base; j < kept; j++ {
+			if dst[j].Topic.ID == dst[i].Topic.ID {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dst[kept] = dst[i]
+			kept++
 		}
 	}
-	return out
+	return dst[:kept]
 }

@@ -1,0 +1,122 @@
+package topics
+
+import (
+	"fmt"
+	"hash/fnv"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestHashMatchesFormattedFNV pins the allocation-free engine hash to
+// the byte stream the original implementation fed through hash/fnv via
+// fmt.Fprintf. Every serialized dataset depends on these values — if
+// this test fails, topic selection (and with it every golden fixture)
+// has silently changed.
+func TestHashMatchesFormattedFNV(t *testing.T) {
+	e := &Engine{cfg: Config{Seed: 12345}.withDefaults()}
+	starts := []time.Time{
+		{},
+		time.Date(2024, 3, 1, 0, 0, 0, 0, time.UTC),
+		time.Date(1960, 1, 1, 0, 0, 0, 0, time.UTC), // negative UnixNano
+	}
+	for _, seed := range []uint64{0, 1, 12345, ^uint64(0)} {
+		e.cfg.Seed = seed
+		for _, kind := range []string{"slot", "noise", "pad", ""} {
+			for _, idx := range []int{0, 1, 2, -1, 1 << 30} {
+				for _, start := range starts {
+					for _, site := range []string{"", "news.example.com", "xn--bcher-kva.example"} {
+						h := fnv.New64a()
+						fmt.Fprintf(h, "%d|%s|%d|%d|%s", seed, kind, idx, start.UnixNano(), site)
+						want := h.Sum64()
+						if got := e.hash(kind, idx, start, site); got != want {
+							t.Fatalf("hash(%q,%d,%v,%q) seed=%d = %#x, want %#x",
+								kind, idx, start, site, seed, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDedupeAppendedKeepsPrefix(t *testing.T) {
+	mk := func(ids ...int) []Result {
+		out := make([]Result, len(ids))
+		for i, id := range ids {
+			out[i].Topic.ID = id
+			out[i].EpochIndex = i
+		}
+		return out
+	}
+	// The window before base must never be touched, even when it holds
+	// duplicates of appended IDs.
+	dst := mk(7, 7, 3, 7, 3, 9)
+	got := dedupeAppended(dst, 2)
+	wantIDs := []int{7, 7, 3, 7, 9}
+	if len(got) != len(wantIDs) {
+		t.Fatalf("len = %d, want %d (%v)", len(got), len(wantIDs), got)
+	}
+	for i := range got {
+		if got[i].Topic.ID != wantIDs[i] {
+			t.Errorf("got[%d].ID = %d, want %d", i, got[i].Topic.ID, wantIDs[i])
+		}
+	}
+}
+
+// TestAppendBrowsingTopicsMatchesBrowsingTopics proves the append form
+// is behaviour-identical to the allocating wrapper and respects an
+// existing prefix in dst.
+func TestAppendBrowsingTopicsMatchesBrowsingTopics(t *testing.T) {
+	mkEngine := func() (*Engine, *vclock) {
+		e, clk := newTestEngine(t, Config{NoNoise: true, Seed: 42})
+		for i := 0; i < 3; i++ {
+			fillEpoch(e, "adv.com")
+			clk.Advance(DefaultEpochDuration)
+		}
+		return e, clk
+	}
+	e1, _ := mkEngine()
+	e2, _ := mkEngine()
+	for _, site := range fiveTopicSites {
+		want := e1.BrowsingTopics("adv.com", site)
+		prefix := Result{EpochIndex: 99}
+		got := e2.AppendBrowsingTopics([]Result{prefix}, "adv.com", site)
+		if got[0] != prefix {
+			t.Fatalf("prefix clobbered: %+v", got[0])
+		}
+		if !reflect.DeepEqual(got[1:], want) && !(len(got) == 1 && len(want) == 0) {
+			t.Errorf("site %s: append form %+v, wrapper %+v", site, got[1:], want)
+		}
+	}
+}
+
+// TestBrowsingTopicsEmptyStaysNil pins the nil-for-empty contract the
+// serialized visit records depend on (null vs [] in JSON).
+func TestBrowsingTopicsEmptyStaysNil(t *testing.T) {
+	e, _ := newTestEngine(t, Config{NoNoise: true, Seed: 1})
+	if got := e.BrowsingTopics("adv.com", "news.example.com"); got != nil {
+		t.Fatalf("no history: got %#v, want nil", got)
+	}
+}
+
+// TestAppendBrowsingTopicsZeroAlloc is the tentpole's engine target: a
+// steady-state browsingTopics() answer with a reused result buffer and
+// a warm site cache performs zero heap allocations.
+func TestAppendBrowsingTopicsZeroAlloc(t *testing.T) {
+	e, clk := newTestEngine(t, Config{Seed: 7})
+	for i := 0; i < 3; i++ {
+		fillEpoch(e, "adv.com")
+		clk.Advance(DefaultEpochDuration)
+	}
+	buf := make([]Result, 0, DefaultEpochsToShare)
+	site := fiveTopicSites[0]
+	// Warm the per-site classification cache and witness sets.
+	buf = e.AppendBrowsingTopics(buf[:0], "adv.com", site)
+	allocs := testing.AllocsPerRun(200, func() {
+		buf = e.AppendBrowsingTopics(buf[:0], "adv.com", site)
+	})
+	if allocs != 0 {
+		t.Errorf("AppendBrowsingTopics allocs/op = %g, want 0", allocs)
+	}
+}

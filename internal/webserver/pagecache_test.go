@@ -19,8 +19,8 @@ func TestPageCacheVariants(t *testing.T) {
 	seen := map[string]bool{}
 	for _, consented := range []bool{false, true} {
 		for _, eu := range []bool{false, true} {
-			first := srv.cachedSitePage(site, site.Domain, consented, eu)
-			again := srv.cachedSitePage(site, site.Domain, consented, eu)
+			first := string(srv.cachedSitePage(site, site.Domain, consented, eu))
+			again := string(srv.cachedSitePage(site, site.Domain, consented, eu))
 			if first != again {
 				t.Errorf("consented=%v eu=%v: cached page differs between calls", consented, eu)
 			}
@@ -39,13 +39,14 @@ func TestPageCacheVariants(t *testing.T) {
 	other := pickSite(t, func(s *webworld.Site) bool {
 		return s.Domain != site.Domain && s.RedirectTo == ""
 	})
-	if srv.cachedSitePage(other, other.Domain, true, true) == srv.cachedSitePage(site, site.Domain, true, true) {
+	if string(srv.cachedSitePage(other, other.Domain, true, true)) == string(srv.cachedSitePage(site, site.Domain, true, true)) {
 		t.Error("two different sites share one cached page")
 	}
 }
 
 // TestPageCacheConcurrent hits one server from many goroutines under
-// the race detector: sync.Map must hand every goroutine the same page.
+// the race detector: the RWMutex-guarded map must hand every goroutine
+// the same page.
 func TestPageCacheConcurrent(t *testing.T) {
 	srv := New(testWorld, testClock)
 	site := pickSite(t, func(s *webworld.Site) bool { return s.RedirectTo == "" })
@@ -57,7 +58,7 @@ func TestPageCacheConcurrent(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 50; i++ {
-				if got := srv.cachedSitePage(site, site.Domain, false, true); got != want {
+				if got := srv.cachedSitePage(site, site.Domain, false, true); string(got) != want {
 					t.Error("concurrent cached page diverges from fresh render")
 					return
 				}

@@ -58,9 +58,19 @@ type Server struct {
 	// pages caches rendered landing pages by (site, consent, vantage).
 	// A site's page is a pure function of those three — the world is
 	// immutable once generated — so a double crawl renders each page
-	// variant once instead of millions of times.
-	pages sync.Map
+	// variant once instead of millions of times. A plain map behind an
+	// RWMutex (rather than sync.Map) keeps the steady-state hit path
+	// allocation-free: sync.Map.Load boxes the struct key into an
+	// interface on every call. Values are []byte so the response write
+	// needs no string→[]byte copy either.
+	pagesMu sync.RWMutex
+	pages   map[pageKey][]byte
 }
+
+// contentTypeHTML is a shared pre-built header value: assigning it into
+// the response header map avoids the per-request single-element slice
+// allocation of Header().Set. Shared values must never be mutated.
+var contentTypeHTML = []string{"text/html; charset=utf-8"}
 
 // pageKey identifies one cached rendering of a site's landing page.
 type pageKey struct {
@@ -70,13 +80,26 @@ type pageKey struct {
 }
 
 // cachedSitePage returns the memoized landing page, rendering on miss.
-func (s *Server) cachedSitePage(site *webworld.Site, host string, consented, eu bool) string {
+// The returned bytes are shared and must not be mutated.
+func (s *Server) cachedSitePage(site *webworld.Site, host string, consented, eu bool) []byte {
 	key := pageKey{domain: site.Domain, consented: consented, eu: eu}
-	if page, ok := s.pages.Load(key); ok {
-		return page.(string)
+	s.pagesMu.RLock()
+	page, ok := s.pages[key]
+	s.pagesMu.RUnlock()
+	if ok {
+		return page
 	}
-	page, _ := s.pages.LoadOrStore(key, s.sitePage(site, host, consented, eu))
-	return page.(string)
+	rendered := []byte(s.sitePage(site, host, consented, eu))
+	s.pagesMu.Lock()
+	if page, ok = s.pages[key]; ok {
+		// Lost the render race; keep the first stored copy so every
+		// caller shares one buffer.
+		rendered = page
+	} else {
+		s.pages[key] = rendered
+	}
+	s.pagesMu.Unlock()
+	return rendered
 }
 
 // New builds a Server over a world.
@@ -84,7 +107,7 @@ func New(w *webworld.World, now func() time.Time) *Server {
 	if now == nil {
 		now = time.Now
 	}
-	return &Server{World: w, Now: now}
+	return &Server{World: w, Now: now, pages: make(map[pageKey][]byte)}
 }
 
 // ServeHTTP dispatches on the Host header.
@@ -145,11 +168,31 @@ func euVisitor(r *http.Request) bool {
 	return v == "" || v == "eu"
 }
 
+// consentToken is the exact cookie pair the emulated browser sends once
+// consent is granted.
+const consentToken = ConsentCookie + "=1"
+
 // hasConsent reports whether the request carries the site's consent
-// cookie.
+// cookie. It scans the raw Cookie header instead of r.Cookie — the
+// net/http cookie parser allocates a *Cookie per call, and this check
+// runs on every landing-page request.
 func hasConsent(r *http.Request) bool {
-	c, err := r.Cookie(ConsentCookie)
-	return err == nil && c.Value == "1"
+	c := r.Header.Get("Cookie")
+	for c != "" {
+		var part string
+		if i := strings.IndexByte(c, ';'); i >= 0 {
+			part, c = c[:i], c[i+1:]
+		} else {
+			part, c = c, ""
+		}
+		for len(part) > 0 && part[0] == ' ' {
+			part = part[1:]
+		}
+		if part == consentToken {
+			return true
+		}
+	}
+	return false
 }
 
 // refererHost extracts the embedding page's host from the Referer
@@ -185,8 +228,12 @@ func (s *Server) serveSite(w http.ResponseWriter, r *http.Request, site *webworl
 	}
 	switch {
 	case r.URL.Path == "/":
-		w.Header().Set("Content-Type", "text/html; charset=utf-8")
-		fmt.Fprint(w, s.cachedSitePage(site, host, hasConsent(r), euVisitor(r)))
+		// The landing page is the serving path's hottest endpoint:
+		// assign a shared (never-mutated) header slice and write the
+		// cached bytes directly — Header().Set and fmt.Fprint of a
+		// string each allocate per request.
+		w.Header()["Content-Type"] = contentTypeHTML
+		w.Write(s.cachedSitePage(site, host, hasConsent(r), euVisitor(r)))
 	case strings.HasPrefix(r.URL.Path, "/static/"):
 		serveStatic(w, r.URL.Path)
 	case r.URL.Path == "/js/ads-lib.js":

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-core cover bench bench-json bench-gate fuzz golden report lint load-slo clean
+.PHONY: all build test race race-core cover bench bench-json bench-gate fuzz golden report lint lint-escape load-slo clean
 
 all: build lint test race-core
 
@@ -30,8 +30,8 @@ race-core:
 	$(GO) test -race ./internal/analysis/ ./internal/crawler/ ./internal/webserver/ ./internal/obs/ ./internal/durable/ ./internal/dataset/ ./internal/orchestrator/ ./internal/etld/ ./internal/topics/ ./internal/load/
 
 # Static analysis: go vet plus the repo's own invariant suite
-# (cmd/topicslint: determinism, vclock, etld, errwrap, atomicwrite —
-# see DESIGN.md
+# (cmd/topicslint: determinism, vclock, etld, errwrap, atomicwrite,
+# hotpath, locks, goroleak, structlayout — see DESIGN.md
 # "Machine-enforced invariants"). The binary is compiled once (cached by
 # the go build cache) and then run over every package; topicslint loads
 # packages from source, so it needs no module proxy or network.
@@ -39,6 +39,15 @@ lint:
 	$(GO) vet ./...
 	$(GO) build -o $(CURDIR)/.bin/topicslint ./cmd/topicslint
 	$(CURDIR)/.bin/topicslint ./...
+
+# Escape-analysis cross-check of the hotpath zeroalloc contracts: the
+# static hotpath analyzer is a conservative syntactic approximation;
+# `go build -gcflags=-m=2` is the compiler's ground truth. Separate
+# from `lint` because it recompiles the whole tree with escape
+# diagnostics on.
+lint-escape:
+	$(GO) build -o $(CURDIR)/.bin/topicslint ./cmd/topicslint
+	$(CURDIR)/.bin/topicslint -escape ./...
 
 cover:
 	$(GO) test -cover ./...

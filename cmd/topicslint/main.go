@@ -2,20 +2,41 @@
 // It loads every module package from source (no module proxy needed)
 // and runs the internal/lint analyzer suite over it:
 //
-//	determinism — no wall clock / global RNG / unsorted map output in
-//	              the determinism-critical packages
-//	vclock      — no wall-clock timers outside internal/vclock
-//	etld        — no ad-hoc hostname surgery outside internal/etld
-//	errwrap     — %w wrapping in the crawler/chaos error paths
+//	determinism  — no wall clock / global RNG / unsorted map output in
+//	               the determinism-critical packages
+//	vclock       — no wall-clock timers outside internal/vclock
+//	etld         — no ad-hoc hostname surgery outside internal/etld
+//	errwrap      — %w wrapping in the crawler/chaos error paths
+//	atomicwrite  — artifacts reach disk through internal/durable only
+//	hotpath      — //topicslint:hotpath zeroalloc functions stay
+//	               allocation-free, intra-package callees included
+//	locks        — mutex discipline: Unlock on every path, no blocking
+//	               under a lock, no writes in RWMutex read sections
+//	goroleak     — every goroutine has a same-function join
+//	structlayout — //topicslint:compact structs stay within their
+//	               padding budget
 //
 // Usage:
 //
-//	topicslint [-C dir] [-run names] [-v] [packages...]
+//	topicslint [-C dir] [-run names] [-j n] [-json] [-escape] [-v] [packages...]
 //
 // With no package arguments (or "./...") the whole module is analyzed.
 // Explicit arguments are module-relative package directories, e.g.
-// "internal/analysis". Exit status: 0 clean, 1 diagnostics, 2 usage or
-// load failure.
+// "internal/analysis". Packages load and type-check across a worker
+// pool (-j, default GOMAXPROCS); findings are reported in deterministic
+// package/position order regardless of worker count.
+//
+// -json emits findings as a JSON array ({file, line, col, analyzer,
+// message, suppressed}) for tooling; the CI problem matcher consumes
+// the default text format.
+//
+// -escape additionally shells out to `go build -gcflags=-m=2` and
+// cross-checks the compiler's escape analysis against the
+// //topicslint:hotpath zeroalloc annotations: any value escaping to
+// the heap inside an annotated function fails the run, closing the
+// gap the purely syntactic hotpath rules cannot see.
+//
+// Exit status: 0 clean, 1 diagnostics, 2 usage or load failure.
 //
 // Findings are suppressed per line with a justified comment:
 //
@@ -23,6 +44,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,12 +53,25 @@ import (
 	"github.com/netmeasure/topicscope/internal/lint"
 )
 
+// jsonFinding is the -json wire form of one diagnostic.
+type jsonFinding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed,omitempty"`
+}
+
 func main() {
 	var (
 		chdir   = flag.String("C", ".", "module root (or any directory inside it)")
 		run     = flag.String("run", "", "comma-separated analyzer names to run (default all)")
 		list    = flag.Bool("list", false, "list analyzers and exit")
 		verbose = flag.Bool("v", false, "also print suppressed findings and type-check warnings")
+		jobs    = flag.Int("j", 0, "package-loading workers (default GOMAXPROCS)")
+		jsonOut = flag.Bool("json", false, "emit findings as JSON")
+		escape  = flag.Bool("escape", false, "cross-check hotpath annotations against go build -gcflags=-m=2")
 	)
 	flag.Parse()
 
@@ -62,6 +97,7 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	loader.Jobs = *jobs
 
 	var pkgs []*lint.Package
 	args := flag.Args()
@@ -83,6 +119,33 @@ func main() {
 
 	bad := 0
 	suppressedTotal := 0
+	findings := []jsonFinding{} // non-nil so -json always emits an array
+	emit := func(d lint.Diagnostic, suppressed bool) {
+		if suppressed {
+			suppressedTotal++
+		} else {
+			bad++
+		}
+		if *jsonOut {
+			findings = append(findings, jsonFinding{
+				File:       d.Pos.Filename,
+				Line:       d.Pos.Line,
+				Col:        d.Pos.Column,
+				Analyzer:   d.Analyzer,
+				Message:    d.Message,
+				Suppressed: suppressed,
+			})
+			return
+		}
+		if suppressed {
+			if *verbose {
+				fmt.Printf("%s [suppressed]\n", d)
+			}
+			return
+		}
+		fmt.Println(d)
+	}
+
 	for _, pkg := range pkgs {
 		if *verbose {
 			for _, terr := range pkg.TypeErrors {
@@ -90,17 +153,42 @@ func main() {
 			}
 		}
 		kept, suppressed := lint.RunAnalyzers(pkg, analyzers)
-		suppressedTotal += len(suppressed)
 		for _, d := range kept {
-			fmt.Println(d)
-			bad++
+			emit(d, false)
 		}
-		if *verbose {
-			for _, d := range suppressed {
-				fmt.Printf("%s [suppressed]\n", d)
-			}
+		for _, d := range suppressed {
+			emit(d, true)
 		}
 	}
+
+	if *escape {
+		escDiags, err := lint.CheckEscapes(loader.ModuleDir, pkgs)
+		if err != nil {
+			fatalf("escape cross-check: %v", err)
+		}
+		for _, d := range escDiags {
+			emit(d, false)
+		}
+	}
+
+	if *jsonOut {
+		if !*verbose {
+			// Without -v, only unsuppressed findings ship.
+			kept := findings[:0]
+			for _, f := range findings {
+				if !f.Suppressed {
+					kept = append(kept, f)
+				}
+			}
+			findings = kept
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fatalf("%v", err)
+		}
+	}
+
 	if bad > 0 {
 		fmt.Fprintf(os.Stderr, "topicslint: %d finding(s) across %d package(s) (%d suppressed)\n",
 			bad, len(pkgs), suppressedTotal)

@@ -68,7 +68,10 @@ func NewCorruptedGate() *Gate { return &Gate{corrupted: true} }
 // Corrupted reports whether the gate is in default-allow mode.
 func (g *Gate) Corrupted() bool { return g.corrupted }
 
-// Check decides whether caller may invoke the Topics API.
+// Check decides whether caller may invoke the Topics API. It runs on
+// every emulated browsingTopics() call, so it must not allocate.
+//
+//topicslint:hotpath zeroalloc
 func (g *Gate) Check(caller string) Decision {
 	if g.corrupted {
 		// Chromium bug: any first or third party may call the API when

@@ -273,6 +273,9 @@ func (c *Crawler) Run(ctx context.Context, list *tranco.List) (*Result, error) {
 	if err != nil {
 		// Unblock any workers still sending so they can observe ctx or
 		// finish; without this a failed writer would leak goroutines.
+		// The drain exits when the closer goroutine above closes
+		// results, which the wg.Wait join already bounds.
+		//topicslint:ignore goroleak drain is bounded by close(results) from the wg-joined closer above
 		go func() {
 			for range results {
 			}

@@ -51,6 +51,8 @@ func (p Phase) DatasetName() string {
 // TopicsCall is one recorded invocation of the Topics API, the tuple the
 // paper obtains by instrumenting Chromium's
 // BrowsingTopicsSiteDataManagerImpl.
+//
+//topicslint:compact
 type TopicsCall struct {
 	// Caller is the calling party (CP) domain.
 	Caller string `json:"caller"`
@@ -78,6 +80,8 @@ type TopicsCall struct {
 
 // Resource is one first- or third-party object downloaded to render a
 // page.
+//
+//topicslint:compact
 type Resource struct {
 	// URL of the object.
 	URL string `json:"url"`
@@ -94,6 +98,12 @@ type Resource struct {
 }
 
 // Visit is the record of one page visit in one phase.
+// Visit serializes in field-declaration order and the golden pipeline
+// test pins the emitted bytes, so the 24 padding bytes the scattered
+// bools cost are accepted here instead of reordering; visits are
+// per-crawl records, not per-user resident state.
+//
+//topicslint:compact 24
 type Visit struct {
 	// Site is the visited website (registrable domain from the rank
 	// list).

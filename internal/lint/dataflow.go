@@ -1,0 +1,257 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// This file is the shared per-function dataflow machinery the v2
+// analyzers (hotpath, locks, goroleak, structlayout) are built on: a
+// directive parser for //topicslint:<verb> annotations, static callee
+// resolution over the typed AST, return-path enumeration, and the
+// goroutine-join detection goroleak uses. Everything stays on
+// go/ast + go/types — no x/tools dependency, consistent with the rest
+// of the framework.
+
+// A Directive is one parsed //topicslint:<verb> annotation attached to
+// a declaration, e.g. //topicslint:hotpath zeroalloc or
+// //topicslint:compact 8.
+type Directive struct {
+	// Verb names the annotation family ("hotpath", "compact").
+	Verb string
+	// Args are the whitespace-separated words after the verb.
+	Args []string
+	// Pos locates the comment, for misuse diagnostics.
+	Pos token.Pos
+}
+
+// parseDirectives extracts every //topicslint:<verb> directive of a
+// comment group; ignore comments are handled separately and skipped.
+func parseDirectives(cg *ast.CommentGroup) []Directive {
+	if cg == nil {
+		return nil
+	}
+	var out []Directive
+	for _, c := range cg.List {
+		rest, ok := strings.CutPrefix(c.Text, "//topicslint:")
+		if !ok || strings.HasPrefix(rest, "ignore") {
+			continue
+		}
+		fields := strings.Fields(rest)
+		if len(fields) == 0 {
+			continue
+		}
+		out = append(out, Directive{Verb: fields[0], Args: fields[1:], Pos: c.Pos()})
+	}
+	return out
+}
+
+// funcDirective returns fn's directive with the given verb, if any.
+func funcDirective(fn *ast.FuncDecl, verb string) (Directive, bool) {
+	for _, d := range parseDirectives(fn.Doc) {
+		if d.Verb == verb {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
+
+// typeDirectives collects directives with the given verb from every
+// type declaration of the pass, keyed by the *ast.TypeSpec they
+// annotate. The directive may sit on the TypeSpec itself or on the
+// enclosing GenDecl (the usual place for a single-type declaration).
+func typeDirectives(pass *Pass, verb string) map[*ast.TypeSpec]Directive {
+	out := make(map[*ast.TypeSpec]Directive)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			var fromGen []Directive
+			for _, d := range parseDirectives(gd.Doc) {
+				if d.Verb == verb {
+					fromGen = append(fromGen, d)
+				}
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if ds := parseDirectives(ts.Doc); len(ds) > 0 {
+					for _, d := range ds {
+						if d.Verb == verb {
+							out[ts] = d
+						}
+					}
+				} else if len(fromGen) > 0 && len(gd.Specs) == 1 {
+					out[ts] = fromGen[0]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// budgetArg parses the optional integer argument of a directive
+// (//topicslint:compact 8); a missing argument defaults to def.
+func budgetArg(d Directive, def int64) (int64, bool) {
+	if len(d.Args) == 0 {
+		return def, true
+	}
+	n, err := strconv.ParseInt(d.Args[0], 10, 64)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// declaredFuncs maps every function object declared in the package to
+// its syntax, the lookup the intra-package callee walk runs on.
+func declaredFuncs(pass *Pass) map[*types.Func]*ast.FuncDecl {
+	out := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name == nil {
+				continue
+			}
+			if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				out[obj] = fd
+			}
+		}
+	}
+	return out
+}
+
+// staticCallee resolves a call expression to the concrete function or
+// method it invokes, or nil when the target is dynamic: a function
+// value, an interface method, or a builtin.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			// A method call: dynamic when the receiver is an interface.
+			if types.IsInterface(sel.Recv()) {
+				return nil
+			}
+		}
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// returnStmts enumerates every return statement of body in source
+// order, without descending into nested function literals (their
+// returns belong to their own scope).
+func returnStmts(body *ast.BlockStmt) []*ast.ReturnStmt {
+	var out []*ast.ReturnStmt
+	if body == nil {
+		return nil
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			out = append(out, n)
+		}
+		return true
+	})
+	return out
+}
+
+// eachFuncScope invokes fn once per function scope of the pass: every
+// declared function and every function literal, each with its own body.
+// name is the declared name, or "func literal" for a FuncLit.
+func eachFuncScope(pass *Pass, fn func(name string, node ast.Node, body *ast.BlockStmt)) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					fn(n.Name.Name, n, n.Body)
+				}
+			case *ast.FuncLit:
+				fn("func literal", n, n.Body)
+			}
+			return true
+		})
+	}
+}
+
+// sameObject reports whether two expressions resolve to the same
+// root variable (s.mu and s.mu; wg and wg), the identity lock and
+// join tracking key on.
+func sameObject(info *types.Info, a, b ast.Expr) bool {
+	oa, ob := rootObject(info, a), rootObject(info, b)
+	return oa != nil && oa == ob
+}
+
+// mentionsObject reports whether obj is referenced anywhere under n,
+// without descending into nested function literals when skipLits is
+// set.
+func mentionsObject(info *types.Info, n ast.Node, obj types.Object, skipLits bool) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := m.(*ast.FuncLit); ok && skipLits {
+			return false
+		}
+		if id, ok := m.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isInterfaceType reports whether t is an interface (including any).
+func isInterfaceType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.IsInterface(t)
+}
+
+// freeVars collects the variables a function literal captures from its
+// enclosing scopes: every identifier used inside the literal whose
+// declaration lies outside it. Package-level objects are not captures
+// (they need no closure cell).
+func freeVars(info *types.Info, lit *ast.FuncLit) []*types.Var {
+	var out []*types.Var
+	seen := make(map[*types.Var]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || seen[v] || v.IsField() {
+			return true
+		}
+		// Declared inside the literal (parameters included): not free.
+		if lit.Pos() <= v.Pos() && v.Pos() < lit.End() {
+			return true
+		}
+		// Package-level variables live without a closure cell.
+		if v.Parent() == v.Pkg().Scope() {
+			return true
+		}
+		seen[v] = true
+		out = append(out, v)
+		return true
+	})
+	return out
+}

@@ -1,0 +1,174 @@
+package lint
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// This file implements the optional -escape mode of cmd/topicslint: a
+// cross-check of the static hotpath analyzer against the compiler's
+// real escape analysis. The static rules in hotpath.go are a
+// conservative approximation; `go build -gcflags=-m=2` is ground
+// truth. Running both closes the gap in each direction — the static
+// pass catches allocation sources the compiler happily allows (a
+// fmt.Sprintf is not an *escape*, just an allocation), and the escape
+// pass catches heap moves the syntactic rules cannot see (a parameter
+// leaking through a callee in another package).
+
+// A HotpathRange locates one //topicslint:hotpath-annotated function:
+// the compiler's escape findings inside [StartLine, EndLine] of File
+// are violations of that function's zeroalloc contract.
+type HotpathRange struct {
+	File      string // absolute path
+	Func      string
+	StartLine int
+	EndLine   int
+}
+
+// HotpathRanges collects the annotated functions of the loaded
+// packages, sorted by file then line so downstream output is
+// deterministic.
+func HotpathRanges(pkgs []*Package) []HotpathRange {
+	var out []HotpathRange
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				if _, annotated := funcDirective(fd, "hotpath"); !annotated {
+					continue
+				}
+				start := pkg.Fset.Position(fd.Pos())
+				end := pkg.Fset.Position(fd.End())
+				out = append(out, HotpathRange{
+					File:      start.Filename,
+					Func:      fd.Name.Name,
+					StartLine: start.Line,
+					EndLine:   end.Line,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// CheckEscapes shells out to `go build -gcflags=-m=2 ./...` in the
+// module directory and reports every escape-analysis finding ("escapes
+// to heap", "moved to heap") that lands inside an annotated hotpath
+// function. Findings honor the same line-level
+// //topicslint:ignore hotpath suppressions as the static analyzer, so
+// a justified cold-path allocation is excused once, in one place.
+func CheckEscapes(moduleDir string, pkgs []*Package) ([]Diagnostic, error) {
+	ranges := HotpathRanges(pkgs)
+	if len(ranges) == 0 {
+		return nil, nil
+	}
+	byFile := make(map[string][]HotpathRange)
+	for _, r := range ranges {
+		byFile[r.File] = append(byFile[r.File], r)
+	}
+
+	cmd := exec.Command("go", "build", "-gcflags=-m=2", "./...")
+	cmd.Dir = moduleDir
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	if err := cmd.Run(); err != nil {
+		// The build must succeed for the escape output to be complete;
+		// -m diagnostics alone never fail the build.
+		return nil, fmt.Errorf("go build -gcflags=-m=2: %w\n%s", err, buf.Bytes())
+	}
+
+	var diags []Diagnostic
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		file, line, col, msg, ok := parseToolLine(sc.Text())
+		if !ok || !escapeRelevant(msg) {
+			continue
+		}
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(moduleDir, file)
+		}
+		for _, r := range byFile[file] {
+			if line >= r.StartLine && line <= r.EndLine {
+				diags = append(diags, Diagnostic{
+					Pos:      token.Position{Filename: file, Line: line, Column: col},
+					Analyzer: "hotpath",
+					Message:  fmt.Sprintf("escape analysis: %s inside hotpath function %s", msg, r.Func),
+				})
+				break
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	// Apply the packages' line-level suppressions, without re-reporting
+	// malformed ignores (the static run already did).
+	covered := make(map[string]bool)
+	for _, p := range pkgs {
+		for _, s := range p.Suppressions {
+			if s.Malformed || s.Analyzer != "hotpath" {
+				continue
+			}
+			covered[fmt.Sprintf("%s:%d", s.File, s.Line)] = true
+			covered[fmt.Sprintf("%s:%d", s.File, s.Line+1)] = true
+		}
+	}
+	var kept []Diagnostic
+	for _, d := range diags {
+		if !covered[fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)] {
+			kept = append(kept, d)
+		}
+	}
+	sortDiags(kept)
+	return kept, nil
+}
+
+// parseToolLine splits a `file:line:col: message` compiler diagnostic.
+func parseToolLine(s string) (file string, line, col int, msg string, ok bool) {
+	// file:line:col: msg — work right to left so Windows-style paths
+	// would not confuse the split (and "# pkg" separator lines fail).
+	rest, msg, found := strings.Cut(s, ": ")
+	if !found {
+		return "", 0, 0, "", false
+	}
+	parts := strings.Split(rest, ":")
+	if len(parts) < 3 {
+		return "", 0, 0, "", false
+	}
+	line, err1 := strconv.Atoi(parts[len(parts)-2])
+	col, err2 := strconv.Atoi(parts[len(parts)-1])
+	if err1 != nil || err2 != nil {
+		return "", 0, 0, "", false
+	}
+	return strings.Join(parts[:len(parts)-2], ":"), line, col, msg, true
+}
+
+// escapeRelevant keeps the escape-analysis verdict lines that signal a
+// heap allocation performed by the function itself ("escapes to heap",
+// "moved to heap") and drops the inlining chatter, the -m=2 flow
+// explanations, and the "leaking param" lines. Leaking params describe
+// where a pointer argument *flows*, not an allocation at this site: a
+// method receiver stored in a long-lived map leaks by design, and
+// `dst to result ~r0` is the append contract working as intended. The
+// allocation, if any, happens at a caller that passed a stack value —
+// which the compiler reports separately as a heap move at that caller.
+func escapeRelevant(msg string) bool {
+	if strings.HasPrefix(msg, "flow:") || strings.HasPrefix(msg, "from ") {
+		return false
+	}
+	return strings.Contains(msg, "escapes to heap") ||
+		strings.Contains(msg, "moved to heap")
+}

@@ -1,0 +1,341 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Hotpath enforces the zero-alloc contract on annotated serving-path
+// functions. A function carrying
+//
+//	//topicslint:hotpath zeroalloc
+//
+// in its doc comment must not contain an allocation source, and every
+// intra-package function it (transitively) calls must be clean too —
+// a hidden fmt.Sprintf three calls down re-introduces the per-request
+// garbage the PR 7 zero-alloc pass removed, and at millions of users
+// the allocator, not the CPU, becomes the serving bottleneck.
+//
+// Allocation sources, per the Go compiler's escape rules:
+//
+//   - any fmt function (formatting boxes arguments and builds strings);
+//   - string concatenation producing a non-constant string;
+//   - []byte(string) / string([]byte) conversions (they copy);
+//   - map and slice composite literals, and make of a map/slice/chan;
+//   - append whose destination is not capacity-guarded in the same
+//     function (no cap(dst) check proving growth is bounded);
+//   - interface boxing at a call site: a concrete non-pointer value
+//     passed to an interface parameter heap-allocates the box;
+//   - function literals that capture enclosing variables (a closure
+//     cell per creation).
+//
+// Calls into other packages are outside the walk (the analyzer is
+// per-package); the optional -escape mode of cmd/topicslint closes
+// that gap by cross-checking `go build -gcflags=-m=2` escape output
+// against the annotated functions. Intentional cold-path allocations
+// (an epoch rotation, a cache-miss render) carry a
+// //topicslint:ignore hotpath <reason> at the call site.
+var Hotpath = &Analyzer{
+	Name: "hotpath",
+	Doc: `enforce //topicslint:hotpath zeroalloc annotations: no allocation
+sources (fmt calls, string concatenation, string<->[]byte conversions,
+map/slice literals, make, un-capacity-guarded append, interface boxing,
+capturing closures) inside the annotated function or any intra-package
+callee; cold-path exceptions carry //topicslint:ignore hotpath at the
+call site. cmd/topicslint -escape cross-checks go build -gcflags=-m=2.`,
+	Run: runHotpath,
+}
+
+// An allocSite is one statically-detected allocation source.
+type allocSite struct {
+	pos  token.Pos
+	what string
+}
+
+func runHotpath(pass *Pass) {
+	decls := declaredFuncs(pass)
+	hp := &hotpathWalker{
+		pass:  pass,
+		decls: decls,
+		memo:  make(map[*types.Func][]allocSite),
+	}
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			d, annotated := funcDirective(fd, "hotpath")
+			if !annotated {
+				continue
+			}
+			if len(d.Args) != 1 || d.Args[0] != "zeroalloc" {
+				pass.Reportf(d.Pos, "malformed hotpath annotation: want //topicslint:hotpath zeroalloc")
+				continue
+			}
+			if fd.Body == nil {
+				continue
+			}
+			// Direct allocation sources in the annotated body.
+			for _, s := range hp.directAllocs(fd) {
+				pass.Reportf(s.pos, "%s inside hotpath function %s (annotated zeroalloc)", s.what, fd.Name.Name)
+			}
+			// Intra-package callees: report at the call site, so a
+			// justified cold-path call can be suppressed where it
+			// happens.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := staticCallee(pass.TypesInfo, call)
+				if callee == nil || callee.Pkg() != pass.Pkg {
+					return true
+				}
+				cd, ok := decls[callee]
+				if !ok || cd == fd {
+					return true
+				}
+				if sites := hp.transitiveAllocs(callee); len(sites) > 0 {
+					first := sites[0]
+					pass.Reportf(call.Pos(),
+						"call to %s, which allocates (%s at %s), inside hotpath function %s",
+						callee.Name(), first.what, pass.Fset.Position(first.pos), fd.Name.Name)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// hotpathWalker memoizes per-function allocation analysis so shared
+// callees are walked once per package.
+type hotpathWalker struct {
+	pass  *Pass
+	decls map[*types.Func]*ast.FuncDecl
+	memo  map[*types.Func][]allocSite
+}
+
+// transitiveAllocs returns the allocation sites reachable from fn
+// through intra-package calls, the function's own sites first.
+// Recursion is cycle-safe: a function currently being walked
+// contributes nothing to its own answer.
+func (hp *hotpathWalker) transitiveAllocs(fn *types.Func) []allocSite {
+	if sites, ok := hp.memo[fn]; ok {
+		return sites
+	}
+	hp.memo[fn] = nil // in-progress marker; breaks cycles
+	fd := hp.decls[fn]
+	if fd == nil || fd.Body == nil {
+		return nil
+	}
+	sites := hp.directAllocs(fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := staticCallee(hp.pass.TypesInfo, call)
+		if callee == nil || callee.Pkg() != hp.pass.Pkg || callee == fn {
+			return true
+		}
+		if _, declared := hp.decls[callee]; !declared {
+			return true
+		}
+		sites = append(sites, hp.transitiveAllocs(callee)...)
+		return true
+	})
+	hp.memo[fn] = sites
+	return sites
+}
+
+// directAllocs scans one function body for allocation sources, not
+// descending into nested function literals (the literal itself is
+// reported when it captures; its body is its own scope).
+func (hp *hotpathWalker) directAllocs(fd *ast.FuncDecl) []allocSite {
+	info := hp.pass.TypesInfo
+	guarded := capGuardedObjects(info, fd.Body)
+	var out []allocSite
+	report := func(pos token.Pos, format string, args ...any) {
+		out = append(out, allocSite{pos: pos, what: fmt.Sprintf(format, args...)})
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if free := freeVars(info, n); len(free) > 0 {
+				report(n.Pos(), "closure capturing %s allocates a cell per creation", free[0].Name())
+			}
+			return false // the literal's body is its own scope
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isNonConstString(info, n) {
+				report(n.Pos(), "string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringType(info, n.Lhs[0]) {
+				report(n.Pos(), "string += allocates")
+			}
+		case *ast.CompositeLit:
+			switch info.Types[n].Type.Underlying().(type) {
+			case *types.Map:
+				report(n.Pos(), "map literal allocates")
+			case *types.Slice:
+				report(n.Pos(), "slice literal allocates")
+			}
+		case *ast.CallExpr:
+			hp.checkCall(n, guarded, report)
+		}
+		return true
+	})
+	return out
+}
+
+func (hp *hotpathWalker) checkCall(call *ast.CallExpr, guarded map[types.Object]bool, report func(token.Pos, string, ...any)) {
+	info := hp.pass.TypesInfo
+
+	// Conversions: []byte(string) and string([]byte) copy their operand.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to, from := tv.Type, info.Types[call.Args[0]].Type
+		if isByteSlice(to) && isString(from) {
+			report(call.Pos(), "[]byte(string) conversion allocates a copy")
+			return
+		}
+		if isString(to) && isByteSlice(from) {
+			report(call.Pos(), "string([]byte) conversion allocates a copy")
+			return
+		}
+		return
+	}
+
+	// Builtins: make of map/slice/chan, and un-guarded append growth.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, builtin := info.Uses[id].(*types.Builtin); builtin {
+			switch id.Name {
+			case "make":
+				if len(call.Args) > 0 {
+					switch info.Types[call.Args[0]].Type.Underlying().(type) {
+					case *types.Map:
+						report(call.Pos(), "make(map) allocates")
+					case *types.Slice:
+						report(call.Pos(), "make(slice) allocates")
+					case *types.Chan:
+						report(call.Pos(), "make(chan) allocates")
+					}
+				}
+			case "append":
+				if len(call.Args) > 0 {
+					dst := rootObject(info, call.Args[0])
+					if dst == nil || !guarded[dst] {
+						report(call.Pos(), "append to %s may grow its backing array (no cap() guard in this function)", ExprString(call.Args[0]))
+					}
+				}
+			}
+			return
+		}
+	}
+
+	// Any fmt entry point formats (boxing + string building).
+	if pkgPath, name, _, ok := funcOf(info, call.Fun); ok && pkgPath == "fmt" {
+		report(call.Pos(), "fmt.%s allocates", name)
+		return
+	}
+
+	// Interface boxing: a concrete non-pointer-shaped argument passed
+	// to an interface parameter heap-allocates the box.
+	sig, ok := info.Types[call.Fun].Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			last := sig.Params().At(sig.Params().Len() - 1).Type()
+			if s, ok := last.(*types.Slice); ok {
+				param = s.Elem()
+			}
+		case i < sig.Params().Len():
+			param = sig.Params().At(i).Type()
+		}
+		if !isInterfaceType(param) {
+			continue
+		}
+		at := info.Types[arg].Type
+		if at == nil || isInterfaceType(at) || isPointerShaped(at) || at == types.Typ[types.UntypedNil] {
+			continue
+		}
+		report(arg.Pos(), "passing %s %s to interface parameter boxes it (heap allocation)", at.String(), ExprString(arg))
+	}
+}
+
+// capGuardedObjects collects slice variables whose capacity the
+// function inspects via cap(x): an append to such a slice is treated
+// as growth-bounded (the AppendBrowsingTopics grow-once pattern).
+func capGuardedObjects(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "cap" || len(call.Args) != 1 {
+			return true
+		}
+		if _, builtin := info.Uses[id].(*types.Builtin); !builtin {
+			return true
+		}
+		if obj := rootObject(info, call.Args[0]); obj != nil {
+			out[obj] = true
+		}
+		return true
+	})
+	return out
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+func isStringType(info *types.Info, e ast.Expr) bool {
+	return isString(info.Types[e].Type)
+}
+
+// isNonConstString reports whether e is a string-typed expression the
+// compiler cannot constant-fold (constant concatenation is free).
+func isNonConstString(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || !isString(tv.Type) {
+		return false
+	}
+	return tv.Value == nil
+}
+
+// isPointerShaped reports whether boxing a value of type t into an
+// interface stores the value directly (pointers, maps, channels,
+// functions, unsafe pointers) rather than heap-allocating a copy.
+func isPointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return true
+	}
+	return false
+}

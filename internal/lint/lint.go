@@ -13,7 +13,17 @@
 //     paths, so the PR 1 error taxonomy survives errors.Is/As;
 //   - atomicwrite: dataset/report/checkpoint artifacts reach disk
 //     through internal/durable (atomic rename or a checkpointed
-//     journal), never a raw os.Create that a crash can tear.
+//     journal), never a raw os.Create that a crash can tear;
+//   - hotpath: //topicslint:hotpath zeroalloc annotations make
+//     allocation sources a lint error on the PR 7 serving hot paths
+//     and their intra-package callees;
+//   - locks: mutex discipline — every Lock has an Unlock on every
+//     return path, nothing blocks while a lock is held, and RWMutex
+//     read sections stay read-only;
+//   - goroleak: every goroutine launched in the campaign-running
+//     packages has a same-function join (WaitGroup or done-channel);
+//   - structlayout: //topicslint:compact <budget> annotations bound
+//     the padding waste of per-user and per-record structs.
 //
 // The package mirrors the golang.org/x/tools/go/analysis API (Analyzer,
 // Pass, Diagnostic) but is self-contained: the build environment has no
@@ -159,7 +169,10 @@ func notPackage(path string) func(string) bool {
 
 // All returns every analyzer of the suite, in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, VClock, ETLD, ErrWrap, Atomicwrite}
+	return []*Analyzer{
+		Determinism, VClock, ETLD, ErrWrap, Atomicwrite,
+		Hotpath, Locks, Goroleak, Structlayout,
+	}
 }
 
 // ByName resolves an analyzer name, for -run filters and ignore

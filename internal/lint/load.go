@@ -9,9 +9,11 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // A Package is one loaded, type-checked module package plus everything
@@ -38,14 +40,43 @@ type Package struct {
 // imports resolve from source under the module root, and standard
 // library imports resolve through go/importer's source compiler, which
 // type-checks GOROOT/src directly.
+//
+// Loading is concurrent: each package is a once-guarded future, and a
+// package's module-internal dependencies load in parallel before its
+// own type check runs. Go's import graph is acyclic, so waiting on a
+// dependency's future cannot deadlock. The standard-library importer
+// is not safe for concurrent use and is serialized behind stdlibMu;
+// module packages only wait there on a cold stdlib cache.
 type Loader struct {
 	ModuleDir  string
 	ModulePath string
 
-	fset     *token.FileSet
+	// Jobs bounds LoadAll's root-package concurrency; 0 means
+	// GOMAXPROCS.
+	Jobs int
+
+	// Overlay substitutes in-memory content for files by absolute path
+	// at parse time, letting tests type-check a deliberately broken
+	// variant of a real source file without touching the tree.
+	Overlay map[string][]byte
+
+	fset *token.FileSet
+
+	stdlibMu sync.Mutex
 	stdlib   types.Importer
-	checked  map[string]*types.Package // by import path, incl. deps
-	packages map[string]*Package       // fully-loaded roots, by rel path
+
+	mu      sync.Mutex
+	checked map[string]*types.Package // by import path, incl. deps
+	futures map[string]*loadFuture    // by rel path
+}
+
+// A loadFuture is the once-guarded result of loading one package: the
+// first goroutine to need the package loads it, everyone else blocks
+// on the same Do and shares the result.
+type loadFuture struct {
+	once sync.Once
+	pkg  *Package
+	err  error
 }
 
 // NewLoader builds a Loader for the module rooted at or above dir.
@@ -65,7 +96,7 @@ func NewLoader(dir string) (*Loader, error) {
 		fset:       fset,
 		stdlib:     importer.ForCompiler(fset, "source", nil),
 		checked:    make(map[string]*types.Package),
-		packages:   make(map[string]*Package),
+		futures:    make(map[string]*loadFuture),
 	}, nil
 }
 
@@ -91,8 +122,9 @@ func findModule(dir string) (root, modPath string, err error) {
 }
 
 // LoadAll discovers every package under the module root (skipping
-// testdata, vendor and hidden directories), loads them in dependency
-// order, and returns them sorted by import path.
+// testdata, vendor and hidden directories), loads them across a worker
+// pool, and returns them sorted by import path — the report order is
+// identical for any worker count.
 func (l *Loader) LoadAll() ([]*Package, error) {
 	var dirs []string
 	err := filepath.WalkDir(l.ModuleDir, func(path string, d os.DirEntry, err error) error {
@@ -116,8 +148,9 @@ func (l *Loader) LoadAll() ([]*Package, error) {
 		return nil, err
 	}
 	sort.Strings(dirs)
-	var pkgs []*Package
-	for _, dir := range dirs {
+
+	rels := make([]string, len(dirs))
+	for i, dir := range dirs {
 		rel, err := filepath.Rel(l.ModuleDir, dir)
 		if err != nil {
 			return nil, err
@@ -125,11 +158,47 @@ func (l *Loader) LoadAll() ([]*Package, error) {
 		if rel == "." {
 			rel = ""
 		}
-		p, err := l.load(filepath.ToSlash(rel))
+		rels[i] = filepath.ToSlash(rel)
+	}
+
+	jobs := l.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(rels) {
+		jobs = len(rels)
+	}
+	if jobs < 1 {
+		jobs = 1
+	}
+
+	pkgs := make([]*Package, len(rels))
+	errs := make([]error, len(rels))
+	var next int64
+	var idxMu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				idxMu.Lock()
+				i := int(next)
+				next++
+				idxMu.Unlock()
+				if i >= len(rels) {
+					return
+				}
+				pkgs[i], errs[i] = l.load(rels[i])
+			}
+		}()
+	}
+	wg.Wait()
+
+	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("lint: loading %s: %w", dir, err)
+			return nil, fmt.Errorf("lint: loading %s: %w", dirs[i], err)
 		}
-		pkgs = append(pkgs, p)
 	}
 	return pkgs, nil
 }
@@ -154,10 +223,21 @@ func hasGoFiles(dir string) bool {
 	return false
 }
 
+// load resolves the package's future, running the real work exactly
+// once no matter how many goroutines ask.
 func (l *Loader) load(rel string) (*Package, error) {
-	if p, ok := l.packages[rel]; ok {
-		return p, nil
+	l.mu.Lock()
+	fu, ok := l.futures[rel]
+	if !ok {
+		fu = &loadFuture{}
+		l.futures[rel] = fu
 	}
+	l.mu.Unlock()
+	fu.once.Do(func() { fu.pkg, fu.err = l.doLoad(rel) })
+	return fu.pkg, fu.err
+}
+
+func (l *Loader) doLoad(rel string) (*Package, error) {
 	dir := filepath.Join(l.ModuleDir, filepath.FromSlash(rel))
 	importPath := l.ModulePath
 	if rel != "" {
@@ -177,7 +257,12 @@ func (l *Loader) load(rel string) (*Package, error) {
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
 			continue
 		}
-		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		path := filepath.Join(dir, name)
+		var src any
+		if data, ok := l.Overlay[path]; ok {
+			src = data
+		}
+		f, err := parser.ParseFile(l.fset, path, src, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			return nil, err
 		}
@@ -187,20 +272,37 @@ func (l *Loader) load(rel string) (*Package, error) {
 		return nil, fmt.Errorf("no buildable Go files in %s", dir)
 	}
 
-	// Load module-internal dependencies first so the type checker finds
-	// them in l.checked (one types.Package instance per path — mixing
-	// instances would make identical types unassignable).
+	// Load module-internal dependencies first — in parallel, they are
+	// independent of each other — so the type checker finds them in
+	// l.checked (one types.Package instance per path; mixing instances
+	// would make identical types unassignable).
+	var deps []string
+	seen := make(map[string]bool)
 	for _, f := range files {
 		for _, imp := range f.Imports {
 			path, err := strconv.Unquote(imp.Path.Value)
 			if err != nil {
 				continue
 			}
-			if sub, ok := l.relOf(path); ok && sub != rel {
-				if _, err := l.load(sub); err != nil {
-					return nil, fmt.Errorf("dependency %s: %w", path, err)
-				}
+			if sub, ok := l.relOf(path); ok && sub != rel && !seen[sub] {
+				seen[sub] = true
+				deps = append(deps, sub)
 			}
+		}
+	}
+	depErrs := make([]error, len(deps))
+	var dwg sync.WaitGroup
+	for i, sub := range deps {
+		dwg.Add(1)
+		go func(i int, sub string) {
+			defer dwg.Done()
+			_, depErrs[i] = l.load(sub)
+		}(i, sub)
+	}
+	dwg.Wait()
+	for i, err := range depErrs {
+		if err != nil {
+			return nil, fmt.Errorf("dependency %s: %w", deps[i], err)
 		}
 	}
 
@@ -226,8 +328,9 @@ func (l *Loader) load(rel string) (*Package, error) {
 	for _, f := range files {
 		pkg.Suppressions = append(pkg.Suppressions, parseSuppressions(l.fset, f)...)
 	}
+	l.mu.Lock()
 	l.checked[importPath] = tpkg
-	l.packages[rel] = pkg
+	l.mu.Unlock()
 	return pkg, nil
 }
 
@@ -244,9 +347,13 @@ func (l *Loader) relOf(importPath string) (string, bool) {
 
 // Import implements types.Importer: module packages come from the
 // loader's own cache (loaded from source), everything else from the
-// standard library's source importer.
+// standard library's source importer, which is not concurrency-safe
+// and therefore serialized.
 func (l *Loader) Import(path string) (*types.Package, error) {
-	if p, ok := l.checked[path]; ok {
+	l.mu.Lock()
+	p, ok := l.checked[path]
+	l.mu.Unlock()
+	if ok {
 		return p, nil
 	}
 	if rel, ok := l.relOf(path); ok {
@@ -256,6 +363,8 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 		}
 		return pkg.Types, nil
 	}
+	l.stdlibMu.Lock()
+	defer l.stdlibMu.Unlock()
 	return l.stdlib.Import(path)
 }
 

@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"fmt"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Structlayout enforces padding budgets on per-user and per-record
+// structs. A type carrying
+//
+//	//topicslint:compact          (budget 0)
+//	//topicslint:compact 8        (up to 8 wasted bytes tolerated)
+//
+// in its doc comment is measured with the gc compiler's size and
+// alignment rules: the analyzer computes the bytes lost to field
+// padding against the best achievable order and fails when the waste
+// exceeds the budget. At the ROADMAP's million-user population, eight
+// padding bytes in the per-user engine state is 8 MB of pure air per
+// million simulated users — the kind of regression a code review
+// never catches because every individual field addition looks free.
+//
+// Serialized structs (dataset records, report rows) encode in field
+// declaration order, so reordering them changes golden JSON bytes;
+// they carry a non-zero budget documenting the accepted waste instead
+// of being reordered. Internal state structs get reordered for real.
+//
+// Sizes are computed with types.SizesFor("gc", "amd64") regardless of
+// the host, so findings are deterministic across machines.
+var Structlayout = &Analyzer{
+	Name: "structlayout",
+	Doc: `enforce //topicslint:compact <budget> annotations on per-user and
+per-record structs: compute field padding with the gc amd64 size rules,
+report wasted bytes and the optimal field order, and fail when waste
+exceeds the budget (default 0). Serialized structs keep declaration
+order and document their waste with a non-zero budget.`,
+	Run: runStructlayout,
+}
+
+// layoutSizes pins struct measurement to one compiler/arch so the
+// analyzer's output does not depend on the host running it.
+var layoutSizes = types.SizesFor("gc", "amd64")
+
+func runStructlayout(pass *Pass) {
+	for ts, d := range typeDirectives(pass, "compact") {
+		budget, ok := budgetArg(d, 0)
+		if !ok {
+			pass.Reportf(d.Pos, "malformed compact annotation: want //topicslint:compact [non-negative byte budget]")
+			continue
+		}
+		obj, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := obj.Type().Underlying().(*types.Struct)
+		if !ok {
+			pass.Reportf(ts.Pos(), "compact annotation on %s, which is not a struct type", ts.Name.Name)
+			continue
+		}
+		cur := layoutSizes.Sizeof(st)
+		best, order := optimalLayout(st)
+		waste := cur - best
+		if waste > budget {
+			pass.Reportf(ts.Pos(),
+				"struct %s wastes %d padding bytes (size %d, optimal %d, budget %d); optimal field order: %s",
+				ts.Name.Name, waste, cur, best, budget, strings.Join(order, ", "))
+		}
+	}
+}
+
+// optimalLayout returns the minimal achievable size of st under gc
+// amd64 rules and a field order achieving it: fields sorted by
+// alignment then size, both descending, names breaking ties so the
+// suggestion is deterministic. This greedy order is optimal for the
+// power-of-two alignments the gc allocator uses.
+func optimalLayout(st *types.Struct) (int64, []string) {
+	n := st.NumFields()
+	if n == 0 {
+		return 0, nil
+	}
+	fields := make([]*types.Var, n)
+	for i := 0; i < n; i++ {
+		fields[i] = st.Field(i)
+	}
+	sort.SliceStable(fields, func(i, j int) bool {
+		ai, aj := layoutSizes.Alignof(fields[i].Type()), layoutSizes.Alignof(fields[j].Type())
+		if ai != aj {
+			return ai > aj
+		}
+		si, sj := layoutSizes.Sizeof(fields[i].Type()), layoutSizes.Sizeof(fields[j].Type())
+		if si != sj {
+			return si > sj
+		}
+		return fields[i].Name() < fields[j].Name()
+	})
+	names := make([]string, n)
+	reordered := make([]*types.Var, n)
+	for i, f := range fields {
+		names[i] = fmt.Sprintf("%s %s", f.Name(), f.Type().String())
+		reordered[i] = types.NewField(f.Pos(), f.Pkg(), f.Name(), f.Type(), f.Embedded())
+	}
+	return layoutSizes.Sizeof(types.NewStruct(reordered, nil)), names
+}

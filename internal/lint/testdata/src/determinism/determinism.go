@@ -88,6 +88,13 @@ func printedWrite(m map[string]int) {
 	}
 }
 
+// bootStamp is the suppression path: a justified wall-clock read,
+// excused in place with a reason the reviewer can audit.
+func bootStamp() time.Time {
+	//topicslint:ignore determinism report-header timestamp, never feeds an artifact byte
+	return time.Now()
+}
+
 // sliceRange ranges over a slice — ordered, never reported.
 func sliceRange(xs []string) []string {
 	var out []string

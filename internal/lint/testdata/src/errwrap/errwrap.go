@@ -20,3 +20,10 @@ func wrapping(err error, site string, n int) {
 	// A * width consumes an argument; the error still maps to %w.
 	_ = fmt.Errorf("%*d attempts: %w", 5, n, err)
 }
+
+// boundary is the suppression path: a public API edge that deliberately
+// flattens the chain so internal error types stay internal.
+func boundary(err error) error {
+	//topicslint:ignore errwrap API boundary, the internal chain is hidden from clients on purpose
+	return fmt.Errorf("campaign failed: %v", err)
+}

@@ -1,0 +1,64 @@
+// Package goroleak is analyzer test input for the goroutine-join rule.
+package goroleak
+
+import "sync"
+
+// joinedWG is the canonical worker-pool shape: clean.
+func joinedWG(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// joinedChannel closes a done channel the function receives from: clean.
+func joinedChannel() {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+	}()
+	<-done
+}
+
+// joinedConsume hands the results channel to a callee that drains it:
+// clean (the join lives in drain, reached from here).
+func joinedConsume() {
+	results := make(chan int)
+	go func() {
+		defer close(results)
+		results <- 1
+	}()
+	drain(results)
+}
+
+func drain(ch chan int) {
+	for range ch {
+	}
+}
+
+// leaked has no join at all.
+func leaked() {
+	go func() { // want `goroutine launched in leaked has no join in this function`
+	}()
+}
+
+// leakedNamed launches a declared function with no join.
+func leakedNamed() {
+	go worker() // want `goroutine launched in leakedNamed has no join in this function`
+}
+
+func worker() {}
+
+type handle struct{ done chan struct{} }
+
+// suppressedLaunch's join is the handle the caller waits on — the
+// contract lives one level up, so the launch carries a justification.
+func suppressedLaunch(h *handle) {
+	go func() { //topicslint:ignore goroleak joined externally, the caller blocks on handle.Wait
+		defer close(h.done)
+	}()
+}

@@ -1,0 +1,67 @@
+// Package hotpath is analyzer test input for the zero-alloc contract.
+package hotpath
+
+import "fmt"
+
+type rec struct{ id, n int }
+
+func sink(v any) {}
+
+// helper allocates; annotated callers see it at the call site.
+func helper(name string) string { return "x-" + name }
+
+//topicslint:hotpath zeroalloc
+func serve(dst []rec, name string, n int) []rec {
+	s := "id-" + name // want `string concatenation allocates`
+	_ = s
+	b := []byte(name) // want `\[\]byte\(string\) conversion allocates a copy`
+	_ = b
+	m := map[string]int{} // want `map literal allocates`
+	_ = m
+	q := make([]rec, 0, n) // want `make\(slice\) allocates`
+	_ = q
+	fmt.Println(name)             // want `fmt\.Println allocates`
+	dst = append(dst, rec{id: 1}) // want `append to dst may grow its backing array`
+	return dst
+}
+
+//topicslint:hotpath zeroalloc
+func boxes(n int) {
+	sink(n) // want `passing int n to interface parameter boxes it`
+}
+
+//topicslint:hotpath zeroalloc
+func closures(n int) func() int {
+	f := func() int { return n } // want `closure capturing n allocates a cell per creation`
+	return f
+}
+
+//topicslint:hotpath zeroalloc
+func callsHelper(name string) string {
+	return helper(name) // want `call to helper, which allocates`
+}
+
+//topicslint:hotpath turbo // want `malformed hotpath annotation`
+func badVerb() {}
+
+// growOnce is the AppendBrowsingTopics shape: the append is
+// capacity-guarded, and the one cold-path make carries a justified
+// suppression.
+//
+//topicslint:hotpath zeroalloc
+func growOnce(dst []rec, n int) []rec {
+	if cap(dst)-len(dst) < n {
+		grown := make([]rec, len(dst), len(dst)+n) //topicslint:ignore hotpath cold grow-once path, amortized across the campaign
+		copy(grown, dst)
+		dst = grown
+	}
+	for i := 0; i < n; i++ {
+		dst = append(dst, rec{id: i})
+	}
+	return dst
+}
+
+// coldPath is unannotated: allocations are fine here.
+func coldPath(name string) string {
+	return fmt.Sprintf("cold-%s", name)
+}

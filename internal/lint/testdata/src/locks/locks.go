@@ -1,0 +1,100 @@
+// Package locks is analyzer test input for the mutex-discipline rule.
+package locks
+
+import (
+	"encoding/json"
+	"net/http"
+	"os/exec"
+	"sync"
+)
+
+type store struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	vals map[string]int
+	hits int
+}
+
+// leakEnd never releases the lock.
+func leakEnd(s *store) {
+	s.mu.Lock() // want `s\.mu\.Lock\(\) is still held when leakEnd falls off the end of the function`
+	s.vals["a"] = 1
+}
+
+// leakReturn releases on one path only.
+func leakReturn(s *store, early bool) int {
+	s.mu.Lock()
+	if early {
+		return 0 // want `return while s\.mu is held`
+	}
+	s.mu.Unlock()
+	return 1
+}
+
+// deferred is the canonical clean shape.
+func deferred(s *store) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.vals["a"]
+}
+
+// paired releases explicitly on every path: clean.
+func paired(s *store, early bool) int {
+	s.mu.Lock()
+	if early {
+		s.mu.Unlock()
+		return 0
+	}
+	v := s.vals["a"]
+	s.mu.Unlock()
+	return v
+}
+
+// blockingUnderLock stalls every other lock user behind channel ops,
+// an HTTP round-trip and a process wait.
+func blockingUnderLock(s *store, ch chan int, cl *http.Client, req *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch <- 1                        // want `channel send while s\.mu is held`
+	<-ch                           // want `channel receive while s\.mu is held`
+	_, _ = cl.Do(req)              // want `HTTP round-trip \(Do\) while s\.mu is held`
+	_ = exec.Command("true").Run() // want `os/exec process wait \(Run\) while s\.mu is held`
+}
+
+// selectUnderLock blocks in select with no default.
+func selectUnderLock(s *store, ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `select without a default clause while s\.mu is held`
+	case <-ch:
+	}
+}
+
+// rlockWrite mutates the guarded structure under a read lock.
+func rlockWrite(s *store) int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	s.hits++            // want `write to s\.hits while s\.rw is only read-locked`
+	delete(s.vals, "a") // want `write to s\.vals while s\.rw is only read-locked`
+	return s.vals["b"]
+}
+
+// rlockRead is the clean read-path shape: locals are not writes to the
+// guarded structure.
+func rlockRead(s *store) int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	total := 0
+	for _, v := range s.vals {
+		total += v
+	}
+	return total
+}
+
+// suppressedEncode serializes the trace sink behind the lock on
+// purpose: single writer by design.
+func suppressedEncode(s *store, enc *json.Encoder) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = enc.Encode(s.vals) //topicslint:ignore locks single-writer trace sink, the lock serializes the encoder by design
+}

@@ -1,0 +1,47 @@
+// Package structlayout is analyzer test input for the padding-budget
+// rule. Sizes are gc/amd64: bool=1, int64=8, string=16 (8-aligned).
+package structlayout
+
+//topicslint:compact
+type padded struct { // want `struct padded wastes 8 padding bytes \(size 24, optimal 16, budget 0\); optimal field order: B int64, A bool, C bool`
+	A bool
+	B int64
+	C bool
+}
+
+// wire is serialized in declaration order (JSON); the budget documents
+// the accepted waste instead of reordering.
+//
+//topicslint:compact 8
+type wire struct {
+	A bool
+	B int64
+	C bool
+}
+
+// tight is already optimal.
+//
+//topicslint:compact
+type tight struct {
+	B int64
+	A bool
+	C bool
+}
+
+//topicslint:compact -4 // want `malformed compact annotation`
+type badBudget struct {
+	A bool
+}
+
+//topicslint:compact
+type count int // want `compact annotation on count, which is not a struct type`
+
+// seed keeps its historical field order; golden fixtures pin the
+// serialized bytes, so the waste is accepted with a justification.
+//
+//topicslint:compact
+type seed struct { //topicslint:ignore structlayout serialized order pinned by golden fixtures
+	A bool
+	B int64
+	C bool
+}

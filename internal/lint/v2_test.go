@@ -1,0 +1,243 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// ---- golden-package tests for the v2 analyzers --------------------------
+//
+// Each asserts the full want-set AND that the testdata's single
+// justified //topicslint:ignore actually suppresses a finding — the
+// suppression path is part of the contract, not decoration.
+
+func TestHotpathAnalyzer(t *testing.T) {
+	kept, suppressed, pkg := runOnTestdata(t, Hotpath, "hotpath")
+	checkWants(t, pkg, kept)
+	if len(suppressed) != 1 {
+		t.Errorf("suppressed = %v, want exactly the justified grow-once make", suppressed)
+	}
+}
+
+func TestLocksAnalyzer(t *testing.T) {
+	kept, suppressed, pkg := runOnTestdata(t, Locks, "locks")
+	checkWants(t, pkg, kept)
+	if len(suppressed) != 1 {
+		t.Errorf("suppressed = %v, want exactly the justified single-writer Encode", suppressed)
+	}
+}
+
+func TestGoroleakAnalyzer(t *testing.T) {
+	kept, suppressed, pkg := runOnTestdata(t, Goroleak, "goroleak")
+	checkWants(t, pkg, kept)
+	if len(suppressed) != 1 {
+		t.Errorf("suppressed = %v, want exactly the externally-joined launch", suppressed)
+	}
+}
+
+func TestStructlayoutAnalyzer(t *testing.T) {
+	kept, suppressed, pkg := runOnTestdata(t, Structlayout, "structlayout")
+	checkWants(t, pkg, kept)
+	if len(suppressed) != 1 {
+		t.Errorf("suppressed = %v, want exactly the serialized-order struct", suppressed)
+	}
+}
+
+// ---- registry meta-test -------------------------------------------------
+
+// TestAnalyzerRegistry pins the registration contract: every analyzer
+// in All() is documented, uniquely named, resolvable by name, ships a
+// golden testdata package, and that package exercises the suppression
+// path at least once. A new analyzer cannot be merged half-wired.
+func TestAnalyzerRegistry(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, a := range All() {
+		if a.Name == "" {
+			t.Fatalf("analyzer with empty Name: %+v", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if strings.TrimSpace(a.Doc) == "" {
+			t.Errorf("%s: empty Doc", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("%s: nil Run", a.Name)
+		}
+		if got := ByName(a.Name); got != a {
+			t.Errorf("ByName(%q) = %v, want the registered analyzer", a.Name, got)
+		}
+		dir := filepath.Join("testdata", "src", a.Name)
+		if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+			t.Errorf("%s: no golden testdata package at %s", a.Name, dir)
+			continue
+		}
+		_, suppressed, _ := runOnTestdata(t, a, a.Name)
+		if len(suppressed) == 0 {
+			t.Errorf("%s: testdata exercises no suppression path — add a justified //topicslint:ignore example", a.Name)
+		}
+	}
+}
+
+// ---- dataflow unit tests ------------------------------------------------
+
+// TestReturnStmts checks return-path enumeration: returns inside
+// nested function literals belong to the literal, not the enclosing
+// function, and must not count as its exit paths.
+func TestReturnStmts(t *testing.T) {
+	const src = `package p
+func f(xs []int) int {
+	if len(xs) == 0 {
+		return 0
+	}
+	g := func() int {
+		if true {
+			return 1
+		}
+		return 2
+	}
+	for range xs {
+		if g() > 0 {
+			return g()
+		}
+	}
+	return -1
+}`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	rets := returnStmts(fd.Body)
+	// f's own exits: return 0, return g(), return -1. The literal's
+	// return 1 / return 2 are excluded.
+	if len(rets) != 3 {
+		t.Fatalf("returnStmts found %d returns, want 3 (FuncLit returns excluded)", len(rets))
+	}
+	wantLines := []int{4, 14, 17}
+	for i, r := range rets {
+		if got := fset.Position(r.Pos()).Line; got != wantLines[i] {
+			t.Errorf("return %d at line %d, want %d", i, got, wantLines[i])
+		}
+	}
+}
+
+// TestGoroutineJoinDetection drives goroutineBody/goroutineJoined
+// directly over the goroleak golden package: the join verdict per
+// launching function is the analyzer's core decision.
+func TestGoroutineJoinDetection(t *testing.T) {
+	l := testLoader(t)
+	pkg, err := l.Load("internal/lint/testdata/src/goroleak")
+	if err != nil {
+		t.Fatalf("loading goroleak testdata: %v", err)
+	}
+	pass := &Pass{Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Types, TypesInfo: pkg.Info}
+	decls := declaredFuncs(pass)
+
+	want := map[string]bool{
+		"joinedWG":         true,  // WaitGroup Done in body, Wait in function
+		"joinedChannel":    true,  // close(done) in body, <-done in function
+		"joinedConsume":    true,  // close(results) in body, results handed to drain
+		"leaked":           false, // no join of any kind
+		"leakedNamed":      false, // declared body, still no join
+		"suppressedLaunch": false, // join lives in the caller, not here
+	}
+	got := make(map[string]bool)
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if _, interesting := want[fd.Name.Name]; !interesting {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				gb := goroutineBody(pass, decls, g)
+				if gb == nil {
+					t.Errorf("%s: goroutine body not resolvable", fd.Name.Name)
+					return true
+				}
+				joined, _ := goroutineJoined(pass, fd.Body, g, gb)
+				got[fd.Name.Name] = joined
+				return true
+			})
+		}
+	}
+	for name, w := range want {
+		j, found := got[name]
+		if !found {
+			t.Errorf("%s: no go statement found", name)
+			continue
+		}
+		if j != w {
+			t.Errorf("%s: joined = %v, want %v", name, j, w)
+		}
+	}
+}
+
+// ---- seeded-regression test ---------------------------------------------
+
+// TestHotpathCatchesSeededFmtInEngine proves the performance contract
+// bites: re-introducing the exact per-call fmt formatting that PR-7
+// removed from AppendBrowsingTopics must fail the hotpath analyzer.
+// The loader overlay type-checks the broken variant in memory, so the
+// tree on disk stays clean.
+func TestHotpathCatchesSeededFmtInEngine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping overlay type-check of internal/topics")
+	}
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	path := filepath.Join(l.ModuleDir, "internal", "topics", "engine.go")
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading engine.go: %v", err)
+	}
+	const anchor = "base := len(dst)"
+	if !bytes.Contains(src, []byte(anchor)) {
+		t.Fatalf("engine.go lost the %q anchor — update this test", anchor)
+	}
+	seeded := bytes.Replace(src,
+		[]byte(anchor),
+		[]byte(anchor+"\n\tfmt.Fprintf(io.Discard, \"serving %d results\", base)"),
+		1)
+	seeded = bytes.Replace(seeded,
+		[]byte("import ("),
+		[]byte("import (\n\t\"fmt\"\n\t\"io\""),
+		1)
+	l.Overlay = map[string][]byte{path: seeded}
+
+	pkg, err := l.Load("internal/topics")
+	if err != nil {
+		t.Fatalf("loading seeded internal/topics: %v", err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Fatalf("seeded engine.go does not type-check — fix the overlay: %v", terr)
+	}
+	kept, _ := RunAnalyzers(pkg, []*Analyzer{Hotpath})
+	found := false
+	for _, d := range kept {
+		if strings.Contains(d.Message, "fmt.Fprintf allocates") &&
+			strings.Contains(d.Message, "AppendBrowsingTopics") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("hotpath missed the seeded fmt.Fprintf in AppendBrowsingTopics; kept = %v", kept)
+	}
+}

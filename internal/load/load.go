@@ -264,69 +264,103 @@ type workerState struct {
 	totals workerTotals
 }
 
-// runWorker pulls requests off the shared schedule until it is drained.
+// worker bundles one worker's reusable request state. Everything the
+// hot loop touches is allocated here, once per worker, so the loop
+// itself stays allocation-free — the setup/loop split is what lets
+// topicslint's hotpath analyzer enforce that statically.
+type worker struct {
+	seed     uint64
+	schedule []request
+	server   *webserver.Server
+	gate     *attestation.Gate
+	engines  []*topics.Engine
+	next     *atomic.Int64
+	st       workerState
+	hists    [pathCount]*obs.Histogram
+	all      *obs.Histogram
+	w        discardWriter
+	req      http.Request
+	resBuf   []topics.Result
+}
+
+// runWorker is the per-worker setup: registry, histogram handles, the
+// reusable request/writer pair and the sized topics buffer. The drain
+// loop itself lives in (*worker).loop.
+func runWorker(cfg Config, schedule []request, server *webserver.Server, gate *attestation.Gate, engines []*topics.Engine, next *atomic.Int64) workerState {
+	wk := &worker{
+		seed:     cfg.Seed,
+		schedule: schedule,
+		server:   server,
+		gate:     gate,
+		engines:  engines,
+		next:     next,
+		st:       workerState{reg: obs.NewRegistry()},
+		w:        discardWriter{h: make(http.Header)},
+		req: http.Request{
+			Method: "GET",
+			URL:    &url.URL{Path: "/"},
+			Header: make(http.Header),
+		},
+		resBuf: make([]topics.Result, 0, topics.DefaultEpochsToShare),
+	}
+	for p := range wk.hists {
+		wk.hists[p] = wk.st.reg.Hist("load_latency", "path", pathKind(p).String())
+	}
+	wk.all = wk.st.reg.Hist("load_latency_all")
+	wk.loop()
+	return wk.st
+}
+
+// loop pulls requests off the shared schedule until it is drained.
 // Every mutation it performs — histogram observes, counter adds, engine
 // witness marks, page-cache fills — is commutative, which is what makes
 // the merged result independent of how requests land on workers.
-func runWorker(cfg Config, schedule []request, server *webserver.Server, gate *attestation.Gate, engines []*topics.Engine, next *atomic.Int64) workerState {
-	st := workerState{reg: obs.NewRegistry()}
-	hists := [pathCount]*obs.Histogram{}
-	for p := range hists {
-		hists[p] = st.reg.Hist("load_latency", "path", pathKind(p).String())
-	}
-	all := st.reg.Hist("load_latency_all")
-
-	w := &discardWriter{h: make(http.Header)}
-	req := &http.Request{
-		Method: "GET",
-		URL:    &url.URL{Path: "/"},
-		Header: make(http.Header),
-	}
-	resBuf := make([]topics.Result, 0, topics.DefaultEpochsToShare)
-
+//
+//topicslint:hotpath zeroalloc
+func (wk *worker) loop() {
 	for {
-		i := int(next.Add(1)) - 1
-		if i >= len(schedule) {
-			return st
+		i := int(wk.next.Add(1)) - 1
+		if i >= len(wk.schedule) {
+			return
 		}
-		r := &schedule[i]
+		r := &wk.schedule[i]
 		var lat time.Duration
 		switch r.path {
 		case pathPage:
-			w.bytes = 0
-			req.Host = r.site
+			wk.w.bytes = 0
+			wk.req.Host = r.site
 			if r.consent {
-				req.Header["Cookie"] = cookieConsent
+				wk.req.Header["Cookie"] = cookieConsent
 			} else {
-				delete(req.Header, "Cookie")
+				delete(wk.req.Header, "Cookie")
 			}
 			if r.eu {
-				delete(req.Header, webserver.VantageHeader)
+				delete(wk.req.Header, webserver.VantageHeader)
 			} else {
-				req.Header[webserver.VantageHeader] = vantageNonEU
+				wk.req.Header[webserver.VantageHeader] = vantageNonEU
 			}
-			server.ServeHTTP(w, req)
-			st.totals.pageBytes += w.bytes
-			lat = obs.FetchCost + time.Duration(w.bytes)*pageByteCost
+			wk.server.ServeHTTP(&wk.w, &wk.req)
+			wk.st.totals.pageBytes += wk.w.bytes
+			lat = obs.FetchCost + time.Duration(wk.w.bytes)*pageByteCost
 		case pathTopics:
-			resBuf = engines[r.user].AppendBrowsingTopics(resBuf[:0], r.caller, r.site)
-			st.totals.topicsReturned += int64(len(resBuf))
-			lat = obs.TopicsCallCost + time.Duration(len(resBuf))*topicsResultCost
+			wk.resBuf = wk.engines[r.user].AppendBrowsingTopics(wk.resBuf[:0], r.caller, r.site)
+			wk.st.totals.topicsReturned += int64(len(wk.resBuf))
+			lat = obs.TopicsCallCost + time.Duration(len(wk.resBuf))*topicsResultCost
 		case pathAttest:
-			d := gate.Check(r.caller)
+			d := wk.gate.Check(r.caller)
 			if d.Allowed {
-				st.totals.attestAllowed++
+				wk.st.totals.attestAllowed++
 			} else {
-				st.totals.attestBlocked++
+				wk.st.totals.attestBlocked++
 			}
 			lat = obs.AttestCost
 		}
-		lat += jitterFor(cfg.Seed, i)
-		hists[r.path].Observe(lat)
-		all.Observe(lat)
-		st.totals.requests[r.path]++
-		if end := r.at + lat; end > st.maxEnd {
-			st.maxEnd = end
+		lat += jitterFor(wk.seed, i)
+		wk.hists[r.path].Observe(lat)
+		wk.all.Observe(lat)
+		wk.st.totals.requests[r.path]++
+		if end := r.at + lat; end > wk.st.maxEnd {
+			wk.st.maxEnd = end
 		}
 	}
 }

@@ -57,6 +57,7 @@ func (l *InProcLauncher) Start(ctx context.Context, c *Campaign, spec ShardSpec,
 		sc.CrashPlan = l.CrashPlan(spec.Index, attempt)
 	}
 	h := &inprocHandle{done: make(chan struct{})}
+	//topicslint:ignore goroleak joined externally, the coordinator blocks on Handle.Wait which receives h.done
 	go func() {
 		defer close(h.done)
 		_, h.err = sc.Run(ctx)

@@ -175,6 +175,8 @@ func jaccard(a, b map[int]bool) float64 {
 }
 
 // user is one simulated browser profile.
+//
+//topicslint:compact
 type user struct {
 	engine  *topics.Engine
 	rng     *rand.Rand

@@ -101,6 +101,8 @@ func (c Config) withDefaults() Config {
 
 // Result is one topic returned by a browsingTopics() call, carrying the
 // same metadata Chrome attaches to each entry.
+//
+//topicslint:compact
 type Result struct {
 	Topic           taxonomy.Topic `json:"topic"`
 	TaxonomyVersion string         `json:"taxonomyVersion"`
@@ -115,6 +117,8 @@ type Result struct {
 
 // Engine is the browser-side Topics state machine. It is safe for
 // concurrent use.
+//
+//topicslint:compact
 type Engine struct {
 	cfg Config
 	tx  *taxonomy.Taxonomy
@@ -152,6 +156,8 @@ func newAccumulator() *accumulator {
 
 // Epoch is a completed epoch: its top topics plus the observation sets
 // needed for per-caller filtering.
+//
+//topicslint:compact
 type Epoch struct {
 	Start time.Time
 	End   time.Time
@@ -163,6 +169,8 @@ type Epoch struct {
 }
 
 // TopTopic is one slot of an epoch's top-5 list.
+//
+//topicslint:compact
 type TopTopic struct {
 	ID int
 	// Visits is how many classified page loads contributed (0 for pads).
@@ -253,13 +261,17 @@ func (e *Engine) BrowsingTopics(caller, site string) []Result {
 // exactly) and the extended slice returned. Serving paths that answer
 // millions of calls reuse one buffer across requests and stay
 // allocation-free.
+//
+//topicslint:hotpath zeroalloc
 func (e *Engine) AppendBrowsingTopics(dst []Result, caller, site string) []Result {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	//topicslint:ignore hotpath epoch rotation is the cold path, it allocates once per epoch boundary, not per call
 	e.rotateLocked()
 
 	// Side effect first: calling the API marks the caller as observing
 	// the user on this page.
+	//topicslint:ignore hotpath witness sets allocate only on a caller's first observation; steady-state serving sets existing keys
 	e.witnessLocked(site, caller)
 
 	base := len(dst)
@@ -274,6 +286,7 @@ func (e *Engine) AppendBrowsingTopics(dst []Result, caller, site string) []Resul
 			continue
 		}
 		if cap(dst)-len(dst) < n-idx {
+			//topicslint:ignore hotpath grow-once path, callers that reuse a sized buffer never reach it
 			grown := make([]Result, len(dst), len(dst)+n-idx)
 			copy(grown, dst)
 			dst = grown

@@ -81,6 +81,8 @@ type pageKey struct {
 
 // cachedSitePage returns the memoized landing page, rendering on miss.
 // The returned bytes are shared and must not be mutated.
+//
+//topicslint:hotpath zeroalloc
 func (s *Server) cachedSitePage(site *webworld.Site, host string, consented, eu bool) []byte {
 	key := pageKey{domain: site.Domain, consented: consented, eu: eu}
 	s.pagesMu.RLock()
@@ -89,6 +91,7 @@ func (s *Server) cachedSitePage(site *webworld.Site, host string, consented, eu 
 	if ok {
 		return page
 	}
+	//topicslint:ignore hotpath cache-miss render runs once per (site, consent, vantage) key, every later request hits the byte-slice cache
 	rendered := []byte(s.sitePage(site, host, consented, eu))
 	s.pagesMu.Lock()
 	if page, ok = s.pages[key]; ok {
@@ -176,6 +179,8 @@ const consentToken = ConsentCookie + "=1"
 // cookie. It scans the raw Cookie header instead of r.Cookie — the
 // net/http cookie parser allocates a *Cookie per call, and this check
 // runs on every landing-page request.
+//
+//topicslint:hotpath zeroalloc
 func hasConsent(r *http.Request) bool {
 	c := r.Header.Get("Cookie")
 	for c != "" {

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-core cover bench bench-json bench-gate fuzz golden report lint lint-escape load-slo clean
+.PHONY: all build test race race-core cover bench bench-json bench-gate fuzz golden report lint lint-escape load-slo live clean
 
 all: build lint test race-core
 
@@ -91,6 +91,18 @@ fuzz:
 	$(GO) test -fuzz=FuzzReadVisits -fuzztime=10s ./internal/dataset/
 	$(GO) test -fuzz=FuzzScanRecords -fuzztime=10s ./internal/durable/
 	$(GO) test -fuzz=FuzzManifestDecode -fuzztime=10s ./internal/durable/
+	$(GO) test -fuzz=FuzzFrameIndexDecode -fuzztime=10s ./internal/durable/
+
+# The incremental-analysis equivalence suite: fold-vs-build parity at
+# every prefix, snapshot round trip + corruption degradation, the
+# crash/resume index-snapshot matrix, live-vs-merged shard property, and
+# the public-API live report byte-identity (see DESIGN.md "Incremental
+# analysis").
+live:
+	$(GO) test -run 'TestIncrementalIndexParity|TestLiveIndexMergeProperty|TestLiveSnapshotRoundTrip|TestLiveSnapshotCorruptionDegrades|TestLiveSinkResumeAcrossCheckpoint' -count=1 ./internal/analysis/
+	$(GO) test -run 'TestCrashResumeIndexSnapshot|TestLiveReportReadsOnlyTail' -count=1 ./internal/crawler/
+	$(GO) test -run 'TestFrameIndex' -count=1 ./internal/durable/
+	$(GO) test -run 'TestLiveReportMatchesPostHoc' -count=1 .
 
 # Regenerate the committed end-to-end pipeline fixture
 # (testdata/golden_pipeline.json) after an intentional output change;

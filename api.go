@@ -365,6 +365,93 @@ func ComputeOverview(in *AnalysisInput) *analysis.Overview {
 	return analysis.ComputeOverview(in)
 }
 
+// ComputeTrajectory returns the campaign's virtual-week trajectory
+// (experiment L1's live form), folded incrementally into the index.
+func ComputeTrajectory(in *AnalysisInput) *analysis.Trajectory {
+	return analysis.ComputeTrajectory(in)
+}
+
+// ---- Incremental (live) analysis ----
+
+// Incremental analysis types (see DESIGN.md, "Incremental analysis"):
+// a LiveAnalysisIndex folds the analysis index one committed record at
+// a time; LiveAnalysisStats reports the O(tail + snapshot) cost of
+// assembling one; FrameIndex is the sparse rank/record → byte-offset
+// index kept beside a journal for seeking into multi-GB datasets.
+type (
+	LiveAnalysisIndex = analysis.LiveIndex
+	LiveAnalysisSink  = analysis.LiveSink
+	LiveAnalysisStats = analysis.LiveStats
+	FrameIndex        = durable.FrameIndex
+	FrameEntry        = durable.FrameEntry
+	RangeStats        = dataset.RangeStats
+	Trajectory        = analysis.Trajectory
+)
+
+// NewLiveAnalysisIndex returns an empty fold accumulator over the
+// input's allow-list. Fold every visit into it, then Snapshot an
+// AnalysisIndex at any point without stopping the fold.
+func NewLiveAnalysisIndex(in *AnalysisInput) *LiveAnalysisIndex {
+	return analysis.NewLiveIndex(in)
+}
+
+// NewLiveAnalysisSink builds the journal observer that maintains a live
+// index and serializes it beside the journal (<path>.idx) at every
+// committed checkpoint; pass it as JournalOptions.Observer.
+func NewLiveAnalysisSink(journalPath string, in *AnalysisInput) *LiveAnalysisSink {
+	return analysis.NewLiveSink(journalPath, in)
+}
+
+// OpenLiveAnalysisSink builds the observer for a journal about to be
+// resumed: the checkpoint snapshot is restored when it matches the
+// manifest, else the committed prefix is re-folded from byte 0
+// (salvage, never error). ResumeJournal replays the salvaged tail
+// through the observer itself.
+func OpenLiveAnalysisSink(journalPath string, in *AnalysisInput) (*LiveAnalysisSink, *LiveAnalysisStats, error) {
+	return analysis.OpenLiveSink(journalPath, in)
+}
+
+// LoadLiveAnalysisIndex assembles the fold accumulator for a (possibly
+// still growing) journal from its checkpoint snapshot plus the
+// uncommitted tail — O(tail + snapshot) bytes, degrading to a full
+// folding scan when the snapshot is unusable.
+func LoadLiveAnalysisIndex(journalPath string, in *AnalysisInput) (*LiveAnalysisIndex, *LiveAnalysisStats, error) {
+	return analysis.LoadLiveIndex(journalPath, in)
+}
+
+// LoadLiveAnalysis is LoadLiveAnalysisIndex plus finalization: the
+// returned index equals what BuildAnalysisIndex over the journal's full
+// record stream builds. Adopt it with AdoptAnalysisIndex.
+func LoadLiveAnalysis(journalPath string, in *AnalysisInput) (*AnalysisIndex, *LiveAnalysisStats, error) {
+	return analysis.LoadLive(journalPath, in)
+}
+
+// AdoptAnalysisIndex installs an externally assembled index (a live
+// snapshot or a shard merge) as the input's index, so Analyze and the
+// Compute* helpers reuse it instead of re-scanning the dataset.
+func AdoptAnalysisIndex(in *AnalysisInput, idx *AnalysisIndex) bool {
+	return in.AdoptIndex(idx)
+}
+
+// LoadFrameIndex reads the sparse frame index beside a journal; nil
+// means no usable index (readers fall back to scanning from byte 0).
+func LoadFrameIndex(journalPath string) *FrameIndex {
+	return durable.LoadFrameIndex(journalPath)
+}
+
+// ReadRecordRange streams journal records [from, to) (append order,
+// to < 0 = through the end) into fn, seeking via the frame index when
+// one is usable.
+func ReadRecordRange(path string, from, to int64, fn func(*Visit) error) (*RangeStats, error) {
+	return dataset.ReadRecordRange(path, from, to, fn)
+}
+
+// ReadRankRange streams every record with site rank >= fromRank into
+// fn, seeking via the frame index's completed-site watermarks.
+func ReadRankRange(path string, fromRank int, fn func(*Visit) error) (*RangeStats, error) {
+	return dataset.ReadRankRange(path, fromRank, fn)
+}
+
 // ---- Platforms & hosts ----
 
 // AdPlatform describes one calling party of the catalog.

@@ -128,7 +128,11 @@ func main() {
 
 	// The dataset is a crash-safe journal: framed records, periodic
 	// fsync'd checkpoints, and a manifest that makes -resume O(tail).
+	// The journal's observer maintains the live analysis index beside it
+	// (<out>.idx at every checkpoint) for topics-monitor -live and
+	// topics-report -live.
 	skip := map[string]bool{}
+	liveIn := &topicscope.AnalysisInput{Allowlist: allow, Metrics: reg}
 	jopts := topicscope.JournalOptions{
 		CheckpointEvery: *ckptEvery,
 		Metrics:         reg,
@@ -136,8 +140,15 @@ func main() {
 	}
 	var journal *topicscope.DatasetJournal
 	if *resume {
+		sink, lst, err := topicscope.OpenLiveAnalysisSink(*out, liveIn)
+		if err != nil {
+			fatal(err)
+		}
+		if lst.SnapshotRestored {
+			fmt.Printf("resume: index snapshot restored (%d records)\n", lst.SnapshotRecords)
+		}
+		jopts.Observer = sink
 		var st *topicscope.ResumeState
-		var err error
 		journal, st, err = topicscope.ResumeJournal(*out, jopts)
 		if err != nil {
 			fatal(err)
@@ -156,6 +167,7 @@ func main() {
 			fmt.Printf("resume: dropped %d torn trailing records; their sites recrawl\n", st.RecordsDropped)
 		}
 	} else {
+		jopts.Observer = topicscope.NewLiveAnalysisSink(*out, liveIn)
 		var err error
 		journal, err = topicscope.CreateJournal(*out, jopts)
 		if err != nil {

@@ -12,6 +12,15 @@
 //
 //	topics-monitor -tail crawl-traces.jsonl -follow
 //
+// With -live it renders the paper's headline tables (Table 1, dataset
+// overview, the virtual-week trajectory) straight from a campaign
+// journal while the crawl runs: the checkpoint index snapshot is
+// restored once, then each refresh folds only the newly committed
+// records, seeked to via the sparse frame index — O(delta), not
+// O(dataset), even on multi-GB files.
+//
+//	topics-monitor -live crawl.jsonl.gz -seed 1 -sites 50000 -follow
+//
 // With -checkpoint it renders the durable state of a crash-safe dataset
 // journal — committed records, watermark rank, uncommitted tail bytes —
 // from the manifest topics-crawl maintains beside the file.
@@ -64,8 +73,18 @@ func main() {
 		every   = flag.Duration("every", 2*time.Second, "with -follow: refresh interval")
 		ckpt    = flag.String("checkpoint", "", "render the checkpoint state of this crash-safe dataset journal and exit")
 		shards  = flag.String("shards", "", "render a distributed campaign: shard status + aggregated worker /__metrics for this -out path")
+		live    = flag.String("live", "", "render Table 1 / figure deltas from this campaign journal while the crawl runs; -seed/-sites must match the campaign")
 	)
 	flag.Parse()
+
+	if *live != "" {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		if err := liveDashboard(ctx, *live, *seed, *sites, *follow, *every); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *ckpt != "" {
 		if err := renderCheckpoint(*ckpt); err != nil {
@@ -129,6 +148,97 @@ func main() {
 			date.Format("2006-01-02"), point.ActiveCallers)
 	}
 	fmt.Print(adoption.Render())
+}
+
+// liveDashboard renders the paper's headline tables from a campaign
+// journal while the crawl appends to it. The first refresh restores the
+// checkpoint index snapshot (<path>.idx) and folds the committed tail;
+// every later refresh folds only the records committed since, located
+// by the sparse frame index (gzip-member offsets), so a refresh over a
+// multi-GB dataset reads the delta, not the file. The attestation sweep
+// reruns in-process over the live caller set each refresh — it reaches
+// only domains the fold has already seen, exactly like the post-hoc
+// sweep over the finished dataset.
+func liveDashboard(ctx context.Context, path string, seed uint64, sites int, follow bool, every time.Duration) error {
+	world := topicscope.GenerateWorld(topicscope.WorldConfig{Seed: seed, NumSites: sites})
+	server := topicscope.NewServer(world, nil)
+	allow := topicscope.NewAllowlist(world.Catalog.AllowedDomains()...)
+	reg := topicscope.NewMetricsRegistry()
+	cr := topicscope.NewCrawler(topicscope.CrawlerConfig{
+		Client:             server.Client(),
+		ReferenceAllowlist: allow,
+		Metrics:            reg,
+	})
+
+	var idx *topicscope.LiveAnalysisIndex
+	var folded int64
+	render := func() error {
+		m := topicscope.LoadManifest(path)
+		if idx == nil {
+			liveIn := &topicscope.AnalysisInput{Allowlist: allow, Metrics: reg}
+			assembled, st, err := topicscope.LoadLiveAnalysisIndex(path, liveIn)
+			if err != nil {
+				if !follow {
+					return err
+				}
+				fmt.Printf("topics-monitor — %s: waiting for the journal to appear\n", path)
+				return nil
+			}
+			idx = assembled
+			folded = int64(idx.Visits())
+			fmt.Fprintf(os.Stderr, "live: assembled %d records (snapshot %d + tail %d), %d journal bytes read\n",
+				idx.Visits(), st.SnapshotRecords, st.TailRecords, st.BytesRead)
+		} else if m != nil && m.Records > folded {
+			// Delta fold: only the records committed since last refresh,
+			// seeked to via the frame index.
+			st, err := topicscope.ReadRecordRange(path, folded, m.Records, func(v *topicscope.Visit) error {
+				idx.Fold(v)
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			folded += st.Records
+			fmt.Fprintf(os.Stderr, "live: folded %d new records (%d journal bytes, indexed seek: %v)\n",
+				st.Records, st.BytesRead, st.Indexed)
+		}
+
+		domains := allow.Domains()
+		domains = append(domains, idx.Callers()...)
+		recs := cr.CheckAttestations(ctx, domains)
+		in := &topicscope.AnalysisInput{
+			Allowlist:    allow,
+			Attestations: topicscope.AttestationIndex(recs),
+			Metrics:      reg,
+		}
+		topicscope.AdoptAnalysisIndex(in, idx.Snapshot(in))
+
+		var b strings.Builder
+		fmt.Fprintf(&b, "topics-monitor — %s (live analysis, %d records folded)\n", path, idx.Visits())
+		if m != nil {
+			if info, err := os.Stat(path); err == nil {
+				fmt.Fprintf(&b, "checkpoint: %d records committed, %d uncommitted tail bytes\n",
+					m.Records, info.Size()-m.Offset)
+			}
+		}
+		b.WriteString("\n")
+		b.WriteString(topicscope.ComputeOverview(in).Render())
+		b.WriteString("\n")
+		b.WriteString(analysis.ComputeTable1(in).Render())
+		if tr := topicscope.ComputeTrajectory(in); len(tr.Rows) > 0 {
+			b.WriteString("\n")
+			b.WriteString(tr.Render())
+		}
+		fmt.Print(b.String())
+		return nil
+	}
+	if !follow {
+		return render()
+	}
+	vclock.Poll(ctx, every, func() bool {
+		return render() == nil && ctx.Err() == nil
+	})
+	return nil
 }
 
 // tailDashboard folds the trace file into an obs.Summary and renders the

@@ -3,6 +3,15 @@
 // every table and figure — and prints (or writes) the full report.
 //
 //	topics-report -seed 1 -sites 50000 -workers 16 -out report.txt
+//
+// With -live it instead renders the report from an existing (possibly
+// still running) campaign journal: the checkpoint index snapshot
+// (<data>.idx) is restored and only the journal tail past the committed
+// offset is folded, so re-analysis reads O(tail + snapshot) bytes
+// instead of the whole dataset. At the final checkpoint the output is
+// byte-identical to the post-hoc report.
+//
+//	topics-report -live crawl.jsonl.gz -seed 1 -sites 50000
 package main
 
 import (
@@ -40,6 +49,7 @@ func main() {
 		retries   = flag.Int("retries", 2, "extra attempts per navigation/fetch; 0 disables retries")
 		tracePath = flag.String("trace", "", "write the campaign's span trees here (JSONL, .gz transparently)")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and live campaign metrics at /__metrics on this address")
+		livePath  = flag.String("live", "", "render the report from this campaign journal (index snapshot + tail fold) instead of crawling; -seed/-sites must match the campaign")
 	)
 	flag.Parse()
 
@@ -90,6 +100,13 @@ func main() {
 				return raw.Close()
 			}
 		}
+	}
+
+	if *livePath != "" {
+		if err := liveReport(ctx, *livePath, *seed, *sites, *enforce, *useChaos, *chaosSeed, *out, *jsonOut, reg); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	campaignRetries := *retries
@@ -146,6 +163,67 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("report written to %s\n", *out)
+}
+
+// liveReport renders the analysis report straight from a campaign
+// journal: restore the checkpoint index snapshot, fold only the
+// uncommitted tail, run the attestation sweep over the live index's
+// caller set (the same set crawler.CallerDomains would extract from the
+// collected dataset), and compute every section from the assembled
+// index. At the final checkpoint the output is byte-identical to the
+// post-hoc report over the finished dataset.
+func liveReport(ctx context.Context, path string, seed uint64, sites int, enforce, useChaos bool, chaosSeed uint64, out, jsonOut string, reg *topicscope.MetricsRegistry) error {
+	world := topicscope.GenerateWorld(topicscope.WorldConfig{Seed: seed, NumSites: sites})
+	server := topicscope.NewServer(world, nil)
+	allow := topicscope.NewAllowlist(world.Catalog.AllowedDomains()...)
+
+	in := &topicscope.AnalysisInput{Allowlist: allow, Metrics: reg}
+	live, st, err := topicscope.LoadLiveAnalysisIndex(path, in)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "live: %d records (snapshot %d + tail %d), %d journal bytes read, snapshot restored: %v\n",
+		live.Visits(), st.SnapshotRecords, st.TailRecords, st.BytesRead, st.SnapshotRestored)
+
+	// The attestation sweep the campaign would run after the crawl,
+	// against the same served world (and the same chaos weather — its
+	// decisions are pure per-request functions, so the outcomes match).
+	client := server.Client()
+	if useChaos {
+		topicscope.EnableChaos(client, topicscope.DefaultChaos(chaosSeed))
+	}
+	cr := topicscope.NewCrawler(topicscope.CrawlerConfig{
+		Client:             client,
+		ReferenceAllowlist: allow,
+		Enforce:            enforce,
+		Metrics:            reg,
+	})
+	domains := allow.Domains()
+	domains = append(domains, live.Callers()...)
+	recs := cr.CheckAttestations(ctx, domains)
+	in.Attestations = topicscope.AttestationIndex(recs)
+
+	topicscope.AdoptAnalysisIndex(in, live.Snapshot(in))
+	report := topicscope.Analyze(in)
+
+	if jsonOut != "" {
+		if err := topicscope.WriteFileAtomic(jsonOut, report.WriteJSON); err != nil {
+			return err
+		}
+	}
+	text := report.Render()
+	if out == "" {
+		fmt.Print(text)
+		return nil
+	}
+	if err := topicscope.WriteFileAtomic(out, func(w io.Writer) error {
+		_, werr := io.WriteString(w, text)
+		return werr
+	}); err != nil {
+		return err
+	}
+	fmt.Printf("report written to %s\n", out)
+	return nil
 }
 
 func fatal(err error) {

@@ -54,16 +54,33 @@ type Index struct {
 	callTypes   CallTypes
 	languages   Languages
 	enrolment   Enrolment
+	trajectory  Trajectory
 }
 
 // siteSet is a set of website domains.
 type siteSet = map[string]bool
 
 // callerFacts is the classification every experiment keys on: allow-list
-// membership and attestation validity.
+// membership and attestation validity. Folding fills only allowed — the
+// allow-list exists before the first visit, but the attestation sweep
+// runs after the crawl — so attested is resolved in finalize. That split
+// is what lets a live index fold records while the campaign is still
+// running (live.go) and still finalize into the exact post-hoc Index.
 type callerFacts struct {
 	allowed  bool
 	attested bool
+}
+
+// epochSeconds is the longitudinal bucket width: one virtual week, the
+// cadence of the paper's §6 continuous-monitoring proposal.
+const epochSeconds = 7 * 24 * 60 * 60
+
+// epochCount accumulates one virtual-week bucket of the longitudinal
+// trajectory (experiment L1's live form). Counters add, sets union.
+type epochCount struct {
+	visits, calls int
+	callers       map[string]bool
+	sites         siteSet
 }
 
 // rankCount accumulates Before-Accept visit outcomes per Tranco rank, so
@@ -141,11 +158,15 @@ type indexShard struct {
 	present map[dataset.Phase]map[string]siteSet
 	callers map[string]callerFacts
 
-	// Overview (D1).
+	// Overview (D1). aaLegitCalled keys the successful After-Accept
+	// call sites by their allowed caller; which of those callers are
+	// attested — and hence which sites count as "legit call" sites — is
+	// only known at finalize, after the attestation sweep.
 	attempted, visited, accepted siteSet
 	banners                      int
 	thirdParties                 map[string]bool
-	daaSites, daaSitesWithCall   siteSet
+	daaSites                     siteSet
+	aaLegitCalled                map[string]siteSet
 
 	// Reliability (D1r).
 	retries, circuitOpens                 int
@@ -173,6 +194,9 @@ type indexShard struct {
 	// Languages (D2).
 	langVisited, langNoBanner, langMissed int
 	acceptedByLang                        stats.Counter
+
+	// Longitudinal trajectory (L1 live form): per-virtual-week buckets.
+	epochs map[int]*epochCount
 }
 
 func newIndexShard(in *Input, cache *etld.Cache) *indexShard {
@@ -187,39 +211,36 @@ func newIndexShard(in *Input, cache *etld.Cache) *indexShard {
 			dataset.BeforeAccept: {},
 			dataset.AfterAccept:  {},
 		},
-		callers:          make(map[string]callerFacts),
-		attempted:        make(siteSet),
-		visited:          make(siteSet),
-		accepted:         make(siteSet),
-		thirdParties:     make(map[string]bool),
-		daaSites:         make(siteSet),
-		daaSitesWithCall: make(siteSet),
-		byClass:          make(map[string]int),
-		ranks:            make(map[int]*rankCount),
-		anomCPs:          make(map[string]bool),
-		anomSites:        make(siteSet),
-		gtmSites:         make(siteSet),
-		sitesByCMP:       stats.Counter{},
-		questByCMP:       stats.Counter{},
-		byPhase:          make(map[dataset.Phase]map[dataset.CallType]int),
-		legitByType:      make(map[dataset.CallType]int),
-		anomByType:       make(map[dataset.CallType]int),
-		perCP:            make(map[string]map[dataset.CallType]int),
-		acceptedByLang:   stats.Counter{},
+		callers:        make(map[string]callerFacts),
+		attempted:      make(siteSet),
+		visited:        make(siteSet),
+		accepted:       make(siteSet),
+		thirdParties:   make(map[string]bool),
+		daaSites:       make(siteSet),
+		aaLegitCalled:  make(map[string]siteSet),
+		byClass:        make(map[string]int),
+		ranks:          make(map[int]*rankCount),
+		anomCPs:        make(map[string]bool),
+		anomSites:      make(siteSet),
+		gtmSites:       make(siteSet),
+		sitesByCMP:     stats.Counter{},
+		questByCMP:     stats.Counter{},
+		byPhase:        make(map[dataset.Phase]map[dataset.CallType]int),
+		legitByType:    make(map[dataset.CallType]int),
+		anomByType:     make(map[dataset.CallType]int),
+		perCP:          make(map[string]map[dataset.CallType]int),
+		acceptedByLang: stats.Counter{},
 	}
 }
 
-// classify memoizes the (allowed, attested) facts per distinct caller.
-// The etld.Cache underneath memoizes the registrable-domain split, so
-// classification costs two map lookups after first sight.
+// classify memoizes the allow-list membership per distinct caller. Only
+// the allowed bit is known at fold time; finalize resolves attested from
+// the post-crawl attestation sweep (see callerFacts).
 func (s *indexShard) classify(caller string) callerFacts {
 	if f, ok := s.callers[caller]; ok {
 		return f
 	}
 	f := callerFacts{allowed: s.in.Allowlist != nil && s.in.Allowlist.Contains(caller)}
-	if rec, ok := s.in.Attestations[s.cache.Registrable(caller)]; ok && rec.Attested() {
-		f.attested = true
-	}
 	s.callers[caller] = f
 	return f
 }
@@ -373,8 +394,13 @@ func (s *indexShard) add(v *dataset.Visit) {
 				s.perCP[c.Caller] = m
 			}
 			m[c.Type]++
-			if v.Success && facts.attested {
-				s.daaSitesWithCall[v.Site] = true
+			if v.Success {
+				set := s.aaLegitCalled[c.Caller]
+				if set == nil {
+					set = make(siteSet)
+					s.aaLegitCalled[c.Caller] = set
+				}
+				set[v.Site] = true
 			}
 		} else {
 			s.anomByType[c.Type]++
@@ -411,6 +437,29 @@ func (s *indexShard) add(v *dataset.Visit) {
 			}
 		}
 	}
+
+	// Longitudinal trajectory: bucket the visit into its virtual week.
+	// Visit timestamps sit on the deterministic stage clocks, so the
+	// bucketing is as reproducible as everything else.
+	if !v.FetchedAt.IsZero() {
+		if s.epochs == nil {
+			s.epochs = make(map[int]*epochCount)
+		}
+		ep := int(v.FetchedAt.Unix() / epochSeconds)
+		ec := s.epochs[ep]
+		if ec == nil {
+			ec = &epochCount{callers: make(map[string]bool), sites: make(siteSet)}
+			s.epochs[ep] = ec
+		}
+		ec.visits++
+		ec.calls += len(v.Calls)
+		for i := range v.Calls {
+			ec.callers[v.Calls[i].Caller] = true
+		}
+		if aa && len(v.Calls) > 0 {
+			ec.sites[v.Site] = true
+		}
+	}
 }
 
 // absorb merges another shard into s. Every operation is commutative, so
@@ -431,7 +480,7 @@ func (s *indexShard) absorb(o *indexShard) {
 	unionSet(s.accepted, o.accepted)
 	unionSet(s.thirdParties, o.thirdParties)
 	unionSet(s.daaSites, o.daaSites)
-	unionSet(s.daaSitesWithCall, o.daaSitesWithCall)
+	mergeSiteSets(s.aaLegitCalled, o.aaLegitCalled)
 	s.banners += o.banners
 
 	s.retries += o.retries
@@ -499,6 +548,21 @@ func (s *indexShard) absorb(o *indexShard) {
 	s.langNoBanner += o.langNoBanner
 	s.langMissed += o.langMissed
 	addCounter(s.acceptedByLang, o.acceptedByLang)
+
+	for ep, ec := range o.epochs {
+		if s.epochs == nil {
+			s.epochs = make(map[int]*epochCount)
+		}
+		dst := s.epochs[ep]
+		if dst == nil {
+			s.epochs[ep] = ec
+			continue
+		}
+		dst.visits += ec.visits
+		dst.calls += ec.calls
+		unionSet(dst.callers, ec.callers)
+		unionSet(dst.sites, ec.sites)
+	}
 }
 
 func mergeSiteSets(dst, src map[string]siteSet) {
@@ -527,6 +591,17 @@ func addCounter(dst, src stats.Counter) {
 // finalize assembles the parameterless experiment results from the
 // merged aggregates, matching the legacy computations field for field.
 func (idx *Index) finalize(in *Input, agg *indexShard) {
+	// Resolve the attestation half of every caller's classification.
+	// Folding recorded only the allow-list bit (the attestation sweep
+	// happens after the crawl — a live index folds long before the
+	// records it will be judged against exist); the input handed to
+	// finalize carries the campaign-global attestation checks.
+	for caller, facts := range idx.callers {
+		rec, ok := in.Attestations[idx.etld.Registrable(caller)]
+		facts.attested = ok && rec.Attested()
+		idx.callers[caller] = facts
+	}
+
 	// Table 1 allow-list block + Figure 2's candidate list.
 	t := Table1{}
 	if in.Allowlist != nil {
@@ -560,7 +635,17 @@ func (idx *Index) finalize(in *Input, agg *indexShard) {
 	}
 	idx.table1 = t
 
-	// Overview.
+	// Overview. The "legit call" site set is the union of the successful
+	// After-Accept call sites of the allowed callers that turned out
+	// attested — the same aa && allowed && success && attested condition
+	// the legacy scan applies per call, regrouped by caller so the
+	// attested factor could wait for the sweep.
+	daaSitesWithCall := make(siteSet)
+	for caller, sites := range agg.aaLegitCalled {
+		if idx.callers[caller].attested {
+			unionSet(daaSitesWithCall, sites)
+		}
+	}
 	idx.overview = Overview{
 		Attempted:          len(agg.attempted),
 		Visited:            len(agg.visited),
@@ -568,8 +653,8 @@ func (idx *Index) finalize(in *Input, agg *indexShard) {
 		AcceptShare:        stats.Share(len(agg.accepted), len(agg.visited)),
 		UniqueThirdParties: len(agg.thirdParties),
 		BannersFound:       agg.banners,
-		SitesWithLegitCall: len(agg.daaSitesWithCall),
-		LegitCallShare:     stats.Share(len(agg.daaSitesWithCall), len(agg.daaSites)),
+		SitesWithLegitCall: len(daaSitesWithCall),
+		LegitCallShare:     stats.Share(len(daaSitesWithCall), len(agg.daaSites)),
 	}
 
 	// Reliability, deciles reassembled from the per-rank counts now that
@@ -668,6 +753,9 @@ func (idx *Index) finalize(in *Input, agg *indexShard) {
 		}
 	}
 	idx.enrolment = e
+
+	// Longitudinal trajectory: virtual-week buckets in time order.
+	idx.trajectory = assembleTrajectory(agg.epochs)
 }
 
 // Hosts returns the number of distinct hostnames interned by the index's

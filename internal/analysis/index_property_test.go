@@ -76,6 +76,7 @@ func TestIndexShardMergeProperty(t *testing.T) {
 			{"callTypes", idx.callTypes, ref.callTypes},
 			{"languages", idx.languages, ref.languages},
 			{"enrolment", idx.enrolment, ref.enrolment},
+			{"trajectory", idx.trajectory, ref.trajectory},
 		} {
 			if !reflect.DeepEqual(cmp.got, cmp.ref) {
 				t.Fatalf("trial %d (shards=%d): %s diverges from sequential build\ngot: %+v\nref: %+v",

@@ -1,0 +1,710 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"github.com/netmeasure/topicscope/internal/attestation"
+	"github.com/netmeasure/topicscope/internal/dataset"
+	"github.com/netmeasure/topicscope/internal/durable"
+	"github.com/netmeasure/topicscope/internal/etld"
+	"github.com/netmeasure/topicscope/internal/stats"
+)
+
+// LiveIndex is the analysis index in its incremental form: an indexShard
+// fed one committed record at a time instead of by a batch pass. Every
+// aggregate merges commutatively (see the Index determinism invariant),
+// so folding the records in rank order as the crawler emits them yields
+// the same accumulator a post-hoc BuildIndex pass would — the
+// incremental-parity test pins that for every prefix of a campaign.
+//
+// A LiveIndex folds while the campaign runs, long before the attestation
+// sweep exists; classification is split so that only the allow-list bit
+// is baked in at fold time and Snapshot resolves attestation facts from
+// whatever Input it is finalized against (see callerFacts).
+//
+// Not safe for concurrent use: the crawler's rank-ordered sink is a
+// single goroutine, which is exactly what makes one-at-a-time folding
+// deterministic for free.
+type LiveIndex struct {
+	in     *Input
+	cache  *etld.Cache
+	agg    *indexShard
+	visits int
+}
+
+// NewLiveIndex returns an empty fold accumulator. The input needs only
+// the allow-list (classification) and optionally Metrics; Attestations
+// may be nil — they are resolved at Snapshot time.
+func NewLiveIndex(in *Input) *LiveIndex {
+	cache := etld.NewCache()
+	return &LiveIndex{in: in, cache: cache, agg: newIndexShard(in, cache)}
+}
+
+// Fold adds one visit record to the accumulator.
+func (l *LiveIndex) Fold(v *dataset.Visit) {
+	l.agg.add(v)
+	l.visits++
+}
+
+// Visits returns how many records have been folded.
+func (l *LiveIndex) Visits() int { return l.visits }
+
+// Callers returns every distinct calling party folded so far, sorted —
+// the same set crawler.CallerDomains extracts from a collected dataset,
+// so a live consumer can run the attestation sweep without the visits.
+func (l *LiveIndex) Callers() []string {
+	out := make([]string, 0, len(l.agg.callers))
+	for c := range l.agg.callers {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Shard exposes the accumulator as a mergeable partial for
+// MergeShardIndexes. The partial shares the accumulator's state; fold
+// only after the merge's finalize has run on cloned state (or not at
+// all), as with any ShardIndex.
+func (l *LiveIndex) Shard() *ShardIndex {
+	return &ShardIndex{agg: l.agg, cache: l.cache, visits: l.visits}
+}
+
+// Snapshot finalizes the accumulator into a full Index against the
+// given input (which supplies the allow-list block and the attestation
+// checks) without consuming it: the aggregates are deep-copied first,
+// so folding continues cleanly afterwards — the monitor renders a
+// report every refresh while the campaign appends.
+func (l *LiveIndex) Snapshot(in *Input) *Index {
+	agg := l.agg.clone(in)
+	idx := &Index{
+		etld:    l.cache,
+		called:  agg.called,
+		present: agg.present,
+		callers: agg.callers,
+	}
+	idx.finalize(in, agg)
+	return idx
+}
+
+// clone deep-copies every aggregate so finalize (which resolves
+// attestation facts into the caller map) and later folds cannot see
+// each other.
+func (s *indexShard) clone(in *Input) *indexShard {
+	c := newIndexShard(in, s.cache)
+	for phase, sets := range s.called {
+		c.called[phase] = cloneSiteSets(sets)
+	}
+	for phase, sets := range s.present {
+		c.present[phase] = cloneSiteSets(sets)
+	}
+	for caller, facts := range s.callers {
+		c.callers[caller] = facts
+	}
+	c.attempted = cloneSet(s.attempted)
+	c.visited = cloneSet(s.visited)
+	c.accepted = cloneSet(s.accepted)
+	c.thirdParties = cloneSet(s.thirdParties)
+	c.daaSites = cloneSet(s.daaSites)
+	c.aaLegitCalled = cloneSiteSets(s.aaLegitCalled)
+	c.banners = s.banners
+
+	c.retries = s.retries
+	c.circuitOpens = s.circuitOpens
+	c.relAttempted = s.relAttempted
+	c.relSucceeded = s.relSucceeded
+	c.relFailed = s.relFailed
+	c.partialVisits = s.partialVisits
+	c.byClass = copyStringCounts(s.byClass)
+	for rank, rc := range s.ranks {
+		c.ranks[rank] = &rankCount{attempted: rc.attempted, succeeded: rc.succeeded}
+	}
+	c.maxRank = s.maxRank
+
+	c.anomCalls = s.anomCalls
+	c.sameSLD = s.sameSLD
+	c.jsCalls = s.jsCalls
+	c.anomCPs = cloneSet(s.anomCPs)
+	c.anomSites = cloneSet(s.anomSites)
+	c.gtmSites = cloneSet(s.gtmSites)
+
+	c.f7Total = s.f7Total
+	c.f7Quest = s.f7Quest
+	c.sitesByCMP = copyCounter(s.sitesByCMP)
+	c.questByCMP = copyCounter(s.questByCMP)
+
+	for phase, types := range s.byPhase {
+		c.byPhase[phase] = copyTypeCounts(types)
+	}
+	c.legitByType = copyTypeCounts(s.legitByType)
+	c.anomByType = copyTypeCounts(s.anomByType)
+	for cp, types := range s.perCP {
+		c.perCP[cp] = copyTypeCounts(types)
+	}
+
+	c.langVisited = s.langVisited
+	c.langNoBanner = s.langNoBanner
+	c.langMissed = s.langMissed
+	c.acceptedByLang = copyCounter(s.acceptedByLang)
+
+	if s.epochs != nil {
+		c.epochs = make(map[int]*epochCount, len(s.epochs))
+		for ep, ec := range s.epochs {
+			c.epochs[ep] = &epochCount{
+				visits:  ec.visits,
+				calls:   ec.calls,
+				callers: cloneSet(ec.callers),
+				sites:   cloneSet(ec.sites),
+			}
+		}
+	}
+	return c
+}
+
+func cloneSet(src map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(src))
+	for k := range src {
+		out[k] = true
+	}
+	return out
+}
+
+func cloneSiteSets(src map[string]siteSet) map[string]siteSet {
+	out := make(map[string]siteSet, len(src))
+	for k, set := range src {
+		out[k] = cloneSet(set)
+	}
+	return out
+}
+
+// LiveSnapshotVersion is the `<journal>.idx` schema version.
+const LiveSnapshotVersion = 1
+
+// IndexSnapshotPath derives the serialized-index sidecar path for a
+// journal.
+func IndexSnapshotPath(journalPath string) string { return journalPath + ".idx" }
+
+// RemoveIndexSnapshot deletes a journal's index snapshot if present.
+func RemoveIndexSnapshot(journalPath string) {
+	os.Remove(IndexSnapshotPath(journalPath))
+}
+
+// liveSnapshot is the serialized form of a LiveIndex, written beside the
+// journal at every checkpoint. Everything is a JSON map or counter —
+// encoding/json sorts map keys, so the bytes are deterministic for a
+// given accumulator state. The header ties the snapshot to one exact
+// committed journal state (records + payload CRC) and to the allow-list
+// the classification was folded against; any mismatch on load degrades
+// the reader to a full scan, mirroring the manifest's
+// accelerator-never-authority contract.
+type liveSnapshot struct {
+	Version      int    `json:"version"`
+	Journal      string `json:"journal"`
+	Records      int64  `json:"records"`
+	PayloadCRC   uint32 `json:"payload_crc"`
+	AllowlistCRC uint32 `json:"allowlist_crc"`
+	Visits       int    `json:"visits"`
+
+	Called  map[dataset.Phase]map[string]siteSet `json:"called"`
+	Present map[dataset.Phase]map[string]siteSet `json:"present"`
+	Allowed map[string]bool                      `json:"allowed"`
+
+	Attempted     siteSet            `json:"attempted"`
+	Visited       siteSet            `json:"visited"`
+	Accepted      siteSet            `json:"accepted"`
+	ThirdParties  map[string]bool    `json:"third_parties"`
+	DAASites      siteSet            `json:"daa_sites"`
+	AALegitCalled map[string]siteSet `json:"aa_legit_called"`
+	Banners       int                `json:"banners"`
+
+	Retries       int              `json:"retries"`
+	CircuitOpens  int              `json:"circuit_opens"`
+	RelAttempted  int              `json:"rel_attempted"`
+	RelSucceeded  int              `json:"rel_succeeded"`
+	RelFailed     int              `json:"rel_failed"`
+	PartialVisits int              `json:"partial_visits"`
+	ByClass       map[string]int   `json:"by_class"`
+	Ranks         map[int]rankSnap `json:"ranks"`
+	MaxRank       int              `json:"max_rank"`
+
+	AnomCalls int     `json:"anom_calls"`
+	SameSLD   int     `json:"same_sld"`
+	JSCalls   int     `json:"js_calls"`
+	AnomCPs   siteSet `json:"anom_cps"`
+	AnomSites siteSet `json:"anom_sites"`
+	GTMSites  siteSet `json:"gtm_sites"`
+
+	F7Total    int           `json:"f7_total"`
+	F7Quest    int           `json:"f7_quest"`
+	SitesByCMP stats.Counter `json:"sites_by_cmp"`
+	QuestByCMP stats.Counter `json:"quest_by_cmp"`
+
+	ByPhase     map[dataset.Phase]map[dataset.CallType]int `json:"by_phase"`
+	LegitByType map[dataset.CallType]int                   `json:"legit_by_type"`
+	AnomByType  map[dataset.CallType]int                   `json:"anom_by_type"`
+	PerCP       map[string]map[dataset.CallType]int        `json:"per_cp"`
+
+	LangVisited    int           `json:"lang_visited"`
+	LangNoBanner   int           `json:"lang_no_banner"`
+	LangMissed     int           `json:"lang_missed"`
+	AcceptedByLang stats.Counter `json:"accepted_by_lang"`
+
+	Epochs map[int]epochSnap `json:"epochs"`
+}
+
+type rankSnap struct {
+	Attempted int `json:"a"`
+	Succeeded int `json:"s"`
+}
+
+type epochSnap struct {
+	Visits  int             `json:"visits"`
+	Calls   int             `json:"calls"`
+	Callers map[string]bool `json:"callers"`
+	Sites   siteSet         `json:"sites"`
+}
+
+// allowlistCRC fingerprints the allow-list a fold classified against, so
+// a snapshot folded under one list is never finalized under another.
+func allowlistCRC(allow *attestation.Allowlist) uint32 {
+	if allow == nil {
+		return 0
+	}
+	var crc uint32
+	for _, d := range allow.Domains() {
+		crc = crc32.Update(crc, crc32.IEEETable, []byte(d))
+		crc = crc32.Update(crc, crc32.IEEETable, []byte{'\n'})
+	}
+	return crc
+}
+
+// snapshot assembles the serialized form. The maps are shared with the
+// accumulator (encoding reads, never writes), so building it is O(1)
+// in the dataset and the encode is O(index).
+func (l *LiveIndex) snapshot(ck durable.Checkpoint) *liveSnapshot {
+	s := l.agg
+	snap := &liveSnapshot{
+		Version:      LiveSnapshotVersion,
+		Records:      ck.Records,
+		PayloadCRC:   ck.PayloadCRC,
+		AllowlistCRC: allowlistCRC(l.in.Allowlist),
+		Visits:       l.visits,
+
+		Called:  s.called,
+		Present: s.present,
+		Allowed: make(map[string]bool, len(s.callers)),
+
+		Attempted:     s.attempted,
+		Visited:       s.visited,
+		Accepted:      s.accepted,
+		ThirdParties:  s.thirdParties,
+		DAASites:      s.daaSites,
+		AALegitCalled: s.aaLegitCalled,
+		Banners:       s.banners,
+
+		Retries:       s.retries,
+		CircuitOpens:  s.circuitOpens,
+		RelAttempted:  s.relAttempted,
+		RelSucceeded:  s.relSucceeded,
+		RelFailed:     s.relFailed,
+		PartialVisits: s.partialVisits,
+		ByClass:       s.byClass,
+		Ranks:         make(map[int]rankSnap, len(s.ranks)),
+		MaxRank:       s.maxRank,
+
+		AnomCalls: s.anomCalls,
+		SameSLD:   s.sameSLD,
+		JSCalls:   s.jsCalls,
+		AnomCPs:   s.anomCPs,
+		AnomSites: s.anomSites,
+		GTMSites:  s.gtmSites,
+
+		F7Total:    s.f7Total,
+		F7Quest:    s.f7Quest,
+		SitesByCMP: s.sitesByCMP,
+		QuestByCMP: s.questByCMP,
+
+		ByPhase:     s.byPhase,
+		LegitByType: s.legitByType,
+		AnomByType:  s.anomByType,
+		PerCP:       s.perCP,
+
+		LangVisited:    s.langVisited,
+		LangNoBanner:   s.langNoBanner,
+		LangMissed:     s.langMissed,
+		AcceptedByLang: s.acceptedByLang,
+
+		Epochs: make(map[int]epochSnap, len(s.epochs)),
+	}
+	for caller, facts := range s.callers {
+		snap.Allowed[caller] = facts.allowed
+	}
+	for rank, rc := range s.ranks {
+		snap.Ranks[rank] = rankSnap{Attempted: rc.attempted, Succeeded: rc.succeeded}
+	}
+	for ep, ec := range s.epochs {
+		snap.Epochs[ep] = epochSnap{Visits: ec.visits, Calls: ec.calls, Callers: ec.callers, Sites: ec.sites}
+	}
+	return snap
+}
+
+// decodeLiveSnapshot strictly decodes and validates snapshot bytes.
+func decodeLiveSnapshot(data []byte) (*liveSnapshot, error) {
+	var snap liveSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("analysis: index snapshot: %w", err)
+	}
+	if snap.Version != LiveSnapshotVersion {
+		return nil, fmt.Errorf("analysis: index snapshot: unsupported version %d", snap.Version)
+	}
+	if snap.Records < 0 || snap.Visits < 0 {
+		return nil, fmt.Errorf("analysis: index snapshot: negative record count")
+	}
+	if snap.Records == 0 && snap.Visits > 0 {
+		return nil, fmt.Errorf("analysis: index snapshot: %d visits with zero committed records", snap.Visits)
+	}
+	return &snap, nil
+}
+
+// StoreSnapshot atomically writes the accumulator's serialized form
+// beside the journal, tied to the given committed checkpoint.
+func (l *LiveIndex) StoreSnapshot(journalPath string, ck durable.Checkpoint) error {
+	snap := l.snapshot(ck)
+	snap.Journal = filepath.Base(journalPath)
+	return durable.WriteFileAtomic(IndexSnapshotPath(journalPath), func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		return enc.Encode(snap)
+	})
+}
+
+// restore rebuilds the accumulator from a decoded snapshot. Maps absent
+// from the file stay as newIndexShard's empty ones.
+func restoreLiveIndex(in *Input, snap *liveSnapshot) *LiveIndex {
+	l := NewLiveIndex(in)
+	s := l.agg
+	l.visits = snap.Visits
+
+	for phase, sets := range snap.Called {
+		s.called[phase] = sets
+	}
+	for phase, sets := range snap.Present {
+		s.present[phase] = sets
+	}
+	for caller, allowed := range snap.Allowed {
+		s.callers[caller] = callerFacts{allowed: allowed}
+	}
+	if snap.Attempted != nil {
+		s.attempted = snap.Attempted
+	}
+	if snap.Visited != nil {
+		s.visited = snap.Visited
+	}
+	if snap.Accepted != nil {
+		s.accepted = snap.Accepted
+	}
+	if snap.ThirdParties != nil {
+		s.thirdParties = snap.ThirdParties
+	}
+	if snap.DAASites != nil {
+		s.daaSites = snap.DAASites
+	}
+	if snap.AALegitCalled != nil {
+		s.aaLegitCalled = snap.AALegitCalled
+	}
+	s.banners = snap.Banners
+
+	s.retries = snap.Retries
+	s.circuitOpens = snap.CircuitOpens
+	s.relAttempted = snap.RelAttempted
+	s.relSucceeded = snap.RelSucceeded
+	s.relFailed = snap.RelFailed
+	s.partialVisits = snap.PartialVisits
+	if snap.ByClass != nil {
+		s.byClass = snap.ByClass
+	}
+	for rank, rc := range snap.Ranks {
+		s.ranks[rank] = &rankCount{attempted: rc.Attempted, succeeded: rc.Succeeded}
+	}
+	s.maxRank = snap.MaxRank
+
+	s.anomCalls = snap.AnomCalls
+	s.sameSLD = snap.SameSLD
+	s.jsCalls = snap.JSCalls
+	if snap.AnomCPs != nil {
+		s.anomCPs = snap.AnomCPs
+	}
+	if snap.AnomSites != nil {
+		s.anomSites = snap.AnomSites
+	}
+	if snap.GTMSites != nil {
+		s.gtmSites = snap.GTMSites
+	}
+
+	s.f7Total = snap.F7Total
+	s.f7Quest = snap.F7Quest
+	if snap.SitesByCMP != nil {
+		s.sitesByCMP = snap.SitesByCMP
+	}
+	if snap.QuestByCMP != nil {
+		s.questByCMP = snap.QuestByCMP
+	}
+
+	if snap.ByPhase != nil {
+		s.byPhase = snap.ByPhase
+	}
+	if snap.LegitByType != nil {
+		s.legitByType = snap.LegitByType
+	}
+	if snap.AnomByType != nil {
+		s.anomByType = snap.AnomByType
+	}
+	if snap.PerCP != nil {
+		s.perCP = snap.PerCP
+	}
+
+	s.langVisited = snap.LangVisited
+	s.langNoBanner = snap.LangNoBanner
+	s.langMissed = snap.LangMissed
+	if snap.AcceptedByLang != nil {
+		s.acceptedByLang = snap.AcceptedByLang
+	}
+
+	if len(snap.Epochs) > 0 {
+		s.epochs = make(map[int]*epochCount, len(snap.Epochs))
+		for ep, ec := range snap.Epochs {
+			callers := ec.Callers
+			if callers == nil {
+				callers = make(map[string]bool)
+			}
+			sites := ec.Sites
+			if sites == nil {
+				sites = make(siteSet)
+			}
+			s.epochs[ep] = &epochCount{visits: ec.Visits, calls: ec.Calls, callers: callers, sites: sites}
+		}
+	}
+	return l
+}
+
+// SnapshotInfo describes a restored index snapshot.
+type SnapshotInfo struct {
+	// Records/PayloadCRC are the committed journal state the snapshot
+	// covers.
+	Records    int64
+	PayloadCRC uint32
+	// Visits is how many records were folded into it.
+	Visits int
+}
+
+// LoadIndexSnapshot restores the live index a previous run serialized
+// beside the journal. It is an accelerator with the manifest's
+// contract: missing, unreadable, corrupt, version-skewed files — or a
+// snapshot tied to a different journal name, a different committed
+// state than the current manifest, or a different allow-list — all
+// return nil, and the caller falls back to folding from byte 0. It
+// never errors.
+func LoadIndexSnapshot(journalPath string, in *Input) (*LiveIndex, *SnapshotInfo) {
+	m := durable.LoadManifest(journalPath)
+	if m == nil {
+		return nil, nil
+	}
+	data, err := os.ReadFile(IndexSnapshotPath(journalPath))
+	if err != nil {
+		return nil, nil
+	}
+	snap, err := decodeLiveSnapshot(data)
+	if err != nil {
+		return nil, nil
+	}
+	if snap.Journal != filepath.Base(journalPath) {
+		return nil, nil
+	}
+	if snap.Records != m.Records || snap.PayloadCRC != m.PayloadCRC {
+		return nil, nil
+	}
+	if snap.AllowlistCRC != allowlistCRC(in.Allowlist) {
+		return nil, nil
+	}
+	return restoreLiveIndex(in, snap), &SnapshotInfo{
+		Records:    snap.Records,
+		PayloadCRC: snap.PayloadCRC,
+		Visits:     snap.Visits,
+	}
+}
+
+// LiveStats reports how a live index was (re)assembled and what it cost
+// in journal bytes — the O(tail + snapshot) guarantee the tests pin.
+type LiveStats struct {
+	// SnapshotRestored reports whether the serialized index was usable;
+	// false means the reader degraded to a full scan.
+	SnapshotRestored bool
+	// SnapshotRecords is the committed record count the restored
+	// snapshot covered (0 when none).
+	SnapshotRecords int64
+	// TailRecords counts the records folded from the journal itself.
+	TailRecords int64
+	// BytesRead is the raw journal bytes read off disk.
+	BytesRead int64
+	// Truncated reports a torn tail after the last valid record.
+	Truncated bool
+}
+
+// LoadLiveIndex assembles the fold accumulator for a (possibly still
+// growing) journal: restore the checkpoint snapshot and fold only the
+// tail past the committed offset — O(tail + snapshot) bytes — or
+// degrade to a full folding scan when the snapshot is unusable. The
+// returned accumulator is not finalized: call Callers() to run the
+// attestation sweep, then Snapshot(in) against an input carrying the
+// checks. LoadLive wraps both steps when the input is already complete.
+func LoadLiveIndex(journalPath string, in *Input) (*LiveIndex, *LiveStats, error) {
+	st := &LiveStats{}
+	live, info := LoadIndexSnapshot(journalPath, in)
+	var offset int64
+	if live != nil {
+		st.SnapshotRestored = true
+		st.SnapshotRecords = info.Records
+		// The manifest validated against the snapshot moments ago; a
+		// racing checkpoint can only move it forward, and folding from
+		// the snapshot's own committed offset stays correct either way.
+		if m := durable.LoadManifest(journalPath); m != nil && m.Records == info.Records {
+			offset = m.Offset
+		}
+	}
+	if live == nil {
+		live = NewLiveIndex(in)
+	}
+	if offset == 0 && st.SnapshotRestored {
+		// Snapshot usable but its offset unknown (manifest raced away):
+		// degrade to the full scan rather than double-fold.
+		live = NewLiveIndex(in)
+		st.SnapshotRestored = false
+		st.SnapshotRecords = 0
+	}
+
+	rc, cr, err := durable.OpenTail(journalPath, offset)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer rc.Close()
+	scan, err := durable.ScanRecords(rc, func(payload []byte) error {
+		var v dataset.Visit
+		if uerr := json.Unmarshal(payload, &v); uerr != nil {
+			return fmt.Errorf("analysis: decoding journal record: %w", uerr)
+		}
+		live.Fold(&v)
+		st.TailRecords++
+		return nil
+	})
+	st.BytesRead = cr.BytesRead()
+	if err != nil {
+		return nil, nil, err
+	}
+	st.Truncated = scan.Truncated
+	in.Metrics.Add("analysis_live_tail_records_total", st.TailRecords)
+	return live, st, nil
+}
+
+// LoadLive assembles and finalizes the analysis index for a journal in
+// O(tail + snapshot) bytes (see LoadLiveIndex). The returned Index is
+// finalized against in (allow-list block, attestation checks) and
+// equals what BuildIndex over the journal's full record stream builds;
+// adopt it with in.AdoptIndex to serve Compute*/Run queries.
+func LoadLive(journalPath string, in *Input) (*Index, *LiveStats, error) {
+	live, st, err := LoadLiveIndex(journalPath, in)
+	if err != nil {
+		return nil, nil, err
+	}
+	return live.Snapshot(in), st, nil
+}
+
+// LiveSink is the fold consumer hooked into the crawler's rank-ordered
+// sink: it implements dataset.VisitObserver, folding every appended
+// record into a LiveIndex and serializing the accumulator beside the
+// journal at every committed checkpoint. The snapshot write rides the
+// same cadence as the manifest, so `<out>.idx` always describes a state
+// the manifest can vouch for.
+type LiveSink struct {
+	path string
+	idx  *LiveIndex
+}
+
+// NewLiveSink returns a sink for a fresh journal.
+func NewLiveSink(journalPath string, in *Input) *LiveSink {
+	return &LiveSink{path: journalPath, idx: NewLiveIndex(in)}
+}
+
+// OpenLiveSink returns a sink for a journal about to be resumed:
+// restore the snapshot when it matches the manifest (O(snapshot)), else
+// fold the committed prefix from byte 0 (the degrade path — salvage,
+// never error). Records past the committed checkpoint are NOT folded
+// here: ResumeJournal re-appends the kept tail groups through the
+// observer, which is where they reach the sink.
+func OpenLiveSink(journalPath string, in *Input) (*LiveSink, *LiveStats, error) {
+	st := &LiveStats{}
+	if live, info := LoadIndexSnapshot(journalPath, in); live != nil {
+		st.SnapshotRestored = true
+		st.SnapshotRecords = info.Records
+		in.Metrics.Add("analysis_index_snapshots_restored_total", 1)
+		return &LiveSink{path: journalPath, idx: live}, st, nil
+	}
+	live := NewLiveIndex(in)
+	m := durable.LoadManifest(journalPath)
+	if m == nil || m.Records == 0 {
+		// Nothing committed (or no usable manifest, in which case the
+		// resume's own salvaging scan replays everything through the
+		// observer): start empty.
+		return &LiveSink{path: journalPath, idx: live}, st, nil
+	}
+	rc, cr, err := durable.OpenTail(journalPath, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer rc.Close()
+	_, err = durable.ScanRecords(rc, func(payload []byte) error {
+		if int64(live.visits) >= m.Records {
+			return nil
+		}
+		var v dataset.Visit
+		if uerr := json.Unmarshal(payload, &v); uerr != nil {
+			return fmt.Errorf("analysis: decoding journal record: %w", uerr)
+		}
+		live.Fold(&v)
+		st.TailRecords++
+		return nil
+	})
+	st.BytesRead = cr.BytesRead()
+	if err != nil {
+		return nil, nil, err
+	}
+	in.Metrics.Add("analysis_index_snapshot_rebuilds_total", 1)
+	return &LiveSink{path: journalPath, idx: live}, st, nil
+}
+
+// Live returns the sink's accumulator.
+func (s *LiveSink) Live() *LiveIndex { return s.idx }
+
+// ObserveVisit folds one appended record.
+func (s *LiveSink) ObserveVisit(v *dataset.Visit) {
+	s.idx.Fold(v)
+	s.idx.in.Metrics.Add("analysis_live_visits_folded_total", 1)
+}
+
+// ObserveCheckpoint serializes the accumulator for the committed state.
+// A sink attached mid-journal (fold count out of step with the commit)
+// writes nothing — a snapshot must never describe records it did not
+// fold.
+func (s *LiveSink) ObserveCheckpoint(ck durable.Checkpoint) error {
+	if int64(s.idx.visits) != ck.Records {
+		return nil
+	}
+	if err := s.idx.StoreSnapshot(s.path, ck); err != nil {
+		return err
+	}
+	s.idx.in.Metrics.Add("analysis_index_snapshots_written_total", 1)
+	return nil
+}

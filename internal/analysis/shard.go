@@ -26,9 +26,10 @@ func (s *ShardIndex) Visits() int { return s.visits }
 
 // BuildShardIndex aggregates one shard's dataset into a mergeable
 // partial, using the same striped parallel pass as BuildIndex. The
-// input's Allowlist and Attestations must be the campaign-global ones —
-// caller classification is folded into the partial and must agree
-// across shards.
+// input's Allowlist must be the campaign-global one — the allow-list
+// membership bit is folded into the partial and must agree across
+// shards. Attestations are not consulted until finalize (they do not
+// exist while a campaign is still crawling), so the partial needs none.
 func BuildShardIndex(in *Input) *ShardIndex {
 	return buildShardIndex(in, runtime.GOMAXPROCS(0))
 }

@@ -16,6 +16,19 @@ import (
 // hot path.
 const DefaultCheckpointEvery = 25
 
+// VisitObserver receives every record a journal accepts, in append
+// (rank) order, plus every committed checkpoint — the hook the
+// incremental analysis fold rides. ObserveVisit runs after the record
+// is buffered in the journal; ObserveCheckpoint runs after the
+// checkpoint's manifest (and frame index) hit disk, so an observer that
+// serializes per-checkpoint state can tie it to a durable commit. On
+// resume, salvaged tail records are replayed through ObserveVisit
+// before the repair checkpoint fires.
+type VisitObserver interface {
+	ObserveVisit(v *Visit)
+	ObserveCheckpoint(ck durable.Checkpoint) error
+}
+
 // JournalOptions configure a crash-safe dataset journal.
 type JournalOptions struct {
 	// CheckpointEvery is the number of completed sites between
@@ -33,6 +46,9 @@ type JournalOptions struct {
 	// carries different shard geometry — a shard restarted with the
 	// wrong rank window would silently corrupt the merged campaign.
 	Shard *durable.ShardInfo
+	// Observer, when set, receives every accepted record and committed
+	// checkpoint (see VisitObserver). Nil means no observation.
+	Observer VisitObserver
 	// Durable carries the low-level hooks (chaos crash injection).
 	Durable durable.Options
 }
@@ -53,6 +69,7 @@ type JournalWriter struct {
 	j    *durable.Journal
 	path string
 	opts JournalOptions
+	fidx *durable.FrameIndex
 
 	watermarkRank int
 	watermarkSite string
@@ -95,7 +112,8 @@ func CreateJournal(path string, opts JournalOptions) (*JournalWriter, error) {
 		return nil, err
 	}
 	durable.RemoveManifest(path)
-	return &JournalWriter{j: j, path: path, opts: opts, done: map[int]string{}}, nil
+	durable.RemoveFrameIndex(path)
+	return &JournalWriter{j: j, path: path, opts: opts, fidx: &durable.FrameIndex{}, done: map[int]string{}}, nil
 }
 
 // errCorrupt marks the first undecodable record during a resume scan:
@@ -203,6 +221,7 @@ func ResumeJournal(path string, opts JournalOptions) (*JournalWriter, *ResumeSta
 	}
 	w := &JournalWriter{
 		j: j, path: path, opts: opts,
+		fidx:          &durable.FrameIndex{},
 		watermarkRank: st.WatermarkRank,
 		sites:         0,
 		done:          map[int]string{},
@@ -211,11 +230,27 @@ func ResumeJournal(path string, opts JournalOptions) (*JournalWriter, *ResumeSta
 		w.watermarkSite = m.WatermarkSite
 		w.sites = m.Sites
 	}
+	// The sparse frame index survives a resume only up to the rewound
+	// checkpoint; everything past it described bytes the repair just
+	// truncated. A missing or invalid index simply restarts empty — it
+	// is an accelerator, not an authority.
+	if fi := durable.LoadFrameIndex(path); fi != nil {
+		fi.Truncate(ck.Offset)
+		w.fidx = fi
+	}
 	for _, g := range kept {
 		for _, p := range g.payloads {
 			if err := j.Append(p); err != nil {
 				j.Close()
 				return nil, nil, err
+			}
+			if opts.Observer != nil {
+				var v Visit
+				if uerr := json.Unmarshal(p, &v); uerr != nil {
+					j.Close()
+					return nil, nil, fmt.Errorf("dataset: replaying salvaged record: %w", uerr)
+				}
+				opts.Observer.ObserveVisit(&v)
 			}
 		}
 		w.noteCompleted(g.rank, g.site)
@@ -241,7 +276,13 @@ func (w *JournalWriter) Write(v *Visit) error {
 	if err != nil {
 		return fmt.Errorf("dataset: encoding visit %q: %w", v.Site, err)
 	}
-	return w.j.Append(payload)
+	if err := w.j.Append(payload); err != nil {
+		return err
+	}
+	if w.opts.Observer != nil {
+		w.opts.Observer.ObserveVisit(v)
+	}
+	return nil
 }
 
 // Count returns the total record count, including records salvaged or
@@ -302,6 +343,18 @@ func (w *JournalWriter) checkpoint() error {
 	}
 	if err := m.Store(w.path); err != nil {
 		return err
+	}
+	// The frame index is written after the manifest, so it only ever
+	// lags the committed state — a crash between the two leaves an index
+	// missing the newest boundary, never one pointing past the commit.
+	w.fidx.Append(durable.FrameEntry{Offset: ck.Offset, Records: ck.Records, Rank: w.watermarkRank})
+	if err := w.fidx.Store(w.path); err != nil {
+		return err
+	}
+	if w.opts.Observer != nil {
+		if err := w.opts.Observer.ObserveCheckpoint(ck); err != nil {
+			return err
+		}
 	}
 	w.sinceCkpt = 0
 	w.opts.Metrics.Add("dataset_checkpoints_written_total", 1)

@@ -3,6 +3,9 @@ package durable
 import (
 	"bytes"
 	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
 	"testing"
 )
 
@@ -72,6 +75,74 @@ func FuzzManifestDecode(f *testing.F) {
 		}
 		if (m.Records == 0) != (m.Offset == 0) {
 			t.Fatalf("validator admitted inconsistent emptiness: %+v", m)
+		}
+	})
+}
+
+// FuzzFrameIndexDecode hardens the sparse-frame-index decoder the same
+// way: arbitrary (torn, bit-flipped, adversarial) bytes must either be
+// rejected or decode to an index whose entries honour the monotonicity
+// invariants every seek helper relies on — so a reader seeded from a
+// decoded index can trust its boundaries without re-checking.
+func FuzzFrameIndexDecode(f *testing.F) {
+	f.Add([]byte(`{"version":1,"journal":"crawl.jsonl.gz","entries":[{"offset":100,"records":10,"rank":4},{"offset":250,"records":25,"rank":9}]}`))
+	f.Add([]byte(`{"version":1,"journal":"x"}`))
+	f.Add([]byte(`{"version":2,"journal":"x","entries":[{"offset":1,"records":1,"rank":0}]}`))
+	f.Add([]byte(`{"version":1,"entries":[{"offset":5,"records":1},{"offset":5,"records":2}]}`))
+	f.Add([]byte(`{"version":1,"entries":[{"offset":9,"records":0,"rank":0}]}`))
+	f.Add([]byte(`{"version":1,"entries":[{"offset":-3,"records":1,"rank":-2}]}`))
+	f.Add([]byte(`{"version":1,"journal":"crawl.jsonl.gz","entries":[{"offset":100,`)) // torn tail
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fi, err := DecodeFrameIndex(data)
+		if err != nil {
+			return
+		}
+		if fi == nil {
+			t.Fatal("nil frame index without error")
+		}
+		if fi.Version != FrameIndexVersion {
+			t.Fatalf("validator admitted version %d", fi.Version)
+		}
+		var prev FrameEntry
+		for i, e := range fi.Entries {
+			if e.Offset <= prev.Offset || e.Records < prev.Records || e.Rank < prev.Rank {
+				t.Fatalf("validator admitted non-monotonic entry %d: %+v", i, fi.Entries)
+			}
+			if e.Records <= 0 {
+				t.Fatalf("validator admitted empty boundary %d: %+v", i, e)
+			}
+			prev = e
+		}
+		// Accepted indexes must survive a Store/Load round trip intact
+		// (modulo the journal binding Store rewrites). The backing journal
+		// is a sparse file, so adversarially huge offsets stay cheap.
+		dir := t.TempDir()
+		journal := filepath.Join(dir, "crawl.jsonl.gz")
+		size := int64(0)
+		if n := len(fi.Entries); n > 0 {
+			size = fi.Entries[n-1].Offset
+		}
+		if err := os.WriteFile(journal, nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Truncate(journal, size); err != nil {
+			return // offset beyond what the filesystem represents: no journal could ever match
+		}
+		if err := fi.Store(journal); err != nil {
+			t.Fatal(err)
+		}
+		got := LoadFrameIndex(journal)
+		if got == nil {
+			t.Fatal("stored index did not load back")
+		}
+		if len(got.Entries) != len(fi.Entries) {
+			t.Fatalf("round trip changed entry count: got %d, want %d", len(got.Entries), len(fi.Entries))
+		}
+		if len(fi.Entries) > 0 && !reflect.DeepEqual(got.Entries, fi.Entries) {
+			t.Fatalf("round trip changed entries:\ngot:  %+v\nwant: %+v", got.Entries, fi.Entries)
 		}
 	})
 }

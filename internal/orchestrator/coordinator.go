@@ -286,6 +286,18 @@ func (c Campaign) Run(ctx context.Context) (*Result, error) {
 		iwg.Add(1)
 		go func(i int) {
 			defer iwg.Done()
+			// Each worker serialized its live index beside its journal at
+			// every checkpoint; a snapshot matching the shard's final
+			// manifest, our allow-list, and the merged record count is
+			// adopted as the merge partial without re-folding the shard.
+			// Anything less degrades to the from-scratch build.
+			shardIn := &analysis.Input{Allowlist: allow, Metrics: c.Metrics}
+			if live, _ := analysis.LoadIndexSnapshot(shardPaths[i], shardIn); live != nil && live.Visits() == len(parts[i]) {
+				partials[i] = live.Shard()
+				c.Metrics.Add("orchestrator_shard_index_restored_total", 1)
+				return
+			}
+			c.Metrics.Add("orchestrator_shard_index_rebuilt_total", 1)
 			partials[i] = analysis.BuildShardIndex(&analysis.Input{
 				Data:         &dataset.Dataset{Visits: parts[i]},
 				Allowlist:    allow,

@@ -8,6 +8,7 @@ import (
 	"os"
 	"time"
 
+	"github.com/netmeasure/topicscope/internal/analysis"
 	"github.com/netmeasure/topicscope/internal/attestation"
 	"github.com/netmeasure/topicscope/internal/chaos"
 	"github.com/netmeasure/topicscope/internal/crawler"
@@ -150,9 +151,22 @@ func (c ShardCampaign) Run(ctx context.Context) (*ShardResult, error) {
 
 	path := ShardPath(c.OutputPath, c.Shard.Index)
 	res := &ShardResult{Path: path}
+	// Each shard maintains its own live analysis index beside its
+	// journal; the coordinator merges the per-shard snapshots with
+	// MergeShardIndexes instead of re-folding every shard's records.
+	liveIn := &analysis.Input{Allowlist: allow, Metrics: reg}
 	var journal *dataset.JournalWriter
 	var err error
 	if c.Resume {
+		sink, lst, serr := analysis.OpenLiveSink(path, liveIn)
+		if serr != nil {
+			return nil, serr
+		}
+		if c.Logger != nil && lst.SnapshotRestored {
+			c.Logger.Info("shard index snapshot restored", "shard", c.Shard.String(),
+				"records", lst.SnapshotRecords)
+		}
+		jopts.Observer = sink
 		var st *dataset.ResumeState
 		journal, st, err = dataset.ResumeJournal(path, jopts)
 		if err != nil {
@@ -172,6 +186,7 @@ func (c ShardCampaign) Run(ctx context.Context) (*ShardResult, error) {
 				"kept", st.RecordsKept, "skipping", len(skipSites), "tailBytes", st.BytesRead)
 		}
 	} else {
+		jopts.Observer = analysis.NewLiveSink(path, liveIn)
 		journal, err = dataset.CreateJournal(path, jopts)
 		if err != nil {
 			return nil, err

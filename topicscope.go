@@ -167,10 +167,17 @@ func (c Campaign) Run(ctx context.Context) (*Results, error) {
 	}
 	var journal *dataset.JournalWriter
 	if c.OutputPath != "" {
+		// The incremental-analysis fold rides the journal's observer
+		// hook: every appended record updates a live index, and every
+		// committed checkpoint serializes it beside the journal
+		// (<out>.idx), so topics-monitor -live and topics-report -live
+		// render the campaign's tables mid-crawl in O(tail + snapshot).
+		liveIn := &analysis.Input{Allowlist: allow, Metrics: reg}
 		var err error
 		journal, err = dataset.CreateJournal(c.OutputPath, dataset.JournalOptions{
 			CheckpointEvery: c.CheckpointEvery,
 			Metrics:         reg,
+			Observer:        analysis.NewLiveSink(c.OutputPath, liveIn),
 		})
 		if err != nil {
 			return nil, err

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-core cover bench bench-json bench-gate fuzz golden report lint lint-escape load-slo live clean
+.PHONY: all build test race race-core storage-faults cover bench bench-json bench-gate fuzz golden report lint lint-escape load-slo live clean
 
 all: build lint test race-core
 
@@ -23,11 +23,22 @@ race:
 # concurrent reads, the obs registry/summary sinks that crawl workers
 # feed concurrently, the durable journal the crawl writes through, the
 # orchestrator's coordinator (concurrent shard supervision + restart
-# accounting), and the serving path under load (etld cache, topics
-# engine pool, load-harness workers) — fast enough to ride in
-# `make all`.
+# accounting), the chaos fault FS + fsck repair path (parallel recrawls
+# through the storage seam), and the serving path under load (etld
+# cache, topics engine pool, load-harness workers) — fast enough to
+# ride in `make all`.
 race-core:
-	$(GO) test -race ./internal/analysis/ ./internal/crawler/ ./internal/webserver/ ./internal/obs/ ./internal/durable/ ./internal/dataset/ ./internal/orchestrator/ ./internal/etld/ ./internal/topics/ ./internal/load/
+	$(GO) test -race ./internal/analysis/ ./internal/crawler/ ./internal/webserver/ ./internal/obs/ ./internal/durable/ ./internal/dataset/ ./internal/orchestrator/ ./internal/etld/ ./internal/topics/ ./internal/load/ ./internal/chaos/ ./internal/fsck/
+
+# The storage-fault matrix: every artifact-level fault class (ENOSPC,
+# EIO blips, short writes, failed fsyncs, torn renames, bit flips)
+# against the write-path retry policy, the crash matrix under storage
+# weather, and the fsck repair-parity invariant — inject, verify,
+# repair, byte-identical.
+storage-faults:
+	$(GO) test -count=1 ./internal/chaos/ ./internal/fsck/
+	$(GO) test -count=1 -run 'TestStorageFault|TestWriteFileAtomicAbortMatrix|TestSyncDir|TestRetryPolicy' ./internal/crawler/ ./internal/durable/
+	$(GO) test -count=1 -race -run 'TestRepairParityFaultMatrix|TestCampaignSurvivesTransientStorageFaults|TestCoordinatorFsckHealsCorruptShard' ./internal/fsck/ ./internal/orchestrator/
 
 # Static analysis: go vet plus the repo's own invariant suite
 # (cmd/topicslint: determinism, vclock, etld, errwrap, atomicwrite,
@@ -92,6 +103,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzScanRecords -fuzztime=10s ./internal/durable/
 	$(GO) test -fuzz=FuzzManifestDecode -fuzztime=10s ./internal/durable/
 	$(GO) test -fuzz=FuzzFrameIndexDecode -fuzztime=10s ./internal/durable/
+	$(GO) test -fuzz=FuzzFsckReportDecode -fuzztime=10s ./internal/fsck/
 
 # The incremental-analysis equivalence suite: fold-vs-build parity at
 # every prefix, snapshot round trip + corruption degradation, the

@@ -42,6 +42,8 @@ import (
 	"time"
 
 	"github.com/netmeasure/topicscope"
+	"github.com/netmeasure/topicscope/internal/chaos"
+	"github.com/netmeasure/topicscope/internal/durable"
 	"github.com/netmeasure/topicscope/internal/orchestrator"
 )
 
@@ -68,6 +70,11 @@ func main() {
 		tracePath  = flag.String("trace", "", "write per-visit span trees here (JSONL, .gz transparently); tail with topics-monitor -tail")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and live crawl metrics at /__metrics on this address")
 		shard      = flag.String("shard", "", "run as shard i/N of a distributed campaign (see topics-orch); writes <out>.shard-i")
+
+		storageChaos = flag.Bool("storage-chaos", false, "inject seeded storage faults (EIO blips, short writes, torn renames) on every artifact write")
+		storageSeed  = flag.Uint64("storage-chaos-seed", 1, "storage fault-injection seed")
+		storageRate  = flag.Float64("storage-fault-rate", 0.02, "per-operation storage fault probability under -storage-chaos")
+		enospcAfter  = flag.Int64("storage-enospc-after", 0, "simulated disk capacity in bytes; the crossing write latches a persistent ENOSPC (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -80,7 +87,9 @@ func main() {
 			out: *out, enforce: *enforce, quiet: *quiet, resume: *resume,
 			ckptEvery: *ckptEvery, budgetMS: *budgetMS,
 			chaos: *useChaos, chaosSeed: *chaosSeed, retries: *retries,
-			pprofAddr: *pprofAddr,
+			pprofAddr:    *pprofAddr,
+			storageChaos: *storageChaos, storageSeed: *storageSeed,
+			storageRate: *storageRate, enospcAfter: *enospcAfter,
 		})
 		return
 	}
@@ -132,11 +141,13 @@ func main() {
 	// (<out>.idx at every checkpoint) for topics-monitor -live and
 	// topics-report -live.
 	skip := map[string]bool{}
-	liveIn := &topicscope.AnalysisInput{Allowlist: allow, Metrics: reg}
+	storageFS, storageRetry := storagePolicy(*storageChaos, *storageSeed, *storageRate, *enospcAfter, reg)
+	liveIn := &topicscope.AnalysisInput{Allowlist: allow, Metrics: reg, FS: storageFS}
 	jopts := topicscope.JournalOptions{
 		CheckpointEvery: *ckptEvery,
 		Metrics:         reg,
 		Skip:            func(rank int) bool { return skip[rankSite[rank]] },
+		Durable:         durable.Options{FS: storageFS, Retry: storageRetry},
 	}
 	var journal *topicscope.DatasetJournal
 	if *resume {
@@ -242,10 +253,10 @@ func main() {
 	res, err := cr.Run(ctx, list)
 	drained := errors.Is(err, context.Canceled)
 	if err != nil && !drained {
-		fatal(err)
+		failStorageAware(journal, err)
 	}
 	if err := journal.Close(); err != nil {
-		fatal(err)
+		failStorageAware(nil, err)
 	}
 	fmt.Printf("crawl: %s\n", res.Stats)
 	if injector != nil {
@@ -295,6 +306,10 @@ type shardWorkerFlags struct {
 	ckptEvery         int
 	budgetMS, retries int
 	pprofAddr         string
+	storageChaos      bool
+	storageSeed       uint64
+	storageRate       float64
+	enospcAfter       int64
 }
 
 // runShardWorker is the -shard i/N mode: one worker of a distributed
@@ -339,6 +354,7 @@ func runShardWorker(f shardWorkerFlags) {
 		retries = -1 // ShardCampaign uses the Campaign convention: negative disables
 	}
 
+	storageFS, storageRetry := storagePolicy(f.storageChaos, f.storageSeed, f.storageRate, f.enospcAfter, reg)
 	sc := orchestrator.ShardCampaign{
 		Seed: f.seed, Sites: f.sites, Workers: f.workers,
 		Enforce: f.enforce, Chaos: f.chaos, ChaosSeed: f.chaosSeed,
@@ -347,6 +363,7 @@ func runShardWorker(f shardWorkerFlags) {
 		OutputPath:  f.out, CheckpointEvery: f.ckptEvery,
 		Shard: spec, Resume: f.resume,
 		Logger: logger, Metrics: reg, MetricsURL: metricsURL,
+		FS: storageFS, Retry: storageRetry,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -360,8 +377,36 @@ func runShardWorker(f shardWorkerFlags) {
 		fmt.Printf("shard %s drained: journal durable through its final checkpoint; rerun with -resume (or let topics-orch -resume)\n", spec)
 		os.Exit(130)
 	default:
-		fatal(err)
+		failStorageAware(nil, err)
 	}
+}
+
+// storagePolicy builds the artifact-write filesystem and retry policy:
+// the fault-injecting FS under -storage-chaos (nil otherwise, meaning
+// the real OS), and a bounded retry for authoritative writes whose
+// backoff rides the virtual clock inside the crawler.
+func storagePolicy(inject bool, seed uint64, rate float64, enospcAfter int64, reg *topicscope.MetricsRegistry) (durable.FS, durable.RetryPolicy) {
+	retry := durable.RetryPolicy{Attempts: 4, Backoff: 100 * time.Millisecond, Metrics: reg}
+	if !inject {
+		return nil, retry
+	}
+	return chaos.NewFaultFS(nil, chaos.UniformFSProfile(seed, rate, enospcAfter, reg)), retry
+}
+
+// failStorageAware is fatal plus the storage exit-code protocol: a
+// persistent out-of-disk failure aborts the journal (the last durable
+// checkpoint survives) and exits with the distinct resumable code 131,
+// mirroring 130 for a graceful drain.
+func failStorageAware(journal *topicscope.DatasetJournal, err error) {
+	if durable.IsDiskFull(err) {
+		if journal != nil {
+			journal.Abort()
+		}
+		fmt.Fprintln(os.Stderr, "topics-crawl: out of disk space:", err)
+		fmt.Fprintln(os.Stderr, "topics-crawl: dataset is durable through its last checkpoint; free space and rerun with -resume")
+		os.Exit(131)
+	}
+	fatal(err)
 }
 
 func fatal(err error) {

@@ -57,6 +57,7 @@ func main() {
 		maxRestarts   = flag.Int("max-restarts", orchestrator.DefaultMaxRestarts, "restart budget per shard after a worker crash; 0 disables restarts")
 		workerBin     = flag.String("worker-bin", "", "spawn each shard as this topics-crawl binary instead of in-process goroutines")
 		workerMetrics = flag.Bool("worker-metrics", false, "with -worker-bin: give each worker a live /__metrics endpoint (topics-monitor -shards aggregates them)")
+		doFsck        = flag.Bool("fsck", false, "verify every shard journal after the crawl; corrupt shards are truncated to their last clean checkpoint and recrawled")
 	)
 	flag.Parse()
 
@@ -88,6 +89,7 @@ func main() {
 		OutputPath: *out, CheckpointEvery: *ckptEvery,
 		Shards: *shards, Resume: *resume, MaxRestarts: campRestarts,
 		Launcher: launcher, Logger: logger, Metrics: obs.NewRegistry(),
+		Fsck: *doFsck,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

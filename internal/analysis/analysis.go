@@ -21,6 +21,7 @@ import (
 
 	"github.com/netmeasure/topicscope/internal/attestation"
 	"github.com/netmeasure/topicscope/internal/dataset"
+	"github.com/netmeasure/topicscope/internal/durable"
 	"github.com/netmeasure/topicscope/internal/etld"
 	"github.com/netmeasure/topicscope/internal/obs"
 )
@@ -37,6 +38,10 @@ type Input struct {
 	// Metrics, when set, counts index and report activity in the shared
 	// observability registry. Nil disables counting.
 	Metrics *obs.Registry
+	// FS, when set, routes live-snapshot reads and writes through an
+	// explicit filesystem seam (chaos fault injection); nil means the
+	// real OS.
+	FS durable.FS
 
 	indexOnce sync.Once
 	index     *Index

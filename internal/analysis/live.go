@@ -376,7 +376,7 @@ func decodeLiveSnapshot(data []byte) (*liveSnapshot, error) {
 func (l *LiveIndex) StoreSnapshot(journalPath string, ck durable.Checkpoint) error {
 	snap := l.snapshot(ck)
 	snap.Journal = filepath.Base(journalPath)
-	return durable.WriteFileAtomic(IndexSnapshotPath(journalPath), func(w io.Writer) error {
+	return durable.WriteFileAtomicFS(l.in.FS, IndexSnapshotPath(journalPath), func(w io.Writer) error {
 		enc := json.NewEncoder(w)
 		return enc.Encode(snap)
 	})
@@ -509,11 +509,15 @@ type SnapshotInfo struct {
 // return nil, and the caller falls back to folding from byte 0. It
 // never errors.
 func LoadIndexSnapshot(journalPath string, in *Input) (*LiveIndex, *SnapshotInfo) {
-	m := durable.LoadManifest(journalPath)
+	m := durable.LoadManifestFS(in.FS, journalPath)
 	if m == nil {
 		return nil, nil
 	}
-	data, err := os.ReadFile(IndexSnapshotPath(journalPath))
+	fsys := in.FS
+	if fsys == nil {
+		fsys = durable.OS
+	}
+	data, err := fsys.ReadFile(IndexSnapshotPath(journalPath))
 	if err != nil {
 		return nil, nil
 	}
@@ -697,13 +701,16 @@ func (s *LiveSink) ObserveVisit(v *dataset.Visit) {
 // ObserveCheckpoint serializes the accumulator for the committed state.
 // A sink attached mid-journal (fold count out of step with the commit)
 // writes nothing — a snapshot must never describe records it did not
-// fold.
+// fold. The snapshot is an accelerator: a storage fault while writing
+// it is counted and absorbed (readers degrade to a full fold), never
+// surfaced as a checkpoint failure.
 func (s *LiveSink) ObserveCheckpoint(ck durable.Checkpoint) error {
 	if int64(s.idx.visits) != ck.Records {
 		return nil
 	}
 	if err := s.idx.StoreSnapshot(s.path, ck); err != nil {
-		return err
+		s.idx.in.Metrics.Add("storage_accelerator_write_failures_total", 1, "artifact", "snapshot")
+		return nil
 	}
 	s.idx.in.Metrics.Add("analysis_index_snapshots_written_total", 1)
 	return nil

@@ -1,0 +1,366 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+
+	"github.com/netmeasure/topicscope/internal/durable"
+	"github.com/netmeasure/topicscope/internal/obs"
+)
+
+// ErrInjectedFault marks every storage fault the FaultFS injects, the
+// filesystem sibling of ErrInjectedCrash. Injected errors also carry
+// the simulated errno (syscall.EIO, syscall.ENOSPC, ...) in their
+// chain, so production classification — durable.IsDiskFull,
+// errors.Is(err, syscall.EIO) — treats them exactly like the real thing.
+var ErrInjectedFault = errors.New("chaos: injected storage fault")
+
+// PathClass buckets artifact paths for per-class fault rates: a fault
+// profile can, say, tear every manifest rename while leaving journal
+// appends healthy.
+type PathClass string
+
+const (
+	PathJournal    PathClass = "journal"     // dataset journals (.jsonl / .jsonl.gz / shard files)
+	PathManifest   PathClass = "manifest"    // checkpoint manifests (.ckpt)
+	PathFrameIndex PathClass = "frame-index" // sparse frame indexes (.fidx)
+	PathSnapshot   PathClass = "snapshot"    // live analysis snapshots (.idx)
+	PathStatus     PathClass = "status"      // shard status sidecars (.status)
+	PathReport     PathClass = "report"      // report JSON artifacts (.json)
+	PathOther      PathClass = "other"
+)
+
+// ClassifyArtifact maps a path to its fault class. Temp files from the
+// atomic-write discipline (`.NAME.tmp-XXXX`) classify as their target
+// NAME, so a "manifest write" fault fires on the temp the manifest is
+// staged through.
+func ClassifyArtifact(path string) PathClass {
+	base := normalizeArtifact(path)
+	switch {
+	case strings.HasSuffix(base, ".ckpt"):
+		return PathManifest
+	case strings.HasSuffix(base, ".fidx"):
+		return PathFrameIndex
+	case strings.HasSuffix(base, ".idx"):
+		return PathSnapshot
+	case strings.HasSuffix(base, ".status"):
+		return PathStatus
+	case strings.HasSuffix(base, ".json"):
+		return PathReport
+	case strings.HasSuffix(base, ".jsonl"), strings.HasSuffix(base, ".gz"),
+		strings.Contains(base, ".shard-"):
+		return PathJournal
+	default:
+		return PathOther
+	}
+}
+
+// normalizeArtifact strips the atomic-write temp decoration so the
+// random temp suffix never feeds a fault decision (determinism) and
+// temp files inherit their target's class.
+func normalizeArtifact(path string) string {
+	base := filepath.Base(path)
+	if strings.HasPrefix(base, ".") {
+		if i := strings.LastIndex(base, ".tmp-"); i > 0 {
+			base = base[1:i]
+		}
+	}
+	return base
+}
+
+// FSFaultRates are per-operation fault probabilities for one path
+// class, each in [0,1]. Write and ShortWrite share one draw per Write
+// call (ShortWrite wins ties), so their sum should stay ≤ 1.
+type FSFaultRates struct {
+	// Create faults file creation (ENOENT-style transient EIO).
+	Create float64
+	// Write faults a write call with a transient EIO, nothing written.
+	Write float64
+	// ShortWrite writes a prefix of the buffer, then fails with EIO.
+	ShortWrite float64
+	// Sync faults fsync with a transient EIO (data in page cache,
+	// durability not established).
+	Sync float64
+	// Rename faults the atomic replace with a transient EIO; the temp
+	// file survives, the target is untouched.
+	Rename float64
+	// Read faults whole-file reads (manifest/index loads).
+	Read float64
+	// SyncDir faults the directory fsync with a real (non-benign) EIO.
+	SyncDir float64
+}
+
+// UniformFSRates gives every operation of a class the same fault rate.
+func UniformFSRates(rate float64) FSFaultRates {
+	return FSFaultRates{Create: rate, Write: rate, ShortWrite: rate, Sync: rate, Rename: rate, Read: rate, SyncDir: rate}
+}
+
+// UniformFSProfile faults every artifact class at the same per-op rate
+// — the profile behind topics-crawl -storage-chaos. An enospcAfter > 0
+// additionally caps the simulated disk.
+func UniformFSProfile(seed uint64, rate float64, enospcAfter int64, reg *obs.Registry) FSProfile {
+	rates := make(map[PathClass]FSFaultRates, 7)
+	for _, c := range []PathClass{PathJournal, PathManifest, PathFrameIndex,
+		PathSnapshot, PathStatus, PathReport, PathOther} {
+		rates[c] = UniformFSRates(rate)
+	}
+	return FSProfile{Seed: seed, Rates: rates, ENOSPCAfter: enospcAfter, Metrics: reg}
+}
+
+// FSProfile configures a FaultFS: seeded per-class fault rates plus an
+// optional disk-capacity budget. The zero value injects nothing.
+type FSProfile struct {
+	// Seed drives every fault decision; same seed + same operation
+	// sequence = same faults.
+	Seed uint64
+	// Rates maps path classes to their fault rates. Classes absent
+	// from the map never fault.
+	Rates map[PathClass]FSFaultRates
+	// ENOSPCAfter, when > 0, is the byte budget of the simulated disk:
+	// the write crossing it is short, and every write after it fails
+	// with ENOSPC persistently — the fail-fast (never retried) storage
+	// condition.
+	ENOSPCAfter int64
+	// Metrics, if set, counts injected faults as
+	// storage_fault_injected_total{op,class}.
+	Metrics *obs.Registry
+}
+
+// FaultFS wraps a durable.FS with deterministic fault injection. Fault
+// decisions are pure functions of (seed, artifact base name, operation,
+// per-file operation sequence number), so single-writer artifact
+// streams draw identical faults run over run regardless of scheduling.
+type FaultFS struct {
+	inner durable.FS
+	prof  FSProfile
+
+	mu      sync.Mutex
+	seq     map[string]uint64
+	written int64
+	full    bool
+}
+
+// NewFaultFS wraps inner (nil = the production OS filesystem) with the
+// given fault profile.
+func NewFaultFS(inner durable.FS, prof FSProfile) *FaultFS {
+	if inner == nil {
+		inner = durable.OS
+	}
+	return &FaultFS{inner: inner, prof: prof, seq: make(map[string]uint64)}
+}
+
+// DiskFull reports whether the ENOSPC budget has been exhausted.
+func (f *FaultFS) DiskFull() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.full
+}
+
+// FSError is one injected storage fault. Unwrap exposes both the
+// ErrInjectedFault sentinel and the simulated errno.
+type FSError struct {
+	Op    string
+	Path  string
+	Class PathClass
+	Errno error
+	// Retryable marks transient faults (EIO blips, short writes); a
+	// bounded retry may clear them. ENOSPC is never retryable.
+	Retryable bool
+}
+
+func (e *FSError) Error() string {
+	return fmt.Sprintf("chaos: injected %s fault on %s (%s): %v", e.Op, e.Path, e.Class, e.Errno)
+}
+
+func (e *FSError) Unwrap() []error { return []error{ErrInjectedFault, e.Errno} }
+
+// Transient implements the durable retry classification.
+func (e *FSError) Transient() bool { return e.Retryable }
+
+// draw returns a deterministic uniform [0,1) variate for one operation
+// on one artifact. The per-(artifact,op) sequence counter makes the
+// n-th sync of a manifest draw the same value in every run; the mutex
+// only guards the counter map, never the decision.
+func (f *FaultFS) draw(op, path string) float64 {
+	key := normalizeArtifact(path) + "|" + op
+	f.mu.Lock()
+	n := f.seq[key]
+	f.seq[key] = n + 1
+	f.mu.Unlock()
+	rng := rand.New(rand.NewPCG(f.prof.Seed, hash64("fsop", key, strconv.FormatUint(n, 16))))
+	return rng.Float64()
+}
+
+func (f *FaultFS) rates(path string) FSFaultRates {
+	return f.prof.Rates[ClassifyArtifact(path)]
+}
+
+func (f *FaultFS) fail(op, path string, errno error, retryable bool) error {
+	f.prof.Metrics.Add("storage_fault_injected_total", 1,
+		"op", op, "class", string(ClassifyArtifact(path)))
+	return &FSError{Op: op, Path: path, Class: ClassifyArtifact(path), Errno: errno, Retryable: retryable}
+}
+
+// reserve charges n bytes against the ENOSPC budget, returning how many
+// fit. Crossing the budget latches the disk full: every later write
+// fails persistently until the campaign is resumed on a fresh FS.
+func (f *FaultFS) reserve(n int) (int, bool) {
+	if f.prof.ENOSPCAfter <= 0 {
+		return n, true
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.full {
+		return 0, false
+	}
+	room := f.prof.ENOSPCAfter - f.written
+	if int64(n) <= room {
+		f.written += int64(n)
+		return n, true
+	}
+	f.full = true
+	if room < 0 {
+		room = 0
+	}
+	f.written = f.prof.ENOSPCAfter
+	return int(room), false
+}
+
+func (f *FaultFS) Create(path string) (durable.File, error) {
+	if f.DiskFull() {
+		return nil, f.fail("create", path, syscall.ENOSPC, false)
+	}
+	if f.draw("create", path) < f.rates(path).Create {
+		return nil, f.fail("create", path, syscall.EIO, true)
+	}
+	file, err := f.inner.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f, path: path}, nil
+}
+
+func (f *FaultFS) OpenFile(path string, flag int, perm os.FileMode) (durable.File, error) {
+	file, err := f.inner.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f, path: path}, nil
+}
+
+func (f *FaultFS) CreateTemp(dir, pattern string) (durable.File, error) {
+	proxy := filepath.Join(dir, pattern)
+	if f.DiskFull() {
+		return nil, f.fail("create", proxy, syscall.ENOSPC, false)
+	}
+	if f.draw("create", proxy) < f.rates(proxy).Create {
+		return nil, f.fail("create", proxy, syscall.EIO, true)
+	}
+	file, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f, path: file.Name()}, nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if f.DiskFull() {
+		return f.fail("rename", newpath, syscall.ENOSPC, false)
+	}
+	if f.draw("rename", newpath) < f.rates(newpath).Rename {
+		return f.fail("rename", newpath, syscall.EIO, true)
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(path string) error { return f.inner.Remove(path) }
+
+func (f *FaultFS) ReadFile(path string) ([]byte, error) {
+	if f.draw("read", path) < f.rates(path).Read {
+		return nil, f.fail("read", path, syscall.EIO, true)
+	}
+	return f.inner.ReadFile(path)
+}
+
+func (f *FaultFS) SyncDir(dir string) error {
+	if f.draw("syncdir", dir) < f.rates(dir).SyncDir {
+		return f.fail("syncdir", dir, syscall.EIO, true)
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// faultFile interposes write/sync faults on one open artifact file.
+type faultFile struct {
+	durable.File
+	fs   *FaultFS
+	path string
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	rates := ff.fs.rates(ff.path)
+	x := ff.fs.draw("write", ff.path)
+	switch {
+	case x < rates.ShortWrite:
+		n := len(p) / 2
+		if n > 0 {
+			if m, err := ff.File.Write(p[:n]); err != nil {
+				return m, err
+			}
+		}
+		return n, ff.fs.fail("write", ff.path, syscall.EIO, true)
+	case x < rates.ShortWrite+rates.Write:
+		return 0, ff.fs.fail("write", ff.path, syscall.EIO, true)
+	}
+	n, ok := ff.fs.reserve(len(p))
+	if !ok {
+		var m int
+		var err error
+		if n > 0 {
+			if m, err = ff.File.Write(p[:n]); err != nil {
+				return m, err
+			}
+		}
+		return m, ff.fs.fail("write", ff.path, syscall.ENOSPC, false)
+	}
+	return ff.File.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	if ff.fs.DiskFull() {
+		return ff.fs.fail("sync", ff.path, syscall.ENOSPC, false)
+	}
+	if ff.fs.draw("sync", ff.path) < ff.fs.rates(ff.path).Sync {
+		return ff.fs.fail("sync", ff.path, syscall.EIO, true)
+	}
+	return ff.File.Sync()
+}
+
+// FlipBit deterministically flips one bit of the file at path — the
+// post-crash bit-rot injector the fsck matrix feeds on. The offset is a
+// pure function of (seed, base name, file size). Corrupting the file
+// in place is the whole point, so this bypasses the atomic-write
+// discipline on purpose.
+func FlipBit(path string, seed uint64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("chaos: flip bit: %w", err)
+	}
+	if len(data) == 0 {
+		return fmt.Errorf("chaos: flip bit: %s is empty", path)
+	}
+	rng := rand.New(rand.NewPCG(seed, hash64("flipbit", filepath.Base(path), strconv.Itoa(len(data)))))
+	off := rng.IntN(len(data))
+	data[off] ^= 1 << uint(rng.IntN(8))
+	//topicslint:ignore atomicwrite deliberate corruption injector: tearing the artifact is the point
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("chaos: flip bit: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,229 @@
+package crawler
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/netmeasure/topicscope/internal/chaos"
+	"github.com/netmeasure/topicscope/internal/dataset"
+	"github.com/netmeasure/topicscope/internal/durable"
+	"github.com/netmeasure/topicscope/internal/obs"
+	"github.com/netmeasure/topicscope/internal/tranco"
+)
+
+// The crash matrix under storage weather: every kill point from the
+// PR-5 matrix re-runs with an active I/O fault profile on the artifact
+// writers — sync blips on the journal, faulted stores on the sidecars —
+// and the invariants must not move: the resume reads only the tail and
+// the finished dataset and report stay byte-identical to an
+// uninterrupted, fault-free run.
+
+// stormProfile is the standing weather for these tests: retryable blips
+// on the authoritative write path (journal fsync, manifest store) at
+// rates a bounded retry clears, and heavier faults on the best-effort
+// accelerators, which may simply go missing.
+func stormProfile(seed uint64, reg *obs.Registry) chaos.FSProfile {
+	return chaos.FSProfile{
+		Seed: seed,
+		Rates: map[chaos.PathClass]chaos.FSFaultRates{
+			chaos.PathJournal:    {Sync: 0.2},
+			chaos.PathManifest:   {Create: 0.05, Sync: 0.05, Rename: 0.05},
+			chaos.PathFrameIndex: {Create: 0.3, Sync: 0.3, Rename: 0.3},
+			chaos.PathSnapshot:   {Create: 0.3, Sync: 0.3, Rename: 0.3},
+		},
+		Metrics: reg,
+	}
+}
+
+func stormRetry(reg *obs.Registry) durable.RetryPolicy {
+	return durable.RetryPolicy{Attempts: 6, Metrics: reg}
+}
+
+// resumeWithFS is resumeAndFinish with a storage seam: the resumed
+// journal writes through the given fault FS and retry policy.
+func resumeWithFS(t *testing.T, path string, list *tranco.List, every int, fsys durable.FS, retry durable.RetryPolicy, reg *obs.Registry) *dataset.ResumeState {
+	t.Helper()
+	rankSite := make(map[int]string, len(list.Entries))
+	for _, e := range list.Entries {
+		rankSite[e.Rank] = e.Domain
+	}
+	skip := make(map[string]bool)
+	jw, st, err := dataset.ResumeJournal(path, dataset.JournalOptions{
+		CheckpointEvery: every,
+		Metrics:         reg,
+		Durable:         durable.Options{FS: fsys, Retry: retry},
+		Skip:            func(rank int) bool { return skip[rankSite[rank]] },
+	})
+	if err != nil {
+		t.Fatalf("ResumeJournal: %v", err)
+	}
+	for site := range st.Completed {
+		skip[site] = true
+	}
+	for _, e := range list.Entries {
+		if e.Rank <= st.WatermarkRank {
+			skip[e.Domain] = true
+		}
+	}
+	if err := crawlJournal(context.Background(), jw, list, skip); err != nil {
+		t.Fatalf("resumed crawl under storage faults: %v", err)
+	}
+	if err := jw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestStorageFaultCrashMatrix kills the campaign before every record
+// append while the storage fault profile is live on both the dying run
+// and the resume, and demands the byte-identical dataset and report.
+func TestStorageFaultCrashMatrix(t *testing.T) {
+	const every = 3
+	list := cwWorld.List().Top(30)
+	dir := t.TempDir()
+	golden := goldenJournal(t, dir, list, every)
+	goldenBytes := journalPayloads(t, golden)
+	goldenReport := reportJSON(t, golden)
+	n := int64(bytes.Count(goldenBytes, []byte("\n")))
+	if n < 30 {
+		t.Fatalf("matrix too small: %d records", n)
+	}
+
+	reg := obs.NewRegistry()
+	for k := int64(1); k < n; k++ {
+		path := filepath.Join(dir, fmt.Sprintf("storm-%d.jsonl.gz", k))
+		plan := chaos.CrashPlan{AfterRecords: k}
+		jw, err := dataset.CreateJournal(path, dataset.JournalOptions{
+			CheckpointEvery: every,
+			Durable: durable.Options{
+				FS:           chaos.NewFaultFS(nil, stormProfile(uint64(k), reg)),
+				Retry:        stormRetry(reg),
+				BeforeAppend: plan.BeforeAppend(),
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = crawlJournal(context.Background(), jw, list, nil)
+		if err == nil {
+			t.Fatalf("crashpoint %d: campaign survived its own death", k)
+		}
+		if !chaos.IsCrash(err) {
+			t.Fatalf("crashpoint %d: want the injected crash through the fault weather, got: %v", k, err)
+		}
+		jw.Abort()
+
+		resumeWithFS(t, path, list, every,
+			chaos.NewFaultFS(nil, stormProfile(uint64(k)+1000, reg)), stormRetry(reg), nil)
+		if got := journalPayloads(t, path); !bytes.Equal(got, goldenBytes) {
+			t.Fatalf("crashpoint %d: dataset differs from the fault-free uninterrupted run", k)
+		}
+		if got := reportJSON(t, path); !bytes.Equal(got, goldenReport) {
+			t.Fatalf("crashpoint %d: report differs from the fault-free uninterrupted run", k)
+		}
+		os.Remove(path)
+		os.Remove(durable.ManifestPath(path))
+	}
+	// The matrix is only meaningful if the weather actually blew: at
+	// least one retry must have fired across the runs.
+	if reg.Snapshot().Counter("storage_retry_total", "op", "journal-fsync") == 0 &&
+		reg.Snapshot().Counter("storage_retry_total", "op", "manifest") == 0 {
+		t.Error("no storage retry ever fired — the fault profile was inert")
+	}
+}
+
+// TestStorageFaultCrashReadsOnlyTail composes a byte-level torn write
+// with the fault profile on a longer campaign and re-asserts the
+// O(tail) resume contract under storage faults.
+func TestStorageFaultCrashReadsOnlyTail(t *testing.T) {
+	const every = 10
+	list := cwWorld.List().Top(200)
+	dir := t.TempDir()
+	golden := goldenJournal(t, dir, list, every)
+	goldenBytes := journalPayloads(t, golden)
+	goldenSize := fileSize(t, golden)
+
+	reg := obs.NewRegistry()
+	path := filepath.Join(dir, "storm-tail.jsonl.gz")
+	plan := chaos.CrashPlan{AfterBytes: goldenSize * 3 / 4}
+	jw, err := dataset.CreateJournal(path, dataset.JournalOptions{
+		CheckpointEvery: every,
+		Durable: durable.Options{
+			FS:    chaos.NewFaultFS(nil, stormProfile(71, reg)),
+			Retry: stormRetry(reg),
+			Wrap:  plan.Wrap(),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = crawlJournal(context.Background(), jw, list, nil)
+	if err == nil || !chaos.IsCrash(err) {
+		t.Fatalf("expected the injected byte-level crash, got %v", err)
+	}
+	jw.Abort()
+
+	size := fileSize(t, path)
+	m := durable.LoadManifest(path)
+	if m == nil {
+		t.Fatal("crashed journal has no checkpoint manifest")
+	}
+	st := resumeWithFS(t, path, list, every,
+		chaos.NewFaultFS(nil, stormProfile(72, reg)), stormRetry(reg), nil)
+	if want := size - m.Offset; st.BytesRead != want {
+		t.Fatalf("resume read %d raw bytes, want exactly the %d-byte tail", st.BytesRead, want)
+	}
+	if got := journalPayloads(t, path); !bytes.Equal(got, goldenBytes) {
+		t.Fatal("dataset differs from the fault-free uninterrupted run")
+	}
+}
+
+// TestStorageFaultDiskFullDrainsAndResumes fills the simulated disk
+// mid-campaign: the crawl must fail fast with the ENOSPC classification
+// (no retry storm), the checkpointed prefix must survive, and a resume
+// with space freed must complete the campaign byte-identically.
+func TestStorageFaultDiskFullDrainsAndResumes(t *testing.T) {
+	const every = 5
+	list := cwWorld.List().Top(120)
+	dir := t.TempDir()
+	golden := goldenJournal(t, dir, list, every)
+	goldenBytes := journalPayloads(t, golden)
+	goldenReport := reportJSON(t, golden)
+
+	reg := obs.NewRegistry()
+	path := filepath.Join(dir, "full.jsonl.gz")
+	fsys := chaos.NewFaultFS(nil, chaos.FSProfile{Seed: 7, ENOSPCAfter: fileSize(t, golden) / 2, Metrics: reg})
+	jw, err := dataset.CreateJournal(path, dataset.JournalOptions{
+		CheckpointEvery: every,
+		Durable:         durable.Options{FS: fsys, Retry: stormRetry(reg)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = crawlJournal(context.Background(), jw, list, nil)
+	if err == nil {
+		t.Fatal("campaign survived a half-size disk")
+	}
+	if !durable.IsDiskFull(err) {
+		t.Fatalf("want ENOSPC classification for the drain decision, got: %v", err)
+	}
+	jw.Abort()
+
+	m := durable.LoadManifest(path)
+	if m == nil || m.Offset == 0 {
+		t.Fatal("disk-full drain preserved no checkpoint")
+	}
+
+	// Space freed: resume on the real filesystem.
+	resumeWithFS(t, path, list, every, nil, durable.RetryPolicy{}, nil)
+	if got := journalPayloads(t, path); !bytes.Equal(got, goldenBytes) {
+		t.Fatal("dataset differs from the fault-free uninterrupted run")
+	}
+	if got := reportJSON(t, path); !bytes.Equal(got, goldenReport) {
+		t.Fatal("report differs from the fault-free uninterrupted run")
+	}
+}

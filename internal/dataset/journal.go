@@ -111,8 +111,8 @@ func CreateJournal(path string, opts JournalOptions) (*JournalWriter, error) {
 	if err != nil {
 		return nil, err
 	}
-	durable.RemoveManifest(path)
-	durable.RemoveFrameIndex(path)
+	durable.RemoveManifestFS(opts.Durable.FS, path)
+	durable.RemoveFrameIndexFS(opts.Durable.FS, path)
 	return &JournalWriter{j: j, path: path, opts: opts, fidx: &durable.FrameIndex{}, done: map[int]string{}}, nil
 }
 
@@ -156,7 +156,7 @@ func ResumeJournal(path string, opts JournalOptions) (*JournalWriter, *ResumeSta
 	}
 	var ck durable.Checkpoint
 	st := &ResumeState{Completed: map[string]bool{}}
-	m := durable.LoadManifest(path)
+	m := durable.LoadManifestFS(opts.Durable.FS, path)
 	if m != nil {
 		if !m.Shard.Equal(opts.Shard) {
 			return nil, nil, fmt.Errorf("dataset: resuming %s: manifest shard %+v does not match %+v", path, m.Shard, opts.Shard)
@@ -234,7 +234,7 @@ func ResumeJournal(path string, opts JournalOptions) (*JournalWriter, *ResumeSta
 	// checkpoint; everything past it described bytes the repair just
 	// truncated. A missing or invalid index simply restarts empty — it
 	// is an accelerator, not an authority.
-	if fi := durable.LoadFrameIndex(path); fi != nil {
+	if fi := durable.LoadFrameIndexFS(opts.Durable.FS, path); fi != nil {
 		fi.Truncate(ck.Offset)
 		w.fidx = fi
 	}
@@ -341,15 +341,25 @@ func (w *JournalWriter) checkpoint() error {
 		Sites:         w.sites,
 		Shard:         w.opts.Shard,
 	}
-	if err := m.Store(w.path); err != nil {
+	// The manifest is authoritative: transient faults get a bounded,
+	// virtual-clock retry (each attempt restages through a fresh temp
+	// file), and a persistent failure aborts the campaign — the previous
+	// manifest is intact, so the last checkpoint still resumes.
+	if err := w.opts.Durable.Retry.Do("manifest", func() error {
+		return m.StoreFS(w.opts.Durable.FS, w.path)
+	}); err != nil {
 		return err
 	}
 	// The frame index is written after the manifest, so it only ever
 	// lags the committed state — a crash between the two leaves an index
 	// missing the newest boundary, never one pointing past the commit.
+	// It is an accelerator: a store failure degrades readers to a full
+	// scan, it never fails the checkpoint.
 	w.fidx.Append(durable.FrameEntry{Offset: ck.Offset, Records: ck.Records, Rank: w.watermarkRank})
-	if err := w.fidx.Store(w.path); err != nil {
-		return err
+	if err := w.opts.Durable.Retry.Do("frame-index", func() error {
+		return w.fidx.StoreFS(w.opts.Durable.FS, w.path)
+	}); err != nil {
+		w.opts.Metrics.Add("storage_accelerator_write_failures_total", 1, "artifact", "frame-index")
 	}
 	if w.opts.Observer != nil {
 		if err := w.opts.Observer.ObserveCheckpoint(ck); err != nil {

@@ -27,6 +27,12 @@
 //     committed offset and replays only the tail, O(checkpoint) instead
 //     of O(file).
 //
+// All of the above run through the FS seam (fs.go): the production OS
+// implementation by default, or a fault-injecting wrapper
+// (chaos.FaultFS) under test — ENOSPC, EIO, short writes, failed
+// fsyncs and torn renames all exercise exactly the code paths a real
+// disk would.
+//
 // What is durable when: records are durable at checkpoint (Sync)
 // boundaries; between checkpoints they live in user-space buffers and a
 // crash loses at most one checkpoint interval, which the resumed
@@ -40,7 +46,6 @@ import (
 	"bufio"
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
 )
 
@@ -48,16 +53,29 @@ import (
 // directory, fsyncs it, renames it over path and fsyncs the directory.
 // The write callback receives a buffered writer; on any error the temp
 // file is removed and the previous content of path (if any) is intact.
-func WriteFileAtomic(path string, write func(io.Writer) error) (err error) {
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	return WriteFileAtomicFS(OS, path, write)
+}
+
+// WriteFileAtomicFS is WriteFileAtomic through an explicit filesystem
+// seam (nil means the production OS filesystem).
+func WriteFileAtomicFS(fsys FS, path string, write func(io.Writer) error) (err error) {
+	fsys = fsOrOS(fsys)
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	tmp, err := fsys.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("durable: temp for %s: %w", path, err)
 	}
+	// Every failure path below — write, flush, sync, close, rename —
+	// must leave no stray temp behind and never touch path itself.
+	name := tmp.Name()
+	closed := false
 	defer func() {
 		if err != nil {
-			tmp.Close()
-			os.Remove(tmp.Name())
+			if !closed {
+				tmp.Close()
+			}
+			fsys.Remove(name)
 		}
 	}()
 	bw := bufio.NewWriterSize(tmp, 1<<16)
@@ -70,28 +88,17 @@ func WriteFileAtomic(path string, write func(io.Writer) error) (err error) {
 	if err = tmp.Sync(); err != nil {
 		return fmt.Errorf("durable: syncing %s: %w", path, err)
 	}
+	closed = true
 	if err = tmp.Close(); err != nil {
 		return fmt.Errorf("durable: closing temp for %s: %w", path, err)
 	}
-	if err = os.Rename(tmp.Name(), path); err != nil {
+	if err = fsys.Rename(name, path); err != nil {
 		return fmt.Errorf("durable: renaming into %s: %w", path, err)
 	}
-	return SyncDir(dir)
+	return fsys.SyncDir(dir)
 }
 
-// SyncDir fsyncs a directory, making a just-renamed entry durable. On
-// platforms (or filesystems) where directories cannot be fsync'd the
-// error is swallowed: the rename itself is still atomic.
-func SyncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("durable: opening dir %s: %w", dir, err)
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil && !os.IsPermission(err) {
-		// Directory fsync is best-effort off Linux; EINVAL-style
-		// failures are not actionable by callers.
-		return nil //nolint:nilerr // see comment
-	}
-	return nil
-}
+// SyncDir fsyncs a directory through the production filesystem,
+// tolerating only benign refusals (permission, EINVAL on filesystems
+// that cannot fsync a directory handle); real I/O errors propagate.
+func SyncDir(dir string) error { return OS.SyncDir(dir) }

@@ -102,9 +102,14 @@ func (fi *FrameIndex) SeekRank(rank int) FrameEntry {
 
 // Store atomically writes the frame index for the given journal path.
 func (fi *FrameIndex) Store(journalPath string) error {
+	return fi.StoreFS(nil, journalPath)
+}
+
+// StoreFS is Store through an explicit filesystem seam.
+func (fi *FrameIndex) StoreFS(fsys FS, journalPath string) error {
 	fi.Version = FrameIndexVersion
 	fi.Journal = filepath.Base(journalPath)
-	return WriteFileAtomic(FrameIndexPath(journalPath), func(w io.Writer) error {
+	return WriteFileAtomicFS(fsys, FrameIndexPath(journalPath), func(w io.Writer) error {
 		enc := json.NewEncoder(w)
 		return enc.Encode(fi)
 	})
@@ -137,7 +142,12 @@ func DecodeFrameIndex(data []byte) (*FrameIndex, error) {
 // invalid, naming a different journal, or pointing past the journal's
 // current size — and the caller falls back to scanning from byte 0.
 func LoadFrameIndex(journalPath string) *FrameIndex {
-	data, err := os.ReadFile(FrameIndexPath(journalPath))
+	return LoadFrameIndexFS(nil, journalPath)
+}
+
+// LoadFrameIndexFS is LoadFrameIndex through an explicit filesystem seam.
+func LoadFrameIndexFS(fsys FS, journalPath string) *FrameIndex {
+	data, err := fsOrOS(fsys).ReadFile(FrameIndexPath(journalPath))
 	if err != nil {
 		return nil
 	}
@@ -159,4 +169,9 @@ func LoadFrameIndex(journalPath string) *FrameIndex {
 // RemoveFrameIndex deletes a journal's frame index if present.
 func RemoveFrameIndex(journalPath string) {
 	os.Remove(FrameIndexPath(journalPath))
+}
+
+// RemoveFrameIndexFS is RemoveFrameIndex through an explicit filesystem seam.
+func RemoveFrameIndexFS(fsys FS, journalPath string) {
+	fsOrOS(fsys).Remove(FrameIndexPath(journalPath))
 }

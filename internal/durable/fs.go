@@ -1,0 +1,166 @@
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"syscall"
+	"time"
+
+	"github.com/netmeasure/topicscope/internal/obs"
+	"github.com/netmeasure/topicscope/internal/vclock"
+)
+
+// File is the subset of *os.File the artifact writers need. The seam
+// exists so internal/chaos can interpose deterministic storage faults
+// (ENOSPC, EIO, short writes, failed fsyncs) under every artifact
+// write without touching the writers themselves.
+type File interface {
+	io.Writer
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+	Seek(offset int64, whence int) (int64, error)
+	Name() string
+}
+
+// FS is the filesystem seam every artifact path goes through. The
+// production implementation is OS; chaos.FaultFS wraps any FS with
+// seeded per-path-class fault injection.
+type FS interface {
+	// Create creates (or truncates) path for writing.
+	Create(path string) (File, error)
+	// OpenFile opens path with the given flags (journal reopen path).
+	OpenFile(path string, flag int, perm os.FileMode) (File, error)
+	// CreateTemp creates a temp file in dir (WriteFileAtomic staging).
+	CreateTemp(dir, pattern string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes path.
+	Remove(path string) error
+	// ReadFile reads the whole file.
+	ReadFile(path string) ([]byte, error)
+	// SyncDir fsyncs a directory, making a just-renamed entry durable.
+	SyncDir(dir string) error
+}
+
+// OS is the production filesystem: thin wrappers over the os package,
+// with the directory-sync benign-error policy applied.
+var OS FS = osFS{}
+
+// fsOrOS resolves a possibly-nil FS option to the production default,
+// so callers can leave Options.FS zero.
+func fsOrOS(fsys FS) FS {
+	if fsys == nil {
+		return OS
+	}
+	return fsys
+}
+
+type osFS struct{}
+
+func (osFS) Create(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+}
+
+func (osFS) OpenFile(path string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(path, flag, perm)
+}
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	return os.CreateTemp(dir, pattern)
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(path string) error { return os.Remove(path) }
+
+func (osFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+// SyncDir fsyncs a directory, making a just-renamed entry durable.
+// Only benign refusals are tolerated — filesystems that cannot fsync a
+// directory handle report EPERM/EACCES/EINVAL/ENOTSUP, and the rename
+// itself is still atomic there. Real I/O errors (EIO, ENOSPC) mean the
+// directory entry may not be durable and must reach the caller.
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("durable: opening dir %s: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !benignSyncDirError(err) {
+		return fmt.Errorf("durable: syncing dir %s: %w", dir, err)
+	}
+	return nil
+}
+
+// benignSyncDirError reports whether a directory-fsync failure is a
+// filesystem refusing the operation (harmless: the rename is atomic
+// regardless) rather than an I/O failure losing the entry.
+func benignSyncDirError(err error) bool {
+	return errors.Is(err, os.ErrPermission) ||
+		errors.Is(err, syscall.EINVAL) ||
+		errors.Is(err, syscall.ENOTSUP) ||
+		errors.Is(err, syscall.ENOTTY)
+}
+
+// transienter is implemented by injected (and, in principle, real)
+// storage errors that a bounded retry may clear: EIO blips, short
+// writes, failed fsyncs. ENOSPC is never transient.
+type transienter interface{ Transient() bool }
+
+// IsTransient reports whether an error chain marks itself retryable.
+// Unknown errors are not transient: a bare os error gets no retries,
+// matching the pre-seam behaviour.
+func IsTransient(err error) bool {
+	var t transienter
+	return errors.As(err, &t) && t.Transient()
+}
+
+// IsDiskFull reports ENOSPC anywhere in the chain — the persistent
+// condition the write path fails fast on (clean drain, checkpoint
+// preserved) instead of retrying.
+func IsDiskFull(err error) bool { return errors.Is(err, syscall.ENOSPC) }
+
+// RetryPolicy bounds retries of artifact write operations. Backoff is
+// charged to the virtual clock — the storage layer never sleeps — so
+// retried campaigns stay deterministic and fast. The zero value
+// disables retries (single attempt).
+type RetryPolicy struct {
+	// Attempts is the total number of tries per operation (min 1).
+	Attempts int
+	// Backoff is the virtual delay before the first retry; it doubles
+	// on each subsequent retry.
+	Backoff time.Duration
+	// Clock, if set, is advanced by each backoff.
+	Clock *vclock.Clock
+	// Metrics, if set, counts retries as storage_retry_total{op}.
+	Metrics *obs.Registry
+}
+
+// Do runs fn up to p.Attempts times. Only transient errors (see
+// IsTransient) are retried; disk-full and unknown errors fail fast.
+func (p RetryPolicy) Do(op string, fn func() error) error {
+	attempts := p.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if p.Clock != nil && p.Backoff > 0 {
+				p.Clock.Advance(p.Backoff << (attempt - 1))
+			}
+			p.Metrics.Add("storage_retry_total", 1, "op", op)
+		}
+		err = fn()
+		if err == nil {
+			return nil
+		}
+		if !IsTransient(err) || IsDiskFull(err) {
+			return err
+		}
+	}
+	return fmt.Errorf("durable: %s: %d attempts exhausted: %w", op, attempts, err)
+}

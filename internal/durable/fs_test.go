@@ -1,0 +1,272 @@
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/netmeasure/topicscope/internal/obs"
+	"github.com/netmeasure/topicscope/internal/vclock"
+)
+
+func TestSyncDirBenignErrorClassification(t *testing.T) {
+	for _, err := range []error{os.ErrPermission, syscall.EPERM, syscall.EACCES,
+		syscall.EINVAL, syscall.ENOTSUP, syscall.ENOTTY} {
+		if !benignSyncDirError(err) {
+			t.Errorf("%v: want benign (fsync-on-directory unsupported there)", err)
+		}
+		if !benignSyncDirError(fmt.Errorf("wrapped: %w", err)) {
+			t.Errorf("wrapped %v: want benign", err)
+		}
+	}
+	// Real I/O failures must propagate: swallowing an EIO here would
+	// let a rename commit without its durability barrier.
+	for _, err := range []error{syscall.EIO, syscall.ENOSPC, os.ErrClosed, errors.New("disk on fire")} {
+		if benignSyncDirError(err) {
+			t.Errorf("%v: swallowed a real directory-sync failure", err)
+		}
+	}
+}
+
+func TestSyncDirRealDirAndMissingDir(t *testing.T) {
+	if err := SyncDir(t.TempDir()); err != nil {
+		t.Fatalf("SyncDir on a real directory: %v", err)
+	}
+	if err := SyncDir(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("SyncDir on a missing directory reported success")
+	}
+}
+
+// stubFS fails exactly one operation of the atomic-write sequence,
+// delegating everything else to the real OS — the precise instrument
+// for the abort-path matrix.
+type stubFS struct {
+	FS
+	failCreate bool
+	failRename bool
+	failWrite  bool
+	failSync   bool
+	failClose  bool
+}
+
+func (s *stubFS) CreateTemp(dir, pattern string) (File, error) {
+	if s.failCreate {
+		return nil, &FaultErr{syscall.EIO}
+	}
+	f, err := s.FS.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &stubFile{File: f, fs: s}, nil
+}
+
+func (s *stubFS) Rename(oldpath, newpath string) error {
+	if s.failRename {
+		return &FaultErr{syscall.EIO}
+	}
+	return s.FS.Rename(oldpath, newpath)
+}
+
+type stubFile struct {
+	File
+	fs *stubFS
+}
+
+func (f *stubFile) Write(p []byte) (int, error) {
+	if f.fs.failWrite {
+		return 0, &FaultErr{syscall.EIO}
+	}
+	return f.File.Write(p)
+}
+
+func (f *stubFile) Sync() error {
+	if f.fs.failSync {
+		return &FaultErr{syscall.EIO}
+	}
+	return f.File.Sync()
+}
+
+func (f *stubFile) Close() error {
+	err := f.File.Close()
+	if f.fs.failClose {
+		return &FaultErr{syscall.EIO}
+	}
+	return err
+}
+
+// FaultErr is a transient injected error for the stub.
+type FaultErr struct{ errno error }
+
+func (e *FaultErr) Error() string   { return "stub: injected " + e.errno.Error() }
+func (e *FaultErr) Unwrap() error   { return e.errno }
+func (e *FaultErr) Transient() bool { return true }
+
+// TestWriteFileAtomicAbortMatrix enumerates a failure at every stage of
+// the atomic-write sequence — temp creation, write, sync, close, rename
+// — and asserts the two abort-path invariants: no stray .tmp- staging
+// file survives, and the target is never torn (absent stays absent, a
+// previous version stays byte-intact).
+func TestWriteFileAtomicAbortMatrix(t *testing.T) {
+	cases := []struct {
+		name string
+		fs   *stubFS
+	}{
+		{"create-temp", &stubFS{failCreate: true}},
+		{"write", &stubFS{failWrite: true}},
+		{"sync", &stubFS{failSync: true}},
+		{"close", &stubFS{failClose: true}},
+		{"rename", &stubFS{failRename: true}},
+	}
+	for _, tc := range cases {
+		for _, preexisting := range []bool{false, true} {
+			name := tc.name
+			if preexisting {
+				name += "/replacing"
+			}
+			t.Run(name, func(t *testing.T) {
+				dir := t.TempDir()
+				target := filepath.Join(dir, "artifact.ckpt")
+				if preexisting {
+					if err := WriteFileAtomic(target, func(w io.Writer) error {
+						_, err := w.Write([]byte("old version\n"))
+						return err
+					}); err != nil {
+						t.Fatal(err)
+					}
+				}
+				tc.fs.FS = OS
+				err := WriteFileAtomicFS(tc.fs, target, func(w io.Writer) error {
+					_, werr := w.Write([]byte("new version\n"))
+					return werr
+				})
+				if err == nil {
+					t.Fatalf("injected %s failure not reported", tc.name)
+				}
+				entries, rerr := os.ReadDir(dir)
+				if rerr != nil {
+					t.Fatal(rerr)
+				}
+				for _, e := range entries {
+					if strings.Contains(e.Name(), ".tmp-") {
+						t.Errorf("stray staging file survived the abort: %s", e.Name())
+					}
+				}
+				data, rerr := os.ReadFile(target)
+				switch {
+				case !preexisting:
+					if rerr == nil {
+						t.Errorf("target materialized despite the abort: %q", data)
+					}
+				case rerr != nil:
+					t.Errorf("previous version lost: %v", rerr)
+				case string(data) != "old version\n":
+					t.Errorf("previous version torn: %q", data)
+				}
+			})
+		}
+	}
+}
+
+func TestWriteFileAtomicSucceedsThroughSeam(t *testing.T) {
+	dir := t.TempDir()
+	target := filepath.Join(dir, "artifact.ckpt")
+	if err := WriteFileAtomicFS(&stubFS{FS: OS}, target, func(w io.Writer) error {
+		_, err := w.Write([]byte("payload\n"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(target)
+	if err != nil || string(data) != "payload\n" {
+		t.Fatalf("read back %q, %v", data, err)
+	}
+}
+
+func TestRetryPolicyTransientThenSuccess(t *testing.T) {
+	clock := vclock.New(time.Unix(0, 0))
+	reg := obs.NewRegistry()
+	p := RetryPolicy{Attempts: 4, Backoff: time.Second, Clock: clock, Metrics: reg}
+	calls := 0
+	err := p.Do("test-op", func() error {
+		calls++
+		if calls < 3 {
+			return &FaultErr{syscall.EIO}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("transient blip not retried away: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("got %d calls, want 3", calls)
+	}
+	// Backoff doubles on the virtual clock: 1s + 2s.
+	if got := clock.Now().Sub(time.Unix(0, 0)); got != 3*time.Second {
+		t.Errorf("virtual backoff %v, want 3s", got)
+	}
+	if got := reg.Snapshot().Counter("storage_retry_total", "op", "test-op"); got != 2 {
+		t.Errorf("storage_retry_total = %d, want 2", got)
+	}
+}
+
+func TestRetryPolicyDiskFullFailsFast(t *testing.T) {
+	p := RetryPolicy{Attempts: 5, Backoff: time.Second}
+	calls := 0
+	err := p.Do("test-op", func() error {
+		calls++
+		return &diskFullErr{}
+	})
+	if !IsDiskFull(err) {
+		t.Fatalf("ENOSPC classification lost: %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("ENOSPC retried %d times; must fail fast", calls-1)
+	}
+}
+
+type diskFullErr struct{}
+
+func (*diskFullErr) Error() string   { return "injected ENOSPC" }
+func (*diskFullErr) Unwrap() error   { return syscall.ENOSPC }
+func (*diskFullErr) Transient() bool { return true }
+
+func TestRetryPolicyExhaustsAndWraps(t *testing.T) {
+	p := RetryPolicy{Attempts: 3}
+	calls := 0
+	err := p.Do("test-op", func() error {
+		calls++
+		return &FaultErr{syscall.EIO}
+	})
+	if err == nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d, want exhaustion after 3", err, calls)
+	}
+	if !errors.Is(err, syscall.EIO) {
+		t.Errorf("exhaustion wrap dropped the cause: %v", err)
+	}
+	// Non-transient errors never retry.
+	calls = 0
+	if err := p.Do("test-op", func() error { calls++; return errors.New("hard") }); err == nil || calls != 1 {
+		t.Fatalf("hard error retried: err=%v calls=%d", err, calls)
+	}
+}
+
+func TestIsTransientAndIsDiskFull(t *testing.T) {
+	if IsTransient(errors.New("plain")) {
+		t.Error("plain error classified transient")
+	}
+	if !IsTransient(fmt.Errorf("wrap: %w", &FaultErr{syscall.EIO})) {
+		t.Error("wrapped transient lost its classification")
+	}
+	if !IsDiskFull(fmt.Errorf("wrap: %w", syscall.ENOSPC)) {
+		t.Error("wrapped ENOSPC not recognized")
+	}
+	if IsDiskFull(syscall.EIO) {
+		t.Error("EIO mistaken for disk-full")
+	}
+}

@@ -12,8 +12,16 @@ import (
 
 // Options tune a Journal. The zero value is the production
 // configuration; the hooks exist for internal/chaos to inject
-// deterministic crashes.
+// deterministic crashes and storage faults.
 type Options struct {
+	// FS, if set, replaces the production filesystem for the journal
+	// file and its sidecars (chaos.FaultFS injects ENOSPC/EIO/short
+	// writes here). Nil means the real OS.
+	FS FS
+	// Retry bounds transient-error retries on the artifact writes that
+	// ride along with the journal (manifest, frame index, snapshots).
+	// The zero value means a single attempt.
+	Retry RetryPolicy
 	// Wrap, if set, wraps the raw file writer (below the buffer and the
 	// gzip member). chaos uses it to simulate torn writes: a wrapper
 	// that writes a partial record and then fails persistently.
@@ -44,7 +52,8 @@ type Checkpoint struct {
 type Journal struct {
 	path     string
 	compress bool
-	f        *os.File
+	fsys     FS
+	f        File
 	count    *countingWriter
 	bw       *bufio.Writer
 	zw       *gzip.Writer // open gzip member, nil between members
@@ -74,7 +83,7 @@ func Compressed(path string) bool { return strings.HasSuffix(path, ".gz") }
 // Create creates (or truncates) a journal at path. A ".gz" suffix
 // selects gzip member framing.
 func Create(path string, opts Options) (*Journal, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	f, err := fsOrOS(opts.FS).Create(path)
 	if err != nil {
 		return nil, fmt.Errorf("durable: creating journal %s: %w", path, err)
 	}
@@ -87,7 +96,7 @@ func Create(path string, opts Options) (*Journal, error) {
 // writing resumes in a fresh gzip member, which multistream readers
 // decode transparently.
 func OpenAt(path string, at Checkpoint, opts Options) (*Journal, error) {
-	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	f, err := fsOrOS(opts.FS).OpenFile(path, os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("durable: opening journal %s: %w", path, err)
 	}
@@ -102,7 +111,7 @@ func OpenAt(path string, at Checkpoint, opts Options) (*Journal, error) {
 	return newJournal(path, f, at, opts), nil
 }
 
-func newJournal(path string, f *os.File, at Checkpoint, opts Options) *Journal {
+func newJournal(path string, f File, at Checkpoint, opts Options) *Journal {
 	var raw io.Writer = f
 	if opts.Wrap != nil {
 		raw = opts.Wrap(raw)
@@ -111,6 +120,7 @@ func newJournal(path string, f *os.File, at Checkpoint, opts Options) *Journal {
 	return &Journal{
 		path:      path,
 		compress:  Compressed(path),
+		fsys:      fsOrOS(opts.FS),
 		f:         f,
 		count:     count,
 		bw:        bufio.NewWriterSize(count, 1<<16),
@@ -171,7 +181,11 @@ func (j *Journal) Sync() (Checkpoint, error) {
 	if err := j.bw.Flush(); err != nil {
 		return j.committed, fmt.Errorf("durable: flushing %s: %w", j.path, err)
 	}
-	if err := j.f.Sync(); err != nil {
+	// A transient fsync failure is retryable — the user-space buffer
+	// already flushed, so re-issuing the fsync is safe. Stream errors
+	// (flush above) are not: bufio latches them, and the caller's drain
+	// path owns recovery from the last committed checkpoint.
+	if err := j.opts.Retry.Do("journal-fsync", j.f.Sync); err != nil {
 		return j.committed, fmt.Errorf("durable: syncing %s: %w", j.path, err)
 	}
 	j.committed = Checkpoint{Offset: j.count.n, Records: j.records, PayloadCRC: j.crc}
@@ -194,5 +208,5 @@ func (j *Journal) Close() error {
 	if closeErr != nil {
 		return fmt.Errorf("durable: closing %s: %w", j.path, closeErr)
 	}
-	return SyncDir(filepath.Dir(j.path))
+	return j.fsys.SyncDir(filepath.Dir(j.path))
 }

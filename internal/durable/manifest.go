@@ -69,9 +69,14 @@ func (m *Manifest) Checkpoint() Checkpoint {
 
 // Store atomically writes the manifest for the given journal path.
 func (m *Manifest) Store(journalPath string) error {
+	return m.StoreFS(nil, journalPath)
+}
+
+// StoreFS is Store through an explicit filesystem seam.
+func (m *Manifest) StoreFS(fsys FS, journalPath string) error {
 	m.Version = ManifestVersion
 	m.Journal = filepath.Base(journalPath)
-	return WriteFileAtomic(ManifestPath(journalPath), func(w io.Writer) error {
+	return WriteFileAtomicFS(fsys, ManifestPath(journalPath), func(w io.Writer) error {
 		enc := json.NewEncoder(w)
 		return enc.Encode(m)
 	})
@@ -113,7 +118,12 @@ func DecodeManifest(data []byte) (*Manifest, error) {
 // exceeds the journal's size (a journal replaced out from under it) is
 // likewise treated as absent.
 func LoadManifest(journalPath string) *Manifest {
-	data, err := os.ReadFile(ManifestPath(journalPath))
+	return LoadManifestFS(nil, journalPath)
+}
+
+// LoadManifestFS is LoadManifest through an explicit filesystem seam.
+func LoadManifestFS(fsys FS, journalPath string) *Manifest {
+	data, err := fsOrOS(fsys).ReadFile(ManifestPath(journalPath))
 	if err != nil {
 		return nil
 	}
@@ -133,4 +143,9 @@ func LoadManifest(journalPath string) *Manifest {
 // RemoveManifest deletes a journal's manifest if present.
 func RemoveManifest(journalPath string) {
 	os.Remove(ManifestPath(journalPath))
+}
+
+// RemoveManifestFS is RemoveManifest through an explicit filesystem seam.
+func RemoveManifestFS(fsys FS, journalPath string) {
+	fsOrOS(fsys).Remove(ManifestPath(journalPath))
 }

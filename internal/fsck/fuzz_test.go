@@ -1,0 +1,87 @@
+package fsck
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzFsckReportDecode hardens the verify-report decoder: arbitrary
+// bytes (a torn -json artifact, a bit-flipped report handed to a repair
+// driver) must never panic it, and everything it accepts must satisfy
+// the report invariants and survive an encode/decode round trip
+// byte-identically — drivers act on repair windows, so an admitted
+// report must mean exactly what it says.
+func FuzzFsckReportDecode(f *testing.F) {
+	seed := &Report{
+		Journals: []JournalReport{
+			{Journal: "crawl.jsonl.gz", FromRank: 1, ToRank: 100, Records: 320, Sites: 100, Clean: true},
+			{
+				Journal: "crawl.jsonl.gz.shard-1", FromRank: 101, ToRank: 200, Records: 80, Sites: 40,
+				Findings: []Finding{{Artifact: "crawl.jsonl.gz.shard-1", Code: CodeCorruptRegion, Detail: "bad crc"}},
+				Repair:   []Window{{From: 120, To: 140}, {From: 160, To: 200}},
+			},
+		},
+		Strays:   []string{".crawl.jsonl.ckpt.tmp-91"},
+		Findings: []Finding{{Artifact: ".crawl.jsonl.ckpt.tmp-91", Code: CodeStrayTemp}},
+	}
+	var buf bytes.Buffer
+	if err := seed.Encode(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{"version":1,"journals":[],"clean":true}`))
+	f.Add([]byte(`{"version":1,"journals":[{"journal":"j","from_rank":1,"to_rank":2,"records":0,"sites":0,"clean":false}],"clean":false}`))
+	f.Add([]byte(`{"version":9}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rep, err := DecodeReport(data)
+		if err != nil {
+			return
+		}
+		if rep == nil {
+			t.Fatal("nil report without error")
+		}
+		for _, j := range rep.Journals {
+			if j.Journal == "" || j.FromRank < 1 || j.ToRank < j.FromRank || j.Records < 0 || j.Sites < 0 {
+				t.Fatalf("validator admitted malformed journal report: %+v", j)
+			}
+			prev := j.FromRank - 1
+			for _, w := range j.Repair {
+				if w.From <= prev || w.To < w.From || w.To > j.ToRank {
+					t.Fatalf("validator admitted bad repair window %+v in %+v", w, j)
+				}
+				prev = w.To
+			}
+			if j.Clean && (len(j.Findings) > 0 || len(j.Repair) > 0) {
+				t.Fatalf("validator admitted clean journal with findings: %+v", j)
+			}
+		}
+		if rep.Clean {
+			if len(rep.Findings) > 0 {
+				t.Fatalf("validator admitted clean campaign with findings: %+v", rep.Findings)
+			}
+			for _, j := range rep.Journals {
+				if !j.Clean {
+					t.Fatal("validator admitted clean campaign with a dirty journal")
+				}
+			}
+		}
+		var first bytes.Buffer
+		if err := rep.Encode(&first); err != nil {
+			t.Fatalf("re-encoding an accepted report: %v", err)
+		}
+		back, err := DecodeReport(first.Bytes())
+		if err != nil {
+			t.Fatalf("our own encoding rejected: %v", err)
+		}
+		var second bytes.Buffer
+		if err := back.Encode(&second); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatal("encode/decode round trip is not a fixed point")
+		}
+	})
+}

@@ -1,0 +1,101 @@
+package fsck
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ReportVersion is the fsck verify-report schema version.
+const ReportVersion = 1
+
+// Report is the campaign-wide verify outcome: one JournalReport per
+// journal (shards in shard order), plus directory-level findings. Its
+// JSON form is deterministic — artifacts are identified by base name
+// and every list is emitted in a canonical order — so two fscks of the
+// same campaign state produce identical bytes.
+type Report struct {
+	Version int `json:"version"`
+	// Journals holds per-journal results in verification order.
+	Journals []JournalReport `json:"journals"`
+	// Strays lists leftover atomic-write temp files, sorted.
+	Strays []string `json:"strays,omitempty"`
+	// Findings holds campaign-level findings (report artifact, strays).
+	Findings []Finding `json:"findings,omitempty"`
+	// Clean means no findings and no repair windows anywhere.
+	Clean bool `json:"clean"`
+}
+
+// Encode writes the report as indented JSON.
+func (r *Report) Encode(w io.Writer) error {
+	r.Version = ReportVersion
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return fmt.Errorf("fsck: encoding report: %w", err)
+	}
+	return nil
+}
+
+// DecodeReport strictly decodes and validates verify-report bytes —
+// the tool-to-tool interface (topics-fsck -json feeds orchestration),
+// so unknown fields, version skew and inconsistent windows are all
+// rejected rather than absorbed.
+func DecodeReport(data []byte) (*Report, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var r Report
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("fsck: report: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("fsck: report: trailing data")
+	}
+	if r.Version != ReportVersion {
+		return nil, fmt.Errorf("fsck: report: unsupported version %d", r.Version)
+	}
+	for i := range r.Journals {
+		j := &r.Journals[i]
+		if j.Journal == "" {
+			return nil, fmt.Errorf("fsck: report: journal %d unnamed", i)
+		}
+		if j.FromRank < 1 || j.ToRank < j.FromRank {
+			return nil, fmt.Errorf("fsck: report: journal %s rank window [%d,%d] invalid", j.Journal, j.FromRank, j.ToRank)
+		}
+		if j.Records < 0 || j.Sites < 0 {
+			return nil, fmt.Errorf("fsck: report: journal %s negative counts", j.Journal)
+		}
+		prevTo := j.FromRank - 1
+		for _, w := range j.Repair {
+			if w.From <= prevTo || w.To < w.From || w.To > j.ToRank {
+				return nil, fmt.Errorf("fsck: report: journal %s repair window [%d,%d] invalid", j.Journal, w.From, w.To)
+			}
+			prevTo = w.To
+		}
+		if j.Clean && (len(j.Findings) > 0 || len(j.Repair) > 0) {
+			return nil, fmt.Errorf("fsck: report: journal %s claims clean with findings", j.Journal)
+		}
+		for _, f := range j.Findings {
+			if f.Artifact == "" || f.Code == "" {
+				return nil, fmt.Errorf("fsck: report: journal %s finding missing artifact or code", j.Journal)
+			}
+		}
+	}
+	for _, f := range r.Findings {
+		if f.Artifact == "" || f.Code == "" {
+			return nil, fmt.Errorf("fsck: report: finding missing artifact or code")
+		}
+	}
+	if r.Clean {
+		if len(r.Findings) > 0 || len(r.Strays) > 0 {
+			return nil, fmt.Errorf("fsck: report: claims clean with campaign findings")
+		}
+		for _, j := range r.Journals {
+			if !j.Clean {
+				return nil, fmt.Errorf("fsck: report: claims clean with dirty journal %s", j.Journal)
+			}
+		}
+	}
+	return &r, nil
+}

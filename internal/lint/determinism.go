@@ -15,7 +15,7 @@ var Determinism = &Analyzer{
 	Doc: `forbid nondeterminism sources in the determinism-critical packages
 (internal/analysis, internal/webworld, internal/chaos, internal/crawler,
 internal/dataset, internal/obs, internal/load, internal/durable,
-internal/orchestrator): time.Now and time.Since
+internal/orchestrator, internal/fsck): time.Now and time.Since
 read the wall clock; global math/rand functions draw from a process-wide
 unseeded source; ranging over a map while appending to a slice (without
 sorting it afterwards) or while writing output bakes random iteration
@@ -36,6 +36,9 @@ order into the result.`,
 		// wall clocks or leak map order either.
 		"internal/durable",
 		"internal/orchestrator",
+		// The repair path promises recrawls byte-identical to the damaged
+		// originals — fully seeded, no wall clock.
+		"internal/fsck",
 	),
 	Run: runDeterminism,
 }

@@ -14,6 +14,8 @@ import (
 	"github.com/netmeasure/topicscope/internal/chaos"
 	"github.com/netmeasure/topicscope/internal/crawler"
 	"github.com/netmeasure/topicscope/internal/dataset"
+	"github.com/netmeasure/topicscope/internal/durable"
+	"github.com/netmeasure/topicscope/internal/fsck"
 	"github.com/netmeasure/topicscope/internal/obs"
 	"github.com/netmeasure/topicscope/internal/webserver"
 	"github.com/netmeasure/topicscope/internal/webworld"
@@ -62,6 +64,17 @@ type Campaign struct {
 	MaxRestarts int
 	// Launcher starts the workers; nil selects the in-process launcher.
 	Launcher Launcher
+	// Fsck verifies every shard journal after the crawl phase: a shard
+	// with corrupt or torn artifacts is truncated back to its last clean
+	// committed checkpoint and restarted from there — fsck-detected
+	// corruption becomes the same restartable condition a worker crash
+	// is, charged against the same restart budget.
+	Fsck bool
+	// FS routes in-process workers' artifact writes through an explicit
+	// filesystem seam (chaos.FaultFS plugs in here); nil means the real
+	// OS. Retry is their authoritative-write retry policy.
+	FS    durable.FS
+	Retry durable.RetryPolicy
 
 	// Logger receives coordinator and (in-process) worker progress.
 	Logger *slog.Logger
@@ -117,16 +130,18 @@ func (c *Campaign) shardCampaign(spec ShardSpec, resume bool) ShardCampaign {
 		Resume:          resume,
 		Logger:          logger,
 		Metrics:         c.Metrics,
+		FS:              c.FS,
+		Retry:           c.Retry,
 	}
 }
 
 // supervise runs one shard to completion, restarting crashed workers
 // from the shard checkpoint up to the restart budget. It returns how
 // many restarts it spent.
-func (c *Campaign) supervise(ctx context.Context, launcher Launcher, spec ShardSpec, budget int) (int, error) {
+func (c *Campaign) supervise(ctx context.Context, launcher Launcher, spec ShardSpec, budget int, forceResume bool) (int, error) {
 	attempt := 0
 	for {
-		resume := c.Resume || attempt > 0
+		resume := forceResume || c.Resume || attempt > 0
 		h, err := launcher.Start(ctx, c, spec, attempt, resume)
 		if err != nil {
 			return attempt, err
@@ -148,6 +163,56 @@ func (c *Campaign) supervise(ctx context.Context, launcher Launcher, spec ShardS
 		if c.Logger != nil {
 			c.Logger.Warn("worker crashed, restarting from checkpoint",
 				"shard", spec.Index, "attempt", attempt, "err", err)
+		}
+	}
+}
+
+// fsckShards verifies every shard journal and heals flagged shards by
+// quarantine-truncation plus a resumed recrawl, looping until every
+// shard verifies clean. Each heal is charged like a crash restart, with
+// a per-shard budget.
+func (c *Campaign) fsckShards(ctx context.Context, launcher Launcher, specs []ShardSpec, budget int) (int, error) {
+	total := 0
+	attempts := make([]int, len(specs))
+	for {
+		dirty := 0
+		for _, spec := range specs {
+			path := ShardPath(c.OutputPath, spec.Index)
+			chk, err := fsck.VerifyJournal(path, fsck.VerifyOptions{
+				FromRank: spec.FromRank,
+				ToRank:   spec.ToRank,
+				Shard:    spec.Info(),
+				Metrics:  c.Metrics,
+			})
+			if err != nil {
+				return total, err
+			}
+			if chk.Report.Clean {
+				continue
+			}
+			dirty++
+			if attempts[spec.Index] >= budget {
+				return total, fmt.Errorf("orchestrator: shard %s: fsck heal budget (%d) exhausted: %d findings remain",
+					spec, budget, len(chk.Report.Findings))
+			}
+			attempts[spec.Index]++
+			total++
+			c.Metrics.Add("orchestrator_fsck_restarts_total", 1)
+			if c.Logger != nil {
+				c.Logger.Warn("fsck flagged shard; truncating to last clean checkpoint and restarting",
+					"shard", spec.Index, "findings", len(chk.Report.Findings), "windows", len(chk.Report.Repair))
+			}
+			if err := fsck.QuarantineTruncate(chk); err != nil {
+				return total, err
+			}
+			n, err := c.supervise(ctx, launcher, spec, budget, true)
+			total += n
+			if err != nil {
+				return total, err
+			}
+		}
+		if dirty == 0 {
+			return total, nil
 		}
 	}
 }
@@ -203,7 +268,7 @@ func (c Campaign) Run(ctx context.Context) (*Result, error) {
 		wg.Add(1)
 		go func(spec ShardSpec) {
 			defer wg.Done()
-			n, err := c.supervise(crawlCtx, launcher, spec, budget)
+			n, err := c.supervise(crawlCtx, launcher, spec, budget, false)
 			mu.Lock()
 			defer mu.Unlock()
 			restarts += n
@@ -220,6 +285,17 @@ func (c Campaign) Run(ctx context.Context) (*Result, error) {
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr
+	}
+
+	// Verify phase (optional): fsck every shard journal; a flagged shard
+	// is truncated to its last clean committed checkpoint and restarted
+	// from there, exactly like a crashed worker.
+	if c.Fsck {
+		n, err := c.fsckShards(ctx, launcher, specs, budget)
+		restarts += n
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	// Merge phase: validate and concatenate the shard journals into the

@@ -72,6 +72,14 @@ type ShardCampaign struct {
 	// the journal's write path — the fault-handling tests kill workers
 	// with it. A crash aborts the journal exactly as kill -9 would.
 	CrashPlan *chaos.CrashPlan
+	// FS, when set, routes every artifact write (journal, manifest,
+	// frame index, live snapshot, status) through an explicit filesystem
+	// seam — the storage fault injector (chaos.FaultFS) plugs in here.
+	// Nil means the real OS.
+	FS durable.FS
+	// Retry is the write-path retry policy for authoritative artifacts
+	// (journal fsync, manifest); the zero value means no retries.
+	Retry durable.RetryPolicy
 }
 
 // ShardResult reports a finished (or drained) shard.
@@ -142,11 +150,10 @@ func (c ShardCampaign) Run(ctx context.Context) (*ShardResult, error) {
 			return skipSites[rankSite[rank]]
 		},
 	}
+	jopts.Durable = durable.Options{FS: c.FS, Retry: c.Retry}
 	if c.CrashPlan != nil {
-		jopts.Durable = durable.Options{
-			BeforeAppend: c.CrashPlan.BeforeAppend(),
-			Wrap:         c.CrashPlan.Wrap(),
-		}
+		jopts.Durable.BeforeAppend = c.CrashPlan.BeforeAppend()
+		jopts.Durable.Wrap = c.CrashPlan.Wrap()
 	}
 
 	path := ShardPath(c.OutputPath, c.Shard.Index)
@@ -154,7 +161,7 @@ func (c ShardCampaign) Run(ctx context.Context) (*ShardResult, error) {
 	// Each shard maintains its own live analysis index beside its
 	// journal; the coordinator merges the per-shard snapshots with
 	// MergeShardIndexes instead of re-folding every shard's records.
-	liveIn := &analysis.Input{Allowlist: allow, Metrics: reg}
+	liveIn := &analysis.Input{Allowlist: allow, Metrics: reg, FS: c.FS}
 	var journal *dataset.JournalWriter
 	var err error
 	if c.Resume {
@@ -232,6 +239,14 @@ func (c ShardCampaign) Run(ctx context.Context) (*ShardResult, error) {
 			res.Stats = crawlRes.Stats
 			c.writeStatus(path, StateDrained, nil)
 			return res, err
+		}
+		if durable.IsDiskFull(err) {
+			// Persistent ENOSPC is never retried: fail fast, keep the last
+			// committed checkpoint intact, and let the operator free space
+			// and resume.
+			reg.Add("storage_disk_full_total", 1)
+			c.writeStatus(path, StateFailed, err)
+			return nil, fmt.Errorf("orchestrator: shard %s out of disk space (resume after freeing space): %w", c.Shard, err)
 		}
 		c.writeStatus(path, StateFailed, err)
 		return nil, fmt.Errorf("orchestrator: shard %s: %w", c.Shard, err)
